@@ -1,0 +1,122 @@
+//! Micro-benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * occurrence-set representation: dense bitsets (the paper's choice)
+//!   versus sorted sparse vectors, across set densities;
+//! * generalized vs exact subgraph isomorphism cost (the paper's claim
+//!   that generalized matching is "at least as hard");
+//! * occurrence-index construction cost per embedding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsg_bitset::{BitSet, SparseBitSet};
+use tsg_datagen::{generate_database, go_like_taxonomy_scaled, GraphGenConfig, LabelPool, Sizing};
+use tsg_iso::{count_embeddings, ExactMatcher, GeneralizedMatcher};
+
+/// Dense vs sparse occurrence-set intersection at several densities.
+fn occset_representation(c: &mut Criterion) {
+    let universe = 20_000usize;
+    let mut group = c.benchmark_group("occset_repr");
+    for fill_permille in [5usize, 50, 500] {
+        let step = 1000 / fill_permille.min(1000);
+        let members_a: Vec<usize> = (0..universe).step_by(step.max(1)).collect();
+        let members_b: Vec<usize> = (0..universe).skip(step / 2).step_by(step.max(1)).collect();
+        let da = BitSet::from_iter_with_universe(universe, members_a.iter().copied());
+        let db = BitSet::from_iter_with_universe(universe, members_b.iter().copied());
+        let sa: SparseBitSet = members_a.iter().copied().collect();
+        let sb: SparseBitSet = members_b.iter().copied().collect();
+        group.bench_with_input(
+            BenchmarkId::new("dense", fill_permille),
+            &(&da, &db),
+            |bench, (a, b)| bench.iter(|| a.intersection_count(b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparse", fill_permille),
+            &(&sa, &sb),
+            |bench, (a, b)| bench.iter(|| a.intersection_count(b)),
+        );
+    }
+    group.finish();
+}
+
+/// Exact vs generalized subgraph isomorphism on the same workload.
+fn iso_cost(c: &mut Criterion) {
+    let tax = go_like_taxonomy_scaled(200);
+    let db = generate_database(
+        &tax,
+        &GraphGenConfig {
+            graph_count: 50,
+            max_edges: 15,
+            edge_density: 0.25,
+            sizing: Sizing::EdgeDriven,
+            edge_labels: 4,
+            label_pool: LabelPool::ByLevelUniform,
+            directed: false,
+            seed: 3,
+        },
+    );
+    // A small pattern: first graph's first two edges, relabeled to roots
+    // for the generalized case.
+    let pattern = db.graph(0).induced_subgraph(&[0, 1, 2]);
+    let mut general = pattern.clone();
+    for v in 0..general.node_count() {
+        let mga = tax.most_general_ancestor(general.label(v)).unwrap();
+        general.set_label(v, mga);
+    }
+    let mut group = c.benchmark_group("iso_cost");
+    group.bench_function("exact", |b| {
+        b.iter(|| {
+            db.iter()
+                .map(|(_, g)| count_embeddings(&pattern, g, &ExactMatcher))
+                .sum::<usize>()
+        })
+    });
+    let gm = GeneralizedMatcher::new(&tax);
+    group.bench_function("generalized", |b| {
+        b.iter(|| {
+            db.iter()
+                .map(|(_, g)| count_embeddings(&general, g, &gm))
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+/// gSpan alone vs the full Taxogram pipeline on the relabeled database —
+/// the overhead of occurrence-index construction and specialization.
+fn pipeline_overhead(c: &mut Criterion) {
+    let tax = go_like_taxonomy_scaled(400);
+    let db = generate_database(
+        &tax,
+        &GraphGenConfig {
+            graph_count: 60,
+            max_edges: 12,
+            edge_density: 0.25,
+            sizing: Sizing::EdgeDriven,
+            edge_labels: 10,
+            label_pool: LabelPool::ByLevelUniform,
+            directed: false,
+            seed: 4,
+        },
+    );
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("gspan_on_dmg_only", |b| {
+        let rel = taxogram_core::relabel::relabel(&db, &tax).unwrap();
+        b.iter(|| tsg_gspan::mine_frequent(&rel.dmg, 12, Some(5)).len())
+    });
+    group.bench_function("full_taxogram", |b| {
+        let cfg = taxogram_core::TaxogramConfig::with_threshold(0.2).max_edges(5);
+        b.iter(|| {
+            taxogram_core::Taxogram::new(cfg)
+                .mine(&db, &tax)
+                .unwrap()
+                .patterns
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(micro, occset_representation, iso_cost, pipeline_overhead);
+criterion_main!(micro);

@@ -1,0 +1,212 @@
+//! Criterion benches mirroring every figure/table of the paper's §4 at
+//! the quick profile. One bench group per figure; within each group, one
+//! benchmark per x-axis point and algorithm, so `cargo bench` regenerates
+//! the full set of series the paper plots.
+//!
+//! For one-shot reports with larger scales, prefer the `experiments`
+//! binary; these benches exist for statistically robust relative timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Heavy mining benchmarks: few samples, short measurement windows, so the
+/// full suite stays in the minutes range.
+fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+}
+use taxogram_core::{Enhancements, Taxogram, TaxogramConfig};
+use tsg_bench::Profile;
+use tsg_datagen::registry::{build, DatasetId};
+use tsg_datagen::{go_like_taxonomy_scaled, pathway_database, pte_like_dataset, PATHWAYS};
+use tsg_graph::GraphDatabase;
+use tsg_taxonomy::Taxonomy;
+
+fn profile() -> Profile {
+    Profile::quick()
+}
+
+fn mine_with(
+    db: &GraphDatabase,
+    tax: &Taxonomy,
+    theta: f64,
+    enhancements: Enhancements,
+    max_edges: Option<usize>,
+) -> usize {
+    let mut cfg = TaxogramConfig::with_threshold(theta);
+    cfg.max_edges = max_edges;
+    cfg.enhancements = enhancements;
+    Taxogram::new(cfg)
+        .mine(db, tax)
+        .expect("valid input")
+        .patterns
+        .len()
+}
+
+/// Figure 4.2: running time vs database size, three algorithms.
+fn fig4_2(c: &mut Criterion) {
+    let p = profile();
+    let mut group = c.benchmark_group("fig4_2_db_size");
+    tune(&mut group);
+    for n in [1000, 3000, 5000] {
+        let ds = build(DatasetId::D(n), p.scale);
+        group.bench_with_input(BenchmarkId::new("taxogram", n), &ds, |b, ds| {
+            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::all(), p.max_edges))
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", n), &ds, |b, ds| {
+            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::none(), p.max_edges))
+        });
+        group.bench_with_input(BenchmarkId::new("tacgm", n), &ds, |b, ds| {
+            let mut cfg = tsg_tacgm::TacgmConfig::with_threshold(0.2)
+                .memory_budget(p.tacgm_budget_bytes);
+            cfg.max_edges = p.max_edges;
+            b.iter(|| tsg_tacgm::mine(&ds.database, &ds.taxonomy, &cfg).map(|r| r.patterns.len()))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 4.3: running time vs max graph size.
+fn fig4_3(c: &mut Criterion) {
+    let p = profile();
+    let mut group = c.benchmark_group("fig4_3_graph_size");
+    tune(&mut group);
+    for m in [10, 20, 30, 40] {
+        let ds = build(DatasetId::NC(m), p.scale);
+        group.bench_with_input(BenchmarkId::new("taxogram", m), &ds, |b, ds| {
+            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::all(), p.max_edges))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 4.4: running time vs edge density.
+fn fig4_4(c: &mut Criterion) {
+    let p = profile();
+    let mut group = c.benchmark_group("fig4_4_edge_density");
+    tune(&mut group);
+    for d in [6, 9, 10, 11] {
+        let ds = build(DatasetId::ED(d as f64 / 100.0), p.scale);
+        group.bench_with_input(BenchmarkId::new("taxogram", d), &ds, |b, ds| {
+            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::all(), p.max_edges))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 4.5: running time vs taxonomy depth.
+fn fig4_5(c: &mut Criterion) {
+    let p = profile();
+    let mut group = c.benchmark_group("fig4_5_tax_depth");
+    tune(&mut group);
+    for k in [5, 9, 12, 15] {
+        let ds = build(DatasetId::TD(k), p.scale);
+        group.bench_with_input(BenchmarkId::new("taxogram", k), &ds, |b, ds| {
+            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::all(), p.max_edges))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 4.6: running time vs taxonomy concept count.
+fn fig4_6(c: &mut Criterion) {
+    let p = profile();
+    let mut group = c.benchmark_group("fig4_6_tax_size");
+    tune(&mut group);
+    for cc in [25, 100, 400, 1600] {
+        let ds = build(DatasetId::TS(cc), p.scale);
+        group.bench_with_input(BenchmarkId::new("taxogram", cc), &ds, |b, ds| {
+            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::all(), p.max_edges))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 4.7: support-threshold sweep on D4000, Taxogram vs TAcGM.
+fn fig4_7(c: &mut Criterion) {
+    let p = profile();
+    let ds = build(DatasetId::D(4000), p.scale);
+    let mut group = c.benchmark_group("fig4_7_support");
+    tune(&mut group);
+    for theta_pct in [60, 40, 20, 5] {
+        let theta = theta_pct as f64 / 100.0;
+        group.bench_with_input(BenchmarkId::new("taxogram", theta_pct), &theta, |b, &t| {
+            b.iter(|| mine_with(&ds.database, &ds.taxonomy, t, Enhancements::all(), p.max_edges))
+        });
+        group.bench_with_input(BenchmarkId::new("tacgm", theta_pct), &theta, |b, &t| {
+            let mut cfg =
+                tsg_tacgm::TacgmConfig::with_threshold(t).memory_budget(p.tacgm_budget_bytes);
+            cfg.max_edges = p.max_edges;
+            b.iter(|| tsg_tacgm::mine(&ds.database, &ds.taxonomy, &cfg).map(|r| r.patterns.len()))
+        });
+    }
+    group.finish();
+}
+
+/// Table 2: representative pathways (least and most conserved).
+fn table2(c: &mut Criterion) {
+    let p = profile();
+    let taxonomy = go_like_taxonomy_scaled(400);
+    let mut group = c.benchmark_group("table2_pathways");
+    tune(&mut group);
+    for (idx, tag) in [(0usize, "vitamin_b6"), (15, "tca_cycle"), (23, "nitrogen")] {
+        let db = pathway_database(&taxonomy, &PATHWAYS[idx], 30, 0xEDB7);
+        group.bench_with_input(BenchmarkId::new("taxogram", tag), &db, |b, db| {
+            b.iter(|| mine_with(db, &taxonomy, 0.2, Enhancements::all(), p.max_edges))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 4.8: PTE at three support thresholds.
+fn fig4_8(c: &mut Criterion) {
+    let p = profile();
+    let pte = pte_like_dataset(2008);
+    let mut group = c.benchmark_group("fig4_8_pte");
+    tune(&mut group);
+    for theta_pct in [60, 50, 30] {
+        let theta = theta_pct as f64 / 100.0;
+        group.bench_with_input(BenchmarkId::new("taxogram", theta_pct), &theta, |b, &t| {
+            b.iter(|| mine_with(&pte.database, &pte.taxonomy, t, Enhancements::all(), p.max_edges))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: each enhancement individually disabled (beyond the paper).
+fn ablation(c: &mut Criterion) {
+    let p = profile();
+    let ds = build(DatasetId::D(2000), p.scale);
+    let configs: [(&str, Enhancements); 6] = [
+        ("all", Enhancements::all()),
+        ("none", Enhancements::none()),
+        ("no_a", Enhancements { apriori_child_prune: false, ..Enhancements::all() }),
+        ("no_b", Enhancements { prune_infrequent_labels: false, ..Enhancements::all() }),
+        ("no_c", Enhancements { predescend_roots: false, ..Enhancements::all() }),
+        ("no_d", Enhancements { contract_equal_sets: false, ..Enhancements::all() }),
+    ];
+    let mut group = c.benchmark_group("ablation_enhancements");
+    tune(&mut group);
+    for (name, enh) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, enh, p.max_edges))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    fig4_2,
+    fig4_3,
+    fig4_4,
+    fig4_5,
+    fig4_6,
+    fig4_7,
+    table2,
+    fig4_8,
+    ablation
+);
+criterion_main!(figures);

@@ -1,0 +1,199 @@
+//! Regenerates every table and figure of the paper's evaluation (§4).
+//!
+//! ```text
+//! cargo run --release -p tsg-bench --bin experiments -- --exp all --scale quick
+//! cargo run --release -p tsg-bench --bin experiments -- --exp fig4_2 --scale medium
+//! ```
+//!
+//! Experiments: `table1`, `fig4_2`, `fig4_3`, `fig4_4`, `fig4_5`,
+//! `fig4_6`, `fig4_7`, `table2`, `fig4_8`, `ablation`, `all`.
+
+use tsg_bench::report::{ms, render_table};
+use tsg_bench::{experiments as exp, Profile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let which = get("--exp", "all");
+    let profile = match Profile::by_name(&get("--scale", "quick")) {
+        Some(p) => p,
+        None => {
+            eprintln!("unknown scale; use quick | medium | full");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "# Taxogram experiment suite — profile {} (scale {}, TAcGM budget {} MiB)\n",
+        profile.name,
+        profile.scale,
+        profile.tacgm_budget_bytes >> 20
+    );
+
+    let known = [
+        "table1", "fig4_2", "fig4_3", "fig4_4", "fig4_5", "fig4_6", "fig4_7", "table2", "fig4_8",
+        "ablation", "parallel",
+    ];
+    let run_all = which == "all";
+    if !run_all && !known.contains(&which.as_str()) {
+        eprintln!("unknown experiment {which:?}; one of {known:?} or all");
+        std::process::exit(2);
+    }
+    let want = |name: &str| run_all || which == name;
+
+    if want("table1") {
+        section("Table 1 — dataset properties");
+        let rows: Vec<Vec<String>> = exp::table1(&profile)
+            .into_iter()
+            .map(|(id, s)| {
+                vec![
+                    id,
+                    s.graph_count.to_string(),
+                    format!("{:.1}", s.avg_nodes),
+                    format!("{:.1}", s.avg_edges),
+                    s.distinct_node_labels.to_string(),
+                    format!("{:.2}", s.avg_edge_density),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["DB Id", "Graphs", "AvgNodes", "AvgEdges", "DistLabels", "AvgDensity"],
+                &rows
+            )
+        );
+    }
+
+    if want("fig4_2") {
+        section("Figure 4.2 — running time vs database size (θ = 0.2)");
+        print_algo_rows(&exp::fig4_2(&profile));
+    }
+    if want("fig4_3") {
+        section("Figure 4.3 — running time vs max graph size (θ = 0.2)");
+        print_algo_rows(&exp::fig4_3(&profile));
+    }
+    if want("fig4_4") {
+        section("Figure 4.4 — running time / pattern count vs edge density");
+        print_count_rows("density", &exp::fig4_4(&profile));
+    }
+    if want("fig4_5") {
+        section("Figure 4.5 — running time / pattern count vs taxonomy depth");
+        print_count_rows("depth", &exp::fig4_5(&profile));
+    }
+    if want("fig4_6") {
+        section("Figure 4.6 — running time / pattern count vs taxonomy size");
+        print_count_rows("concepts", &exp::fig4_6(&profile));
+    }
+    if want("fig4_7") {
+        section("Figure 4.7 — Taxogram vs TAcGM across support thresholds (D4000)");
+        let rows: Vec<Vec<String>> = exp::fig4_7(&profile)
+            .into_iter()
+            .map(|r| {
+                vec![
+                    format!("{:.2}", r.theta),
+                    ms(r.taxogram_ms),
+                    r.tacgm.map(ms).unwrap_or_else(|e| e),
+                    r.patterns.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["support", "Taxogram", "TAcGM", "patterns"], &rows)
+        );
+    }
+    if want("table2") {
+        section("Table 2 — 25 metabolic pathways × 30 organisms (θ = 0.2)");
+        let rows: Vec<Vec<String>> = exp::table2(&profile)
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.name.to_string(),
+                    ms(r.time_ms),
+                    r.patterns.to_string(),
+                    format!("{:.2}", r.avg_nodes),
+                    format!("{:.2}", r.avg_edges),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["Pathway", "Time", "Patterns", "AvgNodes", "AvgEdges"],
+                &rows
+            )
+        );
+    }
+    if want("fig4_8") {
+        section("Figure 4.8 — PTE data across support thresholds");
+        print_count_rows("support×100", &exp::fig4_8(&profile));
+    }
+    if want("parallel") {
+        section("Parallel scaling (beyond the paper) — Step 3 threads on D3000");
+        let rows: Vec<Vec<String>> = exp::parallel_scaling(&profile)
+            .into_iter()
+            .map(|r| vec![r.threads.to_string(), ms(r.time_ms), r.patterns.to_string()])
+            .collect();
+        println!("{}", render_table(&["threads", "time", "patterns"], &rows));
+    }
+    if want("ablation") {
+        section("Ablation (beyond the paper) — per-enhancement cost on D2000");
+        let rows: Vec<Vec<String>> = exp::ablation(&profile)
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.config.to_string(),
+                    ms(r.time_ms),
+                    r.intersections.to_string(),
+                    r.vectors.to_string(),
+                    format!("{}KiB", r.peak_oi_bytes >> 10),
+                    r.patterns.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["config", "time", "intersections", "vectors", "peak OI", "patterns"],
+                &rows
+            )
+        );
+    }
+}
+
+fn section(title: &str) {
+    println!("\n## {title}\n");
+}
+
+fn print_algo_rows(rows: &[exp::AlgoRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                ms(r.taxogram_ms),
+                ms(r.baseline_ms),
+                r.tacgm.as_ref().map(|&t| ms(t)).unwrap_or_else(|e| e.clone()),
+                r.patterns.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["dataset", "Taxogram", "Baseline", "TAcGM", "patterns"], &table)
+    );
+}
+
+fn print_count_rows(xlabel: &str, rows: &[exp::CountRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.label.clone(), ms(r.time_ms), r.patterns.to_string()])
+        .collect();
+    println!("{}", render_table(&[xlabel, "time", "patterns"], &table));
+}

@@ -1,0 +1,83 @@
+//! Run profiles: how much of the paper-scale workload to run.
+
+/// A scaling profile for the experiment suite.
+///
+/// The paper ran on a 2008 Pentium D with 4 GB of RAM; dataset sizes are
+/// scaled down so the whole suite finishes in minutes, and the TAcGM
+/// memory budget is scaled so its breadth-first blow-up still manifests
+/// where the paper reports out-of-memory failures. Absolute milliseconds
+/// are not comparable to the paper's; curve shapes are.
+#[derive(Clone, Copy, Debug)]
+pub struct Profile {
+    /// Human-readable name (`quick`, `medium`, `full`).
+    pub name: &'static str,
+    /// Database-size multiplier applied to Table 1 sizes (1.0 = paper).
+    pub scale: f64,
+    /// Byte budget for TAcGM's level-wise embedding store.
+    pub tacgm_budget_bytes: usize,
+    /// Pattern-size cap in edges (`None` = unbounded, as in the paper;
+    /// the quick profile caps to bound worst-case blow-ups).
+    pub max_edges: Option<usize>,
+}
+
+impl Profile {
+    /// ~seconds-scale runs for CI and Criterion.
+    pub fn quick() -> Self {
+        Profile {
+            name: "quick",
+            scale: 0.02,
+            tacgm_budget_bytes: 8 << 20,
+            max_edges: Some(6),
+        }
+    }
+
+    /// ~minutes-scale runs; the default for `experiments`.
+    pub fn medium() -> Self {
+        Profile {
+            name: "medium",
+            scale: 0.05,
+            tacgm_budget_bytes: 64 << 20,
+            max_edges: Some(8),
+        }
+    }
+
+    /// Paper-scale sizes. Expect long runs.
+    pub fn full() -> Self {
+        Profile {
+            name: "full",
+            scale: 1.0,
+            tacgm_budget_bytes: 4 << 30,
+            max_edges: None,
+        }
+    }
+
+    /// Parses a profile name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "quick" => Some(Self::quick()),
+            "medium" => Some(Self::medium()),
+            "full" => Some(Self::full()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_roundtrip() {
+        for n in ["quick", "medium", "full"] {
+            assert_eq!(Profile::by_name(n).unwrap().name, n);
+        }
+        assert!(Profile::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Profile::quick().scale < Profile::medium().scale);
+        assert!(Profile::medium().scale < Profile::full().scale);
+        assert_eq!(Profile::full().scale, 1.0);
+    }
+}

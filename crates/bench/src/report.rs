@@ -1,0 +1,70 @@
+//! Tiny text-table rendering for experiment reports.
+
+/// Renders an aligned text table: header row plus data rows, columns
+/// right-aligned except the first.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i == 0 {
+                line.push_str(&format!("{cell:<w$}"));
+            } else {
+                line.push_str(&format!("  {cell:>w$}"));
+            }
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Formats milliseconds compactly.
+pub fn ms(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.2}s", v / 1000.0)
+    } else {
+        format!("{v:.1}ms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["id", "time"],
+            &[
+                vec!["D1000".into(), "12.0ms".into()],
+                vec!["D5000".into(), "80.5ms".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("id"));
+        assert!(lines[2].ends_with("12.0ms"));
+    }
+
+    #[test]
+    fn ms_formats_both_ranges() {
+        assert_eq!(ms(12.34), "12.3ms");
+        assert_eq!(ms(2500.0), "2.50s");
+    }
+}

@@ -1,0 +1,210 @@
+//! A sorted-vector sparse set with the same intersection API as [`BitSet`].
+//!
+//! The paper motivates dense bitsets for occurrence sets ("to minimize
+//! storage requirements, and allow for efficient set intersection …
+//! Taxogram implements occurrence sets as bit sets"). This sparse
+//! alternative exists so the benchmark suite can quantify that choice
+//! (ablation `occset-repr`): on sparse occurrence sets over huge occurrence
+//! universes the sorted-vec representation wins on memory, on dense ones the
+//! bitset wins on intersection throughput.
+
+use crate::BitSet;
+
+/// A set of `usize` kept as a sorted, deduplicated vector.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct SparseBitSet {
+    items: Vec<usize>,
+}
+
+impl SparseBitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        SparseBitSet { items: Vec::new() }
+    }
+
+    /// Builds a set from arbitrary (unsorted, possibly duplicated) members.
+    pub fn from_members(mut items: Vec<usize>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        SparseBitSet { items }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` iff the set has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Inserts a member; returns `true` if it was not already present.
+    pub fn insert(&mut self, v: usize) -> bool {
+        match self.items.binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.items.insert(pos, v);
+                true
+            }
+        }
+    }
+
+    /// Appends a member known to be `>` every current member (O(1)).
+    ///
+    /// Occurrence ids are assigned in ascending order during index
+    /// construction, so this is the common insertion path.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the ordering precondition is violated.
+    pub fn push_ascending(&mut self, v: usize) {
+        debug_assert!(self.items.last().is_none_or(|&l| l < v));
+        self.items.push(v);
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, v: usize) -> bool {
+        self.items.binary_search(&v).is_ok()
+    }
+
+    /// Members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// `self ∩ other` by linear merge.
+    pub fn intersection(&self, other: &SparseBitSet) -> SparseBitSet {
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        self.merge_intersect(other, |v| out.push(v));
+        SparseBitSet { items: out }
+    }
+
+    /// `|self ∩ other|` without materializing.
+    pub fn intersection_count(&self, other: &SparseBitSet) -> usize {
+        let mut n = 0;
+        self.merge_intersect(other, |_| n += 1);
+        n
+    }
+
+    /// Calls `f` on each member of the intersection, ascending.
+    pub fn for_each_in_intersection(&self, other: &SparseBitSet, f: impl FnMut(usize)) {
+        self.merge_intersect(other, f);
+    }
+
+    fn merge_intersect(&self, other: &SparseBitSet, mut f: impl FnMut(usize)) {
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    f(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// Converts to a dense [`BitSet`] over the given universe.
+    pub fn to_dense(&self, universe: usize) -> BitSet {
+        BitSet::from_iter_with_universe(universe, self.iter())
+    }
+
+    /// Approximate heap footprint in bytes (for the memory-budget accounting
+    /// used to reproduce the paper's out-of-memory observations).
+    pub fn heap_bytes(&self) -> usize {
+        self.items.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
+impl FromIterator<usize> for SparseBitSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        SparseBitSet::from_members(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_members_sorts_and_dedups() {
+        let s = SparseBitSet::from_members(vec![5, 1, 5, 3, 1]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn insert_keeps_order() {
+        let mut s = SparseBitSet::new();
+        assert!(s.insert(10));
+        assert!(s.insert(2));
+        assert!(!s.insert(10));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 10]);
+        assert!(s.contains(2) && s.contains(10) && !s.contains(3));
+    }
+
+    #[test]
+    fn push_ascending_appends() {
+        let mut s = SparseBitSet::new();
+        s.push_ascending(1);
+        s.push_ascending(4);
+        s.push_ascending(9);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn intersection_by_merge() {
+        let a = SparseBitSet::from_members(vec![1, 3, 5, 7]);
+        let b = SparseBitSet::from_members(vec![3, 4, 7, 8]);
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![3, 7]);
+        assert_eq!(a.intersection_count(&b), 2);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let s = SparseBitSet::from_members(vec![0, 64, 100]);
+        let d = s.to_dense(128);
+        assert_eq!(d.to_vec(), vec![0, 64, 100]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_model(
+            ma in prop::collection::btree_set(0usize..500, 0..64),
+            mb in prop::collection::btree_set(0usize..500, 0..64),
+        ) {
+            let a: SparseBitSet = ma.iter().copied().collect();
+            let b: SparseBitSet = mb.iter().copied().collect();
+            let want: Vec<_> = ma.intersection(&mb).copied().collect();
+            prop_assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), want.clone());
+            prop_assert_eq!(a.intersection_count(&b), want.len());
+            prop_assert_eq!(a.len(), ma.len());
+            // Dense/sparse agreement on a shared universe.
+            let da = a.to_dense(500);
+            let db = b.to_dense(500);
+            prop_assert_eq!(da.intersection(&db).to_vec(), want);
+        }
+    }
+}
+
+#[cfg(test)]
+mod model_eq {
+    use super::*;
+
+    #[test]
+    fn dense_and_sparse_agree_on_edge_universe() {
+        let members = [0usize, 63, 64, 127, 128];
+        let s: SparseBitSet = members.iter().copied().collect();
+        let d = s.to_dense(129);
+        assert_eq!(d.count_ones(), s.len());
+        for m in members {
+            assert!(d.contains(m));
+            assert!(s.contains(m));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for the mining pipeline.
+
+use tsg_graph::{GraphId, NodeId, NodeLabel};
+
+/// Errors surfaced by [`crate::Taxogram::mine`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaxogramError {
+    /// A database vertex carries a label that is not a (present) concept of
+    /// the taxonomy, violating "graph database D over taxonomy T"
+    /// (`L_G ⊆ L_T`, paper §2).
+    LabelNotInTaxonomy {
+        /// The graph containing the vertex.
+        graph: GraphId,
+        /// The vertex.
+        node: NodeId,
+        /// Its label.
+        label: NodeLabel,
+    },
+    /// The support threshold is outside `[0, 1]`.
+    InvalidThreshold {
+        /// The offending value.
+        theta: f64,
+    },
+}
+
+impl std::fmt::Display for TaxogramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaxogramError::LabelNotInTaxonomy { graph, node, label } => write!(
+                f,
+                "vertex {node} of graph {graph} has label {label} which is not in the taxonomy"
+            ),
+            TaxogramError::InvalidThreshold { theta } => {
+                write!(f, "support threshold {theta} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaxogramError {}

@@ -1,0 +1,56 @@
+//! **Taxogram** — taxonomy-superimposed graph mining (Cakmak & Ozsoyoglu,
+//! EDBT 2008).
+//!
+//! Given a database of labeled graphs whose vertex labels belong to an
+//! is-a taxonomy, Taxogram finds every frequent pattern under *generalized*
+//! subgraph isomorphism (a pattern label matches itself or any descendant)
+//! while excluding *over-generalized* patterns (those with an equally
+//! frequent specialization), in three steps:
+//!
+//! 1. **Relabel** every vertex with the most general ancestor of its label
+//!    (keeping originals), collapsing each pattern class to one
+//!    representative ([`relabel`]).
+//! 2. **Mine pattern classes** with ordinary gSpan on the relabeled
+//!    database, building a taxonomy-projected *occurrence index* per class
+//!    from the embeddings gSpan already maintains — one isomorphism test
+//!    per occurrence, shared by every member of the class ([`oi`]).
+//! 3. **Enumerate specialized patterns** per class by child-label
+//!    replacement; each candidate's support is a single bitset
+//!    intersection (Lemma 7), over-generalized members are detected by
+//!    equal-support children, and no further isomorphism tests or database
+//!    scans are needed ([`enumerate`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use taxogram_core::{Taxogram, TaxogramConfig};
+//! use tsg_taxonomy::samples;
+//!
+//! // The paper's running example: Figure 1.4's database over the
+//! // Figure 2.1-style taxonomy.
+//! let (c, taxonomy) = samples::sample_taxonomy();
+//! let db = samples::figure_1_4_database(&c);
+//!
+//! let result = Taxogram::new(TaxogramConfig::with_threshold(2.0 / 3.0))
+//!     .mine(&db, &taxonomy)
+//!     .unwrap();
+//! assert!(!result.patterns.is_empty());
+//! ```
+
+mod config;
+pub mod enumerate;
+mod error;
+pub mod interest;
+pub mod lemmas;
+mod miner;
+pub mod oi;
+pub mod parallel;
+pub mod postprocess;
+pub mod reference;
+pub mod relabel;
+pub mod son;
+
+pub use config::{Enhancements, TaxogramConfig};
+pub use error::TaxogramError;
+pub use miner::{MiningResult, MiningStats, Pattern, Taxogram};
+pub use parallel::mine_parallel;

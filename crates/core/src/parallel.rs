@@ -1,0 +1,279 @@
+//! Parallel Step 3: enumerate pattern classes on multiple threads.
+//!
+//! Serial Taxogram interleaves Steps 2 and 3 so only one occurrence index
+//! is resident at a time (the paper's Step 2 space argument). Pattern
+//! classes are, however, *independent* once their embeddings are known,
+//! which makes Step 3 embarrassingly parallel. [`mine_parallel`] trades
+//! the one-index-at-a-time memory discipline for wall-clock speed:
+//!
+//! 1. run gSpan once, collecting every class's skeleton and embedding
+//!    list (this is the extra memory: all embeddings at once);
+//! 2. fan the classes out to a thread pool; each worker builds the
+//!    class's occurrence index and enumerates it independently;
+//! 3. merge per-class outputs in class order, so the result is
+//!    byte-for-byte identical to the serial pipeline's.
+//!
+//! The paper lists distributed/disk-based processing as future work (§6);
+//! this is the shared-memory half of that direction.
+
+use crate::config::TaxogramConfig;
+
+use crate::error::TaxogramError;
+use crate::miner::{MiningResult, MiningStats, Pattern};
+use crate::oi::{OccurrenceIndex, OiOptions};
+use crate::relabel::relabel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use tsg_bitset::BitSet;
+use tsg_graph::{GraphDatabase, LabeledGraph};
+use tsg_gspan::{Embedding, GSpan, GSpanConfig, Grow, MinedPattern, PatternSink};
+use tsg_taxonomy::Taxonomy;
+
+/// One collected pattern class awaiting enumeration.
+struct ClassWork {
+    skeleton: LabeledGraph,
+    embeddings: Vec<Embedding>,
+}
+
+/// Per-class enumeration output, merged in class order at the end.
+#[derive(Default)]
+struct ClassOutput {
+    patterns: Vec<Pattern>,
+    stats: MiningStats,
+}
+
+/// Mines like [`crate::Taxogram::mine`], but enumerates pattern classes on
+/// `threads` worker threads. Produces exactly the serial result (same
+/// patterns, same order); `stats` are summed across workers, with
+/// `peak_oi_bytes` the maximum over classes as in the serial pipeline.
+///
+/// With `threads == 0` or `1`, falls back to the serial miner.
+///
+/// # Errors
+/// Same conditions as the serial miner.
+pub fn mine_parallel(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    threads: usize,
+) -> Result<MiningResult, TaxogramError> {
+    if threads <= 1 {
+        return crate::Taxogram::new(*config).mine(db, taxonomy);
+    }
+    let theta = config.threshold;
+    if !(0.0..=1.0).contains(&theta) || theta.is_nan() {
+        return Err(TaxogramError::InvalidThreshold { theta });
+    }
+    let min_support = db.min_support_count(theta);
+    if db.is_empty() {
+        return Ok(MiningResult {
+            patterns: Vec::new(),
+            stats: MiningStats::default(),
+            min_support_count: min_support,
+            database_size: 0,
+        });
+    }
+
+    let rel = relabel(db, taxonomy)?;
+    let frequent_mask = if config.enhancements.prune_infrequent_labels {
+        let freqs = rel.taxonomy.generalized_label_frequencies(db);
+        let mut mask = BitSet::new(rel.taxonomy.concept_count());
+        for (i, &f) in freqs.iter().enumerate() {
+            if f >= min_support {
+                mask.insert(i);
+            }
+        }
+        Some(mask)
+    } else {
+        None
+    };
+
+    // Step 2 (collection): gather every class up front.
+    struct Collect {
+        classes: Vec<ClassWork>,
+    }
+    impl PatternSink for Collect {
+        fn report(&mut self, p: &MinedPattern<'_>) -> Grow {
+            self.classes.push(ClassWork {
+                skeleton: p.graph.clone(),
+                embeddings: p.embeddings.to_vec(),
+            });
+            Grow::Continue
+        }
+    }
+    let mut collect = Collect { classes: Vec::new() };
+    GSpan::new(
+        &rel.dmg,
+        GSpanConfig {
+            min_support,
+            max_edges: config.max_edges,
+        },
+    )
+    .mine(&mut collect);
+    let classes = collect.classes;
+
+    // Step 3 (fan-out): one slot per class, claimed via an atomic cursor.
+    let outputs: Vec<Mutex<ClassOutput>> = (0..classes.len())
+        .map(|_| Mutex::new(ClassOutput::default()))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let db_len = db.len();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(classes.len().max(1)) {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(class) = classes.get(i) else { break };
+                let out = enumerate_one(
+                    class,
+                    &rel,
+                    frequent_mask.as_ref(),
+                    config,
+                    min_support,
+                    db_len,
+                );
+                *outputs[i].lock().expect("no worker panicked holding this lock") = out;
+            });
+        }
+    })
+    .expect("class workers do not panic");
+
+    // Merge in class order → identical to the serial pipeline's output.
+    let mut patterns = Vec::new();
+    let mut stats = MiningStats {
+        classes: classes.len(),
+        ..MiningStats::default()
+    };
+    for slot in outputs {
+        let out = slot.into_inner().expect("workers finished");
+        patterns.extend(out.patterns);
+        stats.oi_updates += out.stats.oi_updates;
+        stats.occurrences += out.stats.occurrences;
+        stats.peak_oi_bytes = stats.peak_oi_bytes.max(out.stats.peak_oi_bytes);
+        stats.oi_build_ms += out.stats.oi_build_ms;
+        stats.enumerate_ms += out.stats.enumerate_ms;
+        stats.enumeration.vectors_visited += out.stats.enumeration.vectors_visited;
+        stats.enumeration.intersections += out.stats.enumeration.intersections;
+        stats.enumeration.emitted += out.stats.enumeration.emitted;
+        stats.enumeration.overgeneralized += out.stats.enumeration.overgeneralized;
+    }
+    Ok(MiningResult {
+        patterns,
+        stats,
+        min_support_count: min_support,
+        database_size: db_len,
+    })
+}
+
+fn enumerate_one(
+    class: &ClassWork,
+    rel: &crate::relabel::Relabeled,
+    frequent: Option<&BitSet>,
+    config: &TaxogramConfig,
+    min_support: usize,
+    db_len: usize,
+) -> ClassOutput {
+    let mut out = ClassOutput::default();
+    out.stats.occurrences = class.embeddings.len();
+    let t_oi = std::time::Instant::now();
+    let oi = OccurrenceIndex::build(
+        &class.embeddings,
+        &rel.originals,
+        class.skeleton.labels(),
+        &rel.taxonomy,
+        OiOptions {
+            frequent,
+            contract_equal_sets: config.enhancements.contract_equal_sets,
+            predescend_roots: config.enhancements.predescend_roots,
+        },
+    );
+    out.stats.oi_build_ms = t_oi.elapsed().as_secs_f64() * 1000.0;
+    out.stats.oi_updates = oi.updates;
+    out.stats.peak_oi_bytes = oi.heap_bytes();
+    let t_enum = std::time::Instant::now();
+    let skeleton = &class.skeleton;
+    let stats = crate::enumerate::enumerate_class_full(
+        skeleton,
+        &oi,
+        &rel.taxonomy,
+        min_support,
+        db_len,
+        &config.enhancements,
+        config.keep_overgeneralized,
+        |p| {
+            let mut g = skeleton.clone();
+            for (i, &l) in p.labels.iter().enumerate() {
+                g.set_label(i, l);
+            }
+            out.patterns.push(Pattern {
+                graph: g,
+                support_count: p.support,
+                support: p.support as f64 / db_len as f64,
+            });
+        },
+    );
+    out.stats.enumerate_ms = t_enum.elapsed().as_secs_f64() * 1000.0;
+    out.stats.enumeration = stats;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaxogramConfig;
+    use tsg_taxonomy::samples;
+
+    fn serial_and_parallel(threads: usize) -> (MiningResult, MiningResult) {
+        let (c, t) = samples::sample_taxonomy();
+        let db = samples::figure_1_4_database(&c);
+        let cfg = TaxogramConfig::with_threshold(1.0 / 3.0);
+        let serial = crate::Taxogram::new(cfg).mine(&db, &t).unwrap();
+        let parallel = mine_parallel(&cfg, &db, &t, threads).unwrap();
+        (serial, parallel)
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        for threads in [2, 4, 8] {
+            let (serial, parallel) = serial_and_parallel(threads);
+            assert_eq!(serial.patterns.len(), parallel.patterns.len());
+            for (a, b) in serial.patterns.iter().zip(&parallel.patterns) {
+                assert_eq!(a.graph.labels(), b.graph.labels(), "order preserved");
+                assert_eq!(a.graph.edges(), b.graph.edges());
+                assert_eq!(a.support_count, b.support_count);
+            }
+            assert_eq!(serial.stats.classes, parallel.stats.classes);
+            assert_eq!(
+                serial.stats.enumeration.emitted,
+                parallel.stats.enumeration.emitted
+            );
+            assert_eq!(
+                serial.stats.enumeration.intersections,
+                parallel.stats.enumeration.intersections
+            );
+        }
+    }
+
+    #[test]
+    fn one_thread_falls_back_to_serial() {
+        let (serial, parallel) = serial_and_parallel(1);
+        assert_eq!(serial.patterns.len(), parallel.patterns.len());
+    }
+
+    #[test]
+    fn parallel_handles_empty_database() {
+        let (_, t) = samples::sample_taxonomy();
+        let cfg = TaxogramConfig::with_threshold(0.5);
+        let r = mine_parallel(&cfg, &GraphDatabase::new(), &t, 4).unwrap();
+        assert!(r.patterns.is_empty());
+    }
+
+    #[test]
+    fn parallel_rejects_bad_threshold() {
+        let (_, t) = samples::sample_taxonomy();
+        let cfg = TaxogramConfig::with_threshold(2.0);
+        assert!(matches!(
+            mine_parallel(&cfg, &GraphDatabase::new(), &t, 4),
+            Err(TaxogramError::InvalidThreshold { .. })
+        ));
+    }
+}

@@ -1,0 +1,162 @@
+//! Post-processing of mined pattern sets: closed and maximal projections.
+//!
+//! The paper's related work (§5) contrasts Taxogram with CloseGraph-style
+//! condensed representations. Taxogram's minimality already removes
+//! redundancy along the *generalization* axis (over-generalized patterns);
+//! these helpers additionally condense along the *structural* axis, using
+//! the taxonomy-aware containment order:
+//!
+//! `P ⊑ Q` iff `P` is generalized subgraph isomorphic to `Q` — i.e. `Q`
+//! extends `P` structurally and/or specializes its labels.
+//!
+//! * a pattern is **maximal** if no other result pattern strictly
+//!   contains it;
+//! * a pattern is **closed** if no other result pattern strictly contains
+//!   it *at equal support*.
+//!
+//! Both projections preserve the ability to list all frequent patterns
+//! (maximal) or all frequent patterns with their supports (closed) from
+//! the condensed set, as in itemset mining.
+
+use crate::miner::Pattern;
+use tsg_iso::{contains_subgraph, is_isomorphic, GeneralizedMatcher};
+use tsg_taxonomy::Taxonomy;
+
+/// `true` iff `p ⊑ q` strictly: `q` contains a (generalized) image of `p`
+/// and they are not isomorphic.
+pub fn strictly_contained(p: &Pattern, q: &Pattern, taxonomy: &Taxonomy) -> bool {
+    if p.graph.node_count() > q.graph.node_count()
+        || p.graph.edge_count() > q.graph.edge_count()
+    {
+        return false;
+    }
+    let m = GeneralizedMatcher::new(taxonomy);
+    contains_subgraph(&p.graph, &q.graph, &m) && !is_isomorphic(&p.graph, &q.graph)
+}
+
+/// The maximal patterns of a result set: those not strictly contained in
+/// any other. Order is preserved.
+pub fn maximal_patterns<'a>(patterns: &'a [Pattern], taxonomy: &Taxonomy) -> Vec<&'a Pattern> {
+    patterns
+        .iter()
+        .filter(|p| {
+            !patterns
+                .iter()
+                .any(|q| !std::ptr::eq(*p, q) && strictly_contained(p, q, taxonomy))
+        })
+        .collect()
+}
+
+/// The closed patterns of a result set: those not strictly contained in
+/// any other pattern of equal support. Order is preserved.
+pub fn closed_patterns<'a>(patterns: &'a [Pattern], taxonomy: &Taxonomy) -> Vec<&'a Pattern> {
+    patterns
+        .iter()
+        .filter(|p| {
+            !patterns.iter().any(|q| {
+                !std::ptr::eq(*p, q)
+                    && q.support_count == p.support_count
+                    && strictly_contained(p, q, taxonomy)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Taxogram, TaxogramConfig};
+    use tsg_graph::{EdgeLabel, GraphDatabase, LabeledGraph, NodeLabel};
+    use tsg_taxonomy::taxonomy_from_edges;
+
+    fn path(labels: &[u32]) -> LabeledGraph {
+        let mut g = LabeledGraph::with_nodes(labels.iter().map(|&l| NodeLabel(l)));
+        for i in 1..labels.len() {
+            g.add_edge(i - 1, i, EdgeLabel(0)).unwrap();
+        }
+        g
+    }
+
+    /// Chain taxonomy 0 > 1; database of two identical paths 1—1—1.
+    fn mined() -> (Taxonomy, crate::MiningResult) {
+        let t = taxonomy_from_edges(2, [(1, 0)]).unwrap();
+        let db = GraphDatabase::from_graphs(vec![path(&[1, 1, 1]), path(&[1, 1, 1])]);
+        let r = Taxogram::new(TaxogramConfig::with_threshold(1.0))
+            .mine(&db, &t)
+            .unwrap();
+        (t, r)
+    }
+
+    #[test]
+    fn containment_order_is_strict() {
+        let (t, r) = mined();
+        // The 1-edge pattern is contained in the 2-edge pattern.
+        let small = r
+            .patterns
+            .iter()
+            .find(|p| p.graph.edge_count() == 1)
+            .unwrap();
+        let big = r
+            .patterns
+            .iter()
+            .find(|p| p.graph.edge_count() == 2)
+            .unwrap();
+        assert!(strictly_contained(small, big, &t));
+        assert!(!strictly_contained(big, small, &t));
+        assert!(!strictly_contained(small, small, &t), "not reflexive");
+    }
+
+    #[test]
+    fn maximal_keeps_only_the_largest() {
+        let (t, r) = mined();
+        let maximal = maximal_patterns(&r.patterns, &t);
+        assert_eq!(maximal.len(), 1);
+        assert_eq!(maximal[0].graph.edge_count(), 2);
+    }
+
+    #[test]
+    fn closed_folds_equal_support_chains() {
+        let (t, r) = mined();
+        // Both patterns (1—1 and 1—1—1) have support 2, so only the larger
+        // is closed.
+        let closed = closed_patterns(&r.patterns, &t);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].graph.edge_count(), 2);
+    }
+
+    #[test]
+    fn closed_keeps_support_distinct_patterns() {
+        // DB where the 1-edge pattern has strictly higher support than the
+        // 2-edge one: both are closed.
+        let t = taxonomy_from_edges(2, [(1, 0)]).unwrap();
+        let db = GraphDatabase::from_graphs(vec![
+            path(&[1, 1, 1]),
+            path(&[1, 1, 1]),
+            path(&[1, 1]),
+        ]);
+        let r = Taxogram::new(TaxogramConfig::with_threshold(0.5))
+            .mine(&db, &t)
+            .unwrap();
+        let closed = closed_patterns(&r.patterns, &t);
+        let maximal = maximal_patterns(&r.patterns, &t);
+        assert!(closed.len() > maximal.len());
+        assert!(closed.iter().any(|p| p.graph.edge_count() == 1));
+        assert!(maximal.iter().all(|p| p.graph.edge_count() == 2));
+    }
+
+    #[test]
+    fn containment_respects_taxonomy_direction() {
+        // Pattern 0—0 (general) is contained in 1—1 (specific), not the
+        // other way around.
+        let t = taxonomy_from_edges(2, [(1, 0)]).unwrap();
+        let mk = |l: u32, sup| Pattern {
+            graph: path(&[l, l]),
+            support_count: sup,
+            support: 1.0,
+        };
+        let general = mk(0, 2);
+        let specific = mk(1, 2);
+        assert!(strictly_contained(&general, &specific, &t));
+        assert!(!strictly_contained(&specific, &general, &t));
+    }
+}

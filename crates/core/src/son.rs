@@ -1,0 +1,281 @@
+//! Two-pass partitioned mining — the paper's stated future work
+//! ("As future work, we plan to develop disk-based algorithms for
+//! taxonomy-based graph mining", §6) in the style of the
+//! Savasere–Omiecinski–Navathe (SON) partition algorithm from itemset
+//! mining:
+//!
+//! * **Pass 1** mines each partition *independently* at the same
+//!   fractional threshold `θ`. By pigeonhole, any globally frequent
+//!   pattern is frequent in at least one partition, so the union of local
+//!   results is a complete candidate set. Only one partition needs to be
+//!   in memory at a time.
+//! * **Pass 2** streams the partitions again, counting each candidate's
+//!   exact global support with generalized subgraph-isomorphism tests,
+//!   then applies the global minimality filter.
+//!
+//! One subtlety is specific to the taxonomy setting: a pattern can be
+//! over-generalized in *every* partition where it is frequent yet
+//! globally minimal (supports that tie locally need not tie globally), so
+//! pass 1 must keep over-generalized patterns
+//! ([`TaxogramConfig::keep_overgeneralized`]) — with occurrence-index
+//! contraction disabled, since enhancements (c)/(d) remove exactly those
+//! labels. The result is exactly the single-pass output (verified by the
+//! `son_agreement` property test).
+
+use crate::config::TaxogramConfig;
+use crate::error::TaxogramError;
+use crate::Taxogram;
+use tsg_graph::{GraphDatabase, LabeledGraph};
+use tsg_iso::{contains_subgraph, is_gen_iso, is_isomorphic, GeneralizedMatcher};
+use tsg_taxonomy::Taxonomy;
+
+/// A mined pattern with its exact global support.
+#[derive(Clone, Debug)]
+pub struct SonPattern {
+    /// The pattern graph.
+    pub graph: LabeledGraph,
+    /// Distinct-graph support count over all partitions.
+    pub support_count: usize,
+}
+
+/// Counters for a two-pass run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SonStats {
+    /// Partitions processed.
+    pub partitions: usize,
+    /// Candidates after pass 1 (union of local frequent sets, deduplicated
+    /// up to isomorphism).
+    pub candidates: usize,
+    /// Candidates discarded as globally infrequent in pass 2.
+    pub globally_infrequent: usize,
+    /// Candidates discarded as globally over-generalized.
+    pub overgeneralized: usize,
+}
+
+/// The result of [`mine_partitioned`].
+#[derive(Clone, Debug)]
+pub struct SonResult {
+    /// The globally frequent, minimal pattern set — identical to what the
+    /// single-pass miner produces on the concatenated database.
+    pub patterns: Vec<SonPattern>,
+    /// Run counters.
+    pub stats: SonStats,
+    /// The global absolute support floor.
+    pub min_support_count: usize,
+}
+
+/// Mines a database presented as partitions, holding only one partition's
+/// mining state in memory at a time (pass 2 additionally holds the
+/// candidate set).
+///
+/// `config.threshold` is interpreted globally; partitions are mined at the
+/// same fraction. Empty partitions are allowed.
+///
+/// # Errors
+/// Propagates the first partition-level mining error.
+pub fn mine_partitioned(
+    config: &TaxogramConfig,
+    partitions: &[GraphDatabase],
+    taxonomy: &Taxonomy,
+) -> Result<SonResult, TaxogramError> {
+    let theta = config.threshold;
+    if !(0.0..=1.0).contains(&theta) || theta.is_nan() {
+        return Err(TaxogramError::InvalidThreshold { theta });
+    }
+    let total_graphs: usize = partitions.iter().map(GraphDatabase::len).sum();
+    let min_support = {
+        let raw = (theta * total_graphs as f64).ceil() as usize;
+        raw.max(1)
+    };
+    let mut stats = SonStats {
+        partitions: partitions.len(),
+        ..SonStats::default()
+    };
+
+    // Pass 1: local mining with the minimality filter off (see module
+    // docs) and contraction disabled, since (c)/(d) drop exactly the
+    // over-generalized members pass 2 may still need.
+    let mut local_cfg = *config;
+    local_cfg.keep_overgeneralized = true;
+    local_cfg.enhancements.contract_equal_sets = false;
+    local_cfg.enhancements.predescend_roots = false;
+    let mut candidates: Vec<LabeledGraph> = Vec::new();
+    for part in partitions {
+        if part.is_empty() {
+            continue;
+        }
+        let local = Taxogram::new(local_cfg).mine(part, taxonomy)?;
+        for p in local.patterns {
+            if !candidates.iter().any(|c| is_isomorphic(c, &p.graph)) {
+                candidates.push(p.graph);
+            }
+        }
+    }
+    stats.candidates = candidates.len();
+
+    // Pass 2a: exact global supports, streaming the partitions.
+    let matcher = GeneralizedMatcher::new(taxonomy);
+    let mut supports = vec![0usize; candidates.len()];
+    for part in partitions {
+        for (_, g) in part.iter() {
+            for (i, c) in candidates.iter().enumerate() {
+                if contains_subgraph(c, g, &matcher) {
+                    supports[i] += 1;
+                }
+            }
+        }
+    }
+
+    // Pass 2b: global frequency and minimality filters.
+    let frequent: Vec<(LabeledGraph, usize)> = candidates
+        .into_iter()
+        .zip(supports)
+        .filter(|&(_, sup)| {
+            let keep = sup >= min_support;
+            if !keep {
+                stats.globally_infrequent += 1;
+            }
+            keep
+        })
+        .collect();
+    let patterns: Vec<SonPattern> = frequent
+        .iter()
+        .filter(|(p, sup)| {
+            let overgen = frequent.iter().any(|(q, qsup)| {
+                qsup == sup
+                    && p.node_count() == q.node_count()
+                    && p.edge_count() == q.edge_count()
+                    && !is_isomorphic(p, q)
+                    && is_gen_iso(p, q, taxonomy)
+            });
+            if overgen {
+                stats.overgeneralized += 1;
+            }
+            !overgen
+        })
+        .map(|(graph, support_count)| SonPattern {
+            graph: graph.clone(),
+            support_count: *support_count,
+        })
+        .collect();
+
+    Ok(SonResult {
+        patterns,
+        stats,
+        min_support_count: min_support,
+    })
+}
+
+/// Splits a database into `chunks` partitions of near-equal size (the
+/// in-memory stand-in for on-disk segments).
+pub fn partition(db: &GraphDatabase, chunks: usize) -> Vec<GraphDatabase> {
+    let chunks = chunks.max(1);
+    let per = db.len().div_ceil(chunks).max(1);
+    db.graphs()
+        .chunks(per)
+        .map(|c| GraphDatabase::from_graphs(c.to_vec()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsg_taxonomy::samples;
+
+    fn compare_with_single_pass(db: &GraphDatabase, taxonomy: &Taxonomy, theta: f64, chunks: usize) {
+        let cfg = TaxogramConfig::with_threshold(theta).max_edges(3);
+        let single = Taxogram::new(cfg).mine(db, taxonomy).unwrap();
+        let parts = partition(db, chunks);
+        let two_pass = mine_partitioned(&cfg, &parts, taxonomy).unwrap();
+        assert_eq!(
+            single.patterns.len(),
+            two_pass.patterns.len(),
+            "single: {:?}\ntwo-pass: {:?}",
+            single
+                .patterns
+                .iter()
+                .map(|p| (p.graph.labels().to_vec(), p.support_count))
+                .collect::<Vec<_>>(),
+            two_pass
+                .patterns
+                .iter()
+                .map(|p| (p.graph.labels().to_vec(), p.support_count))
+                .collect::<Vec<_>>(),
+        );
+        for p in &single.patterns {
+            let hit = two_pass
+                .patterns
+                .iter()
+                .find(|q| is_isomorphic(&p.graph, &q.graph))
+                .unwrap_or_else(|| panic!("two-pass missing {:?}", p.graph.labels()));
+            assert_eq!(p.support_count, hit.support_count);
+        }
+    }
+
+    #[test]
+    fn agrees_with_single_pass_on_fixture() {
+        let (c, t) = samples::sample_taxonomy();
+        let db = samples::figure_1_4_database(&c);
+        for chunks in [1, 2, 3] {
+            for theta in [1.0, 2.0 / 3.0, 1.0 / 3.0] {
+                compare_with_single_pass(&db, &t, theta, chunks);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_splits_evenly() {
+        let (c, t) = samples::sample_taxonomy();
+        let _ = t;
+        let db = samples::figure_1_4_database(&c);
+        let parts = partition(&db, 2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts.iter().map(GraphDatabase::len).sum::<usize>(), db.len());
+        // More chunks than graphs: every chunk holds one graph.
+        let parts = partition(&db, 10);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn empty_partitions_are_skipped() {
+        let (c, t) = samples::sample_taxonomy();
+        let db = samples::figure_1_4_database(&c);
+        let mut parts = partition(&db, 2);
+        parts.push(GraphDatabase::new());
+        let cfg = TaxogramConfig::with_threshold(1.0 / 3.0).max_edges(2);
+        let r = mine_partitioned(&cfg, &parts, &t).unwrap();
+        assert!(!r.patterns.is_empty());
+        assert_eq!(r.stats.partitions, 3);
+    }
+
+    #[test]
+    fn locally_overgeneralized_globally_minimal_pattern_survives() {
+        // Taxonomy 0 > 1. Partition A = {1—1}: locally, 0—0 ties 1—1 and
+        // is over-generalized. Partition B = {0—0}: only 0—0 occurs. At
+        // θ = 1.0 globally, 0—0 has support 2, 1—1 support 1: 0—0 is the
+        // *only* frequent pattern and is NOT over-generalized globally. A
+        // naive pass 1 that drops local over-generalizations would lose
+        // it.
+        use tsg_graph::{EdgeLabel, LabeledGraph, NodeLabel};
+        let t = tsg_taxonomy::taxonomy_from_edges(2, [(1, 0)]).unwrap();
+        let mk = |l: u32| {
+            let mut g = LabeledGraph::with_nodes([NodeLabel(l), NodeLabel(l)]);
+            g.add_edge(0, 1, EdgeLabel(0)).unwrap();
+            g
+        };
+        let parts = vec![
+            GraphDatabase::from_graphs(vec![mk(1)]),
+            GraphDatabase::from_graphs(vec![mk(0)]),
+        ];
+        let cfg = TaxogramConfig::with_threshold(1.0);
+        let r = mine_partitioned(&cfg, &parts, &t).unwrap();
+        assert_eq!(r.patterns.len(), 1);
+        assert_eq!(
+            r.patterns[0].graph.labels(),
+            &[NodeLabel(0), NodeLabel(0)],
+            "the generalized pattern must survive"
+        );
+        assert_eq!(r.patterns[0].support_count, 2);
+    }
+}

@@ -1,0 +1,72 @@
+//! A Gene-Ontology-like label taxonomy.
+//!
+//! The paper uses the molecular-function subontology of Gene Ontology
+//! (May 2007 snapshot): "over 7,800 concepts organized into a 14-level
+//! hierarchy". The snapshot is not redistributable here, so this module
+//! builds a deterministic synthetic DAG with the same shape parameters:
+//! 7,800 concepts, 14 levels, single root, ~10% multi-parent concepts.
+//! Every experiment in §4 depends only on these shape parameters, not on
+//! concept identities (DESIGN.md §4 records this substitution).
+
+use crate::synth::{generate_taxonomy, SynthTaxonomyConfig};
+use tsg_taxonomy::Taxonomy;
+
+/// Concept count of the full GO-like taxonomy.
+pub const GO_CONCEPTS: usize = 7800;
+/// Levels of the full GO-like taxonomy (root at level 0, 14 levels below).
+pub const GO_DEPTH: usize = 14;
+
+/// The full-size GO-molecular-function-like taxonomy (7,800 concepts, 14
+/// levels). Deterministic: every call returns the same DAG.
+pub fn go_like_taxonomy() -> Taxonomy {
+    go_like_taxonomy_scaled(GO_CONCEPTS)
+}
+
+/// A GO-like taxonomy scaled to `concepts` (same depth and multi-parent
+/// rate, fewer concepts) — used by the quick benchmark profiles and
+/// tests. Deterministic per size.
+///
+/// # Panics
+/// Panics if `concepts < 15` (cannot realize 14 levels).
+pub fn go_like_taxonomy_scaled(concepts: usize) -> Taxonomy {
+    generate_taxonomy(&SynthTaxonomyConfig {
+        concepts,
+        // GO-MF has ≈1.1 parents per concept.
+        relationships: concepts - 1 + concepts / 10,
+        depth: GO_DEPTH,
+        seed: 0x60_F0_01,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_taxonomy_matches_paper_shape() {
+        let t = go_like_taxonomy();
+        assert_eq!(t.concept_count(), 7800);
+        assert_eq!(t.max_depth(), 14);
+        assert_eq!(t.roots().len(), 1);
+        let rels = t.relationship_count();
+        assert!(rels > 7800, "DAG with multi-parents: {rels}");
+        // Mean ancestor count stays modest (paper's d in Lemma 1).
+        let d = t.avg_ancestor_count();
+        assert!((3.0..25.0).contains(&d), "avg ancestors {d}");
+    }
+
+    #[test]
+    fn scaled_taxonomy_keeps_depth() {
+        let t = go_like_taxonomy_scaled(300);
+        assert_eq!(t.concept_count(), 300);
+        assert_eq!(t.max_depth(), 14);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(
+            go_like_taxonomy_scaled(100).edge_list(),
+            go_like_taxonomy_scaled(100).edge_list()
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic data generators reproducing the Taxogram paper's workloads.
+//!
+//! The paper evaluates on (§4.1):
+//!
+//! * synthetic graph databases over the Gene Ontology molecular-function
+//!   subontology (~7,800 concepts, 14 levels), varying database size,
+//!   graph size, and edge density (Table 1 rows `D*`, `NC*`, `ED*`);
+//! * synthetic graph databases over synthetic taxonomies of varying depth
+//!   (`TD*`) and concept count (`TS*`);
+//! * 25 KEGG metabolic pathways across 30 prokaryotic organisms (Table 2);
+//! * the PTC/NTP carcinogenicity molecules (416 graphs) under the atom
+//!   taxonomy of Figure 4.1 (`PTE`).
+//!
+//! GO, KEGG, and PTC snapshots from May 2007 are not redistributable
+//! here, so this crate builds *statistical stand-ins* with the same shape
+//! parameters (documented per generator and in DESIGN.md §4). All
+//! generators are deterministic given a seed.
+
+mod go;
+mod pathways;
+mod pte;
+pub mod registry;
+mod synth;
+
+pub use go::{go_like_taxonomy, go_like_taxonomy_scaled, GO_CONCEPTS, GO_DEPTH};
+pub use pathways::{pathway_corpus, pathway_database, PathwayDataset, PathwaySpec, PATHWAYS};
+pub use pte::{pte_atom_taxonomy, pte_like_dataset, PteDataset, BOND_LABELS};
+pub use synth::{generate_database, generate_taxonomy, GraphGenConfig, LabelPool, Sizing, SynthTaxonomyConfig};

@@ -1,0 +1,267 @@
+//! The dataset registry: every Table 1 dataset, reconstructible at any
+//! scale.
+//!
+//! Table 1 rows and their generator parameters:
+//!
+//! | family | varies | fixed |
+//! |---|---|---|
+//! | `D1000`–`D5000` | database size | GO taxonomy, max 20 edges, 10 edge labels, density ≈0.26 |
+//! | `NC10`–`NC40` | max graph size (edges) | database 4000, GO taxonomy |
+//! | `ED06`–`ED11` | edge density | database 3000, GO taxonomy |
+//! | `TD5`–`TD15` | taxonomy depth | 1000 concepts / 2000 relationships, database 4000, max 40 edges |
+//! | `TS25`–`TS3200` | taxonomy concept count | fixed depth, database 4000, max 40 edges |
+//! | `PTE` | — | 416 molecules, Figure 4.1 atom taxonomy |
+//!
+//! `scale` multiplies database sizes (and shrinks the GO-like taxonomy
+//! proportionally for sub-1.0 scales) so the full experiment suite runs in
+//! minutes on a laptop while preserving every curve's *shape*; scale 1.0
+//! reproduces the paper's sizes. EXPERIMENTS.md records which scale each
+//! reported run used.
+
+use crate::go::{go_like_taxonomy_scaled, GO_CONCEPTS};
+use crate::pte::pte_like_dataset;
+use crate::synth::{
+    generate_database, generate_taxonomy, GraphGenConfig, LabelPool, Sizing, SynthTaxonomyConfig,
+};
+use tsg_graph::GraphDatabase;
+use tsg_taxonomy::Taxonomy;
+
+/// Identifies one Table 1 dataset.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DatasetId {
+    /// `D{n}`: database-size family (n ∈ 1000..=5000).
+    D(usize),
+    /// `NC{m}`: max-graph-size family (m ∈ {10, 20, 30, 40} edges).
+    NC(usize),
+    /// `ED{d}`: edge-density family (d ∈ {0.06, 0.09, 0.10, 0.11}).
+    ED(f64),
+    /// `TD{k}`: taxonomy-depth family (k ∈ 5..=15).
+    TD(usize),
+    /// `TS{c}`: taxonomy-size family (c ∈ {25, 50, …, 3200} concepts).
+    TS(usize),
+    /// The PTE chemical dataset.
+    PTE,
+}
+
+impl std::fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetId::D(n) => write!(f, "D{n}"),
+            DatasetId::NC(m) => write!(f, "NC{m}"),
+            DatasetId::ED(d) => write!(f, "ED{:02}", (d * 100.0).round() as u32),
+            DatasetId::TD(k) => write!(f, "TD{k}"),
+            DatasetId::TS(c) => write!(f, "TS{c}"),
+            DatasetId::PTE => write!(f, "PTE"),
+        }
+    }
+}
+
+/// A generated dataset: id, taxonomy, database.
+pub struct Dataset {
+    /// The Table 1 identifier.
+    pub id: DatasetId,
+    /// The label taxonomy the database is defined over.
+    pub taxonomy: Taxonomy,
+    /// The graph database.
+    pub database: GraphDatabase,
+}
+
+/// Builds one dataset at the given scale (`1.0` = paper size).
+///
+/// # Panics
+/// Panics if `scale` is not in `(0, 1]` or the id's parameter is outside
+/// the families above.
+pub fn build(id: DatasetId, scale: f64) -> Dataset {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let db_size = |n: usize| ((n as f64 * scale).round() as usize).max(10);
+    let go_size = || {
+        let c = ((GO_CONCEPTS as f64 * scale.max(0.02)).round() as usize).max(120);
+        go_like_taxonomy_scaled(c)
+    };
+    match id {
+        DatasetId::D(n) => {
+            assert!((1000..=5000).contains(&n));
+            let taxonomy = go_size();
+            let database = generate_database(
+                &taxonomy,
+                &GraphGenConfig {
+                    graph_count: db_size(n),
+                    max_edges: 20,
+                    edge_density: 0.26,
+                    sizing: Sizing::EdgeDriven,
+                    edge_labels: 10,
+                    label_pool: LabelPool::ByLevelUniform,
+                    directed: false,
+                    seed: 0xD000 + n as u64,
+                },
+            );
+            Dataset { id, taxonomy, database }
+        }
+        DatasetId::NC(m) => {
+            assert!(matches!(m, 10 | 20 | 30 | 40));
+            // Densities from Table 1: NC10 0.32, NC20 0.27, NC30 0.23, NC40 0.20.
+            let density = match m {
+                10 => 0.32,
+                20 => 0.27,
+                30 => 0.23,
+                _ => 0.20,
+            };
+            let taxonomy = go_size();
+            let database = generate_database(
+                &taxonomy,
+                &GraphGenConfig {
+                    graph_count: db_size(4000),
+                    max_edges: m,
+                    edge_density: density,
+                    sizing: Sizing::EdgeDriven,
+                    edge_labels: 10,
+                    label_pool: LabelPool::ByLevelUniform,
+                    directed: false,
+                    seed: 0xAC00 + m as u64,
+                },
+            );
+            Dataset { id, taxonomy, database }
+        }
+        DatasetId::ED(d) => {
+            let taxonomy = go_size();
+            // Table 1's ED rows hold node counts near 13 and let edge
+            // counts follow the density (6.5 → 10.3 edges as density goes
+            // 0.06 → 0.11), so sizing is node-driven here.
+            let database = generate_database(
+                &taxonomy,
+                &GraphGenConfig {
+                    graph_count: db_size(3000),
+                    max_edges: 24,
+                    edge_density: d,
+                    sizing: Sizing::NodeDriven { min_nodes: 10, max_nodes: 17 },
+                    edge_labels: 10,
+                    label_pool: LabelPool::ByLevelUniform,
+                    directed: false,
+                    seed: 0xED00 + (d * 100.0) as u64,
+                },
+            );
+            Dataset { id, taxonomy, database }
+        }
+        DatasetId::TD(k) => {
+            assert!((5..=15).contains(&k));
+            let taxonomy = generate_taxonomy(&SynthTaxonomyConfig {
+                concepts: 1000,
+                relationships: 2000,
+                depth: k,
+                seed: 0x7D00 + k as u64,
+            });
+            let database = generate_database(
+                &taxonomy,
+                &GraphGenConfig {
+                    graph_count: db_size(4000),
+                    max_edges: 40,
+                    edge_density: 0.20,
+                    sizing: Sizing::EdgeDriven,
+                    edge_labels: 10,
+                    label_pool: LabelPool::ByLevelUniform,
+                    directed: false,
+                    seed: 0x7D00 + k as u64,
+                },
+            );
+            Dataset { id, taxonomy, database }
+        }
+        DatasetId::TS(c) => {
+            assert!(matches!(c, 25 | 50 | 100 | 200 | 400 | 800 | 1600 | 3200));
+            // Fixed depth; relationships scale 2× concepts as in TD.
+            let depth = 6.min(c - 1);
+            let taxonomy = generate_taxonomy(&SynthTaxonomyConfig {
+                concepts: c,
+                relationships: c * 2,
+                depth,
+                seed: 0x7500 + c as u64,
+            });
+            let database = generate_database(
+                &taxonomy,
+                &GraphGenConfig {
+                    graph_count: db_size(4000),
+                    max_edges: 40,
+                    edge_density: 0.21,
+                    sizing: Sizing::EdgeDriven,
+                    edge_labels: 10,
+                    label_pool: LabelPool::ByLevelUniform,
+                    directed: false,
+                    seed: 0x7500 + c as u64,
+                },
+            );
+            Dataset { id, taxonomy, database }
+        }
+        DatasetId::PTE => {
+            let pte = pte_like_dataset(2008);
+            Dataset {
+                id,
+                taxonomy: pte.taxonomy,
+                database: pte.database,
+            }
+        }
+    }
+}
+
+/// All Table 1 ids in the paper's row order.
+pub fn table1_ids() -> Vec<DatasetId> {
+    let mut ids = vec![];
+    for n in [1000, 2000, 3000, 4000, 5000] {
+        ids.push(DatasetId::D(n));
+    }
+    for m in [10, 20, 30, 40] {
+        ids.push(DatasetId::NC(m));
+    }
+    for d in [0.06, 0.09, 0.10, 0.11] {
+        ids.push(DatasetId::ED(d));
+    }
+    for k in 5..=15 {
+        ids.push(DatasetId::TD(k));
+    }
+    for c in [25, 50, 100, 200, 400, 800, 1600, 3200] {
+        ids.push(DatasetId::TS(c));
+    }
+    ids.push(DatasetId::PTE);
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_33_rows() {
+        assert_eq!(table1_ids().len(), 33);
+    }
+
+    #[test]
+    fn display_matches_paper_ids() {
+        assert_eq!(DatasetId::D(1000).to_string(), "D1000");
+        assert_eq!(DatasetId::NC(20).to_string(), "NC20");
+        assert_eq!(DatasetId::ED(0.06).to_string(), "ED06");
+        assert_eq!(DatasetId::TD(5).to_string(), "TD5");
+        assert_eq!(DatasetId::TS(3200).to_string(), "TS3200");
+        assert_eq!(DatasetId::PTE.to_string(), "PTE");
+    }
+
+    #[test]
+    fn scaled_build_produces_sane_stats() {
+        let ds = build(DatasetId::D(1000), 0.05);
+        assert_eq!(ds.database.len(), 50);
+        let s = ds.database.stats();
+        assert!((6.0..13.0).contains(&s.avg_nodes));
+        let ds = build(DatasetId::TD(5), 0.01);
+        assert_eq!(ds.taxonomy.max_depth(), 5);
+        assert_eq!(ds.database.len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn rejects_zero_scale() {
+        build(DatasetId::D(1000), 0.0);
+    }
+
+    #[test]
+    fn pte_is_unscaled() {
+        let ds = build(DatasetId::PTE, 0.5);
+        assert_eq!(ds.database.len(), 416);
+    }
+}

@@ -1,0 +1,166 @@
+//! The graph database: an ordered collection of labeled graphs.
+
+use crate::{DatabaseStats, LabeledGraph, NodeLabel};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of a graph within a [`GraphDatabase`].
+pub type GraphId = usize;
+
+/// An ordered collection of labeled graphs mined as one unit.
+///
+/// Support in the paper is *per graph*: `sup(G) = |GenSet(G)| / |D|`, the
+/// fraction of database graphs containing at least one (generalized)
+/// occurrence — not the total occurrence count. The database therefore only
+/// needs to expose graphs by dense id.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GraphDatabase {
+    graphs: Vec<LabeledGraph>,
+}
+
+impl GraphDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        GraphDatabase::default()
+    }
+
+    /// Wraps existing graphs.
+    pub fn from_graphs(graphs: Vec<LabeledGraph>) -> Self {
+        GraphDatabase { graphs }
+    }
+
+    /// Appends a graph, returning its id.
+    pub fn push(&mut self, g: LabeledGraph) -> GraphId {
+        self.graphs.push(g);
+        self.graphs.len() - 1
+    }
+
+    /// Number of graphs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// `true` iff the database holds no graphs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The graph with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    #[inline]
+    pub fn graph(&self, id: GraphId) -> &LabeledGraph {
+        &self.graphs[id]
+    }
+
+    /// Mutable access (used by Taxogram's relabeling step on its private
+    /// copy of the database).
+    #[inline]
+    pub fn graph_mut(&mut self, id: GraphId) -> &mut LabeledGraph {
+        &mut self.graphs[id]
+    }
+
+    /// Iterates `(id, graph)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (GraphId, &LabeledGraph)> {
+        self.graphs.iter().enumerate()
+    }
+
+    /// All graphs as a slice.
+    pub fn graphs(&self) -> &[LabeledGraph] {
+        &self.graphs
+    }
+
+    /// For each vertex label, the number of **distinct graphs** it appears
+    /// in. This is the quantity compared against `θ·|D|` when pruning
+    /// infrequent taxonomy concepts (paper §3, enhancement *b* needs the
+    /// generalized version computed with a taxonomy; this exact version is
+    /// the taxonomy-free building block).
+    pub fn label_graph_frequencies(&self) -> HashMap<NodeLabel, usize> {
+        let mut freq: HashMap<NodeLabel, usize> = HashMap::new();
+        let mut seen_in_graph: Vec<NodeLabel> = Vec::new();
+        for g in &self.graphs {
+            seen_in_graph.clear();
+            seen_in_graph.extend_from_slice(g.labels());
+            seen_in_graph.sort_unstable();
+            seen_in_graph.dedup();
+            for &l in &seen_in_graph {
+                *freq.entry(l).or_insert(0) += 1;
+            }
+        }
+        freq
+    }
+
+    /// Dataset statistics in the shape of the paper's Table 1.
+    pub fn stats(&self) -> DatabaseStats {
+        DatabaseStats::compute(self)
+    }
+
+    /// The minimum number of graphs a pattern must reach for a fractional
+    /// support threshold `theta ∈ [0, 1]`: `⌈θ·|D|⌉`, but at least 1 so a
+    /// threshold of 0 still requires an actual occurrence.
+    pub fn min_support_count(&self, theta: f64) -> usize {
+        let raw = (theta * self.len() as f64).ceil() as usize;
+        raw.max(1)
+    }
+}
+
+impl std::ops::Index<GraphId> for GraphDatabase {
+    type Output = LabeledGraph;
+    fn index(&self, id: GraphId) -> &LabeledGraph {
+        &self.graphs[id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeLabel;
+
+    fn graph_with_labels(labels: &[u32]) -> LabeledGraph {
+        let mut g = LabeledGraph::with_nodes(labels.iter().map(|&l| NodeLabel(l)));
+        for i in 1..labels.len() {
+            g.add_edge(i - 1, i, EdgeLabel(0)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn push_and_index() {
+        let mut db = GraphDatabase::new();
+        assert!(db.is_empty());
+        let id = db.push(graph_with_labels(&[1, 2]));
+        assert_eq!(id, 0);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db[0].node_count(), 2);
+        assert_eq!(db.iter().count(), 1);
+    }
+
+    #[test]
+    fn label_graph_frequencies_count_graphs_once() {
+        let db = GraphDatabase::from_graphs(vec![
+            graph_with_labels(&[1, 1, 2]), // label 1 twice in the same graph
+            graph_with_labels(&[2, 3]),
+        ]);
+        let f = db.label_graph_frequencies();
+        assert_eq!(f[&NodeLabel(1)], 1, "duplicates within a graph count once");
+        assert_eq!(f[&NodeLabel(2)], 2);
+        assert_eq!(f[&NodeLabel(3)], 1);
+    }
+
+    #[test]
+    fn min_support_count_rounds_up_and_floors_at_one() {
+        let db = GraphDatabase::from_graphs(vec![
+            graph_with_labels(&[1]),
+            graph_with_labels(&[1]),
+            graph_with_labels(&[1]),
+        ]);
+        assert_eq!(db.min_support_count(0.0), 1);
+        assert_eq!(db.min_support_count(0.2), 1);
+        assert_eq!(db.min_support_count(0.34), 2);
+        assert_eq!(db.min_support_count(2.0 / 3.0), 2);
+        assert_eq!(db.min_support_count(1.0), 3);
+    }
+}

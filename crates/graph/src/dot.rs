@@ -1,0 +1,68 @@
+//! Graphviz DOT export for labeled graphs.
+//!
+//! Mined patterns are small; a DOT rendering is the quickest way to eyeball
+//! them. Node labels resolve through an optional [`LabelTable`]; edge
+//! labels print numerically (edge labels carry no names in this model).
+
+use crate::{LabelTable, LabeledGraph, NodeLabel};
+use std::fmt::Write as _;
+
+/// Renders a graph as an undirected DOT document.
+///
+/// `name` is the graph's DOT identifier (sanitized to alphanumerics and
+/// `_`); `names` resolves vertex labels where provided.
+pub fn to_dot(g: &LabeledGraph, name: &str, names: Option<&LabelTable>) -> String {
+    let ident: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let label_text = |l: NodeLabel| -> String {
+        names
+            .and_then(|n| n.name(l))
+            .map(str::to_owned)
+            .unwrap_or_else(|| l.to_string())
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {ident} {{");
+    let _ = writeln!(out, "  node [shape=ellipse, fontsize=11];");
+    for (v, &l) in g.labels().iter().enumerate() {
+        let _ = writeln!(out, "  n{v} [label=\"{}\"];", escape(&label_text(l)));
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "  n{} -- n{} [label=\"{}\"];", e.u, e.v, e.label);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeLabel;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut names = LabelTable::new();
+        let a = names.intern("alpha");
+        let b = names.intern("be\"ta");
+        let mut g = LabeledGraph::with_nodes([a, b]);
+        g.add_edge(0, 1, EdgeLabel(3)).unwrap();
+        let dot = to_dot(&g, "pattern-1", Some(&names));
+        assert!(dot.starts_with("graph pattern_1 {"));
+        assert!(dot.contains("n0 [label=\"alpha\"]"));
+        assert!(dot.contains("be\\\"ta"), "quotes escaped");
+        assert!(dot.contains("n0 -- n1 [label=\"3\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn numeric_labels_without_table() {
+        let g = LabeledGraph::with_nodes([NodeLabel(7)]);
+        let dot = to_dot(&g, "x", None);
+        assert!(dot.contains("label=\"7\""));
+    }
+}

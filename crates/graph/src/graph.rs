@@ -1,0 +1,442 @@
+//! The labeled undirected graph.
+
+use crate::{EdgeLabel, GraphError, NodeLabel};
+use serde::{Deserialize, Serialize};
+
+/// Index of a vertex within one [`LabeledGraph`].
+pub type NodeId = usize;
+
+/// Index of an edge within one [`LabeledGraph`]'s edge table.
+pub type EdgeId = usize;
+
+/// One directed half of an edge, as stored in adjacency lists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Adjacency {
+    /// The neighbor vertex.
+    pub to: NodeId,
+    /// Label of the connecting edge.
+    pub elabel: EdgeLabel,
+    /// Index into the edge table (shared by both halves).
+    pub edge: EdgeId,
+    /// In a directed graph, `true` iff the arc starts at this vertex
+    /// (points toward `to`). Always `true` in undirected graphs, where
+    /// direction carries no meaning.
+    pub outgoing: bool,
+}
+
+/// An entry of the edge table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// One endpoint; the arc's source in a directed graph.
+    pub u: NodeId,
+    /// The other endpoint; the arc's target in a directed graph.
+    pub v: NodeId,
+    /// The edge label.
+    pub label: EdgeLabel,
+}
+
+/// A simple graph with labeled vertices and labeled edges, undirected by
+/// default or directed via [`LabeledGraph::new_directed`] /
+/// [`LabeledGraph::with_nodes_directed`].
+///
+/// The paper's §2 defines graphs with directed edges and notes Taxogram
+/// itself is direction-agnostic ("Taxogram can handle both directed and
+/// undirected graphs"), although its evaluation used undirected data
+/// because the underlying gSpan implementation did not support direction.
+/// Here both the graph model and the gSpan substrate handle direction.
+///
+/// Vertices are dense indices `0..node_count()`. The structure is
+/// append-only: mining never mutates database graphs, and generators build
+/// them once. Self-loops are rejected; in undirected graphs at most one
+/// edge may join a vertex pair, while directed graphs may carry both
+/// `u→v` and `v→u`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledGraph {
+    labels: Vec<NodeLabel>,
+    adj: Vec<Vec<Adjacency>>,
+    edges: Vec<Edge>,
+    #[serde(default)]
+    directed: bool,
+}
+
+impl LabeledGraph {
+    /// Creates an empty undirected graph.
+    pub fn new() -> Self {
+        LabeledGraph::default()
+    }
+
+    /// Creates an empty directed graph.
+    pub fn new_directed() -> Self {
+        LabeledGraph {
+            directed: true,
+            ..LabeledGraph::default()
+        }
+    }
+
+    /// Creates an undirected graph with `labels.len()` vertices, no edges.
+    pub fn with_nodes(labels: impl IntoIterator<Item = NodeLabel>) -> Self {
+        let labels: Vec<_> = labels.into_iter().collect();
+        let adj = vec![Vec::new(); labels.len()];
+        LabeledGraph {
+            labels,
+            adj,
+            edges: Vec::new(),
+            directed: false,
+        }
+    }
+
+    /// Creates a directed graph with `labels.len()` vertices, no edges.
+    pub fn with_nodes_directed(labels: impl IntoIterator<Item = NodeLabel>) -> Self {
+        let mut g = Self::with_nodes(labels);
+        g.directed = true;
+        g
+    }
+
+    /// `true` iff the graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Adds a vertex with the given label, returning its id.
+    pub fn add_node(&mut self, label: NodeLabel) -> NodeId {
+        self.labels.push(label);
+        self.adj.push(Vec::new());
+        self.labels.len() - 1
+    }
+
+    /// Adds an edge with label `elabel`: the undirected edge `{u, v}`, or
+    /// the arc `u → v` in a directed graph.
+    ///
+    /// # Errors
+    /// Rejects out-of-bounds endpoints, self-loops, and duplicates — for
+    /// undirected graphs any second edge between the pair, for directed
+    /// graphs a second arc in the *same* direction (the opposite arc is
+    /// legal).
+    pub fn add_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        elabel: EdgeLabel,
+    ) -> Result<EdgeId, GraphError> {
+        let len = self.labels.len();
+        for &n in &[u, v] {
+            if n >= len {
+                return Err(GraphError::NodeOutOfBounds { node: n, len });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        let dup = if self.directed {
+            self.adj[u].iter().any(|a| a.to == v && a.outgoing)
+        } else {
+            self.adj[u].iter().any(|a| a.to == v)
+        };
+        if dup {
+            return Err(GraphError::DuplicateEdge { u, v });
+        }
+        let edge = self.edges.len();
+        self.edges.push(Edge { u, v, label: elabel });
+        self.adj[u].push(Adjacency {
+            to: v,
+            elabel,
+            edge,
+            outgoing: true,
+        });
+        self.adj[v].push(Adjacency {
+            to: u,
+            elabel,
+            edge,
+            outgoing: !self.directed,
+        });
+        Ok(edge)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The label of vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> NodeLabel {
+        self.labels[v]
+    }
+
+    /// All vertex labels, indexed by vertex id.
+    #[inline]
+    pub fn labels(&self) -> &[NodeLabel] {
+        &self.labels
+    }
+
+    /// Overwrites the label of vertex `v` (used by Taxogram's Step 1
+    /// relabeling, which keeps originals separately).
+    pub fn set_label(&mut self, v: NodeId, label: NodeLabel) {
+        self.labels[v] = label;
+    }
+
+    /// The adjacency list of `v` (unordered).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[Adjacency] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// The edge table.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The label of some edge between `u` and `v` (either direction), if
+    /// one exists.
+    pub fn edge_label_between(&self, u: NodeId, v: NodeId) -> Option<EdgeLabel> {
+        self.adj.get(u)?.iter().find(|a| a.to == v).map(|a| a.elabel)
+    }
+
+    /// The label of the arc `u → v`. In an undirected graph this is any
+    /// edge between the pair.
+    pub fn arc_label(&self, u: NodeId, v: NodeId) -> Option<EdgeLabel> {
+        self.adj
+            .get(u)?
+            .iter()
+            .find(|a| a.to == v && (!self.directed || a.outgoing))
+            .map(|a| a.elabel)
+    }
+
+    /// `true` iff an edge `{u, v}` (either direction) exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_label_between(u, v).is_some()
+    }
+
+    /// `true` iff the arc `u → v` exists (any edge, if undirected).
+    pub fn has_arc(&self, u: NodeId, v: NodeId) -> bool {
+        self.arc_label(u, v).is_some()
+    }
+
+    /// Edge density as defined in the paper's experiments (after Worlein et
+    /// al.): `2·|E| / |V|²`. Zero for the empty graph.
+    pub fn edge_density(&self) -> f64 {
+        let n = self.node_count();
+        if n == 0 {
+            0.0
+        } else {
+            2.0 * self.edge_count() as f64 / (n * n) as f64
+        }
+    }
+
+    /// `true` iff the graph is connected (the empty graph counts as
+    /// connected; patterns additionally require ≥ 1 edge, checked elsewhere).
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for a in &self.adj[v] {
+                if !seen[a.to] {
+                    seen[a.to] = true;
+                    count += 1;
+                    stack.push(a.to);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Connected components as lists of vertex ids (each ascending;
+    /// components ordered by smallest member).
+    pub fn connected_components(&self) -> Vec<Vec<NodeId>> {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut comps = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = vec![];
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for a in &self.adj[v] {
+                    if !seen[a.to] {
+                        seen[a.to] = true;
+                        stack.push(a.to);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// The subgraph induced by `nodes` (edges with both endpoints inside).
+    /// Vertex `i` of the result corresponds to `nodes[i]`.
+    ///
+    /// # Panics
+    /// Panics if `nodes` contains an out-of-bounds or duplicate id.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> LabeledGraph {
+        let mut pos = vec![usize::MAX; self.node_count()];
+        for (i, &v) in nodes.iter().enumerate() {
+            assert!(pos[v] == usize::MAX, "duplicate node {v} in induced_subgraph");
+            pos[v] = i;
+        }
+        let mut g = LabeledGraph::with_nodes(nodes.iter().map(|&v| self.labels[v]));
+        g.directed = self.directed;
+        for e in &self.edges {
+            let (pu, pv) = (pos[e.u], pos[e.v]);
+            if pu != usize::MAX && pv != usize::MAX {
+                g.add_edge(pu, pv, e.label)
+                    .expect("induced subgraph edges are valid by construction");
+            }
+        }
+        g
+    }
+
+    /// A multiset signature `(node labels sorted, (elabel, endpoint labels)
+    /// sorted)` — a cheap isomorphism-invariant used for hashing and as a
+    /// fast negative filter before running real isomorphism tests. In
+    /// undirected graphs each edge's endpoint labels are sorted; in
+    /// directed graphs the (source, target) orientation is kept, so the
+    /// signature distinguishes arc directions.
+    pub fn invariant_signature(&self) -> (Vec<NodeLabel>, Vec<(EdgeLabel, NodeLabel, NodeLabel)>) {
+        let mut nl = self.labels.clone();
+        nl.sort_unstable();
+        let mut el: Vec<_> = self
+            .edges
+            .iter()
+            .map(|e| {
+                let (a, b) = (self.labels[e.u], self.labels[e.v]);
+                let (a, b) = if !self.directed && a > b { (b, a) } else { (a, b) };
+                (e.label, a, b)
+            })
+            .collect();
+        el.sort_unstable();
+        (nl, el)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(v: u32) -> NodeLabel {
+        NodeLabel(v)
+    }
+    fn e(v: u32) -> EdgeLabel {
+        EdgeLabel(v)
+    }
+
+    /// The triangle a-b-c with distinct edge labels.
+    fn triangle() -> LabeledGraph {
+        let mut g = LabeledGraph::with_nodes([l(0), l(1), l(2)]);
+        g.add_edge(0, 1, e(0)).unwrap();
+        g.add_edge(1, 2, e(1)).unwrap();
+        g.add_edge(2, 0, e(2)).unwrap();
+        g
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.label(1), l(1));
+        assert_eq!(g.degree(0), 2);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0), "undirected symmetry");
+        assert_eq!(g.edge_label_between(1, 2), Some(e(1)));
+        assert_eq!(g.edge_label_between(0, 0), None);
+    }
+
+    #[test]
+    fn add_edge_rejects_bad_input() {
+        let mut g = LabeledGraph::with_nodes([l(0), l(1)]);
+        assert_eq!(
+            g.add_edge(0, 5, e(0)),
+            Err(GraphError::NodeOutOfBounds { node: 5, len: 2 })
+        );
+        assert_eq!(g.add_edge(1, 1, e(0)), Err(GraphError::SelfLoop { node: 1 }));
+        g.add_edge(0, 1, e(0)).unwrap();
+        assert_eq!(
+            g.add_edge(1, 0, e(3)),
+            Err(GraphError::DuplicateEdge { u: 1, v: 0 }),
+            "duplicate rejected even with a different label / reversed order"
+        );
+    }
+
+    #[test]
+    fn density_matches_paper_definition() {
+        let g = triangle();
+        assert!((g.edge_density() - 2.0 * 3.0 / 9.0).abs() < 1e-12);
+        assert_eq!(LabeledGraph::new().edge_density(), 0.0);
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut g = triangle();
+        assert!(g.is_connected());
+        let d = g.add_node(l(9));
+        assert!(!g.is_connected());
+        let comps = g.connected_components();
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![d]]);
+        assert!(LabeledGraph::new().is_connected(), "empty graph is connected");
+        assert!(LabeledGraph::with_nodes([l(0)]).is_connected());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = triangle();
+        let s = g.induced_subgraph(&[2, 0]);
+        assert_eq!(s.node_count(), 2);
+        assert_eq!(s.labels(), &[l(2), l(0)]);
+        assert_eq!(s.edge_count(), 1);
+        assert_eq!(s.edge_label_between(0, 1), Some(e(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn induced_subgraph_rejects_duplicates() {
+        triangle().induced_subgraph(&[0, 0]);
+    }
+
+    #[test]
+    fn invariant_signature_is_order_independent() {
+        let g = triangle();
+        // Same triangle built in a different vertex/edge order.
+        let mut h = LabeledGraph::with_nodes([l(2), l(0), l(1)]);
+        h.add_edge(2, 0, e(1)).unwrap(); // 1-2 in g's naming
+        h.add_edge(1, 0, e(2)).unwrap(); // 2-0
+        h.add_edge(1, 2, e(0)).unwrap(); // 0-1
+        assert_eq!(g.invariant_signature(), h.invariant_signature());
+    }
+
+    #[test]
+    fn set_label_overwrites() {
+        let mut g = triangle();
+        g.set_label(0, l(42));
+        assert_eq!(g.label(0), l(42));
+    }
+}

@@ -1,0 +1,173 @@
+//! A line-oriented text format for graph databases.
+//!
+//! The format follows the convention of classic subgraph-mining tools
+//! (gSpan, ParMol, FSG):
+//!
+//! ```text
+//! t # 0          # start of graph 0
+//! v 0 12         # vertex 0 with node label 12
+//! v 1 7
+//! e 0 1 3        # edge between vertices 0 and 1 with edge label 3
+//! ```
+//!
+//! Comments start with `#` at the beginning of a line; blank lines are
+//! ignored. Vertex ids within one graph must be dense and ascending from 0
+//! (this is what the classic tools emit, and it keeps parsing unambiguous).
+
+use crate::{EdgeLabel, GraphDatabase, GraphError, LabeledGraph, NodeLabel};
+use std::fmt::Write as _;
+
+/// Serializes a database to the `t`/`v`/`e` text format.
+pub fn write_database(db: &GraphDatabase) -> String {
+    let mut out = String::new();
+    for (gid, g) in db.iter() {
+        let _ = writeln!(out, "t # {gid}");
+        for (v, l) in g.labels().iter().enumerate() {
+            let _ = writeln!(out, "v {v} {l}");
+        }
+        for e in g.edges() {
+            let _ = writeln!(out, "e {} {} {}", e.u, e.v, e.label);
+        }
+    }
+    out
+}
+
+/// Parses a database from the `t`/`v`/`e` text format.
+///
+/// # Errors
+/// Returns [`GraphError::Parse`] on malformed records, and the underlying
+/// construction error (with a line number) on invalid edges.
+pub fn read_database(text: &str) -> Result<GraphDatabase, GraphError> {
+    let mut db = GraphDatabase::new();
+    let mut current: Option<LabeledGraph> = None;
+
+    let parse = |line: usize, msg: &str| GraphError::Parse {
+        line,
+        msg: msg.to_owned(),
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        match parts.next() {
+            Some("t") => {
+                if let Some(g) = current.take() {
+                    db.push(g);
+                }
+                current = Some(LabeledGraph::new());
+            }
+            Some("v") => {
+                let g = current
+                    .as_mut()
+                    .ok_or_else(|| parse(lineno, "vertex record before any 't' record"))?;
+                let id: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse(lineno, "bad vertex id"))?;
+                let label: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse(lineno, "bad vertex label"))?;
+                if id != g.node_count() {
+                    return Err(parse(
+                        lineno,
+                        &format!("vertex ids must be dense: expected {}, got {id}", g.node_count()),
+                    ));
+                }
+                g.add_node(NodeLabel(label));
+            }
+            Some("e") => {
+                let g = current
+                    .as_mut()
+                    .ok_or_else(|| parse(lineno, "edge record before any 't' record"))?;
+                let mut int = || -> Result<usize, GraphError> {
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| parse(lineno, "bad edge field"))
+                };
+                let u = int()?;
+                let v = int()?;
+                let l = int()?;
+                g.add_edge(u, v, EdgeLabel(l as u32)).map_err(|e| GraphError::Parse {
+                    line: lineno,
+                    msg: e.to_string(),
+                })?;
+            }
+            Some(other) => {
+                return Err(parse(lineno, &format!("unknown record type {other:?}")));
+            }
+            None => unreachable!("empty lines filtered above"),
+        }
+    }
+    if let Some(g) = current.take() {
+        db.push(g);
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> GraphDatabase {
+        let mut g1 = LabeledGraph::with_nodes([NodeLabel(5), NodeLabel(6)]);
+        g1.add_edge(0, 1, EdgeLabel(2)).unwrap();
+        let mut g2 = LabeledGraph::with_nodes([NodeLabel(1), NodeLabel(1), NodeLabel(3)]);
+        g2.add_edge(0, 1, EdgeLabel(0)).unwrap();
+        g2.add_edge(1, 2, EdgeLabel(1)).unwrap();
+        GraphDatabase::from_graphs(vec![g1, g2])
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let db = sample_db();
+        let text = write_database(&db);
+        let back = read_database(&text).unwrap();
+        assert_eq!(back.len(), db.len());
+        for (id, g) in db.iter() {
+            assert_eq!(back[id].labels(), g.labels());
+            assert_eq!(back[id].edges(), g.edges());
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# header\n\nt # 0\nv 0 1\nv 1 2\n\n# mid comment\ne 0 1 0\n";
+        let db = read_database(text).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db[0].node_count(), 2);
+        assert_eq!(db[0].edge_count(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = read_database("v 0 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+
+        let err = read_database("t # 0\nv 0 1\nv 5 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 3, .. }));
+
+        let err = read_database("t # 0\nv 0 1\ne 0 9 0\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, msg } => {
+                assert_eq!(line, 3);
+                assert!(msg.contains("out of bounds"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+
+        let err = read_database("x 1 2\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_database() {
+        assert!(read_database("").unwrap().is_empty());
+        assert!(read_database("# only comments\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Label ids and the string interner behind them.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A dense id for a vertex label (equivalently, a taxonomy concept).
+///
+/// Node labels double as taxonomy concept ids: the taxonomy's labeling
+/// function is one-to-one and onto (paper §2), so a concept *is* its label.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeLabel(pub u32);
+
+/// A dense id for an edge label.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeLabel(pub u32);
+
+impl NodeLabel {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeLabel {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for NodeLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl std::fmt::Display for NodeLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::fmt::Debug for EdgeLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl std::fmt::Display for EdgeLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeLabel {
+    fn from(v: u32) -> Self {
+        NodeLabel(v)
+    }
+}
+
+impl From<u32> for EdgeLabel {
+    fn from(v: u32) -> Self {
+        EdgeLabel(v)
+    }
+}
+
+/// Interns label names to dense [`NodeLabel`] ids.
+///
+/// A table is shared between a taxonomy and the graph databases defined over
+/// it, so that "graph `G` over taxonomy `T`" (`L_G ⊆ L_T`, paper §2) is a
+/// property of ids rather than strings.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LabelTable {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl LabelTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        LabelTable::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> NodeLabel {
+        if let Some(&id) = self.index.get(name) {
+            return NodeLabel(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("more than u32::MAX labels");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        NodeLabel(id)
+    }
+
+    /// Looks up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<NodeLabel> {
+        self.index.get(name).map(|&id| NodeLabel(id))
+    }
+
+    /// The name behind an id, or `None` if the id was never interned.
+    pub fn name(&self, label: NodeLabel) -> Option<&str> {
+        self.names.get(label.index()).map(String::as_str)
+    }
+
+    /// Number of interned labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` iff no label has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Rebuilds the name→id index after deserialization (the map is not
+    /// serialized; names are authoritative).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeLabel, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeLabel(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = LabelTable::new();
+        let a = t.intern("helicase");
+        let b = t.intern("transporter");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("helicase"), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a), Some("helicase"));
+        assert_eq!(t.get("transporter"), Some(b));
+        assert_eq!(t.get("nope"), None);
+        assert_eq!(t.name(NodeLabel(99)), None);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut t = LabelTable::new();
+        for i in 0..10 {
+            assert_eq!(t.intern(&format!("l{i}")), NodeLabel(i));
+        }
+        let collected: Vec<_> = t.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(collected, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut t = LabelTable::new();
+        t.intern("x");
+        t.intern("y");
+        let mut clone = LabelTable {
+            names: t.names.clone(),
+            index: HashMap::new(),
+        };
+        assert_eq!(clone.get("x"), None, "index empty before rebuild");
+        clone.rebuild_index();
+        assert_eq!(clone.get("x"), Some(NodeLabel(0)));
+        assert_eq!(clone.get("y"), Some(NodeLabel(1)));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", NodeLabel(7)), "7");
+        assert_eq!(format!("{:?}", NodeLabel(7)), "n7");
+        assert_eq!(format!("{}", EdgeLabel(3)), "3");
+        assert_eq!(format!("{:?}", EdgeLabel(3)), "e3");
+    }
+}

@@ -1,0 +1,80 @@
+//! Labeled-graph primitives for taxonomy-superimposed graph mining.
+//!
+//! This crate holds the data model shared by every other crate in the
+//! workspace:
+//!
+//! * [`LabelTable`] — a string interner mapping label names to dense
+//!   [`NodeLabel`] / [`EdgeLabel`] ids. Taxonomy concepts and graph vertex
+//!   labels share one node-label namespace, which is what makes the
+//!   "vertex label is a taxonomy concept" superimposition cheap.
+//! * [`LabeledGraph`] — an undirected graph with labeled vertices and
+//!   labeled edges, stored as an adjacency list plus an edge table.
+//! * [`GraphDatabase`] — an ordered collection of graphs with the dataset
+//!   statistics the paper reports in Table 1.
+//! * [`io`] — a line-oriented text format compatible in spirit with the
+//!   format used by classic subgraph-mining tools (`t`/`v`/`e` records).
+//!
+//! The paper ("Taxonomy-Superimposed Graph Mining", EDBT 2008) defines
+//! labeled graphs with a total vertex-labeling function and optionally
+//! labeled edges (§2); its experimental datasets all carry edge labels
+//! ("distinct edge label count: 10"), so edge labels are first-class here.
+
+mod database;
+pub mod dot;
+mod graph;
+pub mod io;
+mod label;
+mod stats;
+
+pub use database::{GraphDatabase, GraphId};
+pub use graph::{Adjacency, Edge, EdgeId, LabeledGraph, NodeId};
+pub use label::{EdgeLabel, LabelTable, NodeLabel};
+pub use stats::DatabaseStats;
+
+/// Errors produced by graph construction and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referenced a vertex that does not exist.
+    NodeOutOfBounds {
+        /// The offending vertex id.
+        node: usize,
+        /// Number of vertices in the graph.
+        len: usize,
+    },
+    /// A self-loop was rejected (the mining model uses simple graphs).
+    SelfLoop {
+        /// The vertex that was both endpoints.
+        node: usize,
+    },
+    /// A duplicate edge between the same endpoints was rejected.
+    DuplicateEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// The text parser encountered a malformed record.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, len } => {
+                write!(f, "vertex {node} out of bounds (graph has {len} vertices)")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop on vertex {node} rejected"),
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge between vertices {u} and {v}")
+            }
+            GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

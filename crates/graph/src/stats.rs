@@ -1,0 +1,128 @@
+//! Dataset statistics in the shape of the paper's Table 1.
+
+use crate::GraphDatabase;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The per-dataset properties reported in Table 1 of the paper:
+/// database size, average graph size in nodes and edges, distinct node
+/// label count, and average edge density (`2·|E|/|V|²` per graph,
+/// averaged over graphs).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DatabaseStats {
+    /// Number of graphs (`DB Size` column).
+    pub graph_count: usize,
+    /// Mean vertex count per graph (`Avg. Graph Size (Node)`).
+    pub avg_nodes: f64,
+    /// Mean edge count per graph (`Avg. Graph Size (Edge)`).
+    pub avg_edges: f64,
+    /// Number of distinct vertex labels across the database
+    /// (`Dist. Label Count`).
+    pub distinct_node_labels: usize,
+    /// Number of distinct edge labels across the database.
+    pub distinct_edge_labels: usize,
+    /// Mean per-graph edge density (`Avg. Edge Density`).
+    pub avg_edge_density: f64,
+}
+
+impl DatabaseStats {
+    /// Computes statistics over a database. All averages are 0 for an empty
+    /// database.
+    pub fn compute(db: &GraphDatabase) -> Self {
+        let n = db.len();
+        if n == 0 {
+            return DatabaseStats {
+                graph_count: 0,
+                avg_nodes: 0.0,
+                avg_edges: 0.0,
+                distinct_node_labels: 0,
+                distinct_edge_labels: 0,
+                avg_edge_density: 0.0,
+            };
+        }
+        let mut nodes = 0usize;
+        let mut edges = 0usize;
+        let mut density = 0.0;
+        let mut nlabels = HashSet::new();
+        let mut elabels = HashSet::new();
+        for (_, g) in db.iter() {
+            nodes += g.node_count();
+            edges += g.edge_count();
+            density += g.edge_density();
+            nlabels.extend(g.labels().iter().copied());
+            elabels.extend(g.edges().iter().map(|e| e.label));
+        }
+        DatabaseStats {
+            graph_count: n,
+            avg_nodes: nodes as f64 / n as f64,
+            avg_edges: edges as f64 / n as f64,
+            distinct_node_labels: nlabels.len(),
+            distinct_edge_labels: elabels.len(),
+            avg_edge_density: density / n as f64,
+        }
+    }
+
+    /// One row of a Table 1-style report.
+    pub fn table_row(&self, id: &str) -> String {
+        format!(
+            "{id:<8} {:>8} {:>10.1} {:>10.1} {:>12} {:>10.2}",
+            self.graph_count,
+            self.avg_nodes,
+            self.avg_edges,
+            self.distinct_node_labels,
+            self.avg_edge_density
+        )
+    }
+
+    /// The header matching [`DatabaseStats::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<8} {:>8} {:>10} {:>10} {:>12} {:>10}",
+            "DB Id", "Graphs", "AvgNodes", "AvgEdges", "DistLabels", "AvgDens"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeLabel, LabeledGraph, NodeLabel};
+
+    #[test]
+    fn empty_database_stats_are_zero() {
+        let s = GraphDatabase::new().stats();
+        assert_eq!(s.graph_count, 0);
+        assert_eq!(s.avg_nodes, 0.0);
+        assert_eq!(s.distinct_node_labels, 0);
+    }
+
+    #[test]
+    fn stats_average_over_graphs() {
+        let mut g1 = LabeledGraph::with_nodes([NodeLabel(0), NodeLabel(1)]);
+        g1.add_edge(0, 1, EdgeLabel(0)).unwrap();
+        let mut g2 = LabeledGraph::with_nodes([NodeLabel(1), NodeLabel(2), NodeLabel(3), NodeLabel(3)]);
+        g2.add_edge(0, 1, EdgeLabel(1)).unwrap();
+        g2.add_edge(1, 2, EdgeLabel(1)).unwrap();
+        g2.add_edge(2, 3, EdgeLabel(0)).unwrap();
+        let db = GraphDatabase::from_graphs(vec![g1.clone(), g2.clone()]);
+        let s = db.stats();
+        assert_eq!(s.graph_count, 2);
+        assert_eq!(s.avg_nodes, 3.0);
+        assert_eq!(s.avg_edges, 2.0);
+        assert_eq!(s.distinct_node_labels, 4);
+        assert_eq!(s.distinct_edge_labels, 2);
+        let want = (g1.edge_density() + g2.edge_density()) / 2.0;
+        assert!((s.avg_edge_density - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_row_formats() {
+        let mut g = LabeledGraph::with_nodes([NodeLabel(0), NodeLabel(1)]);
+        g.add_edge(0, 1, EdgeLabel(0)).unwrap();
+        let db = GraphDatabase::from_graphs(vec![g]);
+        let row = db.stats().table_row("D1000");
+        assert!(row.starts_with("D1000"));
+        assert!(row.contains('1'));
+        assert!(!DatabaseStats::table_header().is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! The text parsers must never panic: arbitrary input yields either a
+//! parsed value or a structured error.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn read_database_never_panics(text in ".{0,200}") {
+        let _ = tsg_graph::io::read_database(&text);
+    }
+
+    #[test]
+    fn read_database_handles_recordish_garbage(
+        lines in prop::collection::vec("(t|v|e|x)( -?[0-9a-z#]{1,5}){0,4}", 0..12)
+    ) {
+        let text = lines.join("\n");
+        let _ = tsg_graph::io::read_database(&text);
+    }
+
+    #[test]
+    fn roundtrip_is_identity_on_valid_databases(
+        graphs in prop::collection::vec(
+            (prop::collection::vec(0u32..5, 1..5), prop::collection::vec(0u32..3, 0..4)),
+            0..4,
+        )
+    ) {
+        let mut db = tsg_graph::GraphDatabase::new();
+        for (labels, elabels) in graphs {
+            let mut g = tsg_graph::LabeledGraph::with_nodes(
+                labels.iter().map(|&l| tsg_graph::NodeLabel(l)),
+            );
+            for (i, &el) in elabels.iter().enumerate() {
+                if labels.len() >= 2 {
+                    let u = i % labels.len();
+                    let v = (i + 1) % labels.len();
+                    if u != v {
+                        let _ = g.add_edge(u, v, tsg_graph::EdgeLabel(el));
+                    }
+                }
+            }
+            db.push(g);
+        }
+        let text = tsg_graph::io::write_database(&db);
+        let back = tsg_graph::io::read_database(&text).expect("own output parses");
+        prop_assert_eq!(back.len(), db.len());
+        for (id, g) in db.iter() {
+            prop_assert_eq!(back[id].labels(), g.labels());
+            prop_assert_eq!(back[id].edges(), g.edges());
+        }
+    }
+}

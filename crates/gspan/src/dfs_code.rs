@@ -1,0 +1,383 @@
+//! DFS codes: gSpan's canonical representation of labeled graphs.
+//!
+//! A DFS code is the edge sequence of a depth-first traversal, each edge
+//! written as `(i, j, l_i, e, l_j)` over DFS discovery ids. Forward edges
+//! have `i < j` (and `j` is always one past the largest id so far);
+//! backward edges have `i > j`. gSpan defines a total lexicographic order
+//! on codes; the smallest code of a graph is its canonical form
+//! (Yan & Han, ICDM'02, and the expanded UIUC TR the paper cites as
+//! Remark 3.1).
+
+use std::cmp::Ordering;
+use tsg_graph::{EdgeLabel, GraphError, LabeledGraph, NodeLabel};
+
+/// Arc orientation of a code edge relative to its DFS `(from, to)` pair.
+///
+/// Directed graphs are mined by annotating each code edge with the arc's
+/// direction relative to the traversal — the standard extension of gSpan
+/// to digraphs. The annotation participates in the label component of the
+/// DFS lexicographic order, so canonical-code minimality and the prefix
+/// property carry over unchanged.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ArcDir {
+    /// The edge carries no direction (undirected mining).
+    #[default]
+    Undirected,
+    /// The arc runs `from → to`.
+    FromTo,
+    /// The arc runs `to → from`.
+    ToFrom,
+}
+
+/// One element of a DFS code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DfsEdge {
+    /// DFS id of the source endpoint.
+    pub from: usize,
+    /// DFS id of the destination endpoint.
+    pub to: usize,
+    /// Label of the source vertex.
+    pub from_label: NodeLabel,
+    /// Label of the edge.
+    pub elabel: EdgeLabel,
+    /// Arc orientation (always [`ArcDir::Undirected`] for undirected
+    /// graphs).
+    pub arc: ArcDir,
+    /// Label of the destination vertex.
+    pub to_label: NodeLabel,
+}
+
+impl DfsEdge {
+    /// `true` iff this is a forward edge (discovers a new vertex).
+    #[inline]
+    pub fn is_forward(&self) -> bool {
+        self.from < self.to
+    }
+
+    /// The label tuple, used for tie-breaking in the edge order.
+    #[inline]
+    fn labels(&self) -> (NodeLabel, EdgeLabel, ArcDir, NodeLabel) {
+        (self.from_label, self.elabel, self.arc, self.to_label)
+    }
+}
+
+/// gSpan's DFS lexicographic order on same-position edges.
+///
+/// For `e1 = (i1, j1)`, `e2 = (i2, j2)`:
+/// * both forward: `e1 < e2` iff `j1 < j2`, or `j1 = j2` and `i1 > i2`;
+/// * both backward: `e1 < e2` iff `i1 < i2`, or `i1 = i2` and `j1 < j2`;
+/// * `e1` backward, `e2` forward: `e1 < e2` iff `i1 < j2`;
+/// * `e1` forward, `e2` backward: `e1 < e2` iff `j1 ≤ i2`.
+///
+/// Positional ties are broken by the `(l_i, e, l_j)` label triple.
+pub fn dfs_edge_cmp(e1: &DfsEdge, e2: &DfsEdge) -> Ordering {
+    let positional = match (e1.is_forward(), e2.is_forward()) {
+        (true, true) => e1
+            .to
+            .cmp(&e2.to)
+            .then_with(|| e2.from.cmp(&e1.from)),
+        (false, false) => e1.from.cmp(&e2.from).then_with(|| e1.to.cmp(&e2.to)),
+        (false, true) => {
+            if e1.from < e2.to {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }
+        }
+        (true, false) => {
+            if e1.to <= e2.from {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }
+        }
+    };
+    positional.then_with(|| e1.labels().cmp(&e2.labels()))
+}
+
+/// A DFS code: an ordered edge list plus derived structure queries.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct DfsCode {
+    edges: Vec<DfsEdge>,
+}
+
+impl DfsCode {
+    /// The empty code.
+    pub fn new() -> Self {
+        DfsCode::default()
+    }
+
+    /// Wraps an edge list without validation (callers construct codes only
+    /// through mining, which maintains the DFS invariants).
+    pub fn from_edges(edges: Vec<DfsEdge>) -> Self {
+        DfsCode { edges }
+    }
+
+    /// The edge sequence.
+    #[inline]
+    pub fn edges(&self) -> &[DfsEdge] {
+        &self.edges
+    }
+
+    /// Number of code edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` iff the code is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Appends an edge.
+    pub fn push(&mut self, e: DfsEdge) {
+        self.edges.push(e);
+    }
+
+    /// Removes the last edge.
+    pub fn pop(&mut self) -> Option<DfsEdge> {
+        self.edges.pop()
+    }
+
+    /// Number of vertices spanned by the code (max DFS id + 1).
+    pub fn node_count(&self) -> usize {
+        self.edges
+            .iter()
+            .map(|e| e.from.max(e.to) + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The rightmost path as DFS ids, root first, rightmost vertex last.
+    ///
+    /// The rightmost vertex is the `to` of the last forward edge; the path
+    /// follows forward edges back to the root. Extensions in gSpan may only
+    /// grow backward from the rightmost vertex or forward from a vertex on
+    /// this path.
+    pub fn rightmost_path(&self) -> Vec<usize> {
+        let mut path: Vec<usize> = Vec::new();
+        // Walk forward edges from the last one backwards, chaining `to`→`from`.
+        let mut want: Option<usize> = None;
+        for e in self.edges.iter().rev() {
+            if !e.is_forward() {
+                continue;
+            }
+            match want {
+                None => {
+                    path.push(e.to);
+                    path.push(e.from);
+                    want = Some(e.from);
+                }
+                Some(w) if e.to == w => {
+                    path.push(e.from);
+                    want = Some(e.from);
+                }
+                _ => {}
+            }
+        }
+        if path.is_empty() && !self.edges.is_empty() {
+            // Code with only backward edges cannot occur (first edge is
+            // always forward), but a single-vertex "path" keeps callers
+            // total.
+            path.push(0);
+        }
+        path.reverse();
+        path
+    }
+
+    /// The label of DFS vertex `id`, scanning the code.
+    pub fn vertex_label(&self, id: usize) -> Option<NodeLabel> {
+        for e in &self.edges {
+            if e.from == id {
+                return Some(e.from_label);
+            }
+            if e.to == id {
+                return Some(e.to_label);
+            }
+        }
+        None
+    }
+
+    /// Materializes the code as a [`LabeledGraph`] whose vertex ids are the
+    /// DFS ids. The result is directed iff the code's edges carry arc
+    /// annotations (codes never mix annotated and unannotated edges).
+    ///
+    /// # Errors
+    /// Returns the underlying construction error if the code is malformed
+    /// (e.g. repeats an edge).
+    pub fn to_graph(&self) -> Result<LabeledGraph, GraphError> {
+        let n = self.node_count();
+        let mut labels = vec![None; n];
+        for e in &self.edges {
+            labels[e.from] = Some(e.from_label);
+            labels[e.to] = Some(e.to_label);
+        }
+        let directed = self
+            .edges
+            .first()
+            .is_some_and(|e| e.arc != ArcDir::Undirected);
+        let nodes = labels
+            .into_iter()
+            .map(|l| l.expect("DFS ids are dense, every id appears in some edge"));
+        let mut g = if directed {
+            LabeledGraph::with_nodes_directed(nodes)
+        } else {
+            LabeledGraph::with_nodes(nodes)
+        };
+        for e in &self.edges {
+            match e.arc {
+                ArcDir::ToFrom => g.add_edge(e.to, e.from, e.elabel)?,
+                _ => g.add_edge(e.from, e.to, e.elabel)?,
+            };
+        }
+        Ok(g)
+    }
+
+    /// Total lexicographic comparison of whole codes: edgewise by
+    /// [`dfs_edge_cmp`], shorter prefix first.
+    pub fn cmp_code(&self, other: &DfsCode) -> Ordering {
+        for (a, b) in self.edges.iter().zip(&other.edges) {
+            match dfs_edge_cmp(a, b) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        self.edges.len().cmp(&other.edges.len())
+    }
+}
+
+impl std::fmt::Display for DfsCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (k, e) in self.edges.iter().enumerate() {
+            if k > 0 {
+                write!(f, " ")?;
+            }
+            write!(
+                f,
+                "({},{},{},{},{})",
+                e.from, e.to, e.from_label, e.elabel, e.to_label
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fwd(from: usize, to: usize) -> DfsEdge {
+        DfsEdge {
+            from,
+            to,
+            from_label: NodeLabel(0),
+            elabel: EdgeLabel(0),
+            arc: ArcDir::Undirected,
+            to_label: NodeLabel(0),
+        }
+    }
+    fn bwd(from: usize, to: usize) -> DfsEdge {
+        assert!(from > to);
+        DfsEdge {
+            from,
+            to,
+            from_label: NodeLabel(0),
+            elabel: EdgeLabel(0),
+            arc: ArcDir::Undirected,
+            to_label: NodeLabel(0),
+        }
+    }
+
+    #[test]
+    fn forward_order_prefers_deeper_source() {
+        // Same new vertex id: the edge growing from the deeper vertex wins.
+        assert_eq!(dfs_edge_cmp(&fwd(2, 3), &fwd(1, 3)), Ordering::Less);
+        assert_eq!(dfs_edge_cmp(&fwd(0, 2), &fwd(0, 3)), Ordering::Less);
+    }
+
+    #[test]
+    fn backward_order_prefers_smaller_target() {
+        assert_eq!(dfs_edge_cmp(&bwd(3, 0), &bwd(3, 1)), Ordering::Less);
+        assert_eq!(dfs_edge_cmp(&bwd(2, 0), &bwd(3, 1)), Ordering::Less);
+    }
+
+    #[test]
+    fn backward_precedes_forward_from_same_vertex() {
+        // Backward (3,0) vs forward (3,4): i1 = 3 < j2 = 4 → backward first.
+        assert_eq!(dfs_edge_cmp(&bwd(3, 0), &fwd(3, 4)), Ordering::Less);
+        // Forward (1,4) vs backward (3,0): j1 = 4 ≤ i2 = 3 is false → greater.
+        assert_eq!(dfs_edge_cmp(&fwd(1, 4), &bwd(3, 0)), Ordering::Greater);
+    }
+
+    #[test]
+    fn label_tiebreak_on_equal_positions() {
+        let a = DfsEdge {
+            from: 0,
+            to: 1,
+            from_label: NodeLabel(0),
+            elabel: EdgeLabel(0),
+            arc: ArcDir::Undirected,
+            to_label: NodeLabel(1),
+        };
+        let b = DfsEdge {
+            from: 0,
+            to: 1,
+            from_label: NodeLabel(0),
+            elabel: EdgeLabel(0),
+            arc: ArcDir::Undirected,
+            to_label: NodeLabel(2),
+        };
+        assert_eq!(dfs_edge_cmp(&a, &b), Ordering::Less);
+        assert_eq!(dfs_edge_cmp(&a, &a), Ordering::Equal);
+    }
+
+    #[test]
+    fn rightmost_path_follows_forward_chain() {
+        // Code: (0,1) (1,2) (2,0) backward (1,3): rightmost path 0-1-3.
+        let code = DfsCode::from_edges(vec![fwd(0, 1), fwd(1, 2), bwd(2, 0), fwd(1, 3)]);
+        assert_eq!(code.rightmost_path(), vec![0, 1, 3]);
+        // Pure path.
+        let code = DfsCode::from_edges(vec![fwd(0, 1), fwd(1, 2)]);
+        assert_eq!(code.rightmost_path(), vec![0, 1, 2]);
+        // Star: (0,1) (0,2): rightmost path 0-2.
+        let code = DfsCode::from_edges(vec![fwd(0, 1), fwd(0, 2)]);
+        assert_eq!(code.rightmost_path(), vec![0, 2]);
+    }
+
+    #[test]
+    fn to_graph_reconstructs_structure() {
+        let mut e1 = fwd(0, 1);
+        e1.from_label = NodeLabel(5);
+        e1.to_label = NodeLabel(6);
+        let mut e2 = fwd(1, 2);
+        e2.from_label = NodeLabel(6);
+        e2.to_label = NodeLabel(7);
+        e2.elabel = EdgeLabel(9);
+        let code = DfsCode::from_edges(vec![e1, e2]);
+        let g = code.to_graph().unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.label(2), NodeLabel(7));
+        assert_eq!(g.edge_label_between(1, 2), Some(EdgeLabel(9)));
+        assert_eq!(code.vertex_label(1), Some(NodeLabel(6)));
+        assert_eq!(code.vertex_label(9), None);
+        assert_eq!(code.node_count(), 3);
+    }
+
+    #[test]
+    fn cmp_code_prefix_is_smaller() {
+        let a = DfsCode::from_edges(vec![fwd(0, 1)]);
+        let b = DfsCode::from_edges(vec![fwd(0, 1), fwd(1, 2)]);
+        assert_eq!(a.cmp_code(&b), Ordering::Less);
+        assert_eq!(b.cmp_code(&a), Ordering::Greater);
+        assert_eq!(a.cmp_code(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let code = DfsCode::from_edges(vec![fwd(0, 1)]);
+        assert_eq!(format!("{code}"), "(0,1,0,0,0)");
+    }
+}

@@ -1,0 +1,340 @@
+//! Embeddings and rightmost-path extension enumeration.
+//!
+//! gSpan grows a pattern only along its rightmost path: backward edges from
+//! the rightmost vertex to another rightmost-path vertex, and forward edges
+//! from any rightmost-path vertex to a fresh vertex. Enumerating the legal
+//! extensions of every current embedding, grouped by the DFS edge they
+//! induce, is the workhorse shared by the miner and by the minimality
+//! check.
+
+use crate::dfs_code::{dfs_edge_cmp, ArcDir, DfsCode, DfsEdge};
+use std::collections::BTreeMap;
+use tsg_graph::{EdgeId, GraphDatabase, GraphId, NodeId};
+
+/// One embedding of a DFS code into a database graph: `map[dfs_id]` is the
+/// database vertex, `edges[k]` the database edge realizing code edge `k`.
+///
+/// Full maps (rather than gSpan's shared-prefix chains) cost more memory
+/// but give Taxogram's occurrence-index sink direct access to every mapped
+/// vertex, which it needs anyway to read original labels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Embedding {
+    /// The database graph containing this embedding.
+    pub gid: GraphId,
+    /// DFS id → database vertex.
+    pub map: Vec<NodeId>,
+    /// Code edge index → database edge id.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Embedding {
+    #[inline]
+    fn uses_edge(&self, e: EdgeId) -> bool {
+        self.edges.contains(&e)
+    }
+
+    #[inline]
+    fn maps_vertex(&self, v: NodeId) -> bool {
+        self.map.contains(&v)
+    }
+}
+
+/// A [`DfsEdge`] ordered by [`dfs_edge_cmp`], usable as a `BTreeMap` key so
+/// extension groups iterate in canonical order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OrderedExt(pub DfsEdge);
+
+impl PartialOrd for OrderedExt {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedExt {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        dfs_edge_cmp(&self.0, &other.0)
+    }
+}
+
+/// Extension groups: for each candidate DFS edge, the embeddings of the
+/// grown code, in database order.
+pub type ExtensionMap = BTreeMap<OrderedExt, Vec<Embedding>>;
+
+/// All frequent-orientation single-edge seed codes with their embeddings.
+///
+/// Every database edge yields embeddings for the orientation(s) whose
+/// `from_label ≤ to_label` — the other orientation can never start a
+/// minimal code. When both endpoint labels are equal, both orientations are
+/// embeddings of the same seed.
+pub fn seed_extensions(db: &GraphDatabase) -> ExtensionMap {
+    let mut out = ExtensionMap::new();
+    for (gid, g) in db.iter() {
+        let directed = g.is_directed();
+        for (eid, e) in g.edges().iter().enumerate() {
+            let (lu, lv) = (g.label(e.u), g.label(e.v));
+            // Orientation (a, b): code vertex 0 ↦ a, 1 ↦ b. Keep only
+            // orientations that can start a minimal code: the smaller
+            // endpoint label first; on a label tie in a directed graph,
+            // only the arc-source-first variant (FromTo < ToFrom).
+            let mut orientations: Vec<(NodeId, NodeId)> = Vec::with_capacity(2);
+            match lu.cmp(&lv) {
+                std::cmp::Ordering::Less => orientations.push((e.u, e.v)),
+                std::cmp::Ordering::Greater => orientations.push((e.v, e.u)),
+                std::cmp::Ordering::Equal => {
+                    orientations.push((e.u, e.v));
+                    if !directed {
+                        orientations.push((e.v, e.u));
+                    }
+                }
+            }
+            for (a, b) in orientations {
+                let arc = if !directed {
+                    ArcDir::Undirected
+                } else if a == e.u {
+                    ArcDir::FromTo
+                } else {
+                    ArcDir::ToFrom
+                };
+                let key = DfsEdge {
+                    from: 0,
+                    to: 1,
+                    from_label: g.label(a),
+                    elabel: e.label,
+                    arc,
+                    to_label: g.label(b),
+                };
+                out.entry(OrderedExt(key)).or_default().push(Embedding {
+                    gid,
+                    map: vec![a, b],
+                    edges: vec![eid],
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates every legal rightmost-path extension of `code` across
+/// `embeddings`, grouping the grown embeddings by induced DFS edge.
+pub fn enumerate_extensions(
+    code: &DfsCode,
+    embeddings: &[Embedding],
+    db: &GraphDatabase,
+) -> ExtensionMap {
+    let mut out = ExtensionMap::new();
+    let path = code.rightmost_path();
+    let (&rmost, spine) = path.split_last().expect("nonempty code has a rightmost path");
+    let rmost_label = code.vertex_label(rmost).expect("rightmost vertex is labeled");
+    let next_id = code.node_count();
+
+    for emb in embeddings {
+        let g = db.graph(emb.gid);
+        let directed = g.is_directed();
+        let arc_of = |a: &tsg_graph::Adjacency| {
+            if !directed {
+                ArcDir::Undirected
+            } else if a.outgoing {
+                ArcDir::FromTo
+            } else {
+                ArcDir::ToFrom
+            }
+        };
+        let phi_rm = emb.map[rmost];
+
+        // Backward extensions: rightmost vertex → earlier rightmost-path
+        // vertex, via an unused database edge. With antiparallel arcs both
+        // adjacency entries produce (direction-distinct) extensions.
+        for a in g.neighbors(phi_rm) {
+            if emb.uses_edge(a.edge) {
+                continue;
+            }
+            for &v in spine {
+                if emb.map[v] == a.to {
+                    let key = DfsEdge {
+                        from: rmost,
+                        to: v,
+                        from_label: rmost_label,
+                        elabel: a.elabel,
+                        arc: arc_of(a),
+                        to_label: code.vertex_label(v).expect("path vertex is labeled"),
+                    };
+                    let mut grown = emb.clone();
+                    grown.edges.push(a.edge);
+                    out.entry(OrderedExt(key)).or_default().push(grown);
+                }
+            }
+        }
+
+        // Forward extensions: any rightmost-path vertex → a fresh vertex.
+        for &v in path.iter() {
+            let phi_v = emb.map[v];
+            for a in g.neighbors(phi_v) {
+                if emb.maps_vertex(a.to) {
+                    continue;
+                }
+                let key = DfsEdge {
+                    from: v,
+                    to: next_id,
+                    from_label: code.vertex_label(v).expect("path vertex is labeled"),
+                    elabel: a.elabel,
+                    arc: arc_of(a),
+                    to_label: g.label(a.to),
+                };
+                let mut grown = emb.clone();
+                grown.map.push(a.to);
+                grown.edges.push(a.edge);
+                out.entry(OrderedExt(key)).or_default().push(grown);
+            }
+        }
+    }
+    out
+}
+
+/// The number of distinct database graphs among `embeddings` — gSpan's
+/// support count. Embeddings are produced in ascending `gid` order, which
+/// this exploits.
+pub fn distinct_graph_count(embeddings: &[Embedding]) -> usize {
+    let mut n = 0;
+    let mut last = usize::MAX;
+    for e in embeddings {
+        debug_assert!(last == usize::MAX || e.gid >= last, "embeddings out of gid order");
+        if e.gid != last {
+            n += 1;
+            last = e.gid;
+        }
+    }
+    n
+}
+
+/// Frequency filter on seeds: keeps only extensions supported by at least
+/// `min_count` distinct graphs.
+pub fn prune_infrequent(map: &mut ExtensionMap, min_count: usize) {
+    map.retain(|_, embs| distinct_graph_count(embs) >= min_count);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsg_graph::{EdgeLabel, LabeledGraph, NodeLabel};
+
+    fn nl(v: u32) -> NodeLabel {
+        NodeLabel(v)
+    }
+    fn el(v: u32) -> EdgeLabel {
+        EdgeLabel(v)
+    }
+
+    /// The label triple of a seed key.
+    fn seed_labels(key: &OrderedExt) -> (NodeLabel, EdgeLabel, NodeLabel) {
+        (key.0.from_label, key.0.elabel, key.0.to_label)
+    }
+
+    fn path_graph(labels: &[u32]) -> LabeledGraph {
+        let mut g = LabeledGraph::with_nodes(labels.iter().map(|&x| nl(x)));
+        for i in 1..labels.len() {
+            g.add_edge(i - 1, i, el(0)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn seeds_orient_smaller_label_first() {
+        let db = GraphDatabase::from_graphs(vec![path_graph(&[2, 1])]);
+        let seeds = seed_extensions(&db);
+        assert_eq!(seeds.len(), 1);
+        let (key, embs) = seeds.iter().next().unwrap();
+        assert_eq!(seed_labels(key), (nl(1), el(0), nl(2)));
+        assert_eq!(embs.len(), 1);
+        assert_eq!(embs[0].map, vec![1, 0], "map starts at the label-1 vertex");
+    }
+
+    #[test]
+    fn equal_labels_produce_both_orientations() {
+        let db = GraphDatabase::from_graphs(vec![path_graph(&[1, 1])]);
+        let seeds = seed_extensions(&db);
+        assert_eq!(seeds.len(), 1);
+        let embs = seeds.values().next().unwrap();
+        assert_eq!(embs.len(), 2);
+    }
+
+    #[test]
+    fn forward_extension_from_rightmost_path() {
+        // DB: path 1-2-3. Code: (0,1,1,0,2). Extensions: forward (1,2,2,0,3).
+        let db = GraphDatabase::from_graphs(vec![path_graph(&[1, 2, 3])]);
+        let seeds = seed_extensions(&db);
+        let (key, embs) = seeds
+            .iter()
+            .find(|(k, _)| seed_labels(k) == (nl(1), el(0), nl(2)))
+            .unwrap();
+        let code = DfsCode::from_edges(vec![key.0]);
+        let exts = enumerate_extensions(&code, embs, &db);
+        assert_eq!(exts.len(), 1);
+        let (ek, eembs) = exts.iter().next().unwrap();
+        assert_eq!(ek.0.from, 1);
+        assert_eq!(ek.0.to, 2);
+        assert_eq!(ek.0.to_label, nl(3));
+        assert_eq!(eembs[0].map, vec![0, 1, 2]);
+        assert_eq!(eembs[0].edges.len(), 2);
+    }
+
+    #[test]
+    fn backward_extension_closes_triangle() {
+        let mut g = LabeledGraph::with_nodes([nl(1), nl(2), nl(3)]);
+        g.add_edge(0, 1, el(0)).unwrap();
+        g.add_edge(1, 2, el(0)).unwrap();
+        g.add_edge(2, 0, el(0)).unwrap();
+        let db = GraphDatabase::from_graphs(vec![g]);
+        // Grow code (0,1,1,0,2)(1,2,2,0,3); expect backward (2,0).
+        let seeds = seed_extensions(&db);
+        let (k1, e1) = seeds
+            .iter()
+            .find(|(k, _)| seed_labels(k) == (nl(1), el(0), nl(2)))
+            .unwrap();
+        let code1 = DfsCode::from_edges(vec![k1.0]);
+        let exts1 = enumerate_extensions(&code1, e1, &db);
+        let (k2, e2) = exts1
+            .iter()
+            .find(|(k, _)| k.0.to_label == nl(3) && k.0.from == 1)
+            .unwrap();
+        let mut code2 = code1.clone();
+        code2.push(k2.0);
+        let exts2 = enumerate_extensions(&code2, e2, &db);
+        let back: Vec<_> = exts2.keys().filter(|k| !k.0.is_forward()).collect();
+        assert_eq!(back.len(), 1);
+        assert_eq!((back[0].0.from, back[0].0.to), (2, 0));
+        // The backward-extended embedding reuses no edge.
+        let bembs = &exts2[back[0]];
+        assert_eq!(bembs[0].edges.len(), 3);
+    }
+
+    #[test]
+    fn used_edges_are_not_reused() {
+        // Single edge graph: after the seed, no extensions at all.
+        let db = GraphDatabase::from_graphs(vec![path_graph(&[1, 2])]);
+        let seeds = seed_extensions(&db);
+        let (k, embs) = seeds.iter().next().unwrap();
+        let code = DfsCode::from_edges(vec![k.0]);
+        assert!(enumerate_extensions(&code, embs, &db).is_empty());
+    }
+
+    #[test]
+    fn distinct_graph_count_collapses_same_gid() {
+        let mk = |gid| Embedding {
+            gid,
+            map: vec![0, 1],
+            edges: vec![0],
+        };
+        assert_eq!(distinct_graph_count(&[mk(0), mk(0), mk(2)]), 2);
+        assert_eq!(distinct_graph_count(&[]), 0);
+    }
+
+    #[test]
+    fn prune_infrequent_drops_rare_seeds() {
+        let db = GraphDatabase::from_graphs(vec![path_graph(&[1, 2]), path_graph(&[1, 2])]);
+        let mut seeds = seed_extensions(&db);
+        prune_infrequent(&mut seeds, 2);
+        assert_eq!(seeds.len(), 1);
+        prune_infrequent(&mut seeds, 3);
+        assert!(seeds.is_empty());
+    }
+}

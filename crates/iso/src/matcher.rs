@@ -1,0 +1,76 @@
+//! Label compatibility policies.
+
+use tsg_graph::NodeLabel;
+use tsg_taxonomy::Taxonomy;
+
+/// Decides whether a pattern vertex label may match a target vertex label.
+///
+/// Edge labels are always matched exactly — taxonomies in this model cover
+/// vertex labels only (paper §2 keeps edge labels out of the hierarchy
+/// "without loss of generality").
+pub trait LabelMatcher {
+    /// `true` iff a pattern vertex labeled `pattern` may map onto a target
+    /// vertex labeled `target`.
+    fn node_match(&self, pattern: NodeLabel, target: NodeLabel) -> bool;
+}
+
+/// Exact label equality — ordinary subgraph isomorphism.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactMatcher;
+
+impl LabelMatcher for ExactMatcher {
+    #[inline]
+    fn node_match(&self, pattern: NodeLabel, target: NodeLabel) -> bool {
+        pattern == target
+    }
+}
+
+/// Taxonomy-generalized matching: the pattern label must equal the target
+/// label or be one of its ancestors.
+#[derive(Clone, Copy, Debug)]
+pub struct GeneralizedMatcher<'a> {
+    taxonomy: &'a Taxonomy,
+}
+
+impl<'a> GeneralizedMatcher<'a> {
+    /// Wraps a taxonomy as a matcher.
+    pub fn new(taxonomy: &'a Taxonomy) -> Self {
+        GeneralizedMatcher { taxonomy }
+    }
+
+    /// The underlying taxonomy.
+    pub fn taxonomy(&self) -> &'a Taxonomy {
+        self.taxonomy
+    }
+}
+
+impl LabelMatcher for GeneralizedMatcher<'_> {
+    #[inline]
+    fn node_match(&self, pattern: NodeLabel, target: NodeLabel) -> bool {
+        self.taxonomy.matches_generalized(pattern, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsg_taxonomy::taxonomy_from_edges;
+
+    #[test]
+    fn exact_matcher_is_equality() {
+        let m = ExactMatcher;
+        assert!(m.node_match(NodeLabel(3), NodeLabel(3)));
+        assert!(!m.node_match(NodeLabel(3), NodeLabel(4)));
+    }
+
+    #[test]
+    fn generalized_matcher_accepts_ancestors_only_downward() {
+        let t = taxonomy_from_edges(3, [(1, 0), (2, 1)]).unwrap(); // 0 > 1 > 2
+        let m = GeneralizedMatcher::new(&t);
+        assert!(m.node_match(NodeLabel(0), NodeLabel(2)), "root matches leaf");
+        assert!(m.node_match(NodeLabel(1), NodeLabel(2)));
+        assert!(m.node_match(NodeLabel(2), NodeLabel(2)), "reflexive");
+        assert!(!m.node_match(NodeLabel(2), NodeLabel(0)), "not symmetric");
+        assert!(!m.node_match(NodeLabel(2), NodeLabel(1)));
+    }
+}

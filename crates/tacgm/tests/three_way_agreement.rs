@@ -1,0 +1,138 @@
+//! Three-way cross-validation on random inputs: TAcGM (bottom-up,
+//! level-wise), Taxogram (top-down, occurrence indices), and the
+//! brute-force reference must produce identical pattern sets.
+
+use proptest::prelude::*;
+use taxogram_core::reference::reference_mine;
+use taxogram_core::{Taxogram, TaxogramConfig};
+use tsg_graph::{EdgeLabel, GraphDatabase, LabeledGraph, NodeLabel};
+use tsg_iso::is_isomorphic;
+use tsg_tacgm::{mine, TacgmConfig};
+use tsg_taxonomy::{Taxonomy, TaxonomyBuilder};
+
+fn arb_taxonomy(max_concepts: usize) -> impl Strategy<Value = Taxonomy> {
+    (2..=max_concepts)
+        .prop_flat_map(|n| {
+            let parent_choices: Vec<_> = (1..n)
+                .map(|i| prop::collection::vec(0..i, 1..=2.min(i)))
+                .collect();
+            (Just(n), parent_choices)
+        })
+        .prop_map(|(n, parents)| {
+            let mut b = TaxonomyBuilder::with_concepts(n);
+            for (i, ps) in parents.into_iter().enumerate() {
+                let child = NodeLabel((i + 1) as u32);
+                let mut seen = vec![];
+                for p in ps {
+                    if !seen.contains(&p) {
+                        seen.push(p);
+                        b.is_a(child, NodeLabel(p as u32)).unwrap();
+                    }
+                }
+            }
+            b.build().expect("acyclic by construction")
+        })
+}
+
+fn arb_graph(concepts: usize, max_nodes: usize) -> impl Strategy<Value = LabeledGraph> {
+    (2..=max_nodes)
+        .prop_flat_map(move |n| {
+            let labels = prop::collection::vec(0..concepts, n);
+            let chain = prop::collection::vec(0..2u32, n - 1);
+            let extras = prop::collection::vec(((0..n), (0..n), 0..2u32), 0..=2);
+            (labels, chain, extras)
+        })
+        .prop_map(|(labels, chain, extras)| {
+            let mut g = LabeledGraph::with_nodes(labels.iter().map(|&l| NodeLabel(l as u32)));
+            for (i, &el) in chain.iter().enumerate() {
+                g.add_edge(i, i + 1, EdgeLabel(el)).unwrap();
+            }
+            for (u, v, el) in extras {
+                if u != v {
+                    let _ = g.add_edge(u, v, EdgeLabel(el));
+                }
+            }
+            g
+        })
+}
+
+fn arb_input() -> impl Strategy<Value = (Taxonomy, GraphDatabase)> {
+    arb_taxonomy(5).prop_flat_map(|t| {
+        let n = t.concept_count();
+        let db =
+            prop::collection::vec(arb_graph(n, 4), 2..=4).prop_map(GraphDatabase::from_graphs);
+        (Just(t), db)
+    })
+}
+
+fn assert_same_patterns(
+    label_a: &str,
+    a: &[(LabeledGraph, usize)],
+    label_b: &str,
+    b: &[(LabeledGraph, usize)],
+) -> Result<(), String> {
+    if a.len() != b.len() {
+        return Err(format!(
+            "{label_a} found {} patterns, {label_b} found {}:\n  {label_a}: {:?}\n  {label_b}: {:?}",
+            a.len(),
+            b.len(),
+            a.iter().map(|(g, s)| (g.labels().to_vec(), g.edge_count(), *s)).collect::<Vec<_>>(),
+            b.iter().map(|(g, s)| (g.labels().to_vec(), g.edge_count(), *s)).collect::<Vec<_>>(),
+        ));
+    }
+    let mut used = vec![false; b.len()];
+    for (pg, ps) in a {
+        match b.iter().enumerate().find(|(i, (qg, qs))| {
+            !used[*i] && qs == ps && is_isomorphic(pg, qg)
+        }) {
+            Some((i, _)) => used[i] = true,
+            None => {
+                return Err(format!(
+                    "{label_a} pattern {:?} (sup {ps}) missing from {label_b}",
+                    pg.labels()
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tacgm_taxogram_reference_agree(
+        (taxonomy, db) in arb_input(),
+        theta in prop::sample::select(vec![1.0f64, 0.6, 0.4]),
+    ) {
+        let max_edges = 3;
+        let reference = reference_mine(&db, &taxonomy, theta, max_edges);
+        let tac = mine(
+            &db,
+            &taxonomy,
+            &TacgmConfig::with_threshold(theta).max_edges(max_edges),
+        )
+        .expect("no memory budget set");
+        let tac_set: Vec<_> = tac
+            .patterns
+            .into_iter()
+            .map(|p| (p.graph, p.support_count))
+            .collect();
+        let tax = Taxogram::new(TaxogramConfig::with_threshold(theta).max_edges(max_edges))
+            .mine(&db, &taxonomy)
+            .unwrap();
+        let tax_set: Vec<_> = tax
+            .patterns
+            .into_iter()
+            .map(|p| (p.graph, p.support_count))
+            .collect();
+        if let Err(msg) = assert_same_patterns("tacgm", &tac_set, "reference", &reference) {
+            let dump = tsg_graph::io::write_database(&db);
+            prop_assert!(false, "θ={theta}: {msg}\ntaxonomy: {:?}\n{dump}", taxonomy.edge_list());
+        }
+        if let Err(msg) = assert_same_patterns("taxogram", &tax_set, "tacgm", &tac_set) {
+            let dump = tsg_graph::io::write_database(&db);
+            prop_assert!(false, "θ={theta}: {msg}\ntaxonomy: {:?}\n{dump}", taxonomy.edge_list());
+        }
+    }
+}

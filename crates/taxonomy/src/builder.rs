@@ -1,0 +1,156 @@
+//! Incremental construction and validation of taxonomies.
+
+use crate::{Taxonomy, TaxonomyError};
+use tsg_graph::NodeLabel;
+
+/// Builds a [`Taxonomy`] from declared concepts and is-a edges, validating
+/// acyclicity at [`TaxonomyBuilder::build`] time.
+///
+/// ```
+/// use tsg_taxonomy::TaxonomyBuilder;
+/// use tsg_graph::NodeLabel;
+///
+/// let mut b = TaxonomyBuilder::new();
+/// let animal = b.add_concept();
+/// let dog = b.add_concept();
+/// b.is_a(dog, animal).unwrap();
+/// let t = b.build().unwrap();
+/// assert!(t.is_ancestor(animal, dog));
+/// assert!(t.is_ancestor(dog, dog), "ancestorship is reflexive");
+/// assert!(!t.is_ancestor(dog, animal));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TaxonomyBuilder {
+    parents: Vec<Vec<NodeLabel>>,
+    children: Vec<Vec<NodeLabel>>,
+}
+
+impl TaxonomyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TaxonomyBuilder::default()
+    }
+
+    /// Creates a builder with `n` concepts already declared (ids `0..n`).
+    pub fn with_concepts(n: usize) -> Self {
+        TaxonomyBuilder {
+            parents: vec![Vec::new(); n],
+            children: vec![Vec::new(); n],
+        }
+    }
+
+    /// Declares a fresh concept and returns its id.
+    pub fn add_concept(&mut self) -> NodeLabel {
+        self.parents.push(Vec::new());
+        self.children.push(Vec::new());
+        NodeLabel((self.parents.len() - 1) as u32)
+    }
+
+    /// Number of concepts declared so far.
+    pub fn concept_count(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Declares `child is-a parent` (paper: an edge from `child` to
+    /// `parent`, `parent` being the ancestor).
+    ///
+    /// # Errors
+    /// Rejects unknown concepts, self-edges, and duplicate edges. Cycles are
+    /// detected later, in [`TaxonomyBuilder::build`].
+    pub fn is_a(&mut self, child: NodeLabel, parent: NodeLabel) -> Result<(), TaxonomyError> {
+        let len = self.parents.len();
+        for &c in &[child, parent] {
+            if c.index() >= len {
+                return Err(TaxonomyError::UnknownConcept { concept: c, len });
+            }
+        }
+        if child == parent {
+            return Err(TaxonomyError::SelfIsA { concept: child });
+        }
+        if self.parents[child.index()].contains(&parent) {
+            return Err(TaxonomyError::DuplicateIsA { child, parent });
+        }
+        self.parents[child.index()].push(parent);
+        self.children[parent.index()].push(child);
+        Ok(())
+    }
+
+    /// Validates and finalizes the taxonomy, computing ancestor/descendant
+    /// closures and depths.
+    ///
+    /// # Errors
+    /// Returns [`TaxonomyError::Empty`] for zero concepts and
+    /// [`TaxonomyError::Cycle`] if the is-a relation is cyclic.
+    pub fn build(self) -> Result<Taxonomy, TaxonomyError> {
+        Taxonomy::from_relations(self.parents, self.children)
+    }
+}
+
+/// Convenience: builds a taxonomy from `(child, parent)` pairs over concepts
+/// `0..n`.
+///
+/// # Errors
+/// Propagates any [`TaxonomyError`] from declaration or validation.
+pub fn taxonomy_from_edges(
+    n: usize,
+    edges: impl IntoIterator<Item = (u32, u32)>,
+) -> Result<Taxonomy, TaxonomyError> {
+    let mut b = TaxonomyBuilder::with_concepts(n);
+    for (c, p) in edges {
+        b.is_a(NodeLabel(c), NodeLabel(p))?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unknown_self_and_duplicate_edges() {
+        let mut b = TaxonomyBuilder::with_concepts(2);
+        assert_eq!(
+            b.is_a(NodeLabel(0), NodeLabel(7)),
+            Err(TaxonomyError::UnknownConcept {
+                concept: NodeLabel(7),
+                len: 2
+            })
+        );
+        assert_eq!(
+            b.is_a(NodeLabel(1), NodeLabel(1)),
+            Err(TaxonomyError::SelfIsA { concept: NodeLabel(1) })
+        );
+        b.is_a(NodeLabel(1), NodeLabel(0)).unwrap();
+        assert_eq!(
+            b.is_a(NodeLabel(1), NodeLabel(0)),
+            Err(TaxonomyError::DuplicateIsA {
+                child: NodeLabel(1),
+                parent: NodeLabel(0)
+            })
+        );
+    }
+
+    #[test]
+    fn build_detects_cycles() {
+        // 0 -> 1 -> 2 -> 0
+        let t = taxonomy_from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!(matches!(t, Err(TaxonomyError::Cycle { .. })));
+        // Two-cycle.
+        let t = taxonomy_from_edges(2, [(0, 1), (1, 0)]);
+        assert!(matches!(t, Err(TaxonomyError::Cycle { .. })));
+    }
+
+    #[test]
+    fn build_rejects_empty() {
+        assert_eq!(TaxonomyBuilder::new().build().unwrap_err(), TaxonomyError::Empty);
+    }
+
+    #[test]
+    fn dag_with_shared_child_is_fine() {
+        // Diamond: 3 is-a 1, 3 is-a 2, 1 is-a 0, 2 is-a 0.
+        let t = taxonomy_from_edges(4, [(3, 1), (3, 2), (1, 0), (2, 0)]).unwrap();
+        assert_eq!(t.concept_count(), 4);
+        assert!(t.is_ancestor(NodeLabel(0), NodeLabel(3)));
+        assert_eq!(t.roots(), &[NodeLabel(0)]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Shared fixtures modeled on the paper's running examples.
+//!
+//! Figures in the paper are images; where a figure's exact topology is not
+//! fully recoverable from the text (Figure 2.1's letter taxonomy), the
+//! fixture here preserves every relationship the text actually *uses* in
+//! Examples 2.2–2.8 and 3.1–3.8, and the tests built on these fixtures
+//! assert the properties the paper derives from them.
+
+use crate::{Taxonomy, TaxonomyBuilder};
+use tsg_graph::{EdgeLabel, GraphDatabase, LabelTable, LabeledGraph, NodeLabel};
+
+/// The Gene Ontology excerpt of Figure 1.1 plus the pathway database of
+/// Figure 1.2, with a shared label table.
+///
+/// Taxonomy (child → parent):
+///
+/// ```text
+/// Molecular Function
+/// ├── Transporter
+/// │   ├── Carrier ── Protein Carrier
+/// │   └── Cation Transp.
+/// └── Catalytic Activity
+///     └── Helicase ── DNA Helicase
+/// ```
+///
+/// Database: Pathway 1 = `Protein Carrier — DNA Helicase`,
+/// Pathway 2 = `Cation Transp. — Helicase — DNA Helicase` (chain).
+pub fn go_excerpt() -> (LabelTable, Taxonomy, GraphDatabase) {
+    let mut names = LabelTable::new();
+    let mf = names.intern("molecular function");
+    let transporter = names.intern("transporter");
+    let carrier = names.intern("carrier");
+    let cation = names.intern("cation transp.");
+    let protein_carrier = names.intern("protein carrier");
+    let catalytic = names.intern("catalytic activity");
+    let helicase = names.intern("helicase");
+    let dna_helicase = names.intern("dna helicase");
+
+    let mut b = TaxonomyBuilder::with_concepts(names.len());
+    for (c, p) in [
+        (transporter, mf),
+        (catalytic, mf),
+        (carrier, transporter),
+        (cation, transporter),
+        (protein_carrier, carrier),
+        (helicase, catalytic),
+        (dna_helicase, helicase),
+    ] {
+        b.is_a(c, p).expect("fixture edges are valid");
+    }
+    let taxonomy = b.build().expect("fixture taxonomy is acyclic");
+
+    let interaction = EdgeLabel(0);
+    let mut p1 = LabeledGraph::with_nodes([protein_carrier, dna_helicase]);
+    p1.add_edge(0, 1, interaction).unwrap();
+    let mut p2 = LabeledGraph::with_nodes([cation, helicase, dna_helicase]);
+    p2.add_edge(0, 1, interaction).unwrap();
+    p2.add_edge(1, 2, interaction).unwrap();
+
+    (names, taxonomy, GraphDatabase::from_graphs(vec![p1, p2]))
+}
+
+/// Like [`go_excerpt`], but the pathway graphs are *directed*, as drawn in
+/// the paper's Figure 1.2 (reaction order arrows). The taxonomy is
+/// identical; only the database differs.
+pub fn go_excerpt_directed() -> (LabelTable, Taxonomy, GraphDatabase) {
+    let (names, taxonomy, _) = go_excerpt();
+    let protein_carrier = names.get("protein carrier").expect("interned");
+    let dna_helicase = names.get("dna helicase").expect("interned");
+    let cation = names.get("cation transp.").expect("interned");
+    let helicase = names.get("helicase").expect("interned");
+    let interaction = EdgeLabel(0);
+    let mut p1 = LabeledGraph::with_nodes_directed([protein_carrier, dna_helicase]);
+    p1.add_edge(0, 1, interaction).unwrap();
+    let mut p2 = LabeledGraph::with_nodes_directed([cation, helicase, dna_helicase]);
+    p2.add_edge(0, 1, interaction).unwrap();
+    p2.add_edge(1, 2, interaction).unwrap();
+    (names, taxonomy, GraphDatabase::from_graphs(vec![p1, p2]))
+}
+
+/// Named handles into the [`sample_taxonomy`] fixture, mirroring the letter
+/// names of the paper's Figure 2.1.
+#[allow(missing_docs)]
+#[derive(Clone, Copy, Debug)]
+pub struct SampleConcepts {
+    pub a: NodeLabel,
+    pub b: NodeLabel,
+    pub c: NodeLabel,
+    pub d: NodeLabel,
+    pub z: NodeLabel,
+    pub f: NodeLabel,
+    pub g: NodeLabel,
+    pub h: NodeLabel,
+    pub w: NodeLabel,
+    pub k: NodeLabel,
+    pub l: NodeLabel,
+    pub m: NodeLabel,
+}
+
+/// A Figure 2.1-inspired letter taxonomy.
+///
+/// Relationships preserved from the paper's examples:
+/// * `a` is the root above `b`, `c`, and (transitively) everything the
+///   database graphs of Figures 1.4 and 2.3 use (`d`, `f`, `g`, `w`, `c`
+///   all relabel to `a` in Figure 3.1);
+/// * `b` and `c` are children of `a` (they appear as `a`'s children in the
+///   occurrence indices of Figure 3.2);
+/// * `d` is a child of `b`, `f` and `g` are children of `c`, `w` is a child
+///   of `c`, `h` is a child of `b` (so `GB: h—a` generalizes `GD: h—d`);
+/// * `k`, `l`, `m` are deeper specializations of `d`, and `g` additionally
+///   has `b` as a second parent, exercising DAG (multi-parent) handling.
+pub fn sample_taxonomy() -> (SampleConcepts, Taxonomy) {
+    let mut b = TaxonomyBuilder::new();
+    let ca = b.add_concept(); // 0: a (root)
+    let cb = b.add_concept(); // 1: b
+    let cc = b.add_concept(); // 2: c
+    let cd = b.add_concept(); // 3: d
+    let cz = b.add_concept(); // 4: z
+    let cf = b.add_concept(); // 5: f
+    let cg = b.add_concept(); // 6: g
+    let ch = b.add_concept(); // 7: h
+    let cw = b.add_concept(); // 8: w
+    let ck = b.add_concept(); // 9: k
+    let cl = b.add_concept(); // 10: l
+    let cm = b.add_concept(); // 11: m
+    for (c, p) in [
+        (cb, ca),
+        (cc, ca),
+        (cd, cb),
+        (cz, cb),
+        (ch, cb),
+        (cf, cc),
+        (cg, cc),
+        (cg, cb), // DAG: g has two parents
+        (cw, cc),
+        (ck, cd),
+        (cl, cd),
+        (cm, cd),
+    ] {
+        b.is_a(c, p).expect("fixture edges are valid");
+    }
+    let t = b.build().expect("fixture taxonomy is acyclic");
+    (
+        SampleConcepts {
+            a: ca,
+            b: cb,
+            c: cc,
+            d: cd,
+            z: cz,
+            f: cf,
+            g: cg,
+            h: ch,
+            w: cw,
+            k: ck,
+            l: cl,
+            m: cm,
+        },
+        t,
+    )
+}
+
+/// The database `D = {G1, G2, G3}` of Figure 1.4 over [`sample_taxonomy`]:
+/// `G1 = d—b`, `G2 = f—c, f—g` (path `c—f—g`), `G3 = w—c`.
+///
+/// After Step 1 relabeling every vertex becomes `a` (Figure 3.1).
+pub fn figure_1_4_database(c: &SampleConcepts) -> GraphDatabase {
+    let e0 = EdgeLabel(0);
+    let mut g1 = LabeledGraph::with_nodes([c.d, c.b]);
+    g1.add_edge(0, 1, e0).unwrap();
+    let mut g2 = LabeledGraph::with_nodes([c.f, c.c, c.g]);
+    g2.add_edge(0, 1, e0).unwrap();
+    g2.add_edge(0, 2, e0).unwrap();
+    let mut g3 = LabeledGraph::with_nodes([c.w, c.c]);
+    g3.add_edge(0, 1, e0).unwrap();
+    GraphDatabase::from_graphs(vec![g1, g2, g3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn go_excerpt_has_paper_shape() {
+        let (names, t, db) = go_excerpt();
+        assert_eq!(t.concept_count(), 8);
+        assert_eq!(t.roots().len(), 1);
+        assert_eq!(t.max_depth(), 3);
+        assert_eq!(db.len(), 2);
+        let helicase = names.get("helicase").unwrap();
+        let dna = names.get("dna helicase").unwrap();
+        assert!(t.is_ancestor(helicase, dna));
+        let transporter = names.get("transporter").unwrap();
+        let cation = names.get("cation transp.").unwrap();
+        let pc = names.get("protein carrier").unwrap();
+        assert!(t.is_ancestor(transporter, cation));
+        assert!(t.is_ancestor(transporter, pc));
+        // No *explicit* common pattern: the two pathways share no label.
+        let l1: std::collections::HashSet<_> = db[0].labels().iter().collect();
+        let l2: std::collections::HashSet<_> = db[1].labels().iter().collect();
+        assert_eq!(l1.intersection(&l2).count(), 1, "only dna helicase shared");
+    }
+
+    #[test]
+    fn directed_go_excerpt_has_arcs() {
+        let (_, _, db) = go_excerpt_directed();
+        assert!(db.iter().all(|(_, g)| g.is_directed()));
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn sample_taxonomy_relations_used_by_examples() {
+        let (c, t) = sample_taxonomy();
+        // Everything in Figure 1.4's database relabels to a.
+        for x in [c.d, c.b, c.f, c.c, c.g, c.w] {
+            assert_eq!(t.most_general_ancestor(x), Some(c.a));
+        }
+        // b and c are a's children (OIE of Figure 3.2).
+        assert!(t.children(c.a).contains(&c.b));
+        assert!(t.children(c.a).contains(&c.c));
+        // GB (h—a) generalizes GD (h—d): needs a ≥ d.
+        assert!(t.is_ancestor(c.a, c.d));
+        // DAG: g has two parents.
+        assert_eq!(t.parents(c.g).len(), 2);
+        // d has the deeper children k, l, m.
+        assert_eq!(t.children(c.d), &[c.k, c.l, c.m]);
+    }
+
+    #[test]
+    fn figure_1_4_database_shape() {
+        let (c, _) = sample_taxonomy();
+        let db = figure_1_4_database(&c);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db[0].edge_count(), 1);
+        assert_eq!(db[1].edge_count(), 2);
+        assert_eq!(db[2].edge_count(), 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! The taxonomy text parser must never panic.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn read_taxonomy_never_panics(text in ".{0,200}") {
+        let _ = tsg_taxonomy::io::read_taxonomy(&text);
+    }
+
+    #[test]
+    fn read_taxonomy_handles_recordish_garbage(
+        lines in prop::collection::vec("(c|p|q)( -?[0-9a-z#]{1,5}){0,3}", 0..12)
+    ) {
+        let text = lines.join("\n");
+        let _ = tsg_taxonomy::io::read_taxonomy(&text);
+    }
+}

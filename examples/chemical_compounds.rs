@@ -1,0 +1,66 @@
+//! Chemical substructure mining over an atom taxonomy (the paper's PTE
+//! scenario, Figure 4.8).
+//!
+//! 416 carcinogenicity-screening molecules; atoms are leaves of the
+//! Figure 4.1 taxonomy (element families over aromatic/non-aromatic atom
+//! labels), so mined fragments can generalize "this exact atom" to "any
+//! halogen" or "any carbon-family atom".
+//!
+//! ```text
+//! cargo run --release --example chemical_compounds
+//! ```
+
+use taxogram::datagen::pte_like_dataset;
+use taxogram::{Taxogram, TaxogramConfig};
+
+fn main() {
+    let pte = pte_like_dataset(2008);
+    let stats = pte.database.stats();
+    println!(
+        "PTE-like dataset: {} molecules, avg {:.1} atoms / {:.1} bonds, {} atom labels\n",
+        stats.graph_count, stats.avg_nodes, stats.avg_edges, stats.distinct_node_labels
+    );
+
+    for support in [0.6, 0.5, 0.3] {
+        let start = std::time::Instant::now();
+        let result = Taxogram::new(TaxogramConfig::with_threshold(support).max_edges(4))
+            .mine(&pte.database, &pte.taxonomy)
+            .expect("generated molecules are valid");
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        println!(
+            "support {:.0}%: {} patterns in {:.0}ms",
+            support * 100.0,
+            result.patterns.len(),
+            ms
+        );
+        // Show the five highest-support fragments as atom strings.
+        for p in result.sorted_patterns().into_iter().take(5) {
+            let atoms: Vec<&str> = p
+                .graph
+                .labels()
+                .iter()
+                .map(|&l| pte.names.name(l).unwrap_or("?"))
+                .collect();
+            let bonds: Vec<String> = p
+                .graph
+                .edges()
+                .iter()
+                .map(|e| {
+                    let bond = ["-", "=", "#", "~"][e.label.index().min(3)];
+                    format!("{}{}{}", atoms[e.u], bond, atoms[e.v])
+                })
+                .collect();
+            println!(
+                "    {:>5.1}%  {}",
+                p.support * 100.0,
+                bonds.join("  ")
+            );
+        }
+        println!();
+    }
+    println!(
+        "(Paper Figure 4.8: \"both the running time and the number of patterns \
+         quickly increases even at relatively high support thresholds\" — most \
+         compounds are built from C, H, and O, so shared fragments abound.)"
+    );
+}

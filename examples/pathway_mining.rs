@@ -1,0 +1,53 @@
+//! Comparative genomics: mine conserved pathway fragments across
+//! organisms (the paper's Table 2 scenario).
+//!
+//! For each KEGG-like metabolic pathway, 30 prokaryotic "organisms" each
+//! contribute an annotation graph; Taxogram finds the annotation
+//! structures conserved in ≥ 20% of organisms, and the pattern count
+//! ranks pathways by conservation ("the higher the number of patterns,
+//! [the] more conserved the pathway is through the lineage").
+//!
+//! ```text
+//! cargo run --release --example pathway_mining
+//! ```
+
+use taxogram::datagen::{go_like_taxonomy_scaled, pathway_corpus};
+use taxogram::{Taxogram, TaxogramConfig};
+
+fn main() {
+    let taxonomy = go_like_taxonomy_scaled(800);
+    let organisms = 30;
+    let corpus = pathway_corpus(&taxonomy, organisms, 0xEDB7);
+    println!(
+        "Mining {} pathways x {} organisms at support 0.2 …\n",
+        corpus.len(),
+        organisms
+    );
+
+    let mut ranked: Vec<(&str, usize, f64)> = Vec::new();
+    for ds in &corpus {
+        let start = std::time::Instant::now();
+        let result = Taxogram::new(TaxogramConfig::with_threshold(0.2).max_edges(8))
+            .mine(&ds.database, &taxonomy)
+            .expect("generated pathways are valid");
+        let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+        ranked.push((ds.spec.name, result.patterns.len(), elapsed));
+    }
+    ranked.sort_by_key(|r| std::cmp::Reverse(r.1));
+
+    println!("{:<48} {:>9} {:>10}", "Pathway", "patterns", "time");
+    println!("{}", "-".repeat(70));
+    for (name, patterns, ms) in &ranked {
+        println!("{name:<48} {patterns:>9} {ms:>8.1}ms");
+    }
+
+    let (most, _, _) = ranked[0];
+    let (least, _, _) = ranked[ranked.len() - 1];
+    println!("\nMost conserved pathway:  {most}");
+    println!("Least conserved pathway: {least}");
+    println!(
+        "\n(The paper's corresponding observation: \"Nitrogen metabolism and \
+         Biosynthesis of Steroids are the top most conserved pathways for \
+         bacterial organisms.\")"
+    );
+}

@@ -1,0 +1,114 @@
+//! A non-biology scenario: co-purchase graphs over a product-category
+//! taxonomy.
+//!
+//! Taxonomy-based mining predates graphs (generalized association rules,
+//! Srikant & Agrawal, VLDB'95 — the paper's §5); superimposing the
+//! category tree on co-purchase *graphs* finds structural patterns like
+//! "an audio product bridging two accessory purchases" that no exact-label
+//! miner can see. This example also demonstrates building a taxonomy and
+//! database by hand and round-tripping the database through the text
+//! format.
+//!
+//! ```text
+//! cargo run --example product_categories
+//! ```
+
+use taxogram::graph::{io, EdgeLabel, GraphDatabase, LabelTable, LabeledGraph, NodeLabel};
+use taxogram::taxonomy::TaxonomyBuilder;
+use taxogram::{Taxogram, TaxogramConfig};
+
+fn main() {
+    // Build the category taxonomy.
+    let mut names = LabelTable::new();
+    let mut b = TaxonomyBuilder::new();
+    let concept = |names: &mut LabelTable, b: &mut TaxonomyBuilder, n: &str| {
+        let l = names.intern(n);
+        let c = b.add_concept();
+        assert_eq!(l, c);
+        l
+    };
+    let electronics = concept(&mut names, &mut b, "electronics");
+    let audio = concept(&mut names, &mut b, "audio");
+    let headphones = concept(&mut names, &mut b, "headphones");
+    let speakers = concept(&mut names, &mut b, "speakers");
+    let computers = concept(&mut names, &mut b, "computers");
+    let laptop = concept(&mut names, &mut b, "laptop");
+    let tablet = concept(&mut names, &mut b, "tablet");
+    let accessories = concept(&mut names, &mut b, "accessories");
+    let cable = concept(&mut names, &mut b, "cable");
+    let case_ = concept(&mut names, &mut b, "case");
+    for (c, p) in [
+        (audio, electronics),
+        (computers, electronics),
+        (accessories, electronics),
+        (headphones, audio),
+        (speakers, audio),
+        (laptop, computers),
+        (tablet, computers),
+        (cable, accessories),
+        (case_, accessories),
+    ] {
+        b.is_a(c, p).unwrap();
+    }
+    let taxonomy = b.build().unwrap();
+
+    // Co-purchase graphs: nodes are items (labeled by category), edges are
+    // "bought together in one session".
+    let together = EdgeLabel(0);
+    let session = |items: &[NodeLabel], links: &[(usize, usize)]| {
+        let mut g = LabeledGraph::with_nodes(items.iter().copied());
+        for &(u, v) in links {
+            g.add_edge(u, v, together).unwrap();
+        }
+        g
+    };
+    let db = GraphDatabase::from_graphs(vec![
+        session(&[laptop, cable, headphones], &[(0, 1), (0, 2)]),
+        session(&[tablet, case_, speakers], &[(0, 1), (0, 2)]),
+        session(&[laptop, case_, headphones], &[(0, 1), (0, 2)]),
+        session(&[tablet, cable], &[(0, 1)]),
+    ]);
+
+    // Round-trip through the text format, as a persistence demo.
+    let text = io::write_database(&db);
+    let db = io::read_database(&text).expect("round-trip");
+    println!("Mining {} co-purchase sessions…\n", db.len());
+
+    let result = Taxogram::new(TaxogramConfig::with_threshold(0.75))
+        .mine(&db, &taxonomy)
+        .unwrap();
+    println!("Patterns at support ≥ 0.75 (minimal, complete):");
+    for p in result.sorted_patterns() {
+        let labels: Vec<&str> = p
+            .graph
+            .labels()
+            .iter()
+            .map(|&l| names.name(l).unwrap_or("?"))
+            .collect();
+        println!(
+            "  {:?} ({} edges) — support {:.2}",
+            labels,
+            p.graph.edge_count(),
+            p.support
+        );
+    }
+    // The star "computer — accessory + computer — audio" is implicit: no
+    // single concrete triple repeats across sessions, but the generalized
+    // one covers sessions 1–3.
+    let star = {
+        let mut g = LabeledGraph::with_nodes([computers, accessories, audio]);
+        g.add_edge(0, 1, together).unwrap();
+        g.add_edge(0, 2, together).unwrap();
+        g
+    };
+    match result.find_isomorphic(&star) {
+        Some(p) => println!(
+            "\nFound the implicit star computers—(accessories, audio) at support {:.2}.",
+            p.support
+        ),
+        None => println!(
+            "\nThe computers—(accessories, audio) star was over-generalized by a \
+             more specific equal-support pattern — inspect the list above."
+        ),
+    }
+}

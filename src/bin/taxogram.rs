@@ -1,0 +1,7 @@
+//! The `taxogram` CLI binary; see [`taxogram::cli`] for commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = taxogram::cli::run(&args, &mut std::io::stdout());
+    std::process::exit(code);
+}

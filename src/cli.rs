@@ -1,0 +1,482 @@
+//! The `taxogram` command-line interface.
+//!
+//! Three subcommands, all file-driven (formats documented in
+//! [`tsg_graph::io`] and [`tsg_taxonomy::io`]):
+//!
+//! ```text
+//! taxogram mine --taxonomy t.txt --database d.txt --support 0.2
+//!               [--max-edges N] [--baseline] [--algorithm taxogram|tacgm]
+//! taxogram stats --database d.txt
+//! taxogram generate --dataset D1000 --scale 0.05 --out DIR
+//! ```
+//!
+//! The logic lives here (unit-testable, writes to any `io::Write`); the
+//! binary in `src/bin/taxogram.rs` is a thin wrapper.
+
+use std::io::Write;
+use tsg_graph::{DatabaseStats, GraphDatabase, LabelTable};
+use tsg_taxonomy::Taxonomy;
+
+/// A fatal CLI error with an exit-worthy message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Minimal flag parser: `--flag value` pairs plus a leading subcommand.
+pub struct Args {
+    subcommand: String,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    /// Fails on a missing subcommand or a flag without a value.
+    pub fn parse(raw: &[String]) -> Result<Args, CliError> {
+        let subcommand = raw
+            .first()
+            .ok_or_else(|| err(USAGE))?
+            .clone();
+        let mut flags = Vec::new();
+        let mut i = 1;
+        while i < raw.len() {
+            let name = raw[i]
+                .strip_prefix("--")
+                .ok_or_else(|| err(format!("expected --flag, got {:?}", raw[i])))?;
+            let value = raw
+                .get(i + 1)
+                .ok_or_else(|| err(format!("--{name} needs a value")))?;
+            flags.push((name.to_owned(), value.clone()));
+            i += 2;
+        }
+        Ok(Args { subcommand, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| err(format!("missing required flag --{name}")))
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: taxogram <mine|stats|generate> [flags]
+  mine      --taxonomy FILE --database FILE --support θ
+            [--max-edges N] [--baseline true] [--algorithm taxogram|tacgm]
+            [--threads N] [--partitions N] [--dot-dir DIR]
+            [--filter closed|maximal|interesting:R]
+  stats     --database FILE
+  generate  --dataset ID --out DIR [--scale S]   (ID per Table 1, e.g. D1000, NC20, TD8, PTE)";
+
+/// Runs the CLI against the given output stream. Returns the process exit
+/// code.
+pub fn run(raw: &[String], out: &mut dyn Write) -> i32 {
+    match dispatch(raw, out) {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            2
+        }
+    }
+}
+
+fn dispatch(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    match args.subcommand.as_str() {
+        "mine" => mine(&args, out),
+        "stats" => stats(&args, out),
+        "generate" => generate(&args, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(err(format!("unknown subcommand {other:?}\n{USAGE}"))),
+    }
+}
+
+fn load_inputs(args: &Args) -> Result<(LabelTable, Taxonomy, GraphDatabase), CliError> {
+    let tax_text = std::fs::read_to_string(args.require("taxonomy")?)?;
+    let (names, taxonomy) =
+        tsg_taxonomy::io::read_taxonomy(&tax_text).map_err(|e| err(e.to_string()))?;
+    let db_text = std::fs::read_to_string(args.require("database")?)?;
+    let db = tsg_graph::io::read_database(&db_text).map_err(|e| err(e.to_string()))?;
+    Ok((names, taxonomy, db))
+}
+
+fn mine(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let (names, taxonomy, db) = load_inputs(args)?;
+    let theta: f64 = args
+        .require("support")?
+        .parse()
+        .map_err(|_| err("--support must be a number in [0, 1]"))?;
+    let max_edges: Option<usize> = match args.get("max-edges") {
+        Some(s) => Some(s.parse().map_err(|_| err("--max-edges must be an integer"))?),
+        None => None,
+    };
+    let algorithm = args.get("algorithm").unwrap_or("taxogram");
+    let name_of = |l: tsg_graph::NodeLabel| {
+        names
+            .name(l)
+            .map(str::to_owned)
+            .unwrap_or_else(|| l.to_string())
+    };
+    let threads: usize = match args.get("threads") {
+        Some(s) => s.parse().map_err(|_| err("--threads must be an integer"))?,
+        None => 1,
+    };
+    let partitions: usize = match args.get("partitions") {
+        Some(s) => s.parse().map_err(|_| err("--partitions must be an integer"))?,
+        None => 1,
+    };
+    let started = std::time::Instant::now();
+    let printed = match algorithm {
+        "taxogram" => {
+            let mut cfg = if args.get("baseline") == Some("true") {
+                taxogram_core::TaxogramConfig::baseline(theta)
+            } else {
+                taxogram_core::TaxogramConfig::with_threshold(theta)
+            };
+            cfg.max_edges = max_edges;
+            if partitions > 1 {
+                // Two-pass partitioned ("disk-based") mining.
+                let parts = taxogram_core::son::partition(&db, partitions);
+                let r = taxogram_core::son::mine_partitioned(&cfg, &parts, &taxonomy)
+                    .map_err(|e| err(e.to_string()))?;
+                for p in &r.patterns {
+                    print_pattern(out, &p.graph, p.support_count, db.len(), &name_of)?;
+                }
+                writeln!(
+                    out,
+                    "# {} patterns from {} partitions ({} candidates)",
+                    r.patterns.len(),
+                    r.stats.partitions,
+                    r.stats.candidates
+                )?;
+                r.patterns.len()
+            } else {
+                let r = taxogram_core::mine_parallel(&cfg, &db, &taxonomy, threads)
+                    .map_err(|e| err(e.to_string()))?;
+                // Optional post-filters on the minimal pattern set.
+                let selected: Vec<&taxogram_core::Pattern> = match args.get("filter") {
+                    None => r.sorted_patterns(),
+                    Some("closed") => {
+                        taxogram_core::postprocess::closed_patterns(&r.patterns, &taxonomy)
+                    }
+                    Some("maximal") => {
+                        taxogram_core::postprocess::maximal_patterns(&r.patterns, &taxonomy)
+                    }
+                    Some(f) => {
+                        let factor: f64 = f
+                            .strip_prefix("interesting:")
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| {
+                                err("--filter must be closed, maximal, or interesting:R")
+                            })?;
+                        taxogram_core::interest::r_interesting(&r.patterns, &db, &taxonomy, factor)
+                            .into_iter()
+                            .map(|(p, _)| p)
+                            .collect()
+                    }
+                };
+                if let Some(dir) = args.get("dot-dir") {
+                    let dir = std::path::Path::new(dir);
+                    std::fs::create_dir_all(dir)?;
+                    for (i, p) in selected.iter().enumerate().take(100) {
+                        let dot = tsg_graph::dot::to_dot(&p.graph, &format!("pattern_{i}"), Some(&names));
+                        std::fs::write(dir.join(format!("pattern_{i:03}.dot")), dot)?;
+                    }
+                }
+                for p in &selected {
+                    print_pattern(out, &p.graph, p.support_count, db.len(), &name_of)?;
+                }
+                writeln!(
+                    out,
+                    "# {} of {} patterns after filter, {} classes, {} occurrence-index updates",
+                    selected.len(),
+                    r.patterns.len(),
+                    r.stats.classes,
+                    r.stats.oi_updates
+                )?;
+                selected.len()
+            }
+        }
+        "tacgm" => {
+            let mut cfg = tsg_tacgm::TacgmConfig::with_threshold(theta);
+            cfg.max_edges = max_edges;
+            let r = tsg_tacgm::mine(&db, &taxonomy, &cfg).map_err(|e| err(e.to_string()))?;
+            for p in &r.patterns {
+                print_pattern(out, &p.graph, p.support_count, db.len(), &name_of)?;
+            }
+            writeln!(
+                out,
+                "# {} patterns, {} candidates generated",
+                r.patterns.len(),
+                r.stats.candidates
+            )?;
+            r.patterns.len()
+        }
+        other => return Err(err(format!("unknown --algorithm {other:?}"))),
+    };
+    writeln!(
+        out,
+        "# mined {} patterns in {:.1}ms",
+        printed,
+        started.elapsed().as_secs_f64() * 1000.0
+    )?;
+    Ok(())
+}
+
+fn print_pattern(
+    out: &mut dyn Write,
+    g: &tsg_graph::LabeledGraph,
+    support_count: usize,
+    db_len: usize,
+    name_of: &dyn Fn(tsg_graph::NodeLabel) -> String,
+) -> Result<(), CliError> {
+    let nodes: Vec<String> = g.labels().iter().map(|&l| name_of(l)).collect();
+    let edges: Vec<String> = g
+        .edges()
+        .iter()
+        .map(|e| format!("{}-{}({})", e.u, e.v, e.label))
+        .collect();
+    writeln!(
+        out,
+        "{:.3}  [{}]  {}",
+        support_count as f64 / db_len as f64,
+        nodes.join(", "),
+        edges.join(" ")
+    )?;
+    Ok(())
+}
+
+fn stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let db_text = std::fs::read_to_string(args.require("database")?)?;
+    let db = tsg_graph::io::read_database(&db_text).map_err(|e| err(e.to_string()))?;
+    let s = db.stats();
+    writeln!(out, "{}", DatabaseStats::table_header())?;
+    writeln!(out, "{}", s.table_row("-"))?;
+    Ok(())
+}
+
+fn generate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let id = parse_dataset_id(args.require("dataset")?)?;
+    let scale: f64 = args
+        .get("scale")
+        .unwrap_or("0.05")
+        .parse()
+        .map_err(|_| err("--scale must be a number in (0, 1]"))?;
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(err("--scale must be in (0, 1]"));
+    }
+    let dir = std::path::Path::new(args.require("out")?);
+    std::fs::create_dir_all(dir)?;
+    let ds = tsg_datagen::registry::build(id, scale);
+    std::fs::write(
+        dir.join("taxonomy.txt"),
+        tsg_taxonomy::io::write_taxonomy(&ds.taxonomy, None),
+    )?;
+    std::fs::write(
+        dir.join("database.txt"),
+        tsg_graph::io::write_database(&ds.database),
+    )?;
+    let s = ds.database.stats();
+    writeln!(
+        out,
+        "wrote {} ({} graphs, {} concepts) to {}",
+        id,
+        s.graph_count,
+        ds.taxonomy.present_count(),
+        dir.display()
+    )?;
+    Ok(())
+}
+
+/// Parses a Table 1 dataset id like `D1000`, `NC20`, `ED09`, `TD8`,
+/// `TS400`, `PTE`.
+pub fn parse_dataset_id(s: &str) -> Result<tsg_datagen::registry::DatasetId, CliError> {
+    use tsg_datagen::registry::DatasetId;
+    let bad = || err(format!("unknown dataset id {s:?} (see Table 1: D1000…D5000, NC10…NC40, ED06…ED11, TD5…TD15, TS25…TS3200, PTE)"));
+    if s == "PTE" {
+        return Ok(DatasetId::PTE);
+    }
+    if let Some(rest) = s.strip_prefix("NC") {
+        return rest.parse().map(DatasetId::NC).map_err(|_| bad());
+    }
+    if let Some(rest) = s.strip_prefix("ED") {
+        let pct: u32 = rest.parse().map_err(|_| bad())?;
+        return Ok(DatasetId::ED(pct as f64 / 100.0));
+    }
+    if let Some(rest) = s.strip_prefix("TD") {
+        return rest.parse().map(DatasetId::TD).map_err(|_| bad());
+    }
+    if let Some(rest) = s.strip_prefix("TS") {
+        return rest.parse().map(DatasetId::TS).map_err(|_| bad());
+    }
+    if let Some(rest) = s.strip_prefix("D") {
+        return rest.parse().map(DatasetId::D).map_err(|_| bad());
+    }
+    Err(bad())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(args: &[&str]) -> (i32, String) {
+        let raw: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let code = run(&raw, &mut buf);
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_capture(&["help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("usage"));
+    }
+
+    #[test]
+    fn unknown_subcommand_fails() {
+        let (code, out) = run_capture(&["frobnicate"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn missing_flags_fail() {
+        let (code, out) = run_capture(&["mine", "--support", "0.5"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("--taxonomy"));
+        let (code, _) = run_capture(&["mine", "--support"]);
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn parse_dataset_ids() {
+        use tsg_datagen::registry::DatasetId;
+        assert_eq!(parse_dataset_id("D1000").unwrap(), DatasetId::D(1000));
+        assert_eq!(parse_dataset_id("NC20").unwrap(), DatasetId::NC(20));
+        assert_eq!(parse_dataset_id("ED09").unwrap(), DatasetId::ED(0.09));
+        assert_eq!(parse_dataset_id("TD8").unwrap(), DatasetId::TD(8));
+        assert_eq!(parse_dataset_id("TS400").unwrap(), DatasetId::TS(400));
+        assert_eq!(parse_dataset_id("PTE").unwrap(), DatasetId::PTE);
+        assert!(parse_dataset_id("X9").is_err());
+        assert!(parse_dataset_id("Dxx").is_err());
+    }
+
+    #[test]
+    fn generate_stats_mine_round_trip() {
+        let dir = std::env::temp_dir().join(format!("taxogram-cli-test-{}", std::process::id()));
+        let dirs = dir.to_string_lossy().to_string();
+        let (code, out) = run_capture(&[
+            "generate", "--dataset", "TS25", "--scale", "0.01", "--out", &dirs,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("wrote TS25"));
+        let taxf = dir.join("taxonomy.txt").to_string_lossy().to_string();
+        let dbf = dir.join("database.txt").to_string_lossy().to_string();
+
+        let (code, out) = run_capture(&["stats", "--database", &dbf]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("Graphs"));
+
+        let (code, out) = run_capture(&[
+            "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+            "--max-edges", "3",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("# mined"), "{out}");
+
+        let (code, out) = run_capture(&[
+            "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+            "--max-edges", "3", "--algorithm", "tacgm",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("candidates generated"), "{out}");
+
+        // Parallel and partitioned modes produce the same pattern count.
+        let (code, serial_out) = run_capture(&[
+            "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+            "--max-edges", "3",
+        ]);
+        assert_eq!(code, 0);
+        let (code, par_out) = run_capture(&[
+            "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+            "--max-edges", "3", "--threads", "4",
+        ]);
+        assert_eq!(code, 0);
+        let count = |s: &str| s.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(count(&serial_out), count(&par_out));
+        let (code, son_out) = run_capture(&[
+            "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+            "--max-edges", "3", "--partitions", "3",
+        ]);
+        assert_eq!(code, 0, "{son_out}");
+        assert!(son_out.contains("partitions"), "{son_out}");
+        assert_eq!(count(&serial_out), count(&son_out), "same pattern count either way");
+
+        // DOT export writes pattern files.
+        let dotdir = dir.join("dots").to_string_lossy().to_string();
+        let (code, _) = run_capture(&[
+            "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+            "--max-edges", "3", "--dot-dir", &dotdir,
+        ]);
+        assert_eq!(code, 0);
+        let wrote = std::fs::read_dir(&dotdir).unwrap().count();
+        assert!(wrote > 0, "dot files written");
+
+        // Post-filters never grow the set and parse their arguments.
+        for filter in ["closed", "maximal", "interesting:1.0"] {
+            let (code, fout) = run_capture(&[
+                "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+                "--max-edges", "3", "--filter", filter,
+            ]);
+            assert_eq!(code, 0, "{fout}");
+            assert!(fout.contains("after filter"), "{fout}");
+            assert!(count(&fout) <= count(&serial_out), "{filter} filtered up?");
+        }
+        let (code, fout) = run_capture(&[
+            "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+            "--max-edges", "3", "--filter", "bogus",
+        ]);
+        assert_eq!(code, 2);
+        assert!(fout.contains("--filter"), "{fout}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mine_rejects_bad_support() {
+        let (code, out) = run_capture(&[
+            "mine", "--taxonomy", "/nonexistent", "--database", "/nonexistent",
+            "--support", "abc",
+        ]);
+        assert_eq!(code, 2);
+        assert!(!out.is_empty());
+    }
+}

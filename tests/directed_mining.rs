@@ -1,0 +1,127 @@
+//! Facade-level tests of directed taxonomy-superimposed mining — the
+//! capability §2 of the paper defines but its evaluation could not
+//! exercise.
+
+use taxogram::datagen::{generate_database, generate_taxonomy, GraphGenConfig, SynthTaxonomyConfig};
+use taxogram::graph::{EdgeLabel, GraphDatabase, LabeledGraph};
+use taxogram::iso::{contains_subgraph, GeneralizedMatcher};
+use taxogram::taxonomy::samples;
+use taxogram::{Taxogram, TaxogramConfig};
+
+#[test]
+fn figure_1_2_directed_scenario() {
+    let (names, taxonomy, db) = samples::go_excerpt_directed();
+    let result = Taxogram::new(TaxogramConfig::with_threshold(1.0))
+        .mine(&db, &taxonomy)
+        .unwrap();
+    assert!(!result.patterns.is_empty());
+    for p in &result.patterns {
+        assert!(p.graph.is_directed());
+    }
+    // Transporter → Helicase is conserved; the reverse arc is not.
+    let transporter = names.get("transporter").unwrap();
+    let helicase = names.get("helicase").unwrap();
+    let arc = |a, b| {
+        let mut g = LabeledGraph::with_nodes_directed([a, b]);
+        g.add_edge(0, 1, EdgeLabel(0)).unwrap();
+        g
+    };
+    assert!(result.find_isomorphic(&arc(transporter, helicase)).is_some());
+    assert!(result.find_isomorphic(&arc(helicase, transporter)).is_none());
+}
+
+#[test]
+fn directed_supports_recount_exactly() {
+    let taxonomy = generate_taxonomy(&SynthTaxonomyConfig {
+        concepts: 40,
+        relationships: 48,
+        depth: 4,
+        seed: 21,
+    });
+    let db = generate_database(
+        &taxonomy,
+        &GraphGenConfig {
+            graph_count: 25,
+            max_edges: 8,
+            directed: true,
+            seed: 22,
+            ..Default::default()
+        },
+    );
+    assert!(db.iter().all(|(_, g)| g.is_directed()));
+    let result = Taxogram::new(TaxogramConfig::with_threshold(0.3).max_edges(3))
+        .mine(&db, &taxonomy)
+        .unwrap();
+    let matcher = GeneralizedMatcher::new(&taxonomy);
+    for p in &result.patterns {
+        let recount = db
+            .iter()
+            .filter(|(_, g)| contains_subgraph(&p.graph, g, &matcher))
+            .count();
+        assert_eq!(recount, p.support_count, "{:?}", p.graph.labels());
+    }
+}
+
+#[test]
+fn direction_never_increases_the_pattern_set() {
+    // The same structural data mined directed vs undirected: every
+    // directed pattern's undirected projection is frequent in the
+    // undirected view, so the undirected run finds at least as many
+    // support-compatible shapes. (Projection collapses antiparallel arcs,
+    // so we compare conservatively: counts of 1-edge patterns.)
+    let taxonomy = generate_taxonomy(&SynthTaxonomyConfig {
+        concepts: 30,
+        relationships: 35,
+        depth: 3,
+        seed: 31,
+    });
+    let directed_db = generate_database(
+        &taxonomy,
+        &GraphGenConfig {
+            graph_count: 20,
+            max_edges: 6,
+            directed: true,
+            seed: 32,
+            ..Default::default()
+        },
+    );
+    // Undirected projection of the same database.
+    let undirected_db = GraphDatabase::from_graphs(
+        directed_db
+            .graphs()
+            .iter()
+            .map(|g| {
+                let mut u = LabeledGraph::with_nodes(g.labels().iter().copied());
+                for e in g.edges() {
+                    let _ = u.add_edge(e.u, e.v, e.label);
+                }
+                u
+            })
+            .collect(),
+    );
+    let mine = |db: &GraphDatabase| {
+        Taxogram::new(TaxogramConfig::with_threshold(0.4).max_edges(1))
+            .mine(db, &taxonomy)
+            .unwrap()
+    };
+    let dir = mine(&directed_db);
+    let und = mine(&undirected_db);
+    // Every directed 1-edge pattern projects onto a frequent undirected
+    // edge pattern with at-least-equal support.
+    let m = GeneralizedMatcher::new(&taxonomy);
+    for p in &dir.patterns {
+        let mut proj = LabeledGraph::with_nodes(p.graph.labels().iter().copied());
+        for e in p.graph.edges() {
+            let _ = proj.add_edge(e.u, e.v, e.label);
+        }
+        let undirected_support = undirected_db
+            .iter()
+            .filter(|(_, g)| contains_subgraph(&proj, g, &m))
+            .count();
+        assert!(
+            undirected_support >= p.support_count,
+            "projection cannot lose support"
+        );
+    }
+    let _ = und;
+}

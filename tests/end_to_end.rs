@@ -1,0 +1,163 @@
+//! End-to-end pipeline tests through the facade crate: every dataset
+//! family of the paper's Table 1, generated small, mined, and checked
+//! against first-principles invariants (frequency, minimality, and
+//! support recounts via direct generalized-isomorphism tests).
+
+use taxogram::datagen::registry::{build, DatasetId};
+use taxogram::iso::{contains_subgraph, is_gen_iso, is_isomorphic, GeneralizedMatcher};
+use taxogram::{Taxogram, TaxogramConfig};
+
+const TINY: f64 = 0.01;
+
+fn check_dataset(id: DatasetId, theta: f64, max_edges: usize) {
+    let ds = build(id, TINY);
+    let result = Taxogram::new(TaxogramConfig::with_threshold(theta).max_edges(max_edges))
+        .mine(&ds.database, &ds.taxonomy)
+        .unwrap_or_else(|e| panic!("{id:?}: {e}"));
+    let minsup = ds.database.min_support_count(theta);
+    let matcher = GeneralizedMatcher::new(&ds.taxonomy);
+
+    for p in &result.patterns {
+        // Structural sanity.
+        assert!(p.graph.is_connected(), "{id:?}: disconnected pattern");
+        assert!(p.graph.edge_count() >= 1 && p.graph.edge_count() <= max_edges);
+        for &l in p.graph.labels() {
+            assert!(ds.taxonomy.contains(l), "{id:?}: label outside taxonomy");
+        }
+        // Support recount from first principles.
+        let recount = ds
+            .database
+            .iter()
+            .filter(|(_, g)| contains_subgraph(&p.graph, g, &matcher))
+            .count();
+        assert_eq!(
+            recount, p.support_count,
+            "{id:?}: support mismatch for {:?}",
+            p.graph.labels()
+        );
+        assert!(recount >= minsup, "{id:?}: infrequent pattern emitted");
+    }
+
+    // Minimality: no pattern generalizes an equally-supported companion.
+    for p in &result.patterns {
+        for q in &result.patterns {
+            if std::ptr::eq(p, q)
+                || p.support_count != q.support_count
+                || p.graph.node_count() != q.graph.node_count()
+                || p.graph.edge_count() != q.graph.edge_count()
+            {
+                continue;
+            }
+            assert!(
+                !is_gen_iso(&p.graph, &q.graph, &ds.taxonomy)
+                    || is_isomorphic(&p.graph, &q.graph),
+                "{id:?}: over-generalized pattern {:?} survived",
+                p.graph.labels()
+            );
+        }
+    }
+
+    // No duplicates.
+    for (i, p) in result.patterns.iter().enumerate() {
+        for q in &result.patterns[i + 1..] {
+            assert!(
+                !is_isomorphic(&p.graph, &q.graph),
+                "{id:?}: duplicate pattern {:?}",
+                p.graph.labels()
+            );
+        }
+    }
+}
+
+#[test]
+fn d_family_end_to_end() {
+    check_dataset(DatasetId::D(1000), 0.3, 3);
+}
+
+#[test]
+fn nc_family_end_to_end() {
+    check_dataset(DatasetId::NC(20), 0.3, 3);
+}
+
+#[test]
+fn ed_family_end_to_end() {
+    check_dataset(DatasetId::ED(0.09), 0.3, 3);
+}
+
+#[test]
+fn td_family_end_to_end() {
+    check_dataset(DatasetId::TD(8), 0.3, 3);
+}
+
+#[test]
+fn ts_family_end_to_end() {
+    check_dataset(DatasetId::TS(100), 0.3, 3);
+}
+
+#[test]
+fn pathway_corpus_end_to_end() {
+    use taxogram::datagen::{go_like_taxonomy_scaled, pathway_database, PATHWAYS};
+    let taxonomy = go_like_taxonomy_scaled(400);
+    let db = pathway_database(&taxonomy, &PATHWAYS[20], 10, 7); // beta-Alanine
+    let result = Taxogram::new(TaxogramConfig::with_threshold(0.3).max_edges(4))
+        .mine(&db, &taxonomy)
+        .unwrap();
+    let matcher = GeneralizedMatcher::new(&taxonomy);
+    for p in &result.patterns {
+        let recount = db
+            .iter()
+            .filter(|(_, g)| contains_subgraph(&p.graph, g, &matcher))
+            .count();
+        assert_eq!(recount, p.support_count);
+    }
+    assert!(
+        !result.patterns.is_empty(),
+        "a conserved pathway must yield patterns"
+    );
+}
+
+#[test]
+fn pte_subset_end_to_end() {
+    // Full PTE is 416 graphs; a 40-molecule slice keeps the recount oracle
+    // affordable while exercising the real atom taxonomy.
+    let pte = taxogram::datagen::pte_like_dataset(2008);
+    let db = taxogram::graph::GraphDatabase::from_graphs(
+        pte.database.graphs()[..40].to_vec(),
+    );
+    let result = Taxogram::new(TaxogramConfig::with_threshold(0.5).max_edges(2))
+        .mine(&db, &pte.taxonomy)
+        .unwrap();
+    assert!(!result.patterns.is_empty(), "C/H/O fragments abound");
+    let matcher = GeneralizedMatcher::new(&pte.taxonomy);
+    for p in &result.patterns {
+        let recount = db
+            .iter()
+            .filter(|(_, g)| contains_subgraph(&p.graph, g, &matcher))
+            .count();
+        assert_eq!(recount, p.support_count);
+    }
+}
+
+#[test]
+fn taxogram_and_tacgm_agree_on_registry_data() {
+    let ds = build(DatasetId::TS(25), TINY);
+    let theta = 0.4;
+    let tax = Taxogram::new(TaxogramConfig::with_threshold(theta).max_edges(3))
+        .mine(&ds.database, &ds.taxonomy)
+        .unwrap();
+    let tac = taxogram::tacgm::mine(
+        &ds.database,
+        &ds.taxonomy,
+        &taxogram::tacgm::TacgmConfig::with_threshold(theta).max_edges(3),
+    )
+    .unwrap();
+    assert_eq!(tax.patterns.len(), tac.patterns.len());
+    for p in &tax.patterns {
+        let hit = tac
+            .patterns
+            .iter()
+            .find(|q| is_isomorphic(&p.graph, &q.graph))
+            .unwrap_or_else(|| panic!("tacgm missing {:?}", p.graph.labels()));
+        assert_eq!(p.support_count, hit.support_count);
+    }
+}
