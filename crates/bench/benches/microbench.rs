@@ -4,7 +4,11 @@
 //!   versus sorted sparse vectors, across set densities;
 //! * generalized vs exact subgraph isomorphism cost (the paper's claim
 //!   that generalized matching is "at least as hard");
-//! * occurrence-index construction cost per embedding.
+//! * occurrence-index construction cost per embedding;
+//! * fused intersection kernels vs their materialize-then-count
+//!   equivalents (DESIGN.md §8);
+//! * the collect-all barrier engine vs the streaming pipelined engine at
+//!   equal thread counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tsg_bitset::{BitSet, SparseBitSet};
@@ -118,5 +122,76 @@ fn pipeline_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(micro, occset_representation, iso_cost, pipeline_overhead);
+/// The fused sparse∩dense kernels against materialize-then-count, and
+/// galloping vs linear sparse merges on skewed operands.
+fn fused_kernels(c: &mut Criterion) {
+    let universe = 20_000usize;
+    let dense = BitSet::from_iter_with_universe(universe, (0..universe).step_by(3));
+    let sparse: SparseBitSet = (0..universe).step_by(40).collect();
+    let mut group = c.benchmark_group("fused");
+    group.bench_function("sparse_dense_count_fused", |b| {
+        b.iter(|| sparse.intersection_count_dense(&dense))
+    });
+    group.bench_function("sparse_dense_count_materialized", |b| {
+        let mut out = BitSet::new(universe);
+        b.iter(|| sparse.intersect_into_dense(&dense, &mut out))
+    });
+    // Distinct-graph counting (Lemma 7's unit of work): occurrences map
+    // to ~200 database graphs.
+    let map: Vec<u32> = (0..universe as u32).map(|i| i % 200).collect();
+    let mut scratch = BitSet::new(200);
+    group.bench_function("sparse_dense_distinct_mapped", |b| {
+        b.iter(|| tsg_bitset::sparse_dense_distinct_mapped_count(&sparse, &dense, &map, &mut scratch))
+    });
+    // Skewed sparse∩sparse: 64 members probing 20k — the galloping path.
+    let small: SparseBitSet = (0..universe).step_by(universe / 64).collect();
+    let large: SparseBitSet = (0..universe).collect();
+    group.bench_function("sparse_sparse_gallop", |b| {
+        b.iter(|| small.intersection_count(&large))
+    });
+    group.finish();
+}
+
+/// Barrier vs pipelined engine, end to end, at equal thread counts.
+fn engines(c: &mut Criterion) {
+    let ds = tsg_datagen::registry::build(
+        tsg_datagen::registry::DatasetId::D(1000),
+        tsg_bench::Profile::quick().scale,
+    );
+    let cfg = taxogram_core::TaxogramConfig::with_threshold(0.2).max_edges(5);
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            taxogram_core::Taxogram::new(cfg)
+                .mine(&ds.database, &ds.taxonomy)
+                .unwrap()
+                .patterns
+                .len()
+        })
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("barrier", threads), &threads, |b, &t| {
+            b.iter(|| {
+                taxogram_core::mine_parallel(&cfg, &ds.database, &ds.taxonomy, t)
+                    .unwrap()
+                    .patterns
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pipelined", threads), &threads, |b, &t| {
+            b.iter(|| {
+                taxogram_core::mine_pipelined(&cfg, &ds.database, &ds.taxonomy, t)
+                    .unwrap()
+                    .patterns
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(micro, occset_representation, iso_cost, pipeline_overhead, fused_kernels, engines);
 criterion_main!(micro);

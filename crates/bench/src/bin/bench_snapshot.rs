@@ -1,0 +1,171 @@
+//! Machine-readable performance snapshot: median nanoseconds for the hot
+//! bitset kernels plus end-to-end D1000/θ=0.2 mine times for the serial,
+//! barrier-parallel, and streaming-pipelined engines.
+//!
+//! Emits a single JSON object on stdout; `scripts/bench_snapshot.sh`
+//! redirects it into a dated `BENCH_<date>.json`. Timing is hand-rolled
+//! (sorted-sample median over fixed batches) so the binary has no
+//! harness dependency.
+//!
+//! ```text
+//! cargo run --release -p tsg-bench --bin bench_snapshot -- [--threads N] [--scale quick|medium|full]
+//! ```
+
+use std::time::Instant;
+use tsg_bench::Profile;
+use tsg_bitset::{BitSet, SparseBitSet};
+use tsg_datagen::registry::{build, DatasetId};
+
+/// Median ns/iter over `samples` batches of `batch` calls each.
+fn median_ns(samples: usize, batch: usize, mut f: impl FnMut()) -> f64 {
+    // Warm up caches and scratch pools.
+    for _ in 0..batch {
+        f();
+    }
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    per_iter[per_iter.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let threads: usize = get("--threads", "4").parse().unwrap_or_else(|_| {
+        eprintln!("--threads must be an integer");
+        std::process::exit(2);
+    });
+    let profile = Profile::by_name(&get("--scale", "quick")).unwrap_or_else(|| {
+        eprintln!("unknown scale; use quick | medium | full");
+        std::process::exit(2);
+    });
+
+    // --- Kernel medians -------------------------------------------------
+    let universe = 20_000usize;
+    let dense = BitSet::from_iter_with_universe(universe, (0..universe).step_by(3));
+    let sparse: SparseBitSet = (0..universe).step_by(40).collect();
+    let map: Vec<u32> = (0..universe as u32).map(|i| i % 200).collect();
+    let mut scratch = BitSet::new(200);
+    let mut out = BitSet::new(universe);
+    let small: SparseBitSet = (0..universe).step_by(universe / 64).collect();
+    let large: SparseBitSet = (0..universe).collect();
+
+    let kernels: Vec<(&str, f64)> = vec![
+        (
+            "sparse_dense_count_fused",
+            median_ns(31, 200, || {
+                std::hint::black_box(sparse.intersection_count_dense(&dense));
+            }),
+        ),
+        (
+            "sparse_dense_count_materialized",
+            median_ns(31, 200, || {
+                std::hint::black_box(sparse.intersect_into_dense(&dense, &mut out));
+            }),
+        ),
+        (
+            "sparse_dense_distinct_mapped",
+            median_ns(31, 200, || {
+                std::hint::black_box(tsg_bitset::sparse_dense_distinct_mapped_count(
+                    &sparse,
+                    &dense,
+                    &map,
+                    &mut scratch,
+                ));
+            }),
+        ),
+        (
+            "sparse_sparse_gallop",
+            median_ns(31, 200, || {
+                std::hint::black_box(small.intersection_count(&large));
+            }),
+        ),
+    ];
+
+    // --- End-to-end engines on D1000, θ = 0.2 ---------------------------
+    // Reps are interleaved (serial, barrier, pipelined per round) so
+    // machine-load drift hits all three engines equally, and the *minimum*
+    // over reps is reported: external load only ever adds time, so the min
+    // is the least-noisy estimate of an engine's true cost.
+    let ds = build(DatasetId::D(1000), profile.scale);
+    let cfg = taxogram_core::TaxogramConfig::with_threshold(0.2).max_edges(5);
+    let reps = 15usize;
+
+    let barrier = taxogram_core::mine_parallel(&cfg, &ds.database, &ds.taxonomy, threads).unwrap();
+    let piped = taxogram_core::mine_pipelined(&cfg, &ds.database, &ds.taxonomy, threads).unwrap();
+    assert_eq!(
+        barrier.patterns.len(),
+        piped.patterns.len(),
+        "engines must agree before a snapshot is worth recording"
+    );
+
+    let time_once = |f: &dyn Fn() -> usize| -> f64 {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        start.elapsed().as_nanos() as f64 / 1e6
+    };
+    let serial_run = || {
+        taxogram_core::Taxogram::new(cfg)
+            .mine(&ds.database, &ds.taxonomy)
+            .unwrap()
+            .patterns
+            .len()
+    };
+    let barrier_run = || {
+        taxogram_core::mine_parallel(&cfg, &ds.database, &ds.taxonomy, threads)
+            .unwrap()
+            .patterns
+            .len()
+    };
+    let piped_run = || {
+        taxogram_core::mine_pipelined(&cfg, &ds.database, &ds.taxonomy, threads)
+            .unwrap()
+            .patterns
+            .len()
+    };
+    let mut t_serial = Vec::with_capacity(reps);
+    let mut t_barrier = Vec::with_capacity(reps);
+    let mut t_piped = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        t_serial.push(time_once(&serial_run));
+        t_barrier.push(time_once(&barrier_run));
+        t_piped.push(time_once(&piped_run));
+    }
+    let best = |v: &[f64]| -> f64 { v.iter().copied().fold(f64::INFINITY, f64::min) };
+    let serial_ms = best(&t_serial);
+    let barrier_ms = best(&t_barrier);
+    let piped_ms = best(&t_piped);
+
+    // --- JSON -----------------------------------------------------------
+    let mut json = String::from("{\n  \"kernels_ns\": {\n");
+    for (i, (name, ns)) in kernels.iter().enumerate() {
+        let comma = if i + 1 < kernels.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ns:.1}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"d1000_theta02\": {{\n    \"scale\": {},\n    \"threads\": {},\n    \"patterns\": {},\n    \"serial_ms\": {:.3},\n    \"barrier_ms\": {:.3},\n    \"pipelined_ms\": {:.3},\n    \"barrier_peak_embedding_bytes\": {},\n    \"pipelined_peak_embedding_bytes\": {}\n  }}\n}}",
+        profile.scale,
+        threads,
+        piped.patterns.len(),
+        serial_ms,
+        barrier_ms,
+        piped_ms,
+        barrier.stats.peak_embedding_bytes,
+        piped.stats.peak_embedding_bytes,
+    ));
+    println!("{json}");
+}

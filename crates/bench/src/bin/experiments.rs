@@ -3,7 +3,12 @@
 //! ```text
 //! cargo run --release -p tsg-bench --bin experiments -- --exp all --scale quick
 //! cargo run --release -p tsg-bench --bin experiments -- --exp fig4_2 --scale medium
+//! cargo run --release -p tsg-bench --bin experiments -- --exp fig4_7 --threads 4
 //! ```
+//!
+//! `--threads N` (default 1) runs the Taxogram columns of `fig4_2` and
+//! `fig4_7` on the streaming pipelined engine with N workers; 1 keeps the
+//! paper-faithful serial miner.
 //!
 //! Experiments: `table1`, `fig4_2`, `fig4_3`, `fig4_4`, `fig4_5`,
 //! `fig4_6`, `fig4_7`, `table2`, `fig4_8`, `ablation`, `all`.
@@ -28,11 +33,20 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let threads: usize = match get("--threads", "1").parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("--threads must be an integer");
+            std::process::exit(2);
+        }
+    };
     println!(
-        "# Taxogram experiment suite — profile {} (scale {}, TAcGM budget {} MiB)\n",
+        "# Taxogram experiment suite — profile {} (scale {}, TAcGM budget {} MiB, {} thread{})\n",
         profile.name,
         profile.scale,
-        profile.tacgm_budget_bytes >> 20
+        profile.tacgm_budget_bytes >> 20,
+        threads,
+        if threads == 1 { "" } else { "s" }
     );
 
     let known = [
@@ -72,7 +86,7 @@ fn main() {
 
     if want("fig4_2") {
         section("Figure 4.2 — running time vs database size (θ = 0.2)");
-        print_algo_rows(&exp::fig4_2(&profile));
+        print_algo_rows(&exp::fig4_2(&profile, threads));
     }
     if want("fig4_3") {
         section("Figure 4.3 — running time vs max graph size (θ = 0.2)");
@@ -92,7 +106,7 @@ fn main() {
     }
     if want("fig4_7") {
         section("Figure 4.7 — Taxogram vs TAcGM across support thresholds (D4000)");
-        let rows: Vec<Vec<String>> = exp::fig4_7(&profile)
+        let rows: Vec<Vec<String>> = exp::fig4_7(&profile, threads)
             .into_iter()
             .map(|r| {
                 vec![
@@ -135,12 +149,27 @@ fn main() {
         print_count_rows("support×100", &exp::fig4_8(&profile));
     }
     if want("parallel") {
-        section("Parallel scaling (beyond the paper) — Step 3 threads on D3000");
+        section("Parallel scaling (beyond the paper) — barrier vs pipelined on D3000");
         let rows: Vec<Vec<String>> = exp::parallel_scaling(&profile)
             .into_iter()
-            .map(|r| vec![r.threads.to_string(), ms(r.time_ms), r.patterns.to_string()])
+            .map(|r| {
+                vec![
+                    r.threads.to_string(),
+                    ms(r.barrier_ms),
+                    ms(r.pipelined_ms),
+                    format!("{}KiB", r.barrier_emb_bytes >> 10),
+                    format!("{}KiB", r.pipelined_emb_bytes >> 10),
+                    r.patterns.to_string(),
+                ]
+            })
             .collect();
-        println!("{}", render_table(&["threads", "time", "patterns"], &rows));
+        println!(
+            "{}",
+            render_table(
+                &["threads", "barrier", "pipelined", "barrier emb", "piped emb", "patterns"],
+                &rows
+            )
+        );
     }
     if want("ablation") {
         section("Ablation (beyond the paper) — per-enhancement cost on D2000");

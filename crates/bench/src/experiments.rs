@@ -25,10 +25,29 @@ pub fn run_taxogram(
     profile: &Profile,
     enhancements: Enhancements,
 ) -> (MiningResult, f64) {
+    run_taxogram_threads(db, taxonomy, theta, profile, enhancements, 1)
+}
+
+/// [`run_taxogram`] on `threads` workers: the serial miner for
+/// `threads <= 1`, the streaming pipelined engine otherwise.
+pub fn run_taxogram_threads(
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    theta: f64,
+    profile: &Profile,
+    enhancements: Enhancements,
+    threads: usize,
+) -> (MiningResult, f64) {
     let mut cfg = TaxogramConfig::with_threshold(theta);
     cfg.max_edges = profile.max_edges;
     cfg.enhancements = enhancements;
-    let (r, t) = time_ms(|| Taxogram::new(cfg).mine(db, taxonomy).expect("valid input"));
+    let (r, t) = time_ms(|| {
+        if threads <= 1 {
+            Taxogram::new(cfg).mine(db, taxonomy).expect("valid input")
+        } else {
+            taxogram_core::mine_pipelined(&cfg, db, taxonomy, threads).expect("valid input")
+        }
+    });
     (r, t)
 }
 
@@ -81,9 +100,10 @@ pub struct CountRow {
 
 const THETA: f64 = 0.2;
 
-fn algo_row(id: DatasetId, theta: f64, profile: &Profile) -> AlgoRow {
+fn algo_row(id: DatasetId, theta: f64, profile: &Profile, threads: usize) -> AlgoRow {
     let ds = build(id, profile.scale);
-    let (full, t_full) = run_taxogram(&ds.database, &ds.taxonomy, theta, profile, Enhancements::all());
+    let (full, t_full) =
+        run_taxogram_threads(&ds.database, &ds.taxonomy, theta, profile, Enhancements::all(), threads);
     let (_, t_base) = run_taxogram(&ds.database, &ds.taxonomy, theta, profile, Enhancements::none());
     let tacgm = run_tacgm(&ds.database, &ds.taxonomy, theta, profile).map(|(_, t)| t);
     AlgoRow {
@@ -96,10 +116,12 @@ fn algo_row(id: DatasetId, theta: f64, profile: &Profile) -> AlgoRow {
 }
 
 /// Figure 4.2: running time vs database size (D1000–D5000), θ = 0.2.
-pub fn fig4_2(profile: &Profile) -> Vec<AlgoRow> {
+/// The Taxogram column runs on `threads` workers (1 = serial, as in the
+/// paper; more = pipelined engine).
+pub fn fig4_2(profile: &Profile, threads: usize) -> Vec<AlgoRow> {
     [1000, 2000, 3000, 4000, 5000]
         .into_iter()
-        .map(|n| algo_row(DatasetId::D(n), THETA, profile))
+        .map(|n| algo_row(DatasetId::D(n), THETA, profile, threads))
         .collect()
 }
 
@@ -107,7 +129,7 @@ pub fn fig4_2(profile: &Profile) -> Vec<AlgoRow> {
 pub fn fig4_3(profile: &Profile) -> Vec<AlgoRow> {
     [10, 20, 30, 40]
         .into_iter()
-        .map(|m| algo_row(DatasetId::NC(m), THETA, profile))
+        .map(|m| algo_row(DatasetId::NC(m), THETA, profile, 1))
         .collect()
 }
 
@@ -179,14 +201,20 @@ pub struct SupportRow {
 }
 
 /// Figure 4.7: Taxogram vs TAcGM across support thresholds 0.6 → 0.02 on
-/// the D4000 dataset.
-pub fn fig4_7(profile: &Profile) -> Vec<SupportRow> {
+/// the D4000 dataset. Taxogram runs on `threads` workers (1 = serial).
+pub fn fig4_7(profile: &Profile, threads: usize) -> Vec<SupportRow> {
     let ds = build(DatasetId::D(4000), profile.scale);
     [0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.05, 0.02]
         .into_iter()
         .map(|theta| {
-            let (r, t) =
-                run_taxogram(&ds.database, &ds.taxonomy, theta, profile, Enhancements::all());
+            let (r, t) = run_taxogram_threads(
+                &ds.database,
+                &ds.taxonomy,
+                theta,
+                profile,
+                Enhancements::all(),
+                threads,
+            );
             let tacgm = run_tacgm(&ds.database, &ds.taxonomy, theta, profile).map(|(_, t)| t);
             SupportRow {
                 theta,
@@ -329,11 +357,22 @@ mod tests {
 
     #[test]
     fn fig4_2_rows_complete_and_agree() {
-        let rows = fig4_2(&tiny());
+        // threads = 2 exercises the pipelined engine path end to end.
+        let rows = fig4_2(&tiny(), 2);
         assert_eq!(rows.len(), 5);
         for r in &rows {
             assert!(r.taxogram_ms >= 0.0);
             assert!(r.baseline_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_scaling_engines_agree() {
+        let rows = parallel_scaling(&tiny());
+        assert_eq!(rows.len(), 4);
+        let first = rows[0].patterns;
+        for r in &rows {
+            assert_eq!(r.patterns, first, "{} threads diverged", r.threads);
         }
     }
 
@@ -360,21 +399,29 @@ mod tests {
     }
 }
 
-/// One row of the parallel-scaling experiment.
+/// One row of the parallel-scaling experiment: barrier vs pipelined
+/// engine at the same thread count.
 #[derive(Debug)]
 pub struct ParallelRow {
     /// Worker thread count.
     pub threads: usize,
-    /// Wall-clock time (ms).
-    pub time_ms: f64,
-    /// Pattern count (identical across rows).
+    /// Barrier engine (`mine_parallel`) wall-clock time (ms).
+    pub barrier_ms: f64,
+    /// Pipelined engine (`mine_pipelined`) wall-clock time (ms).
+    pub pipelined_ms: f64,
+    /// Barrier peak resident embedding bytes (all classes at once).
+    pub barrier_emb_bytes: usize,
+    /// Pipelined peak resident embedding bytes (channel-bounded).
+    pub pipelined_emb_bytes: usize,
+    /// Pattern count (identical across rows and engines).
     pub patterns: usize,
 }
 
 /// Beyond the paper: Step 3 thread scaling on the D3000 dataset at
 /// θ = 0.2 (the shared-memory half of the paper's "disk-based algorithms"
 /// future work; see also the two-pass partitioned miner in
-/// `taxogram_core::son`).
+/// `taxogram_core::son`). Each row runs both parallel engines: the
+/// collect-all barrier and the streaming pipeline.
 pub fn parallel_scaling(profile: &Profile) -> Vec<ParallelRow> {
     let ds = build(DatasetId::D(3000), profile.scale);
     let mut cfg = TaxogramConfig::with_threshold(THETA);
@@ -382,14 +429,22 @@ pub fn parallel_scaling(profile: &Profile) -> Vec<ParallelRow> {
     [1usize, 2, 4, 8]
         .into_iter()
         .map(|threads| {
-            let (r, t) = time_ms(|| {
+            let (b, t_barrier) = time_ms(|| {
                 taxogram_core::mine_parallel(&cfg, &ds.database, &ds.taxonomy, threads)
                     .expect("valid input")
             });
+            let (p, t_piped) = time_ms(|| {
+                taxogram_core::mine_pipelined(&cfg, &ds.database, &ds.taxonomy, threads)
+                    .expect("valid input")
+            });
+            assert_eq!(b.patterns.len(), p.patterns.len(), "engines agree");
             ParallelRow {
                 threads,
-                time_ms: t,
-                patterns: r.patterns.len(),
+                barrier_ms: t_barrier,
+                pipelined_ms: t_piped,
+                barrier_emb_bytes: b.stats.peak_embedding_bytes,
+                pipelined_emb_bytes: p.stats.peak_embedding_bytes,
+                patterns: p.patterns.len(),
             }
         })
         .collect()

@@ -145,6 +145,16 @@ impl BitSet {
         self.blocks.fill(0);
     }
 
+    /// Re-targets this set to an empty set over `0..nbits`, reusing the
+    /// block allocation. Equivalent to `*self = BitSet::new(nbits)` but
+    /// allocation-free once the set has grown to its high-water universe —
+    /// the primitive behind per-worker bitset pools.
+    pub fn reset(&mut self, nbits: usize) {
+        self.blocks.clear();
+        self.blocks.resize(blocks_for(nbits), 0);
+        self.nbits = nbits;
+    }
+
     #[inline]
     fn check_same_universe(&self, other: &BitSet) {
         debug_assert_eq!(
@@ -339,19 +349,61 @@ pub fn distinct_mapped_count(set: &BitSet, map: &[u32], scratch: &mut BitSet) ->
 }
 
 /// Like [`distinct_mapped_count`] but over `a ∩ b` without materializing it.
+///
+/// Fast path: `scratch` is only cleared once the first common member is
+/// found, so a disjoint pair costs one AND sweep and never touches the
+/// scratch bitset. Empty intersections dominate deep in Step 3's
+/// specialization recursion (most candidate children cover none of the
+/// surviving occurrences), which makes the skipped `O(universe/64)` clear
+/// measurable.
 pub fn distinct_mapped_intersection_count(
     a: &BitSet,
     b: &BitSet,
     map: &[u32],
     scratch: &mut BitSet,
 ) -> usize {
-    scratch.clear();
     let mut n = 0;
+    let mut started = false;
     a.for_each_in_intersection(b, |occ| {
+        if !started {
+            scratch.clear();
+            started = true;
+        }
         if scratch.insert(map[occ] as usize) {
             n += 1;
         }
     });
+    n
+}
+
+/// Counts the distinct values of `map[v]` over the members `v` of
+/// `sparse ∩ dense`, without materializing the intersection — the fused
+/// sparse-operand form of [`distinct_mapped_intersection_count`], and the
+/// exact shape of Taxogram's Lemma 7 support computation (candidate
+/// occurrence sets are sparse, the recursion's working set is dense, and
+/// support is per *graph*, via the embedding→graph projection `map`).
+///
+/// The same empty-AND fast path applies: `scratch` is untouched until the
+/// first common member.
+pub fn sparse_dense_distinct_mapped_count(
+    sparse: &SparseBitSet,
+    dense: &BitSet,
+    map: &[u32],
+    scratch: &mut BitSet,
+) -> usize {
+    let mut n = 0;
+    let mut started = false;
+    for v in sparse.iter() {
+        if dense.contains(v) {
+            if !started {
+                scratch.clear();
+                started = true;
+            }
+            if scratch.insert(map[v] as usize) {
+                n += 1;
+            }
+        }
+    }
     n
 }
 
@@ -472,6 +524,57 @@ mod tests {
     }
 
     #[test]
+    fn reset_retargets_universe_in_place() {
+        let mut s = BitSet::from_iter_with_universe(200, [0, 64, 199]);
+        s.reset(70);
+        assert!(s.is_empty());
+        assert_eq!(s.universe(), 70);
+        assert!(s.insert(69));
+        assert!(!s.contains(64 + 64), "old blocks truncated");
+        s.reset(300);
+        assert!(s.is_empty());
+        assert!(s.insert(299));
+        assert_eq!(s.to_vec(), vec![299]);
+        s.reset(0);
+        assert_eq!(s.universe(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn empty_intersection_leaves_scratch_untouched() {
+        // The fast path must not clear scratch when the AND is empty —
+        // and must still return correct counts despite a dirty scratch.
+        let a = BitSet::from_iter_with_universe(128, [0, 2]);
+        let b = BitSet::from_iter_with_universe(128, [1, 3]);
+        let map = vec![0u32; 128];
+        let mut scratch = BitSet::from_iter_with_universe(4, [1, 2]);
+        assert_eq!(distinct_mapped_intersection_count(&a, &b, &map, &mut scratch), 0);
+        assert_eq!(scratch.to_vec(), vec![1, 2], "scratch untouched on empty AND");
+        let sa: SparseBitSet = [0usize, 2].iter().copied().collect();
+        assert_eq!(sparse_dense_distinct_mapped_count(&sa, &b, &map, &mut scratch), 0);
+        assert_eq!(scratch.to_vec(), vec![1, 2]);
+        // Non-empty AND with a dirty scratch still counts correctly.
+        let c = BitSet::from_iter_with_universe(128, [2, 3]);
+        assert_eq!(distinct_mapped_intersection_count(&a, &c, &map, &mut scratch), 1);
+        let mut dirty = BitSet::from_iter_with_universe(4, [0]);
+        assert_eq!(sparse_dense_distinct_mapped_count(&sa, &c, &map, &mut dirty), 1);
+    }
+
+    #[test]
+    fn sparse_dense_distinct_mapped_count_basic() {
+        // Occurrences 0..6 in graphs [0,0,1,1,2,2].
+        let map = [0u32, 0, 1, 1, 2, 2];
+        let sparse: SparseBitSet = [0usize, 1, 4].iter().copied().collect();
+        let dense = BitSet::from_iter_with_universe(6, [1, 4, 5]);
+        let mut scratch = BitSet::new(3);
+        // Intersection {1, 4} → graphs {0, 2}.
+        assert_eq!(
+            sparse_dense_distinct_mapped_count(&sparse, &dense, &map, &mut scratch),
+            2
+        );
+    }
+
+    #[test]
     fn extend_collects_members() {
         let mut s = BitSet::new(8);
         s.extend([1usize, 3, 5]);
@@ -527,6 +630,32 @@ mod tests {
             let mut got = vec![];
             a.for_each_in_intersection(&b, |i| got.push(i));
             prop_assert_eq!(got, a.intersection(&b).to_vec());
+        }
+
+        #[test]
+        fn prop_fused_distinct_mapped_kernels_match_materialized(
+            (ma, a) in model_and_bits(193),
+            (_, b) in model_and_bits(193),
+            graphs in 1usize..12,
+        ) {
+            // map[occ] = occ % graphs models the embedding→graph projection.
+            let map: Vec<u32> = (0..193u32).map(|o| o % graphs as u32).collect();
+            let inter = a.intersection(&b);
+            let want = {
+                let mut scratch = BitSet::new(graphs);
+                distinct_mapped_count(&inter, &map, &mut scratch)
+            };
+            let mut scratch = BitSet::full(graphs); // deliberately dirty
+            prop_assert_eq!(
+                distinct_mapped_intersection_count(&a, &b, &map, &mut scratch),
+                want
+            );
+            let sa: SparseBitSet = ma.iter().copied().collect();
+            let mut scratch2 = BitSet::full(graphs); // deliberately dirty
+            prop_assert_eq!(
+                sparse_dense_distinct_mapped_count(&sa, &b, &map, &mut scratch2),
+                want
+            );
         }
     }
 }

@@ -93,19 +93,87 @@ impl SparseBitSet {
         self.merge_intersect(other, f);
     }
 
+    /// Size ratio beyond which the merge switches from the linear two-
+    /// pointer walk to galloping the smaller operand over the larger one.
+    /// Below it the linear walk's branch-predictable loop wins; above it
+    /// `O(small · log large)` with exponential probing wins. 16 is the
+    /// usual crossover for sorted-list intersection and matches what the
+    /// `gallop_crossover` microbenchmarks show here.
+    const GALLOP_RATIO: usize = 16;
+
     fn merge_intersect(&self, other: &SparseBitSet, mut f: impl FnMut(usize)) {
+        let (small, large) = if self.len() <= other.len() {
+            (&self.items, &other.items)
+        } else {
+            (&other.items, &self.items)
+        };
+        if small.len().saturating_mul(Self::GALLOP_RATIO) < large.len() {
+            // Galloping path for skewed sizes: for each member of the
+            // small side, exponential-probe forward in the (shrinking)
+            // tail of the large side, then binary-search the bracketed
+            // window. Total cost O(small · log(large/small)) instead of
+            // O(small + large).
+            let mut rest: &[usize] = large;
+            for &v in small {
+                let i = gallop_lower_bound(rest, v);
+                if i == rest.len() {
+                    break; // everything left in `large` is < v ≤ later v's
+                }
+                rest = &rest[i..];
+                if rest[0] == v {
+                    f(v);
+                    rest = &rest[1..];
+                    if rest.is_empty() {
+                        break;
+                    }
+                }
+            }
+            return;
+        }
         let (mut i, mut j) = (0, 0);
-        while i < self.items.len() && j < other.items.len() {
-            match self.items[i].cmp(&other.items[j]) {
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    f(self.items[i]);
+                    f(small[i]);
                     i += 1;
                     j += 1;
                 }
             }
         }
+    }
+
+    /// `|self ∩ dense|` without materializing either the intersection or a
+    /// dense copy of `self`: one O(1) word probe per sparse member.
+    ///
+    /// Members of `self` outside `dense`'s universe count as absent, so a
+    /// sparse set may safely be probed against the (smaller) universe of a
+    /// working set.
+    #[inline]
+    pub fn intersection_count_dense(&self, dense: &BitSet) -> usize {
+        self.items.iter().filter(|&&v| dense.contains(v)).count()
+    }
+
+    /// Writes `self ∩ dense` into `out`, reusing `out`'s allocation: `out`
+    /// is reset to `dense`'s universe first. Returns the intersection
+    /// cardinality.
+    ///
+    /// This is the materializing sibling of [`intersection_count_dense`],
+    /// used when the intersection becomes the next level's working set —
+    /// with a pooled `out`, the hot loop allocates nothing.
+    ///
+    /// [`intersection_count_dense`]: SparseBitSet::intersection_count_dense
+    pub fn intersect_into_dense(&self, dense: &BitSet, out: &mut BitSet) -> usize {
+        out.reset(dense.universe());
+        let mut n = 0;
+        for v in self.iter() {
+            if dense.contains(v) {
+                out.insert(v);
+                n += 1;
+            }
+        }
+        n
     }
 
     /// Converts to a dense [`BitSet`] over the given universe.
@@ -118,6 +186,24 @@ impl SparseBitSet {
     pub fn heap_bytes(&self) -> usize {
         self.items.capacity() * std::mem::size_of::<usize>()
     }
+}
+
+/// First index `i` of ascending `items` with `items[i] >= target`
+/// (`items.len()` if none), found by exponential probing from the front
+/// followed by a binary search of the bracketed window.
+#[inline]
+fn gallop_lower_bound(items: &[usize], target: usize) -> usize {
+    if items.first().is_none_or(|&x| x >= target) {
+        return 0;
+    }
+    // Invariant: items[hi/2] < target (checked), probe items[hi].
+    let mut hi = 1usize;
+    while hi < items.len() && items[hi] < target {
+        hi <<= 1;
+    }
+    let lo = hi >> 1;
+    let hi = hi.min(items.len());
+    lo + items[lo..hi].partition_point(|&x| x < target)
 }
 
 impl FromIterator<usize> for SparseBitSet {
@@ -172,6 +258,62 @@ mod tests {
         assert_eq!(d.to_vec(), vec![0, 64, 100]);
     }
 
+    #[test]
+    fn gallop_lower_bound_brackets_correctly() {
+        let items = [2usize, 4, 8, 16, 32, 64, 128];
+        for target in 0..=130 {
+            let want = items.partition_point(|&x| x < target);
+            assert_eq!(gallop_lower_bound(&items, target), want, "target {target}");
+        }
+        assert_eq!(gallop_lower_bound(&[], 5), 0);
+    }
+
+    #[test]
+    fn skewed_intersection_uses_gallop_path_and_agrees() {
+        // Small side far below 1/16 of the large side → galloping path.
+        let small = SparseBitSet::from_members(vec![0, 500, 999, 5000, 9999]);
+        let large: SparseBitSet = (0..10_000).filter(|v| v % 3 == 0).collect();
+        let want: Vec<usize> = small.iter().filter(|&v| v % 3 == 0).collect();
+        assert_eq!(small.intersection(&large).iter().collect::<Vec<_>>(), want);
+        assert_eq!(large.intersection(&small).iter().collect::<Vec<_>>(), want);
+        assert_eq!(small.intersection_count(&large), want.len());
+        // Disjoint skewed pair.
+        let off: SparseBitSet = [1usize, 4, 10].iter().copied().collect();
+        let evens: SparseBitSet = (0..2000).map(|v| v * 3).collect();
+        assert_eq!(off.intersection_count(&evens), 0);
+    }
+
+    #[test]
+    fn intersection_count_dense_matches_materialized() {
+        let sparse = SparseBitSet::from_members(vec![0, 63, 64, 65, 127, 128, 199]);
+        let dense = BitSet::from_iter_with_universe(200, [63, 64, 100, 199]);
+        let materialized = sparse.to_dense(200).intersection(&dense);
+        assert_eq!(
+            sparse.intersection_count_dense(&dense),
+            materialized.count_ones()
+        );
+        // Out-of-universe sparse members count as absent.
+        let wide = SparseBitSet::from_members(vec![5, 1000]);
+        let narrow = BitSet::from_iter_with_universe(10, [5]);
+        assert_eq!(wide.intersection_count_dense(&narrow), 1);
+    }
+
+    #[test]
+    fn intersect_into_dense_reuses_allocation() {
+        let sparse = SparseBitSet::from_members(vec![1, 64, 65, 130]);
+        let dense = BitSet::from_iter_with_universe(131, [64, 130]);
+        let mut out = BitSet::new(7); // wrong universe on purpose
+        let n = sparse.intersect_into_dense(&dense, &mut out);
+        assert_eq!(n, 2);
+        assert_eq!(out.universe(), 131);
+        assert_eq!(out.to_vec(), vec![64, 130]);
+        // Reuse with a now-smaller universe stays correct.
+        let dense2 = BitSet::from_iter_with_universe(3, [1]);
+        let n2 = sparse.intersect_into_dense(&dense2, &mut out);
+        assert_eq!(n2, 1);
+        assert_eq!(out.to_vec(), vec![1]);
+    }
+
     proptest! {
         #[test]
         fn prop_matches_model(
@@ -188,6 +330,58 @@ mod tests {
             let da = a.to_dense(500);
             let db = b.to_dense(500);
             prop_assert_eq!(da.intersection(&db).to_vec(), want);
+        }
+
+        #[test]
+        fn prop_sparse_dense_kernels_match_materialized(
+            // Universes straddling word boundaries (63/64/65, 127/128/129)
+            // plus the empty universe.
+            universe in prop::sample::select(vec![0usize, 1, 63, 64, 65, 127, 128, 129, 320]),
+            seed_a in prop::collection::btree_set(0usize..512, 0..96),
+            seed_b in prop::collection::btree_set(0usize..512, 0..96),
+        ) {
+            // Sparse side may exceed the dense universe; dense side cannot.
+            let sparse: SparseBitSet = seed_a.iter().copied().collect();
+            let dense = BitSet::from_iter_with_universe(
+                universe,
+                seed_b.iter().copied().filter(|&v| v < universe),
+            );
+            let materialized = sparse
+                .iter()
+                .filter(|&v| v < universe)
+                .collect::<SparseBitSet>()
+                .to_dense(universe)
+                .intersection(&dense);
+            prop_assert_eq!(
+                sparse.intersection_count_dense(&dense),
+                materialized.count_ones()
+            );
+            let mut out = BitSet::new(0);
+            let n = sparse.intersect_into_dense(&dense, &mut out);
+            prop_assert_eq!(n, materialized.count_ones());
+            prop_assert_eq!(out.to_vec(), materialized.to_vec());
+            // Full dense set: kernel degenerates to in-universe membership.
+            let full = BitSet::full(universe);
+            prop_assert_eq!(
+                sparse.intersection_count_dense(&full),
+                sparse.iter().filter(|&v| v < universe).count()
+            );
+        }
+
+        #[test]
+        fn prop_gallop_and_linear_merges_agree(
+            small in prop::collection::btree_set(0usize..4096, 0..8),
+            large in prop::collection::btree_set(0usize..4096, 200..400),
+        ) {
+            // Size skew forces the galloping path on one operand order;
+            // the other order exercises the same dispatch symmetrically.
+            let a: SparseBitSet = small.iter().copied().collect();
+            let b: SparseBitSet = large.iter().copied().collect();
+            let want: Vec<usize> = small.intersection(&large).copied().collect();
+            prop_assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), want.clone());
+            prop_assert_eq!(b.intersection(&a).iter().collect::<Vec<_>>(), want.clone());
+            prop_assert_eq!(a.intersection_count(&b), want.len());
+            prop_assert_eq!(b.intersection_count(&a), want.len());
         }
     }
 }

@@ -1,0 +1,206 @@
+//! A minimal bounded multi-consumer channel (std-only).
+//!
+//! The streaming pipeline needs exactly one shape: a single producer (the
+//! gSpan thread) pushing completed pattern classes, several workers
+//! pulling them, and a hard capacity so the producer **blocks** when the
+//! workers fall behind — that blocking is what bounds the number of
+//! embedding lists resident at once. `std::sync::mpsc` is single-consumer
+//! and its bounded flavor can't fan out, so this is a `Mutex<VecDeque>`
+//! with two condvars. The queue is short (a few items per worker) and
+//! each item is heavyweight (a pattern class), so lock contention is
+//! negligible next to the work per item.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded FIFO usable from any number of threads by shared reference.
+#[derive(Debug)]
+pub(crate) struct Bounded<T> {
+    state: Mutex<State<T>>,
+    /// Signaled when an item is taken (senders may retry).
+    not_full: Condvar,
+    /// Signaled when an item arrives or the channel closes.
+    not_empty: Condvar,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+    /// Receivers currently parked on `not_empty`; lets senders skip the
+    /// notify entirely when nobody is listening.
+    waiting_recv: usize,
+}
+
+impl<T> Bounded<T> {
+    /// Creates a channel holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Bounded {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(capacity),
+                capacity,
+                closed: false,
+                waiting_recv: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the channel is full.
+    ///
+    /// # Panics
+    /// Panics if called after [`close`](Bounded::close) — the pipeline's
+    /// single producer closes only when done sending.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn send(&self, item: T) {
+        let mut st = self.state.lock().expect("channel lock never poisoned");
+        while st.queue.len() >= st.capacity && !st.closed {
+            st = self
+                .not_full
+                .wait(st)
+                .expect("channel lock never poisoned");
+        }
+        assert!(!st.closed, "send on closed channel");
+        st.queue.push_back(item);
+        let wake = st.waiting_recv > 0;
+        drop(st);
+        if wake {
+            self.not_empty.notify_one();
+        }
+    }
+
+    /// Enqueues `item` without blocking; hands it back if the channel is
+    /// full. Lets the producer do something useful (steal work) instead
+    /// of sleeping on backpressure.
+    ///
+    /// # Panics
+    /// Panics if called after [`close`](Bounded::close).
+    pub fn try_send(&self, item: T) -> Result<(), T> {
+        let mut st = self.state.lock().expect("channel lock never poisoned");
+        assert!(!st.closed, "send on closed channel");
+        if st.queue.len() >= st.capacity {
+            return Err(item);
+        }
+        st.queue.push_back(item);
+        let wake = st.waiting_recv > 0;
+        drop(st);
+        if wake {
+            self.not_empty.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Dequeues an item without blocking; `None` if the queue is empty
+    /// (whether or not the channel is closed).
+    pub fn try_recv(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("channel lock never poisoned");
+        let item = st.queue.pop_front();
+        if item.is_some() {
+            drop(st);
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Dequeues an item, blocking while the channel is empty and open.
+    /// Returns `None` once the channel is closed **and** drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("channel lock never poisoned");
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st.waiting_recv += 1;
+            st = self
+                .not_empty
+                .wait(st)
+                .expect("channel lock never poisoned");
+            st.waiting_recv -= 1;
+        }
+    }
+
+    /// Closes the channel: queued items remain receivable, further `recv`s
+    /// after draining return `None`, and blocked receivers wake up.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("channel lock never poisoned");
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_within_capacity() {
+        let ch = Bounded::new(4);
+        ch.send(1);
+        ch.send(2);
+        ch.send(3);
+        assert_eq!(ch.recv(), Some(1));
+        assert_eq!(ch.recv(), Some(2));
+        ch.close();
+        assert_eq!(ch.recv(), Some(3), "queued items survive close");
+        assert_eq!(ch.recv(), None);
+        assert_eq!(ch.recv(), None);
+    }
+
+    #[test]
+    fn capacity_blocks_producer_until_consumed() {
+        let ch = Bounded::new(2);
+        let sent = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..6 {
+                    ch.send(i);
+                    sent.fetch_add(1, Ordering::SeqCst);
+                }
+                ch.close();
+            });
+            // Give the producer time to fill the channel and block.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            let filled = sent.load(Ordering::SeqCst);
+            assert!(
+                filled <= 3,
+                "producer ran {filled} sends past a capacity-2 channel"
+            );
+            let mut got = vec![];
+            while let Some(v) = ch.recv() {
+                got.push(v);
+            }
+            assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        });
+    }
+
+    #[test]
+    fn multiple_consumers_partition_items() {
+        let ch = Bounded::new(3);
+        let taken = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while ch.recv().is_some() {
+                        taken.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            for i in 0..100 {
+                ch.send(i);
+            }
+            ch.close();
+        });
+        assert_eq!(taken.load(Ordering::SeqCst), 100);
+    }
+}

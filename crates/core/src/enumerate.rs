@@ -26,7 +26,7 @@
 
 use crate::config::Enhancements;
 use crate::oi::{LocalId, OccurrenceIndex};
-use tsg_bitset::{BitSet, SparseBitSet};
+use tsg_bitset::BitSet;
 use tsg_graph::{LabeledGraph, NodeLabel};
 use tsg_iso::{automorphisms, canonical_under_automorphisms};
 use tsg_taxonomy::Taxonomy;
@@ -56,17 +56,44 @@ pub struct EmittedPattern<'a> {
     pub support: usize,
 }
 
+/// Reusable per-worker enumeration scratch: the visited set, the graph-id
+/// scratch bitset, the label buffer, and pools of dense working sets and
+/// work vectors. One `EnumScratch` serves any number of classes in
+/// sequence; after a few classes of warm-up, enumeration allocates only
+/// for visited-set keys (which must be owned by the set).
+#[derive(Debug, Default)]
+pub struct EnumScratch {
+    visited: HashSet<Vec<NodeLabel>>,
+    scratch: BitSet,
+    label_buf: Vec<NodeLabel>,
+    /// Retired dense working sets, re-targeted via [`BitSet::reset`].
+    dense_pool: Vec<BitSet>,
+    /// Retired per-vector descent lists.
+    work_pool: Vec<Vec<(usize, LocalId, usize)>>,
+}
+
+impl EnumScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        EnumScratch::default()
+    }
+
+    /// Re-arms the per-class state (pools persist across classes).
+    fn begin_class(&mut self, db_len: usize) {
+        self.visited.clear();
+        self.scratch.reset(db_len);
+        self.label_buf.clear();
+    }
+}
+
 struct Ctx<'a, F: FnMut(EmittedPattern<'_>)> {
     oi: &'a OccurrenceIndex,
     min_support: usize,
     cfg: &'a Enhancements,
     taxonomy: &'a Taxonomy,
     autos: Vec<Vec<usize>>,
-    visited: HashSet<Vec<NodeLabel>>,
     keep_overgeneralized: bool,
-    scratch: BitSet,
-    /// Reusable buffer for the taxonomy-label view of the current vector.
-    label_buf: Vec<NodeLabel>,
+    s: &'a mut EnumScratch,
     emit: F,
     stats: EnumerationStats,
 }
@@ -75,8 +102,8 @@ impl<F: FnMut(EmittedPattern<'_>)> Ctx<'_, F> {
     /// The taxonomy-label vector behind the local-id vector `v`, written
     /// into the reusable buffer.
     fn fill_labels(&mut self, v: &[LocalId]) {
-        self.label_buf.clear();
-        self.label_buf.extend(
+        self.s.label_buf.clear();
+        self.s.label_buf.extend(
             v.iter()
                 .zip(&self.oi.entries)
                 .map(|(&id, e)| e.label_of(id)),
@@ -114,16 +141,44 @@ pub fn enumerate_class_full<F: FnMut(EmittedPattern<'_>)>(
     keep_overgeneralized: bool,
     emit: F,
 ) -> EnumerationStats {
+    let mut scratch = EnumScratch::new();
+    enumerate_class_scratch(
+        skeleton,
+        oi,
+        taxonomy,
+        min_support,
+        db_len,
+        cfg,
+        keep_overgeneralized,
+        &mut scratch,
+        emit,
+    )
+}
+
+/// Like [`enumerate_class_full`], reusing a caller-owned [`EnumScratch`]
+/// across classes — the form the streaming pipeline's workers use so the
+/// hot loop allocates ~nothing after warm-up.
+#[allow(clippy::too_many_arguments)]
+pub fn enumerate_class_scratch<F: FnMut(EmittedPattern<'_>)>(
+    skeleton: &LabeledGraph,
+    oi: &OccurrenceIndex,
+    taxonomy: &Taxonomy,
+    min_support: usize,
+    db_len: usize,
+    cfg: &Enhancements,
+    keep_overgeneralized: bool,
+    scratch: &mut EnumScratch,
+    emit: F,
+) -> EnumerationStats {
+    scratch.begin_class(db_len);
     let mut ctx = Ctx {
         oi,
         min_support,
         cfg,
         taxonomy,
         autos: automorphisms(skeleton),
-        visited: HashSet::new(),
         keep_overgeneralized,
-        scratch: BitSet::new(db_len),
-        label_buf: Vec::with_capacity(skeleton.node_count()),
+        s: scratch,
         emit,
         stats: EnumerationStats::default(),
     };
@@ -131,13 +186,10 @@ pub fn enumerate_class_full<F: FnMut(EmittedPattern<'_>)>(
     // deeper equal-occurrence label when enhancement (c)/(d) contracted it.
     let mut v: Vec<LocalId> = oi.entries.iter().map(|e| e.root()).collect();
     let ocs = oi.full_set();
-    let sup = {
-        let mut scratch = BitSet::new(db_len);
-        tsg_bitset::distinct_mapped_count(&ocs, &oi.occ_graph, &mut scratch)
-    };
+    let sup = tsg_bitset::distinct_mapped_count(&ocs, &oi.occ_graph, &mut ctx.s.scratch);
     ctx.fill_labels(&v);
-    let key = canonical_under_automorphisms(&ctx.label_buf, &ctx.autos);
-    ctx.visited.insert(key);
+    let key = canonical_under_automorphisms(&ctx.s.label_buf, &ctx.autos);
+    ctx.s.visited.insert(key);
     recurse(&mut ctx, &mut v, &ocs, sup);
     ctx.stats
 }
@@ -152,13 +204,20 @@ fn recurse<F: FnMut(EmittedPattern<'_>)>(
     let mut overgeneralized = false;
     // (position, child local id, child support) triples worth descending
     // into.
-    let mut work: Vec<(usize, LocalId, usize)> = Vec::new();
+    let mut work = ctx.s.work_pool.pop().unwrap_or_default();
     let oi = ctx.oi;
     for (pos, entry) in oi.entries.iter().enumerate() {
         for &child in entry.children(v[pos]) {
             let cset = entry.occs(child);
             ctx.stats.intersections += 1;
-            let child_sup = sparse_dense_graph_count(cset, ocs, &oi.occ_graph, &mut ctx.scratch);
+            // Lemma 7: the candidate's support is one sparse∩dense
+            // intersection, fused with the per-graph distinct count.
+            let child_sup = tsg_bitset::sparse_dense_distinct_mapped_count(
+                cset,
+                ocs,
+                &oi.occ_graph,
+                &mut ctx.s.scratch,
+            );
             if child_sup == sup {
                 // An equal-support one-step specialization exists; by
                 // Lemma 2 this is the complete over-generalization test.
@@ -181,39 +240,38 @@ fn recurse<F: FnMut(EmittedPattern<'_>)>(
     if sup >= ctx.min_support {
         ctx.fill_labels(v);
         if (ctx.keep_overgeneralized || !overgeneralized)
-            && !has_artificial(ctx.taxonomy, &ctx.label_buf)
+            && !has_artificial(ctx.taxonomy, &ctx.s.label_buf)
         {
             ctx.stats.emitted += 1;
-            let labels = std::mem::take(&mut ctx.label_buf);
+            let labels = std::mem::take(&mut ctx.s.label_buf);
             (ctx.emit)(EmittedPattern {
                 labels: &labels,
                 support: sup,
             });
-            ctx.label_buf = labels;
+            ctx.s.label_buf = labels;
         }
         if overgeneralized {
             ctx.stats.overgeneralized += 1;
         }
     }
-    for (pos, child, child_sup) in work {
+    for (pos, child, child_sup) in work.drain(..) {
         let parent = std::mem::replace(&mut v[pos], child);
         ctx.fill_labels(v);
-        let key = canonical_under_automorphisms(&ctx.label_buf, &ctx.autos);
-        if ctx.visited.insert(key) {
-            let child_ocs = {
-                let cset = ctx.oi.entries[pos].occs(child);
-                let mut out = BitSet::new(ocs.universe());
-                for o in cset.iter() {
-                    if ocs.contains(o) {
-                        out.insert(o);
-                    }
-                }
-                out
-            };
+        let key = canonical_under_automorphisms(&ctx.s.label_buf, &ctx.autos);
+        if ctx.s.visited.insert(key) {
+            // The next level's working set comes from the per-worker pool
+            // (re-targeted in place), so descending allocates nothing once
+            // the pool has grown to the recursion depth.
+            let mut child_ocs = ctx.s.dense_pool.pop().unwrap_or_default();
+            ctx.oi.entries[pos]
+                .occs(child)
+                .intersect_into_dense(ocs, &mut child_ocs);
             recurse(ctx, v, &child_ocs, child_sup);
+            ctx.s.dense_pool.push(child_ocs);
         }
         v[pos] = parent;
     }
+    ctx.s.work_pool.push(work);
 }
 
 /// Baseline-mode wasted work: computes an intersection count for every
@@ -229,33 +287,18 @@ fn probe_descendants<F: FnMut(EmittedPattern<'_>)>(
     let mut seen: HashSet<LocalId> = queue.iter().copied().collect();
     while let Some(l) = queue.pop() {
         ctx.stats.intersections += 1;
-        let _ = sparse_dense_graph_count(entry.occs(l), ocs, &ctx.oi.occ_graph, &mut ctx.scratch);
+        let _ = tsg_bitset::sparse_dense_distinct_mapped_count(
+            entry.occs(l),
+            ocs,
+            &ctx.oi.occ_graph,
+            &mut ctx.s.scratch,
+        );
         for &c in entry.children(l) {
             if seen.insert(c) {
                 queue.push(c);
             }
         }
     }
-}
-
-/// Counts the distinct graphs among the members of sparse `cset` that are
-/// also in the dense working set `ocs` — the Lemma 7 support computation
-/// with a sparse right operand. `scratch` (over graph ids) is cleared on
-/// entry.
-fn sparse_dense_graph_count(
-    cset: &SparseBitSet,
-    ocs: &BitSet,
-    occ_graph: &[u32],
-    scratch: &mut BitSet,
-) -> usize {
-    scratch.clear();
-    let mut n = 0;
-    for o in cset.iter() {
-        if ocs.contains(o) && scratch.insert(occ_graph[o] as usize) {
-            n += 1;
-        }
-    }
-    n
 }
 
 fn has_artificial(taxonomy: &Taxonomy, v: &[NodeLabel]) -> bool {

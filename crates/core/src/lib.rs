@@ -37,14 +37,17 @@
 //! assert!(!result.patterns.is_empty());
 //! ```
 
+mod channel;
 mod config;
 pub mod enumerate;
 mod error;
+mod gauge;
 pub mod interest;
 pub mod lemmas;
 mod miner;
 pub mod oi;
 pub mod parallel;
+pub mod pipeline;
 pub mod postprocess;
 pub mod reference;
 pub mod relabel;
@@ -54,3 +57,4 @@ pub use config::{Enhancements, TaxogramConfig};
 pub use error::TaxogramError;
 pub use miner::{MiningResult, MiningStats, Pattern, Taxogram};
 pub use parallel::mine_parallel;
+pub use pipeline::{mine_pipelined, mine_pipelined_with, PipelineOptions};

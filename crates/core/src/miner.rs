@@ -29,10 +29,18 @@ pub struct MiningStats {
     pub classes: usize,
     /// Occurrence-index update operations (Lemma 5's cost unit).
     pub oi_updates: usize,
-    /// Peak approximate heap footprint of a single occurrence index, in
-    /// bytes (one class is resident at a time, mirroring gSpan's
-    /// depth-first discipline — the paper's Step 2 space argument).
+    /// Peak approximate heap footprint of *concurrently resident*
+    /// occurrence indices, in bytes. Serially one class is resident at a
+    /// time (gSpan's depth-first discipline — the paper's Step 2 space
+    /// argument), so this is the largest single index; the parallel and
+    /// pipelined engines track a true high-water mark across workers.
     pub peak_oi_bytes: usize,
+    /// Peak heap footprint of pattern-class embedding lists resident at
+    /// once, in bytes. Zero for the serial miner (embeddings live only
+    /// inside gSpan's own recursion). The barrier engine holds every
+    /// class across its collect-all barrier, so this is the total; the
+    /// pipelined engine's value is bounded by its channel capacity.
+    pub peak_embedding_bytes: usize,
     /// Total occurrences (embeddings) across classes.
     pub occurrences: usize,
     /// Wall-clock milliseconds spent building occurrence indices.

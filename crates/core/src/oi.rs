@@ -151,6 +151,23 @@ pub struct OiOptions<'a> {
     pub predescend_roots: bool,
 }
 
+/// Reusable per-worker scratch for index construction: the by-original
+/// grouping table and its retired occurrence vectors. One `OiScratch`
+/// serves any number of classes in sequence; the grouping hash table and
+/// its vectors are recycled instead of reallocated per pattern node.
+#[derive(Debug, Default)]
+pub struct OiScratch {
+    by_original: HashMap<NodeLabel, Vec<usize>>,
+    spare_vecs: Vec<Vec<usize>>,
+}
+
+impl OiScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        OiScratch::default()
+    }
+}
+
 impl OccurrenceIndex {
     /// Builds the index for a pattern class from gSpan's embeddings.
     ///
@@ -163,19 +180,46 @@ impl OccurrenceIndex {
         taxonomy: &Taxonomy,
         options: OiOptions<'_>,
     ) -> OccurrenceIndex {
+        let mut scratch = OiScratch::new();
+        OccurrenceIndex::build_with_scratch(
+            embeddings,
+            originals,
+            mg_labels,
+            taxonomy,
+            options,
+            &mut scratch,
+        )
+    }
+
+    /// Like [`OccurrenceIndex::build`], reusing a caller-owned
+    /// [`OiScratch`] across classes (the streaming pipeline's workers hold
+    /// one per thread).
+    pub fn build_with_scratch(
+        embeddings: &[Embedding],
+        originals: &[Vec<NodeLabel>],
+        mg_labels: &[NodeLabel],
+        taxonomy: &Taxonomy,
+        options: OiOptions<'_>,
+        scratch: &mut OiScratch,
+    ) -> OccurrenceIndex {
         let universe = embeddings.len();
         let occ_graph: Vec<u32> = embeddings.iter().map(|e| e.gid as u32).collect();
         let mut updates = 0usize;
         let mut entries = Vec::with_capacity(mg_labels.len());
+        let OiScratch {
+            by_original,
+            spare_vecs,
+        } = scratch;
         for (pos, &mg) in mg_labels.iter().enumerate() {
             // Group occurrences by original label: original labels repeat
             // heavily across a class's occurrences, so all per-label work
-            // below runs once per (distinct original, ancestor).
-            let mut by_original: HashMap<NodeLabel, Vec<usize>> = HashMap::new();
+            // below runs once per (distinct original, ancestor). The
+            // grouping table and its vectors come from (and return to) the
+            // caller's scratch.
             for (occ, emb) in embeddings.iter().enumerate() {
                 by_original
                     .entry(originals[emb.gid][emb.map[pos]])
-                    .or_default()
+                    .or_insert_with(|| spare_vecs.pop().unwrap_or_default())
                     .push(occ);
             }
             let mut index: HashMap<NodeLabel, LocalId> = HashMap::new();
@@ -201,6 +245,10 @@ impl OccurrenceIndex {
                     raw[id as usize].extend_from_slice(occs);
                     updates += occs.len();
                 }
+            }
+            for (_, mut v) in by_original.drain() {
+                v.clear();
+                spare_vecs.push(v);
             }
             let mut nodes: Vec<OiNode> = raw
                 .into_iter()
@@ -252,11 +300,18 @@ impl OccurrenceIndex {
         BitSet::full(self.universe)
     }
 
-    /// The number of distinct graphs among all occurrences.
+    /// The number of distinct graphs among all occurrences. Walks the
+    /// occurrence→graph projection directly — the full occurrence set is
+    /// by definition all-ones, so materializing it buys nothing.
     pub fn graph_support(&self, db_len: usize) -> usize {
-        let set = self.full_set();
         let mut scratch = BitSet::new(db_len);
-        tsg_bitset::distinct_mapped_count(&set, &self.occ_graph, &mut scratch)
+        let mut n = 0;
+        for &g in &self.occ_graph {
+            if scratch.insert(g as usize) {
+                n += 1;
+            }
+        }
+        n
     }
 
     /// Approximate heap footprint of all entries.

@@ -1,4 +1,4 @@
-//! Parallel Step 3: enumerate pattern classes on multiple threads.
+//! Barrier-parallel Step 3: collect every class, then fan out.
 //!
 //! Serial Taxogram interleaves Steps 2 and 3 so only one occurrence index
 //! is resident at a time (the paper's Step 2 space argument). Pattern
@@ -13,18 +13,23 @@
 //! 3. merge per-class outputs in class order, so the result is
 //!    byte-for-byte identical to the serial pipeline's.
 //!
-//! The paper lists distributed/disk-based processing as future work (§6);
-//! this is the shared-memory half of that direction.
+//! The collect-all barrier in step 1 is this engine's weakness: workers
+//! idle until mining finishes, and every embedding list is resident at
+//! once. [`crate::mine_pipelined`] removes the barrier by streaming
+//! classes to workers as gSpan closes them; this engine is kept as the
+//! simpler baseline the pipeline is benchmarked against.
 
 use crate::config::TaxogramConfig;
-
+use crate::enumerate::EnumScratch;
 use crate::error::TaxogramError;
-use crate::miner::{MiningResult, MiningStats, Pattern};
-use crate::oi::{OccurrenceIndex, OiOptions};
-use crate::relabel::relabel;
+use crate::gauge::MemoryGauge;
+use crate::miner::MiningResult;
+use crate::oi::OiScratch;
+use crate::pipeline::{
+    embedding_heap_bytes, enumerate_class, merge_outputs, prepare, ClassOutput, Prologue,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use tsg_bitset::BitSet;
 use tsg_graph::{GraphDatabase, LabeledGraph};
 use tsg_gspan::{Embedding, GSpan, GSpanConfig, Grow, MinedPattern, PatternSink};
 use tsg_taxonomy::Taxonomy;
@@ -35,17 +40,12 @@ struct ClassWork {
     embeddings: Vec<Embedding>,
 }
 
-/// Per-class enumeration output, merged in class order at the end.
-#[derive(Default)]
-struct ClassOutput {
-    patterns: Vec<Pattern>,
-    stats: MiningStats,
-}
-
 /// Mines like [`crate::Taxogram::mine`], but enumerates pattern classes on
 /// `threads` worker threads. Produces exactly the serial result (same
 /// patterns, same order); `stats` are summed across workers, with
-/// `peak_oi_bytes` the maximum over classes as in the serial pipeline.
+/// `peak_oi_bytes` the high-water mark of concurrently resident indices
+/// and `peak_embedding_bytes` the total collected embedding heap (all
+/// classes are resident at once across the barrier).
 ///
 /// With `threads == 0` or `1`, falls back to the serial miner.
 ///
@@ -60,35 +60,16 @@ pub fn mine_parallel(
     if threads <= 1 {
         return crate::Taxogram::new(*config).mine(db, taxonomy);
     }
-    let theta = config.threshold;
-    if !(0.0..=1.0).contains(&theta) || theta.is_nan() {
-        return Err(TaxogramError::InvalidThreshold { theta });
-    }
-    let min_support = db.min_support_count(theta);
-    if db.is_empty() {
-        return Ok(MiningResult {
-            patterns: Vec::new(),
-            stats: MiningStats::default(),
-            min_support_count: min_support,
-            database_size: 0,
-        });
-    }
-
-    let rel = relabel(db, taxonomy)?;
-    let frequent_mask = if config.enhancements.prune_infrequent_labels {
-        let freqs = rel.taxonomy.generalized_label_frequencies(db);
-        let mut mask = BitSet::new(rel.taxonomy.concept_count());
-        for (i, &f) in freqs.iter().enumerate() {
-            if f >= min_support {
-                mask.insert(i);
-            }
-        }
-        Some(mask)
-    } else {
-        None
+    let prepared = match prepare(config, db, taxonomy)? {
+        Prologue::Done(result) => return Ok(result),
+        Prologue::Ready(p) => p,
     };
 
-    // Step 2 (collection): gather every class up front.
+    // Step 2 (collection): gather every class up front. This sink
+    // deliberately stays on the borrowing `report` API — cloning each
+    // skeleton and embedding list is the collect-all barrier's inherent
+    // cost, which the pipelined engine's move-based `complete` handoff
+    // eliminates.
     struct Collect {
         classes: Vec<ClassWork>,
     }
@@ -103,117 +84,62 @@ pub fn mine_parallel(
     }
     let mut collect = Collect { classes: Vec::new() };
     GSpan::new(
-        &rel.dmg,
+        &prepared.rel.dmg,
         GSpanConfig {
-            min_support,
+            min_support: prepared.min_support,
             max_edges: config.max_edges,
         },
     )
     .mine(&mut collect);
     let classes = collect.classes;
 
+    // Everything survives the barrier together: the resident embedding
+    // peak is simply the total.
+    let peak_embedding_bytes: usize = classes
+        .iter()
+        .map(|c| embedding_heap_bytes(&c.embeddings))
+        .sum();
+
     // Step 3 (fan-out): one slot per class, claimed via an atomic cursor.
     let outputs: Vec<Mutex<ClassOutput>> = (0..classes.len())
         .map(|_| Mutex::new(ClassOutput::default()))
         .collect();
     let cursor = AtomicUsize::new(0);
-    let db_len = db.len();
-    crossbeam::scope(|scope| {
+    let oi_gauge = MemoryGauge::new();
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(classes.len().max(1)) {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(class) = classes.get(i) else { break };
-                let out = enumerate_one(
-                    class,
-                    &rel,
-                    frequent_mask.as_ref(),
-                    config,
-                    min_support,
-                    db_len,
-                );
-                *outputs[i].lock().expect("no worker panicked holding this lock") = out;
+            scope.spawn(|| {
+                let mut enum_scratch = EnumScratch::new();
+                let mut oi_scratch = OiScratch::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(class) = classes.get(i) else { break };
+                    let out = enumerate_class(
+                        &class.skeleton,
+                        &class.embeddings,
+                        &prepared,
+                        config,
+                        Some(&oi_gauge),
+                        &mut enum_scratch,
+                        &mut oi_scratch,
+                    );
+                    *outputs[i].lock().expect("no worker panicked holding this lock") = out;
+                }
             });
         }
-    })
-    .expect("class workers do not panic");
+    });
 
     // Merge in class order → identical to the serial pipeline's output.
-    let mut patterns = Vec::new();
-    let mut stats = MiningStats {
-        classes: classes.len(),
-        ..MiningStats::default()
-    };
-    for slot in outputs {
-        let out = slot.into_inner().expect("workers finished");
-        patterns.extend(out.patterns);
-        stats.oi_updates += out.stats.oi_updates;
-        stats.occurrences += out.stats.occurrences;
-        stats.peak_oi_bytes = stats.peak_oi_bytes.max(out.stats.peak_oi_bytes);
-        stats.oi_build_ms += out.stats.oi_build_ms;
-        stats.enumerate_ms += out.stats.enumerate_ms;
-        stats.enumeration.vectors_visited += out.stats.enumeration.vectors_visited;
-        stats.enumeration.intersections += out.stats.enumeration.intersections;
-        stats.enumeration.emitted += out.stats.enumeration.emitted;
-        stats.enumeration.overgeneralized += out.stats.enumeration.overgeneralized;
-    }
-    Ok(MiningResult {
-        patterns,
-        stats,
-        min_support_count: min_support,
-        database_size: db_len,
-    })
-}
-
-fn enumerate_one(
-    class: &ClassWork,
-    rel: &crate::relabel::Relabeled,
-    frequent: Option<&BitSet>,
-    config: &TaxogramConfig,
-    min_support: usize,
-    db_len: usize,
-) -> ClassOutput {
-    let mut out = ClassOutput::default();
-    out.stats.occurrences = class.embeddings.len();
-    let t_oi = std::time::Instant::now();
-    let oi = OccurrenceIndex::build(
-        &class.embeddings,
-        &rel.originals,
-        class.skeleton.labels(),
-        &rel.taxonomy,
-        OiOptions {
-            frequent,
-            contract_equal_sets: config.enhancements.contract_equal_sets,
-            predescend_roots: config.enhancements.predescend_roots,
-        },
+    let mut result = merge_outputs(
+        outputs
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("workers finished")),
+        classes.len(),
+        &prepared,
     );
-    out.stats.oi_build_ms = t_oi.elapsed().as_secs_f64() * 1000.0;
-    out.stats.oi_updates = oi.updates;
-    out.stats.peak_oi_bytes = oi.heap_bytes();
-    let t_enum = std::time::Instant::now();
-    let skeleton = &class.skeleton;
-    let stats = crate::enumerate::enumerate_class_full(
-        skeleton,
-        &oi,
-        &rel.taxonomy,
-        min_support,
-        db_len,
-        &config.enhancements,
-        config.keep_overgeneralized,
-        |p| {
-            let mut g = skeleton.clone();
-            for (i, &l) in p.labels.iter().enumerate() {
-                g.set_label(i, l);
-            }
-            out.patterns.push(Pattern {
-                graph: g,
-                support_count: p.support,
-                support: p.support as f64 / db_len as f64,
-            });
-        },
-    );
-    out.stats.enumerate_ms = t_enum.elapsed().as_secs_f64() * 1000.0;
-    out.stats.enumeration = stats;
-    out
+    result.stats.peak_oi_bytes = oi_gauge.peak();
+    result.stats.peak_embedding_bytes = peak_embedding_bytes;
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -251,6 +177,15 @@ mod tests {
                 parallel.stats.enumeration.intersections
             );
         }
+    }
+
+    #[test]
+    fn barrier_embedding_peak_counts_all_classes() {
+        let (_, parallel) = serial_and_parallel(2);
+        assert!(
+            parallel.stats.peak_embedding_bytes > 0,
+            "collected embeddings have nonzero footprint"
+        );
     }
 
     #[test]

@@ -1,0 +1,629 @@
+//! Streaming pipelined mining: Step 2 and Step 3 overlapped.
+//!
+//! The barrier engine ([`crate::mine_parallel`]) runs gSpan to completion,
+//! collecting **every** class's embedding list, before any Step 3 work
+//! starts. That collect-all barrier costs twice: wall-clock (workers idle
+//! while mining runs, the miner idles while workers drain) and memory
+//! (all embedding lists resident at once, forfeiting the paper's Step 2
+//! space argument entirely).
+//!
+//! [`mine_pipelined`] removes the barrier. The gSpan producer pushes each
+//! completed pattern class — skeleton plus embeddings, **moved, not
+//! cloned** via [`tsg_gspan::PatternSink::complete`] — into a bounded
+//! channel the moment its DFS-code subtree closes. A worker pool builds
+//! occurrence indices and enumerates specializations *while mining is
+//! still running*. Three properties make this safe and fast:
+//!
+//! - **Determinism.** `complete` fires in report (pre-order DFS) order,
+//!   so the sink stamps each class with a sequence number equal to its
+//!   serial class index. Workers process classes in whatever order the
+//!   channel hands them out, but the merge sorts per-class outputs by
+//!   sequence number — a reorder buffer — so the pattern list is
+//!   byte-for-byte identical to the serial miner's.
+//! - **Bounded memory.** The channel holds at most `channel_capacity`
+//!   classes; a full channel blocks the producer. Peak resident embedding
+//!   bytes are therefore bounded by the classes in flight (queued plus
+//!   one per worker plus the one the producer holds), not by the class
+//!   count. [`crate::MiningStats::peak_embedding_bytes`] records the
+//!   observed high-water mark.
+//! - **Zero steady-state allocation.** Each worker owns a reusable
+//!   scratch arena ([`crate::enumerate::EnumScratch`] +
+//!   [`crate::oi::OiScratch`]): dense bitset pools, interning tables, and
+//!   specialization work stacks are recycled across classes, so the hot
+//!   loop stops allocating once warm.
+
+use crate::channel::Bounded;
+use crate::config::TaxogramConfig;
+use crate::enumerate::EnumScratch;
+use crate::error::TaxogramError;
+use crate::gauge::MemoryGauge;
+use crate::miner::{MiningResult, MiningStats, Pattern};
+use crate::oi::{OccurrenceIndex, OiOptions, OiScratch};
+use crate::relabel::{relabel, Relabeled};
+use tsg_bitset::BitSet;
+use tsg_graph::{GraphDatabase, LabeledGraph};
+use tsg_gspan::{ClassHandoff, Embedding, GSpan, GSpanConfig, Grow, MinedPattern, PatternSink};
+use tsg_taxonomy::Taxonomy;
+
+/// Tuning knobs for [`mine_pipelined_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineOptions {
+    /// Total mining threads: the gSpan producer (which steals Step 3
+    /// work whenever the channel backs up) plus `threads - 1` dedicated
+    /// workers. `0` or `1` falls back to the serial miner.
+    pub threads: usize,
+    /// Bounded channel capacity in pattern classes; `0` means
+    /// `2 × threads`. Smaller values bound resident embedding memory
+    /// tighter at the cost of more producer stalls.
+    pub channel_capacity: usize,
+    /// Clamp `threads` to the machine's available parallelism (default).
+    /// When the clamp leaves no dedicated worker (a single-core host),
+    /// classes are streamed *inline* on the producer thread — same
+    /// move-handoff, scratch reuse, and memory accounting, zero
+    /// synchronization. Disable to force the channel machinery at any
+    /// thread count (used by the determinism tests).
+    pub clamp_to_cores: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            threads: 2,
+            channel_capacity: 0,
+            clamp_to_cores: true,
+        }
+    }
+}
+
+/// Mines like [`crate::Taxogram::mine`] with Step 2 and Step 3 overlapped
+/// on `threads` workers. Output is exactly the serial result (same
+/// patterns, same order, same supports).
+///
+/// # Errors
+/// Same conditions as the serial miner.
+pub fn mine_pipelined(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    threads: usize,
+) -> Result<MiningResult, TaxogramError> {
+    mine_pipelined_with(
+        config,
+        db,
+        taxonomy,
+        PipelineOptions {
+            threads,
+            channel_capacity: 0,
+            clamp_to_cores: true,
+        },
+    )
+}
+
+/// [`mine_pipelined`] with an explicit channel capacity.
+///
+/// # Errors
+/// Same conditions as the serial miner.
+pub fn mine_pipelined_with(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    options: PipelineOptions,
+) -> Result<MiningResult, TaxogramError> {
+    let threads = options.threads;
+    if threads <= 1 {
+        return crate::Taxogram::new(*config).mine(db, taxonomy);
+    }
+    let prepared = match prepare(config, db, taxonomy)? {
+        Prologue::Done(result) => return Ok(result),
+        Prologue::Ready(p) => p,
+    };
+    let effective = if options.clamp_to_cores {
+        std::thread::available_parallelism()
+            .map(|n| threads.min(n.get()))
+            .unwrap_or(threads)
+    } else {
+        threads
+    };
+    if effective <= 1 {
+        // No dedicated worker to be had: stream inline. Still the
+        // pipelined engine — classes hand off by move and scratch arenas
+        // persist — just with the channel optimized away.
+        return Ok(mine_inline(config, &prepared));
+    }
+    let threads = effective;
+    let capacity = if options.channel_capacity == 0 {
+        2 * threads
+    } else {
+        options.channel_capacity
+    };
+
+    let channel: Bounded<WorkItem> = Bounded::new(capacity);
+    let emb_gauge = MemoryGauge::new();
+    let oi_gauge = MemoryGauge::new();
+
+    let mut classes = 0usize;
+    let mut outputs: Vec<(usize, ClassOutput)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads - 1)
+            .map(|_| {
+                let channel = &channel;
+                let emb_gauge = &emb_gauge;
+                let oi_gauge = &oi_gauge;
+                let prepared = &prepared;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, ClassOutput)> = Vec::new();
+                    let mut enum_scratch = EnumScratch::new();
+                    let mut oi_scratch = OiScratch::new();
+                    while let Some(item) = channel.recv() {
+                        let out = enumerate_class(
+                            &item.skeleton,
+                            &item.embeddings,
+                            prepared,
+                            config,
+                            Some(oi_gauge),
+                            &mut enum_scratch,
+                            &mut oi_scratch,
+                        );
+                        // Embeddings die here; release them from the gauge.
+                        drop(item.embeddings);
+                        emb_gauge.sub(item.emb_bytes);
+                        local.push((item.seq, out));
+                    }
+                    local
+                })
+            })
+            .collect();
+
+        // Producer: gSpan on the calling thread, streaming into the
+        // channel with backpressure. On a full channel the producer
+        // steals an item and enumerates it itself rather than sleeping.
+        let mut sink = PipeSink {
+            channel: &channel,
+            emb_gauge: &emb_gauge,
+            oi_gauge: &oi_gauge,
+            prepared: &prepared,
+            config,
+            enum_scratch: EnumScratch::new(),
+            oi_scratch: OiScratch::new(),
+            outputs: Vec::new(),
+            next_seq: 0,
+        };
+        GSpan::new(
+            &prepared.rel.dmg,
+            GSpanConfig {
+                min_support: prepared.min_support,
+                max_edges: config.max_edges,
+            },
+        )
+        .mine(&mut sink);
+        classes = sink.next_seq;
+        channel.close();
+        // Mining is done; the producer joins the drain instead of idling.
+        while let Some(item) = channel.try_recv() {
+            sink.process(item);
+        }
+        outputs = sink.outputs;
+
+        for h in handles {
+            outputs.extend(h.join().expect("pipeline worker does not panic"));
+        }
+    });
+
+    // Reorder buffer: sequence numbers are serial class indices, so
+    // sorting restores exactly the serial output order.
+    outputs.sort_unstable_by_key(|(seq, _)| *seq);
+    let mut result = merge_outputs(outputs.into_iter().map(|(_, out)| out), classes, &prepared);
+    result.stats.peak_oi_bytes = oi_gauge.peak();
+    result.stats.peak_embedding_bytes = emb_gauge.peak();
+    Ok(result)
+}
+
+/// Single-thread streaming: each class is enumerated the moment gSpan
+/// completes it, on the mining thread, with persistent scratch arenas.
+/// Used when the core clamp leaves no dedicated worker; also the
+/// fairest possible single-core baseline for the channel pipeline.
+fn mine_inline(config: &TaxogramConfig, prepared: &Prepared) -> MiningResult {
+    struct InlineSink<'a> {
+        prepared: &'a Prepared,
+        config: &'a TaxogramConfig,
+        emb_gauge: &'a MemoryGauge,
+        oi_gauge: &'a MemoryGauge,
+        enum_scratch: EnumScratch,
+        oi_scratch: OiScratch,
+        outputs: Vec<ClassOutput>,
+    }
+    impl PatternSink for InlineSink<'_> {
+        fn report(&mut self, _class: &MinedPattern<'_>) -> Grow {
+            Grow::Continue
+        }
+        fn complete(&mut self, class: ClassHandoff) {
+            let emb_bytes = embedding_heap_bytes(&class.embeddings);
+            self.emb_gauge.add(emb_bytes);
+            let out = enumerate_class(
+                &class.graph,
+                &class.embeddings,
+                self.prepared,
+                self.config,
+                Some(self.oi_gauge),
+                &mut self.enum_scratch,
+                &mut self.oi_scratch,
+            );
+            drop(class);
+            self.emb_gauge.sub(emb_bytes);
+            self.outputs.push(out);
+        }
+    }
+    let emb_gauge = MemoryGauge::new();
+    let oi_gauge = MemoryGauge::new();
+    let mut sink = InlineSink {
+        prepared,
+        config,
+        emb_gauge: &emb_gauge,
+        oi_gauge: &oi_gauge,
+        enum_scratch: EnumScratch::new(),
+        oi_scratch: OiScratch::new(),
+        outputs: Vec::new(),
+    };
+    GSpan::new(
+        &prepared.rel.dmg,
+        GSpanConfig {
+            min_support: prepared.min_support,
+            max_edges: config.max_edges,
+        },
+    )
+    .mine(&mut sink);
+    let classes = sink.outputs.len();
+    let mut result = merge_outputs(sink.outputs.into_iter(), classes, prepared);
+    result.stats.peak_oi_bytes = oi_gauge.peak();
+    result.stats.peak_embedding_bytes = emb_gauge.peak();
+    result
+}
+
+/// A pattern class in flight from the gSpan producer to a worker.
+struct WorkItem {
+    /// Serial class index (assigned in report order).
+    seq: usize,
+    skeleton: LabeledGraph,
+    embeddings: Vec<Embedding>,
+    /// Heap bytes of `embeddings`, precomputed for the gauge.
+    emb_bytes: usize,
+}
+
+struct PipeSink<'a> {
+    channel: &'a Bounded<WorkItem>,
+    emb_gauge: &'a MemoryGauge,
+    oi_gauge: &'a MemoryGauge,
+    prepared: &'a Prepared,
+    config: &'a TaxogramConfig,
+    /// Scratch arenas for classes the producer enumerates itself when
+    /// the channel is full (work stealing instead of blocking).
+    enum_scratch: EnumScratch,
+    oi_scratch: OiScratch,
+    outputs: Vec<(usize, ClassOutput)>,
+    next_seq: usize,
+}
+
+impl PipeSink<'_> {
+    fn process(&mut self, item: WorkItem) {
+        let out = enumerate_class(
+            &item.skeleton,
+            &item.embeddings,
+            self.prepared,
+            self.config,
+            Some(self.oi_gauge),
+            &mut self.enum_scratch,
+            &mut self.oi_scratch,
+        );
+        drop(item.embeddings);
+        self.emb_gauge.sub(item.emb_bytes);
+        self.outputs.push((item.seq, out));
+    }
+}
+
+impl PatternSink for PipeSink<'_> {
+    fn report(&mut self, _class: &MinedPattern<'_>) -> Grow {
+        Grow::Continue
+    }
+
+    fn complete(&mut self, class: ClassHandoff) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let emb_bytes = embedding_heap_bytes(&class.embeddings);
+        // Account before send: the bytes are resident from this moment
+        // until a worker (or the producer itself) finishes with them.
+        self.emb_gauge.add(emb_bytes);
+        let mut item = WorkItem {
+            seq,
+            skeleton: class.graph,
+            embeddings: class.embeddings,
+            emb_bytes,
+        };
+        // Backpressure as work stealing: a full channel means the
+        // workers are saturated, so mining pauses and this thread
+        // enumerates a queued class itself. Resident embedding memory
+        // stays bounded by capacity + threads + 1 items, and no thread
+        // ever sleeps while there is work to do.
+        loop {
+            match self.channel.try_send(item) {
+                Ok(()) => return,
+                Err(back) => {
+                    item = back;
+                    if let Some(stolen) = self.channel.try_recv() {
+                        self.process(stolen);
+                    }
+                    // else: a worker drained the queue between the two
+                    // calls — the retry will enqueue.
+                }
+            }
+        }
+    }
+}
+
+/// Approximate heap footprint of an embedding list.
+pub(crate) fn embedding_heap_bytes(embeddings: &[Embedding]) -> usize {
+    let spine = embeddings.len() * std::mem::size_of::<Embedding>();
+    let inner: usize = embeddings
+        .iter()
+        .map(|e| std::mem::size_of_val(&e.map[..]) + std::mem::size_of_val(&e.edges[..]))
+        .sum();
+    spine + inner
+}
+
+/// Shared Step 0/1 prologue: threshold validation, support floor, empty
+/// database short-circuit, relabeling, and the generalized-frequent mask.
+pub(crate) enum Prologue {
+    /// The run is already over (empty database).
+    Done(MiningResult),
+    Ready(Prepared),
+}
+
+/// Everything Step 3 workers need, computed once per run.
+pub(crate) struct Prepared {
+    pub rel: Relabeled,
+    pub frequent_mask: Option<BitSet>,
+    pub min_support: usize,
+    pub db_len: usize,
+}
+
+pub(crate) fn prepare(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+) -> Result<Prologue, TaxogramError> {
+    let theta = config.threshold;
+    if !(0.0..=1.0).contains(&theta) || theta.is_nan() {
+        return Err(TaxogramError::InvalidThreshold { theta });
+    }
+    let min_support = db.min_support_count(theta);
+    if db.is_empty() {
+        return Ok(Prologue::Done(MiningResult {
+            patterns: Vec::new(),
+            stats: MiningStats::default(),
+            min_support_count: min_support,
+            database_size: 0,
+        }));
+    }
+    let rel = relabel(db, taxonomy)?;
+    let frequent_mask = if config.enhancements.prune_infrequent_labels {
+        let freqs = rel.taxonomy.generalized_label_frequencies(db);
+        let mut mask = BitSet::new(rel.taxonomy.concept_count());
+        for (i, &f) in freqs.iter().enumerate() {
+            if f >= min_support {
+                mask.insert(i);
+            }
+        }
+        Some(mask)
+    } else {
+        None
+    };
+    Ok(Prologue::Ready(Prepared {
+        rel,
+        frequent_mask,
+        min_support,
+        db_len: db.len(),
+    }))
+}
+
+/// Per-class enumeration output, merged in class order at the end.
+#[derive(Default)]
+pub(crate) struct ClassOutput {
+    pub patterns: Vec<Pattern>,
+    pub stats: MiningStats,
+}
+
+/// Builds one class's occurrence index and enumerates its
+/// specializations, reusing the caller's scratch arenas. When `oi_gauge`
+/// is given, the index's heap bytes are charged to it for the duration
+/// of the enumeration (true concurrent-residency accounting).
+pub(crate) fn enumerate_class(
+    skeleton: &LabeledGraph,
+    embeddings: &[Embedding],
+    prepared: &Prepared,
+    config: &TaxogramConfig,
+    oi_gauge: Option<&MemoryGauge>,
+    enum_scratch: &mut EnumScratch,
+    oi_scratch: &mut OiScratch,
+) -> ClassOutput {
+    let mut out = ClassOutput::default();
+    out.stats.occurrences = embeddings.len();
+    let t_oi = std::time::Instant::now();
+    let oi = OccurrenceIndex::build_with_scratch(
+        embeddings,
+        &prepared.rel.originals,
+        skeleton.labels(),
+        &prepared.rel.taxonomy,
+        OiOptions {
+            frequent: prepared.frequent_mask.as_ref(),
+            contract_equal_sets: config.enhancements.contract_equal_sets,
+            predescend_roots: config.enhancements.predescend_roots,
+        },
+        oi_scratch,
+    );
+    out.stats.oi_build_ms = t_oi.elapsed().as_secs_f64() * 1000.0;
+    out.stats.oi_updates = oi.updates;
+    let oi_bytes = oi.heap_bytes();
+    out.stats.peak_oi_bytes = oi_bytes;
+    if let Some(g) = oi_gauge {
+        g.add(oi_bytes);
+    }
+    let db_len = prepared.db_len;
+    let t_enum = std::time::Instant::now();
+    let stats = crate::enumerate::enumerate_class_scratch(
+        skeleton,
+        &oi,
+        &prepared.rel.taxonomy,
+        prepared.min_support,
+        db_len,
+        &config.enhancements,
+        config.keep_overgeneralized,
+        enum_scratch,
+        |p| {
+            let mut g = skeleton.clone();
+            for (i, &l) in p.labels.iter().enumerate() {
+                g.set_label(i, l);
+            }
+            out.patterns.push(Pattern {
+                graph: g,
+                support_count: p.support,
+                support: p.support as f64 / db_len as f64,
+            });
+        },
+    );
+    out.stats.enumerate_ms = t_enum.elapsed().as_secs_f64() * 1000.0;
+    out.stats.enumeration = stats;
+    drop(oi);
+    if let Some(g) = oi_gauge {
+        g.sub(oi_bytes);
+    }
+    out
+}
+
+/// Sums per-class outputs (already in class order) into a result.
+/// `peak_oi_bytes`/`peak_embedding_bytes` are left as max-over-classes /
+/// zero; engines with gauge-based accounting overwrite them.
+pub(crate) fn merge_outputs(
+    outputs: impl Iterator<Item = ClassOutput>,
+    classes: usize,
+    prepared: &Prepared,
+) -> MiningResult {
+    let mut patterns = Vec::new();
+    let mut stats = MiningStats {
+        classes,
+        ..MiningStats::default()
+    };
+    for out in outputs {
+        patterns.extend(out.patterns);
+        stats.oi_updates += out.stats.oi_updates;
+        stats.occurrences += out.stats.occurrences;
+        stats.peak_oi_bytes = stats.peak_oi_bytes.max(out.stats.peak_oi_bytes);
+        stats.oi_build_ms += out.stats.oi_build_ms;
+        stats.enumerate_ms += out.stats.enumerate_ms;
+        stats.enumeration.vectors_visited += out.stats.enumeration.vectors_visited;
+        stats.enumeration.intersections += out.stats.enumeration.intersections;
+        stats.enumeration.emitted += out.stats.enumeration.emitted;
+        stats.enumeration.overgeneralized += out.stats.enumeration.overgeneralized;
+    }
+    MiningResult {
+        patterns,
+        stats,
+        min_support_count: prepared.min_support,
+        database_size: prepared.db_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaxogramConfig;
+    use tsg_taxonomy::samples;
+
+    fn serial_and_pipelined(threads: usize, capacity: usize) -> (MiningResult, MiningResult) {
+        let (c, t) = samples::sample_taxonomy();
+        let db = samples::figure_1_4_database(&c);
+        let cfg = TaxogramConfig::with_threshold(1.0 / 3.0);
+        let serial = crate::Taxogram::new(cfg).mine(&db, &t).unwrap();
+        // clamp_to_cores off: always exercise the channel machinery,
+        // even when the test host has a single core.
+        let piped = mine_pipelined_with(
+            &cfg,
+            &db,
+            &t,
+            PipelineOptions {
+                threads,
+                channel_capacity: capacity,
+                clamp_to_cores: false,
+            },
+        )
+        .unwrap();
+        (serial, piped)
+    }
+
+    fn assert_identical(serial: &MiningResult, piped: &MiningResult) {
+        assert_eq!(serial.patterns.len(), piped.patterns.len());
+        for (a, b) in serial.patterns.iter().zip(&piped.patterns) {
+            assert_eq!(a.graph.labels(), b.graph.labels(), "order preserved");
+            assert_eq!(a.graph.edges(), b.graph.edges());
+            assert_eq!(a.support_count, b.support_count);
+        }
+        assert_eq!(serial.stats.classes, piped.stats.classes);
+        assert_eq!(
+            serial.stats.enumeration.emitted,
+            piped.stats.enumeration.emitted
+        );
+        assert_eq!(
+            serial.stats.enumeration.intersections,
+            piped.stats.enumeration.intersections
+        );
+    }
+
+    #[test]
+    fn pipelined_matches_serial_exactly() {
+        for threads in [2, 4, 8] {
+            let (serial, piped) = serial_and_pipelined(threads, 0);
+            assert_identical(&serial, &piped);
+        }
+    }
+
+    #[test]
+    fn tiny_channel_forces_backpressure_and_stays_correct() {
+        // Capacity 1: the producer blocks after every class until a
+        // worker drains it — maximum reordering pressure on the merge.
+        let (serial, piped) = serial_and_pipelined(4, 1);
+        assert_identical(&serial, &piped);
+        assert!(piped.stats.peak_embedding_bytes > 0);
+    }
+
+    #[test]
+    fn one_thread_falls_back_to_serial() {
+        let (serial, piped) = serial_and_pipelined(1, 0);
+        assert_eq!(serial.patterns.len(), piped.patterns.len());
+    }
+
+    #[test]
+    fn pipelined_handles_empty_database() {
+        let (_, t) = samples::sample_taxonomy();
+        let cfg = TaxogramConfig::with_threshold(0.5);
+        let r = mine_pipelined(&cfg, &GraphDatabase::new(), &t, 4).unwrap();
+        assert!(r.patterns.is_empty());
+    }
+
+    #[test]
+    fn pipelined_rejects_bad_threshold() {
+        let (_, t) = samples::sample_taxonomy();
+        let cfg = TaxogramConfig::with_threshold(-0.5);
+        assert!(matches!(
+            mine_pipelined(&cfg, &GraphDatabase::new(), &t, 4),
+            Err(TaxogramError::InvalidThreshold { .. })
+        ));
+    }
+
+    #[test]
+    fn pipelined_reports_memory_gauges() {
+        let (c, t) = samples::sample_taxonomy();
+        let db = samples::figure_1_4_database(&c);
+        let cfg = TaxogramConfig::with_threshold(1.0 / 3.0);
+        let r = mine_pipelined(&cfg, &db, &t, 2).unwrap();
+        assert!(r.stats.peak_oi_bytes > 0);
+        assert!(r.stats.peak_embedding_bytes > 0);
+    }
+}

@@ -46,6 +46,6 @@ pub use extension::{
 };
 pub use minimal::{is_min, min_dfs_code};
 pub use miner::{
-    mine_frequent, CollectSink, FrequentPattern, GSpan, GSpanConfig, Grow, MinedPattern,
-    PatternSink,
+    mine_frequent, ClassHandoff, CollectSink, FrequentPattern, GSpan, GSpanConfig, Grow,
+    MinedPattern, PatternSink,
 };

@@ -54,10 +54,38 @@ pub enum Grow {
     Stop,
 }
 
+/// A completed pattern class, handed off **by move** once the miner no
+/// longer needs its embeddings.
+///
+/// The embedding list is the expensive part of a mined class; streaming
+/// consumers (e.g. a pipelined Step 3) want to take ownership of it rather
+/// than clone it out of [`MinedPattern`]'s borrowed slice. The miner calls
+/// [`PatternSink::complete`] with this handoff as soon as the class's
+/// extensions have been enumerated — its children's embedding lists exist
+/// by then, so the parent's are dead weight to the miner.
+#[derive(Debug)]
+pub struct ClassHandoff {
+    /// The pattern as a graph (vertex ids = DFS ids).
+    pub graph: LabeledGraph,
+    /// Number of distinct database graphs containing the pattern.
+    pub support: usize,
+    /// Every embedding of the pattern in the database, ascending by graph;
+    /// owned — moved, not cloned, out of the mining frame.
+    pub embeddings: Vec<Embedding>,
+}
+
 /// Receives every frequent pattern, in DFS (depth-first, canonical) order.
 pub trait PatternSink {
     /// Called once per frequent pattern with its embeddings.
     fn report(&mut self, pattern: &MinedPattern<'_>) -> Grow;
+
+    /// Called once per *reported* pattern, after the miner has enumerated
+    /// the pattern's extensions, handing the class over by move. Calls
+    /// arrive in report (pre-order DFS) order. Not called for a pattern
+    /// whose `report` returned [`Grow::Stop`]. The default drops the class.
+    fn complete(&mut self, class: ClassHandoff) {
+        let _ = class;
+    }
 }
 
 /// A sink collecting `(graph, support)` pairs.
@@ -107,7 +135,7 @@ impl<'a> GSpan<'a> {
     pub fn mine<S: PatternSink>(&self, sink: &mut S) {
         let mut seeds = seed_extensions(self.db);
         prune_infrequent(&mut seeds, self.config.min_support);
-        for (key, embs) in &seeds {
+        for (key, embs) in seeds {
             let mut code = DfsCode::from_edges(vec![key.0]);
             if self.mine_rec(&mut code, embs, sink).is_break() {
                 return;
@@ -115,11 +143,12 @@ impl<'a> GSpan<'a> {
         }
     }
 
-    /// Recursive step. Precondition: `embs` is frequent.
+    /// Recursive step. Precondition: `embs` is frequent. Owns the
+    /// embedding list so completed classes can be handed off by move.
     fn mine_rec<S: PatternSink>(
         &self,
         code: &mut DfsCode,
-        embs: &[Embedding],
+        embs: Vec<Embedding>,
         sink: &mut S,
     ) -> ControlFlow<()> {
         if !is_min(code) {
@@ -127,24 +156,38 @@ impl<'a> GSpan<'a> {
             return ControlFlow::Continue(());
         }
         let graph = code.to_graph().expect("mined codes denote valid graphs");
-        let support = distinct_graph_count(embs);
+        let support = distinct_graph_count(&embs);
         let decision = sink.report(&MinedPattern {
             code,
             graph: &graph,
             support,
-            embeddings: embs,
+            embeddings: &embs,
         });
+        let handoff = |embeddings: Vec<Embedding>, graph: LabeledGraph| ClassHandoff {
+            graph,
+            support,
+            embeddings,
+        };
         match decision {
             Grow::Stop => return ControlFlow::Break(()),
-            Grow::Prune => return ControlFlow::Continue(()),
+            Grow::Prune => {
+                sink.complete(handoff(embs, graph));
+                return ControlFlow::Continue(());
+            }
             Grow::Continue => {}
         }
         if self.config.max_edges.is_some_and(|m| code.len() >= m) {
+            sink.complete(handoff(embs, graph));
             return ControlFlow::Continue(());
         }
-        let exts = enumerate_extensions(code, embs, self.db);
-        for (key, child_embs) in &exts {
-            if distinct_graph_count(child_embs) < self.config.min_support {
+        let exts = enumerate_extensions(code, &embs, self.db);
+        // The children's embedding lists now exist; the parent's are dead
+        // weight to the miner, so the class completes (by move) *before*
+        // the subtree is explored — streaming consumers start on it while
+        // mining continues.
+        sink.complete(handoff(embs, graph));
+        for (key, child_embs) in exts {
+            if distinct_graph_count(&child_embs) < self.config.min_support {
                 continue;
             }
             code.push(key.0);
@@ -310,6 +353,80 @@ mod tests {
         .mine(&mut s);
         // Only 1-edge patterns get reported: 1-2 and 2-3.
         assert_eq!(s.0, vec![1, 1]);
+    }
+
+    #[test]
+    fn complete_mirrors_report_with_owned_embeddings() {
+        // complete() must fire once per reported pattern, in report order,
+        // with the same graph/support/embedding list — including for
+        // pruned patterns and patterns at the max_edges cap.
+        struct Lifecycle {
+            reported: Vec<(Vec<NodeLabel>, usize, usize)>,
+            completed: Vec<(Vec<NodeLabel>, usize, usize)>,
+            prune_two_edges: bool,
+        }
+        impl PatternSink for Lifecycle {
+            fn report(&mut self, p: &MinedPattern<'_>) -> Grow {
+                self.reported
+                    .push((p.graph.labels().to_vec(), p.support, p.embeddings.len()));
+                if self.prune_two_edges && p.graph.edge_count() >= 2 {
+                    Grow::Prune
+                } else {
+                    Grow::Continue
+                }
+            }
+            fn complete(&mut self, class: ClassHandoff) {
+                self.completed.push((
+                    class.graph.labels().to_vec(),
+                    class.support,
+                    class.embeddings.len(),
+                ));
+            }
+        }
+        let db = GraphDatabase::from_graphs(vec![path_graph(&[1, 2, 3, 1])]);
+        for (prune, max_edges) in [(false, None), (true, None), (false, Some(2))] {
+            let mut s = Lifecycle {
+                reported: vec![],
+                completed: vec![],
+                prune_two_edges: prune,
+            };
+            GSpan::new(
+                &db,
+                GSpanConfig {
+                    min_support: 1,
+                    max_edges,
+                },
+            )
+            .mine(&mut s);
+            assert!(!s.reported.is_empty());
+            assert_eq!(s.reported, s.completed, "prune={prune} cap={max_edges:?}");
+        }
+    }
+
+    #[test]
+    fn stop_skips_complete() {
+        struct StopNow {
+            completions: usize,
+        }
+        impl PatternSink for StopNow {
+            fn report(&mut self, _: &MinedPattern<'_>) -> Grow {
+                Grow::Stop
+            }
+            fn complete(&mut self, _: ClassHandoff) {
+                self.completions += 1;
+            }
+        }
+        let db = GraphDatabase::from_graphs(vec![path_graph(&[1, 1, 1])]);
+        let mut s = StopNow { completions: 0 };
+        GSpan::new(
+            &db,
+            GSpanConfig {
+                min_support: 1,
+                max_edges: None,
+            },
+        )
+        .mine(&mut s);
+        assert_eq!(s.completions, 0);
     }
 
     #[test]

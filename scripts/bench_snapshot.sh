@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Record a dated performance snapshot.
+#
+# Runs the microbench suite's kernel timings plus the end-to-end
+# D1000/θ=0.2 engine comparison and writes BENCH_<YYYYMMDD>.json in the
+# repo root. Pass --threads / --scale through to the snapshot binary:
+#
+#   scripts/bench_snapshot.sh --threads 8 --scale medium
+set -eu
+
+cd "$(dirname "$0")/.."
+out="BENCH_$(date +%Y%m%d).json"
+# Stage through a temp file so a failed run can't truncate an existing
+# snapshot (plain `> "$out"` clobbers before the binary even starts).
+tmp="$out.tmp"
+trap 'rm -f "$tmp"' EXIT
+cargo run --release -q -p tsg-bench --bin bench_snapshot -- "$@" > "$tmp"
+mv "$tmp" "$out"
+echo "wrote $out" >&2
+cat "$out"

@@ -1,0 +1,329 @@
+//! Minimal `criterion` facade (offline stand-in; see
+//! `shims/README.md`).
+//!
+//! Provides the bench-definition surface this workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] configuration
+//! chains, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! warm-up + fixed-sample-count wall-clock loop. Output is one line per
+//! benchmark with min/median/max nanoseconds per iteration; there is no
+//! outlier analysis, plotting, or saved baseline comparison.
+//!
+//! Passing `--test` (as `cargo test --benches` does) runs every closure
+//! exactly once without timing.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub mod measurement {
+    //! Measurement markers (wall-clock only in the shim).
+
+    /// Wall-clock time measurement.
+    pub struct WallTime;
+}
+
+/// Identifies one benchmark within a group as `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Benchmark runner state shared by all groups.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Harness flags cargo may pass; all ignored.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration (already done in `default`; kept for API
+    /// compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            test_mode: self.test_mode,
+            filter: self.filter.clone(),
+            _parent: PhantomData,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named set of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+    _parent: PhantomData<(&'a mut Criterion, M)>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full);
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op in the shim; reports happen per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    test_mode: bool,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` (or calls it once under `--test`).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up doubles as the batch-size estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1 << 24);
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+
+    fn report(&mut self, full_id: &str) {
+        if self.test_mode {
+            println!("test {full_id} ... ok");
+            return;
+        }
+        if self.samples_ns.is_empty() {
+            return;
+        }
+        self.samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = self.samples_ns[0];
+        let max = self.samples_ns[self.samples_ns.len() - 1];
+        let median = median_of_sorted(&self.samples_ns);
+        println!(
+            "{full_id:<56} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+    }
+}
+
+/// Median of an ascending-sorted, non-empty slice.
+pub fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_times_and_reports() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        group.bench_function(BenchmarkId::new("spin", 1), |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran > 3, "warm-up plus samples actually executed: {ran}");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut ran = 0u64;
+        let mut group = c.benchmark_group("shim");
+        group.bench_with_input("once", &7u64, |b, &x| {
+            b.iter(|| {
+                ran += x;
+                black_box(ran)
+            })
+        });
+        group.finish();
+        assert_eq!(ran, 7);
+    }
+
+    #[test]
+    fn median_handles_even_and_odd() {
+        assert_eq!(median_of_sorted(&[1.0, 3.0, 5.0]), 3.0);
+        assert_eq!(median_of_sorted(&[1.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Minimal `rand` facade (offline stand-in; see `shims/README.md`).
+//!
+//! Provides the slice of the rand 0.10 API this workspace uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `RngExt::{random, random_range, random_bool}`. The generator is
+//! xoshiro256++ seeded through splitmix64 — statistically solid for
+//! synthetic-dataset generation, though sequences differ from the real
+//! crate's `StdRng` (ChaCha12), so seeded datasets differ in content.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible uniformly by [`RngExt::random`].
+pub trait StandardUniform {
+    /// Samples one value from `rng`.
+    fn sample(rng: &mut impl RngCore) -> Self;
+}
+
+impl StandardUniform for f64 {
+    #[inline]
+    fn sample(rng: &mut impl RngCore) -> f64 {
+        // 53 uniform mantissa bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for u64 {
+    #[inline]
+    fn sample(rng: &mut impl RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniform for bool {
+    #[inline]
+    fn sample(rng: &mut impl RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_from(self, rng: &mut impl RngCore) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut impl RngCore) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end - self.start) as u64;
+                self.start + (reduce(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut impl RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let span = ((end - start) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                start + (reduce(rng.next_u64(), span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut impl RngCore) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(reduce(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut impl RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let span = ((end as i64).wrapping_sub(start as i64) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(reduce(rng.next_u64(), span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_sample_range!(i8, i16, i32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from(self, rng: &mut impl RngCore) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Multiply-shift range reduction (Lemire); bias is negligible for the
+/// dataset-generation spans used here (≪ 2⁶⁴).
+#[inline]
+fn reduce(word: u64, span: u64) -> u64 {
+    ((word as u128 * span as u128) >> 64) as u64
+}
+
+/// Convenience sampling methods, mirroring rand 0.10's `Rng`/`RngExt`.
+pub trait RngExt: RngCore {
+    /// A uniform sample of `T` (for `f64`: uniform in `[0, 1)`).
+    #[inline]
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform sample from `range`.
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard generator: xoshiro256++ seeded via splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, the canonical xoshiro seeding method.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            assert_eq!(a.random_range(0usize..1000), b.random_range(0usize..1000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: usize = (0..32)
+            .filter(|_| a.random_range(0u64..u64::MAX) == c.random_range(0u64..u64::MAX))
+            .count();
+        assert_eq!(same, 0, "different seeds diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(5u32..=5);
+            assert_eq!(w, 5);
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        let heads = (0..2000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((800..1200).contains(&heads), "p=0.5 is roughly fair: {heads}");
+    }
+}

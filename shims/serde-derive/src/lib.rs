@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives (offline serde stand-in).
+//!
+//! Nothing in this workspace serializes at runtime — the derives exist so
+//! downstream users of the real `serde` could — so the shim derives expand
+//! to nothing while still registering the `#[serde(...)]` helper attribute
+//! the annotated types use.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts `#[serde(...)]` field/container attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts `#[serde(...)]` field/container attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

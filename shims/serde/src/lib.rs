@@ -1,0 +1,7 @@
+//! Minimal `serde` facade (offline stand-in; see `shims/README.md`).
+//!
+//! Re-exports the no-op derive macros. No trait machinery is provided
+//! because nothing in this workspace serializes at runtime.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -178,7 +178,9 @@ fn mine(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 )?;
                 r.patterns.len()
             } else {
-                let r = taxogram_core::mine_parallel(&cfg, &db, &taxonomy, threads)
+                // threads > 1 uses the streaming pipelined engine (Step 2
+                // and Step 3 overlapped); threads <= 1 is the serial miner.
+                let r = taxogram_core::mine_pipelined(&cfg, &db, &taxonomy, threads)
                     .map_err(|e| err(e.to_string()))?;
                 // Optional post-filters on the minimal pattern set.
                 let selected: Vec<&taxogram_core::Pattern> = match args.get("filter") {
