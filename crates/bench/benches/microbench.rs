@@ -152,6 +152,57 @@ fn fused_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// The adaptive sparse∩sparse dispatch against both forced kernels, in
+/// both regimes it must cover: comparable sizes (linear merge should
+/// win) and heavy skew (galloping should win). The ratio sweep brackets
+/// the `GALLOP_RATIO = 16` crossover so a regression in either kernel —
+/// or a misplaced threshold — shows up directly.
+fn sparse_intersection_regimes(c: &mut Criterion) {
+    let universe = 65_536usize;
+    let mut group = c.benchmark_group("sparse_regimes");
+    // Regime 1: comparable sizes (ratio 1): two ~8k-member sets.
+    let a: SparseBitSet = (0..universe).step_by(8).collect();
+    let b: SparseBitSet = (4..universe).step_by(8).chain((0..universe).step_by(64)).collect();
+    group.bench_function("comparable/adaptive", |bench| {
+        bench.iter(|| a.intersection_count(&b))
+    });
+    group.bench_function("comparable/merge", |bench| {
+        bench.iter(|| a.intersection_count_merge(&b))
+    });
+    group.bench_function("comparable/gallop", |bench| {
+        bench.iter(|| a.intersection_count_gallop(&b))
+    });
+    // Regime 2: heavy skew (ratio 512): 128 members probing 64k.
+    let small: SparseBitSet = (0..universe).step_by(universe / 128).collect();
+    let large: SparseBitSet = (0..universe).collect();
+    group.bench_function("skewed/adaptive", |bench| {
+        bench.iter(|| small.intersection_count(&large))
+    });
+    group.bench_function("skewed/merge", |bench| {
+        bench.iter(|| small.intersection_count_merge(&large))
+    });
+    group.bench_function("skewed/gallop", |bench| {
+        bench.iter(|| small.intersection_count_gallop(&large))
+    });
+    // Ratio sweep across the crossover: the large side is fixed at 32k
+    // members; the small side shrinks by powers of two.
+    let large: SparseBitSet = (0..universe).step_by(2).collect();
+    for ratio in [4usize, 8, 16, 32, 64] {
+        let small: SparseBitSet = (0..universe).step_by(2 * ratio).collect();
+        group.bench_with_input(
+            BenchmarkId::new("sweep_merge", ratio),
+            &(&small, &large),
+            |bench, (s, l)| bench.iter(|| s.intersection_count_merge(l)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sweep_gallop", ratio),
+            &(&small, &large),
+            |bench, (s, l)| bench.iter(|| s.intersection_count_gallop(l)),
+        );
+    }
+    group.finish();
+}
+
 /// Barrier vs pipelined engine, end to end, at equal thread counts.
 fn engines(c: &mut Criterion) {
     let ds = tsg_datagen::registry::build(
@@ -193,5 +244,13 @@ fn engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(micro, occset_representation, iso_cost, pipeline_overhead, fused_kernels, engines);
+criterion_group!(
+    micro,
+    occset_representation,
+    iso_cost,
+    pipeline_overhead,
+    fused_kernels,
+    sparse_intersection_regimes,
+    engines
+);
 criterion_main!(micro);

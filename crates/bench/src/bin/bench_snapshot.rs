@@ -1,6 +1,8 @@
 //! Machine-readable performance snapshot: median nanoseconds for the hot
 //! bitset kernels plus end-to-end D1000/θ=0.2 mine times for the serial,
-//! barrier-parallel, and streaming-pipelined engines.
+//! barrier-parallel, streaming-pipelined, and work-stealing engines, and
+//! a `thread_scaling` section sweeping the scaling engines over
+//! 1/2/4/8 workers.
 //!
 //! Emits a single JSON object on stdout; `scripts/bench_snapshot.sh`
 //! redirects it into a dated `BENCH_<date>.json`. Timing is hand-rolled
@@ -96,20 +98,27 @@ fn main() {
     ];
 
     // --- End-to-end engines on D1000, θ = 0.2 ---------------------------
-    // Reps are interleaved (serial, barrier, pipelined per round) so
-    // machine-load drift hits all three engines equally, and the *minimum*
-    // over reps is reported: external load only ever adds time, so the min
-    // is the least-noisy estimate of an engine's true cost.
+    // Reps are interleaved (serial, barrier, pipelined, stealing per
+    // round) so machine-load drift hits all engines equally, and the
+    // *minimum* over reps is reported: external load only ever adds time,
+    // so the min is the least-noisy estimate of an engine's true cost.
     let ds = build(DatasetId::D(1000), profile.scale);
     let cfg = taxogram_core::TaxogramConfig::with_threshold(0.2).max_edges(5);
     let reps = 15usize;
 
     let barrier = taxogram_core::mine_parallel(&cfg, &ds.database, &ds.taxonomy, threads).unwrap();
     let piped = taxogram_core::mine_pipelined(&cfg, &ds.database, &ds.taxonomy, threads).unwrap();
+    let stolen =
+        taxogram_core::mine_stealing(&cfg, &ds.database, &ds.taxonomy, threads).unwrap();
     assert_eq!(
         barrier.patterns.len(),
         piped.patterns.len(),
         "engines must agree before a snapshot is worth recording"
+    );
+    assert_eq!(
+        piped.patterns.len(),
+        stolen.patterns.len(),
+        "stealing engine must agree before a snapshot is worth recording"
     );
 
     let time_once = |f: &dyn Fn() -> usize| -> f64 {
@@ -136,18 +145,64 @@ fn main() {
             .patterns
             .len()
     };
+    let steal_run = || {
+        taxogram_core::mine_stealing(&cfg, &ds.database, &ds.taxonomy, threads)
+            .unwrap()
+            .patterns
+            .len()
+    };
     let mut t_serial = Vec::with_capacity(reps);
     let mut t_barrier = Vec::with_capacity(reps);
     let mut t_piped = Vec::with_capacity(reps);
+    let mut t_steal = Vec::with_capacity(reps);
     for _ in 0..reps {
         t_serial.push(time_once(&serial_run));
         t_barrier.push(time_once(&barrier_run));
         t_piped.push(time_once(&piped_run));
+        t_steal.push(time_once(&steal_run));
     }
     let best = |v: &[f64]| -> f64 { v.iter().copied().fold(f64::INFINITY, f64::min) };
     let serial_ms = best(&t_serial);
     let barrier_ms = best(&t_barrier);
     let piped_ms = best(&t_piped);
+    let steal_ms = best(&t_steal);
+
+    // --- Thread scaling: pipelined vs stealing over 1/2/4/8 workers -----
+    // clamp_to_cores off so every requested worker count actually runs;
+    // on a host with fewer cores the extra workers time-slice, which
+    // still exercises (and times) the full scheduling machinery.
+    let scaling_reps = 5usize;
+    let thread_scaling: Vec<(usize, f64, f64, usize)> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|t| {
+            let mut piped_times = Vec::with_capacity(scaling_reps);
+            let mut steal_times = Vec::with_capacity(scaling_reps);
+            let mut steals = 0usize;
+            for _ in 0..scaling_reps {
+                piped_times.push(time_once(&|| {
+                    taxogram_core::mine_pipelined(&cfg, &ds.database, &ds.taxonomy, t)
+                        .unwrap()
+                        .patterns
+                        .len()
+                }));
+                let start = Instant::now();
+                let r = taxogram_core::mine_stealing_with(
+                    &cfg,
+                    &ds.database,
+                    &ds.taxonomy,
+                    taxogram_core::StealOptions {
+                        threads: t,
+                        deque_capacity: 0,
+                        clamp_to_cores: false,
+                    },
+                )
+                .unwrap();
+                steal_times.push(start.elapsed().as_nanos() as f64 / 1e6);
+                steals = steals.max(r.stats.steals);
+            }
+            (t, best(&piped_times), best(&steal_times), steals)
+        })
+        .collect();
 
     // --- JSON -----------------------------------------------------------
     let mut json = String::from("{\n  \"kernels_ns\": {\n");
@@ -157,15 +212,25 @@ fn main() {
     }
     json.push_str("  },\n");
     json.push_str(&format!(
-        "  \"d1000_theta02\": {{\n    \"scale\": {},\n    \"threads\": {},\n    \"patterns\": {},\n    \"serial_ms\": {:.3},\n    \"barrier_ms\": {:.3},\n    \"pipelined_ms\": {:.3},\n    \"barrier_peak_embedding_bytes\": {},\n    \"pipelined_peak_embedding_bytes\": {}\n  }}\n}}",
+        "  \"d1000_theta02\": {{\n    \"scale\": {},\n    \"threads\": {},\n    \"patterns\": {},\n    \"serial_ms\": {:.3},\n    \"barrier_ms\": {:.3},\n    \"pipelined_ms\": {:.3},\n    \"stealing_ms\": {:.3},\n    \"barrier_peak_embedding_bytes\": {},\n    \"pipelined_peak_embedding_bytes\": {},\n    \"stealing_peak_embedding_bytes\": {}\n  }},\n",
         profile.scale,
         threads,
         piped.patterns.len(),
         serial_ms,
         barrier_ms,
         piped_ms,
+        steal_ms,
         barrier.stats.peak_embedding_bytes,
         piped.stats.peak_embedding_bytes,
+        stolen.stats.peak_embedding_bytes,
     ));
+    json.push_str("  \"thread_scaling\": [\n");
+    for (i, (t, piped_ms, steal_ms, steals)) in thread_scaling.iter().enumerate() {
+        let comma = if i + 1 < thread_scaling.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"threads\": {t}, \"pipelined_ms\": {piped_ms:.3}, \"stealing_ms\": {steal_ms:.3}, \"steals\": {steals} }}{comma}\n"
+        ));
+    }
+    json.push_str("  ]\n}");
     println!("{json}");
 }

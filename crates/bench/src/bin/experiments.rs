@@ -149,7 +149,7 @@ fn main() {
         print_count_rows("support×100", &exp::fig4_8(&profile));
     }
     if want("parallel") {
-        section("Parallel scaling (beyond the paper) — barrier vs pipelined on D3000");
+        section("Parallel scaling (beyond the paper) — barrier vs pipelined vs stealing on D3000");
         let rows: Vec<Vec<String>> = exp::parallel_scaling(&profile)
             .into_iter()
             .map(|r| {
@@ -157,6 +157,8 @@ fn main() {
                     r.threads.to_string(),
                     ms(r.barrier_ms),
                     ms(r.pipelined_ms),
+                    ms(r.stealing_ms),
+                    r.steals.to_string(),
                     format!("{}KiB", r.barrier_emb_bytes >> 10),
                     format!("{}KiB", r.pipelined_emb_bytes >> 10),
                     r.patterns.to_string(),
@@ -166,7 +168,10 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["threads", "barrier", "pipelined", "barrier emb", "piped emb", "patterns"],
+                &[
+                    "threads", "barrier", "pipelined", "stealing", "steals", "barrier emb",
+                    "piped emb", "patterns",
+                ],
                 &rows
             )
         );

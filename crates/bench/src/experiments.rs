@@ -399,8 +399,8 @@ mod tests {
     }
 }
 
-/// One row of the parallel-scaling experiment: barrier vs pipelined
-/// engine at the same thread count.
+/// One row of the parallel-scaling experiment: barrier vs pipelined vs
+/// work-stealing engine at the same thread count.
 #[derive(Debug)]
 pub struct ParallelRow {
     /// Worker thread count.
@@ -409,6 +409,10 @@ pub struct ParallelRow {
     pub barrier_ms: f64,
     /// Pipelined engine (`mine_pipelined`) wall-clock time (ms).
     pub pipelined_ms: f64,
+    /// Work-stealing engine (`mine_stealing`) wall-clock time (ms).
+    pub stealing_ms: f64,
+    /// Cross-worker steals the stealing engine performed.
+    pub steals: usize,
     /// Barrier peak resident embedding bytes (all classes at once).
     pub barrier_emb_bytes: usize,
     /// Pipelined peak resident embedding bytes (channel-bounded).
@@ -420,8 +424,11 @@ pub struct ParallelRow {
 /// Beyond the paper: Step 3 thread scaling on the D3000 dataset at
 /// θ = 0.2 (the shared-memory half of the paper's "disk-based algorithms"
 /// future work; see also the two-pass partitioned miner in
-/// `taxogram_core::son`). Each row runs both parallel engines: the
-/// collect-all barrier and the streaming pipeline.
+/// `taxogram_core::son`). Each row runs all three parallel engines: the
+/// collect-all barrier, the streaming pipeline, and the fused
+/// work-stealing search. Thread counts are honored even on smaller hosts
+/// (`clamp_to_cores` off) so the scheduling machinery is always the thing
+/// being measured.
 pub fn parallel_scaling(profile: &Profile) -> Vec<ParallelRow> {
     let ds = build(DatasetId::D(3000), profile.scale);
     let mut cfg = TaxogramConfig::with_threshold(THETA);
@@ -437,11 +444,27 @@ pub fn parallel_scaling(profile: &Profile) -> Vec<ParallelRow> {
                 taxogram_core::mine_pipelined(&cfg, &ds.database, &ds.taxonomy, threads)
                     .expect("valid input")
             });
+            let (s, t_steal) = time_ms(|| {
+                taxogram_core::mine_stealing_with(
+                    &cfg,
+                    &ds.database,
+                    &ds.taxonomy,
+                    taxogram_core::StealOptions {
+                        threads,
+                        deque_capacity: 0,
+                        clamp_to_cores: false,
+                    },
+                )
+                .expect("valid input")
+            });
             assert_eq!(b.patterns.len(), p.patterns.len(), "engines agree");
+            assert_eq!(p.patterns.len(), s.patterns.len(), "stealing agrees");
             ParallelRow {
                 threads,
                 barrier_ms: t_barrier,
                 pipelined_ms: t_piped,
+                stealing_ms: t_steal,
+                steals: s.stats.steals,
                 barrier_emb_bytes: b.stats.peak_embedding_bytes,
                 pipelined_emb_bytes: p.stats.peak_embedding_bytes,
                 patterns: p.patterns.len(),

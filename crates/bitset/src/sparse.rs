@@ -81,10 +81,48 @@ impl SparseBitSet {
         SparseBitSet { items: out }
     }
 
-    /// `|self ∩ other|` without materializing.
+    /// `|self ∩ other|` without materializing. Adaptive: dispatches to
+    /// the linear merge or the galloping kernel by size ratio (see
+    /// [`GALLOP_RATIO`](Self::GALLOP_RATIO)).
     pub fn intersection_count(&self, other: &SparseBitSet) -> usize {
         let mut n = 0;
         self.merge_intersect(other, |_| n += 1);
+        n
+    }
+
+    /// `|self ∩ other|` forcing the linear two-pointer merge, bypassing
+    /// the adaptive dispatch. Calibration entry point: benchmarks sweep
+    /// the size ratio over this and [`intersection_count_gallop`] to
+    /// locate the crossover that [`GALLOP_RATIO`](Self::GALLOP_RATIO)
+    /// encodes; call sites that *know* their operands are comparable in
+    /// size (e.g. sibling occurrence sets under one parent label) can
+    /// also use it to skip the dispatch branch.
+    ///
+    /// [`intersection_count_gallop`]: Self::intersection_count_gallop
+    pub fn intersection_count_merge(&self, other: &SparseBitSet) -> usize {
+        let (small, large) = order_by_len(&self.items, &other.items);
+        if disjoint_ranges(small, large) {
+            return 0;
+        }
+        let mut n = 0;
+        linear_intersect(small, large, |_| n += 1);
+        n
+    }
+
+    /// `|self ∩ other|` forcing the galloping kernel, bypassing the
+    /// adaptive dispatch. See [`intersection_count_merge`] for when to
+    /// prefer a forced kernel; this one fits call sites whose operands
+    /// are reliably skewed (a rare child label probed against its
+    /// parent's big occurrence set).
+    ///
+    /// [`intersection_count_merge`]: Self::intersection_count_merge
+    pub fn intersection_count_gallop(&self, other: &SparseBitSet) -> usize {
+        let (small, large) = order_by_len(&self.items, &other.items);
+        if disjoint_ranges(small, large) {
+            return 0;
+        }
+        let mut n = 0;
+        gallop_intersect(small, large, |_| n += 1);
         n
     }
 
@@ -101,46 +139,18 @@ impl SparseBitSet {
     /// `gallop_crossover` microbenchmarks show here.
     const GALLOP_RATIO: usize = 16;
 
-    fn merge_intersect(&self, other: &SparseBitSet, mut f: impl FnMut(usize)) {
-        let (small, large) = if self.len() <= other.len() {
-            (&self.items, &other.items)
-        } else {
-            (&other.items, &self.items)
-        };
-        if small.len().saturating_mul(Self::GALLOP_RATIO) < large.len() {
-            // Galloping path for skewed sizes: for each member of the
-            // small side, exponential-probe forward in the (shrinking)
-            // tail of the large side, then binary-search the bracketed
-            // window. Total cost O(small · log(large/small)) instead of
-            // O(small + large).
-            let mut rest: &[usize] = large;
-            for &v in small {
-                let i = gallop_lower_bound(rest, v);
-                if i == rest.len() {
-                    break; // everything left in `large` is < v ≤ later v's
-                }
-                rest = &rest[i..];
-                if rest[0] == v {
-                    f(v);
-                    rest = &rest[1..];
-                    if rest.is_empty() {
-                        break;
-                    }
-                }
-            }
+    fn merge_intersect(&self, other: &SparseBitSet, f: impl FnMut(usize)) {
+        let (small, large) = order_by_len(&self.items, &other.items);
+        if disjoint_ranges(small, large) {
+            // The ranges don't even overlap — common when occurrence ids
+            // cluster by graph and two labels never co-occur in one
+            // graph. Two comparisons beat walking either operand.
             return;
         }
-        let (mut i, mut j) = (0, 0);
-        while i < small.len() && j < large.len() {
-            match small[i].cmp(&large[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    f(small[i]);
-                    i += 1;
-                    j += 1;
-                }
-            }
+        if small.len().saturating_mul(Self::GALLOP_RATIO) < large.len() {
+            gallop_intersect(small, large, f);
+        } else {
+            linear_intersect(small, large, f);
         }
     }
 
@@ -185,6 +195,66 @@ impl SparseBitSet {
     /// used to reproduce the paper's out-of-memory observations).
     pub fn heap_bytes(&self) -> usize {
         self.items.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
+/// Orders two member slices smaller-first.
+#[inline]
+fn order_by_len<'a>(a: &'a [usize], b: &'a [usize]) -> (&'a [usize], &'a [usize]) {
+    if a.len() <= b.len() {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// `true` iff the (ascending) slices occupy non-overlapping value ranges,
+/// in which case their intersection is trivially empty. Also catches
+/// either side being empty.
+#[inline]
+fn disjoint_ranges(a: &[usize], b: &[usize]) -> bool {
+    match (a.first(), a.last(), b.first(), b.last()) {
+        (Some(&a_lo), Some(&a_hi), Some(&b_lo), Some(&b_hi)) => a_hi < b_lo || b_hi < a_lo,
+        _ => true,
+    }
+}
+
+/// Linear two-pointer merge over comparable-size operands: one
+/// branch-predictable pass, O(small + large).
+fn linear_intersect(small: &[usize], large: &[usize], mut f: impl FnMut(usize)) {
+    let (mut i, mut j) = (0, 0);
+    while i < small.len() && j < large.len() {
+        match small[i].cmp(&large[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                f(small[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Galloping kernel for skewed sizes: for each member of the small side,
+/// exponential-probe forward in the (shrinking) tail of the large side,
+/// then binary-search the bracketed window. Total cost
+/// O(small · log(large/small)) instead of O(small + large).
+fn gallop_intersect(small: &[usize], large: &[usize], mut f: impl FnMut(usize)) {
+    let mut rest: &[usize] = large;
+    for &v in small {
+        let i = gallop_lower_bound(rest, v);
+        if i == rest.len() {
+            break; // everything left in `large` is < v ≤ later v's
+        }
+        rest = &rest[i..];
+        if rest[0] == v {
+            f(v);
+            rest = &rest[1..];
+            if rest.is_empty() {
+                break;
+            }
+        }
     }
 }
 
@@ -281,6 +351,34 @@ mod tests {
         let off: SparseBitSet = [1usize, 4, 10].iter().copied().collect();
         let evens: SparseBitSet = (0..2000).map(|v| v * 3).collect();
         assert_eq!(off.intersection_count(&evens), 0);
+    }
+
+    #[test]
+    fn disjoint_ranges_short_circuit_to_zero() {
+        let lo = SparseBitSet::from_members((0..100).collect());
+        let hi = SparseBitSet::from_members((1000..1100).collect());
+        assert_eq!(lo.intersection_count(&hi), 0);
+        assert_eq!(hi.intersection_count(&lo), 0);
+        assert_eq!(lo.intersection_count_merge(&hi), 0);
+        assert_eq!(lo.intersection_count_gallop(&hi), 0);
+        assert!(lo.intersection(&hi).is_empty());
+        // Touching boundaries are NOT disjoint.
+        let touch = SparseBitSet::from_members(vec![99, 1000]);
+        assert_eq!(lo.intersection_count(&touch), 1);
+        // Empty operands.
+        let empty = SparseBitSet::new();
+        assert_eq!(lo.intersection_count(&empty), 0);
+        assert_eq!(empty.intersection_count_merge(&empty), 0);
+        assert_eq!(empty.intersection_count_gallop(&lo), 0);
+    }
+
+    #[test]
+    fn forced_kernels_match_adaptive_on_comparable_sizes() {
+        let a: SparseBitSet = (0..300).filter(|v| v % 2 == 0).collect();
+        let b: SparseBitSet = (0..300).filter(|v| v % 3 == 0).collect();
+        let want = a.intersection_count(&b);
+        assert_eq!(a.intersection_count_merge(&b), want);
+        assert_eq!(a.intersection_count_gallop(&b), want);
     }
 
     #[test]
@@ -382,6 +480,12 @@ mod tests {
             prop_assert_eq!(b.intersection(&a).iter().collect::<Vec<_>>(), want.clone());
             prop_assert_eq!(a.intersection_count(&b), want.len());
             prop_assert_eq!(b.intersection_count(&a), want.len());
+            // Forced kernels agree with the adaptive dispatch on any
+            // skew, in either operand order.
+            prop_assert_eq!(a.intersection_count_merge(&b), want.len());
+            prop_assert_eq!(b.intersection_count_merge(&a), want.len());
+            prop_assert_eq!(a.intersection_count_gallop(&b), want.len());
+            prop_assert_eq!(b.intersection_count_gallop(&a), want.len());
         }
     }
 }

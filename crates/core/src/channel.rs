@@ -72,25 +72,33 @@ impl<T> Bounded<T> {
         }
     }
 
-    /// Enqueues `item` without blocking; hands it back if the channel is
-    /// full. Lets the producer do something useful (steal work) instead
-    /// of sleeping on backpressure.
+    /// Enqueues `item` unconditionally in a single lock acquisition: if
+    /// the channel is full, the *oldest* queued item is popped to make
+    /// room and handed back for the caller to process. This is the
+    /// producer's steal-on-backpressure primitive — the old
+    /// `try_send`/`try_recv` pairing took two lock round-trips and could
+    /// spin when workers raced the producer for the same item; here the
+    /// exchange is atomic and the producer never retries.
     ///
     /// # Panics
     /// Panics if called after [`close`](Bounded::close).
-    pub fn try_send(&self, item: T) -> Result<(), T> {
+    pub fn send_or_swap(&self, item: T) -> Option<T> {
         let mut st = self.state.lock().expect("channel lock never poisoned");
         assert!(!st.closed, "send on closed channel");
-        if st.queue.len() >= st.capacity {
-            return Err(item);
-        }
+        let stolen = if st.queue.len() >= st.capacity {
+            st.queue.pop_front()
+        } else {
+            None
+        };
         st.queue.push_back(item);
-        let wake = st.waiting_recv > 0;
+        let wake = stolen.is_none() && st.waiting_recv > 0;
         drop(st);
+        // A swap leaves the queue length unchanged, so parked receivers
+        // have nothing new to see; only a true enqueue notifies.
         if wake {
             self.not_empty.notify_one();
         }
-        Ok(())
+        stolen
     }
 
     /// Dequeues an item without blocking; `None` if the queue is empty
@@ -182,6 +190,19 @@ mod tests {
             }
             assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
         });
+    }
+
+    #[test]
+    fn send_or_swap_exchanges_oldest_when_full() {
+        let ch = Bounded::new(2);
+        assert_eq!(ch.send_or_swap(1), None);
+        assert_eq!(ch.send_or_swap(2), None);
+        // Full: 3 displaces the oldest (1), queue becomes [2, 3].
+        assert_eq!(ch.send_or_swap(3), Some(1));
+        assert_eq!(ch.recv(), Some(2));
+        assert_eq!(ch.recv(), Some(3));
+        ch.close();
+        assert_eq!(ch.recv(), None);
     }
 
     #[test]

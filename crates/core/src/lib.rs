@@ -52,9 +52,11 @@ pub mod postprocess;
 pub mod reference;
 pub mod relabel;
 pub mod son;
+pub mod steal;
 
 pub use config::{Enhancements, TaxogramConfig};
 pub use error::TaxogramError;
 pub use miner::{MiningResult, MiningStats, Pattern, Taxogram};
 pub use parallel::mine_parallel;
 pub use pipeline::{mine_pipelined, mine_pipelined_with, PipelineOptions};
+pub use steal::{mine_stealing, mine_stealing_with, StealOptions};

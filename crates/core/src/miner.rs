@@ -49,6 +49,9 @@ pub struct MiningStats {
     pub enumerate_ms: f64,
     /// Step 3 counters summed over classes.
     pub enumeration: EnumerationStats,
+    /// Search-tree tasks taken from another worker's deque. Zero for
+    /// every engine except the work-stealing one ([`crate::mine_stealing`]).
+    pub steals: usize,
 }
 
 /// The result of a mining run.

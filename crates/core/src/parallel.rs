@@ -16,8 +16,10 @@
 //! The collect-all barrier in step 1 is this engine's weakness: workers
 //! idle until mining finishes, and every embedding list is resident at
 //! once. [`crate::mine_pipelined`] removes the barrier by streaming
-//! classes to workers as gSpan closes them; this engine is kept as the
-//! simpler baseline the pipeline is benchmarked against.
+//! classes to workers as gSpan closes them, and [`crate::mine_stealing`]
+//! goes further by parallelizing the gSpan search itself on a
+//! work-stealing scheduler; this engine is kept as the simplest baseline
+//! the others are benchmarked against.
 
 use crate::config::TaxogramConfig;
 use crate::enumerate::EnumScratch;

@@ -332,41 +332,30 @@ impl PatternSink for PipeSink<'_> {
         // Account before send: the bytes are resident from this moment
         // until a worker (or the producer itself) finishes with them.
         self.emb_gauge.add(emb_bytes);
-        let mut item = WorkItem {
+        let item = WorkItem {
             seq,
             skeleton: class.graph,
             embeddings: class.embeddings,
             emb_bytes,
         };
         // Backpressure as work stealing: a full channel means the
-        // workers are saturated, so mining pauses and this thread
-        // enumerates a queued class itself. Resident embedding memory
-        // stays bounded by capacity + threads + 1 items, and no thread
-        // ever sleeps while there is work to do.
-        loop {
-            match self.channel.try_send(item) {
-                Ok(()) => return,
-                Err(back) => {
-                    item = back;
-                    if let Some(stolen) = self.channel.try_recv() {
-                        self.process(stolen);
-                    }
-                    // else: a worker drained the queue between the two
-                    // calls — the retry will enqueue.
-                }
-            }
+        // workers are saturated, so this class displaces the oldest
+        // queued one — a single-lock exchange — and the producer
+        // enumerates the displaced class itself. Resident embedding
+        // memory stays bounded by capacity + threads + 1 items, no
+        // thread ever sleeps while there is work to do, and (unlike the
+        // old try_send/try_recv pairing) the producer cannot spin when
+        // workers race it for queue slots.
+        if let Some(stolen) = self.channel.send_or_swap(item) {
+            self.process(stolen);
         }
     }
 }
 
-/// Approximate heap footprint of an embedding list.
+/// Approximate heap footprint of an embedding list (the miner crate owns
+/// the canonical accounting; re-exported here for the engines).
 pub(crate) fn embedding_heap_bytes(embeddings: &[Embedding]) -> usize {
-    let spine = embeddings.len() * std::mem::size_of::<Embedding>();
-    let inner: usize = embeddings
-        .iter()
-        .map(|e| std::mem::size_of_val(&e.map[..]) + std::mem::size_of_val(&e.edges[..]))
-        .sum();
-    spine + inner
+    tsg_gspan::embedding_list_bytes(embeddings)
 }
 
 /// Shared Step 0/1 prologue: threshold validation, support floor, empty

@@ -1,0 +1,275 @@
+//! Fully parallel mining: work-stealing Step 1 fused with Steps 2–3.
+//!
+//! The pipelined engine ([`crate::mine_pipelined`]) parallelized the
+//! *consumers* of pattern classes, but gSpan's Step-1 search stayed a
+//! single producer — and on taxonomy workloads the search (embedding
+//! maintenance plus minimality checks) dominates end-to-end time, so the
+//! pipeline's speedup flattened once one core was saturated by mining.
+//!
+//! [`mine_stealing`] parallelizes the search itself using the miner
+//! crate's work-stealing scheduler ([`tsg_gspan::mine_parallel_with`]):
+//! every DFS-code subtree is a stealable task, and each worker *fuses*
+//! Steps 2–3 into its search loop — the moment a worker's search
+//! completes a class, that same worker builds the occurrence index and
+//! enumerates specializations in place, with its own persistent scratch
+//! arenas ([`EnumScratch`], [`OiScratch`], and the miner's minimality
+//! scratch). There is no handoff channel at all: the class's embeddings
+//! never leave the worker that computed them.
+//!
+//! Determinism is inherited from the scheduler's canonical-merge
+//! argument (see `tsg_gspan::parallel`): per-class work is schedule
+//! independent, classes carry their minimal DFS code, and sorting
+//! per-worker outputs by [`tsg_gspan::DfsCode::cmp_code`] reproduces the
+//! serial class order exactly — so the merged pattern list is
+//! byte-identical to the serial miner's at any thread count.
+
+use crate::config::TaxogramConfig;
+use crate::enumerate::EnumScratch;
+use crate::error::TaxogramError;
+use crate::gauge::MemoryGauge;
+use crate::miner::MiningResult;
+use crate::oi::OiScratch;
+use crate::pipeline::{enumerate_class, merge_outputs, prepare, ClassOutput, Prepared, Prologue};
+use tsg_graph::GraphDatabase;
+use tsg_gspan::{
+    mine_parallel_with, ClassHandoff, DfsCode, GSpanConfig, Grow, MinedPattern, ParallelOptions,
+    PatternSink,
+};
+use tsg_taxonomy::Taxonomy;
+
+/// Tuning knobs for [`mine_stealing_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct StealOptions {
+    /// Worker thread count. Every worker both searches and enumerates;
+    /// `0`/`1` run the whole fused loop on the calling thread (still
+    /// through the scheduler, so behavior is identical at every count).
+    pub threads: usize,
+    /// Per-worker deque capacity; overflow spills to the shared
+    /// injector. `0` picks the scheduler default. Capacity 1 forces
+    /// nearly every task through the injector (maximal stealing) — used
+    /// by the determinism tests.
+    pub deque_capacity: usize,
+    /// Clamp `threads` to the machine's available parallelism (default).
+    /// Disable to force a given worker count regardless of cores (the
+    /// determinism tests exercise 8 workers on any host).
+    pub clamp_to_cores: bool,
+}
+
+impl Default for StealOptions {
+    fn default() -> Self {
+        StealOptions {
+            threads: 2,
+            deque_capacity: 0,
+            clamp_to_cores: true,
+        }
+    }
+}
+
+/// Mines like [`crate::Taxogram::mine`] with Step 1 search, Step 2 index
+/// construction, and Step 3 enumeration all running on `threads`
+/// work-stealing workers. Output is exactly the serial result (same
+/// patterns, same order, same supports); `stats.steals` counts tasks
+/// taken cross-worker.
+///
+/// # Errors
+/// Same conditions as the serial miner.
+pub fn mine_stealing(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    threads: usize,
+) -> Result<MiningResult, TaxogramError> {
+    mine_stealing_with(
+        config,
+        db,
+        taxonomy,
+        StealOptions {
+            threads,
+            ..StealOptions::default()
+        },
+    )
+}
+
+/// [`mine_stealing`] with explicit scheduler knobs.
+///
+/// # Errors
+/// Same conditions as the serial miner.
+pub fn mine_stealing_with(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    options: StealOptions,
+) -> Result<MiningResult, TaxogramError> {
+    let prepared = match prepare(config, db, taxonomy)? {
+        Prologue::Done(result) => return Ok(result),
+        Prologue::Ready(p) => p,
+    };
+    let threads = if options.clamp_to_cores {
+        std::thread::available_parallelism()
+            .map(|n| options.threads.min(n.get()))
+            .unwrap_or(options.threads)
+    } else {
+        options.threads
+    }
+    .max(1);
+    let parallel = ParallelOptions {
+        threads,
+        deque_capacity: if options.deque_capacity == 0 {
+            ParallelOptions::default().deque_capacity
+        } else {
+            options.deque_capacity
+        },
+    };
+
+    let emb_gauge = MemoryGauge::new();
+    let oi_gauge = MemoryGauge::new();
+    let (sinks, steal_stats) = mine_parallel_with(
+        &prepared.rel.dmg,
+        GSpanConfig {
+            min_support: prepared.min_support,
+            max_edges: config.max_edges,
+        },
+        parallel,
+        Some(&emb_gauge),
+        |_| FusedSink {
+            prepared: &prepared,
+            config,
+            oi_gauge: &oi_gauge,
+            enum_scratch: EnumScratch::new(),
+            oi_scratch: OiScratch::new(),
+            outputs: Vec::new(),
+        },
+    );
+
+    // Reorder by canonical code: lexicographic DFS-code order *is* the
+    // serial class order, so the merge sees outputs exactly as the
+    // serial engine would produce them.
+    let mut outputs: Vec<(DfsCode, ClassOutput)> =
+        sinks.into_iter().flat_map(|s| s.outputs).collect();
+    outputs.sort_by(|(a, _), (b, _)| a.cmp_code(b));
+    let classes = outputs.len();
+    let mut result = merge_outputs(outputs.into_iter().map(|(_, out)| out), classes, &prepared);
+    result.stats.peak_oi_bytes = oi_gauge.peak();
+    result.stats.peak_embedding_bytes = emb_gauge.peak();
+    result.stats.steals = steal_stats.steals;
+    Ok(result)
+}
+
+/// Per-worker sink fusing Steps 2–3 into the search loop: every
+/// completed class is enumerated immediately, on the worker that mined
+/// it, against worker-owned scratch arenas.
+struct FusedSink<'a> {
+    prepared: &'a Prepared,
+    config: &'a TaxogramConfig,
+    oi_gauge: &'a MemoryGauge,
+    enum_scratch: EnumScratch,
+    oi_scratch: OiScratch,
+    outputs: Vec<(DfsCode, ClassOutput)>,
+}
+
+impl PatternSink for FusedSink<'_> {
+    fn report(&mut self, _class: &MinedPattern<'_>) -> Grow {
+        Grow::Continue
+    }
+
+    fn complete(&mut self, class: ClassHandoff) {
+        let out = enumerate_class(
+            &class.graph,
+            &class.embeddings,
+            self.prepared,
+            self.config,
+            Some(self.oi_gauge),
+            &mut self.enum_scratch,
+            &mut self.oi_scratch,
+        );
+        self.outputs.push((class.code, out));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaxogramConfig;
+    use tsg_taxonomy::samples;
+
+    fn serial_and_stealing(threads: usize, deque_capacity: usize) -> (MiningResult, MiningResult) {
+        let (c, t) = samples::sample_taxonomy();
+        let db = samples::figure_1_4_database(&c);
+        let cfg = TaxogramConfig::with_threshold(1.0 / 3.0);
+        let serial = crate::Taxogram::new(cfg).mine(&db, &t).unwrap();
+        let stealing = mine_stealing_with(
+            &cfg,
+            &db,
+            &t,
+            StealOptions {
+                threads,
+                deque_capacity,
+                clamp_to_cores: false,
+            },
+        )
+        .unwrap();
+        (serial, stealing)
+    }
+
+    fn assert_identical(serial: &MiningResult, stealing: &MiningResult) {
+        assert_eq!(serial.patterns.len(), stealing.patterns.len());
+        for (a, b) in serial.patterns.iter().zip(&stealing.patterns) {
+            assert_eq!(a.graph.labels(), b.graph.labels(), "order preserved");
+            assert_eq!(a.graph.edges(), b.graph.edges());
+            assert_eq!(a.support_count, b.support_count);
+        }
+        assert_eq!(serial.stats.classes, stealing.stats.classes);
+        assert_eq!(
+            serial.stats.enumeration.emitted,
+            stealing.stats.enumeration.emitted
+        );
+        assert_eq!(
+            serial.stats.enumeration.intersections,
+            stealing.stats.enumeration.intersections
+        );
+        assert_eq!(serial.stats.oi_updates, stealing.stats.oi_updates);
+    }
+
+    #[test]
+    fn stealing_matches_serial_at_every_thread_count() {
+        for threads in [1, 2, 4, 8] {
+            let (serial, stealing) = serial_and_stealing(threads, 0);
+            assert_identical(&serial, &stealing);
+        }
+    }
+
+    #[test]
+    fn forced_steals_stay_correct() {
+        // Deque capacity 1: nearly every spawned task overflows to the
+        // injector, so siblings constantly run on different workers.
+        for threads in [2, 4, 8] {
+            let (serial, stealing) = serial_and_stealing(threads, 1);
+            assert_identical(&serial, &stealing);
+        }
+    }
+
+    #[test]
+    fn stealing_reports_memory_gauges() {
+        let (_, stealing) = serial_and_stealing(4, 0);
+        assert!(stealing.stats.peak_oi_bytes > 0);
+        assert!(stealing.stats.peak_embedding_bytes > 0);
+    }
+
+    #[test]
+    fn stealing_handles_empty_database() {
+        let (_, t) = samples::sample_taxonomy();
+        let cfg = TaxogramConfig::with_threshold(0.5);
+        let r = mine_stealing(&cfg, &GraphDatabase::new(), &t, 4).unwrap();
+        assert!(r.patterns.is_empty());
+    }
+
+    #[test]
+    fn stealing_rejects_bad_threshold() {
+        let (_, t) = samples::sample_taxonomy();
+        let cfg = TaxogramConfig::with_threshold(f64::NAN);
+        assert!(matches!(
+            mine_stealing(&cfg, &GraphDatabase::new(), &t, 4),
+            Err(TaxogramError::InvalidThreshold { .. })
+        ));
+    }
+}

@@ -1,0 +1,143 @@
+//! Serial equivalence of the fused work-stealing engine: on random
+//! inputs, [`taxogram_core::mine_stealing_with`] must reproduce the
+//! serial Taxogram result *exactly* — same patterns, same order, same
+//! supports, same stats — at 1/2/4/8 threads, including under forced
+//! steals (deque capacity 1). Unlike the pipelined engine, the stealing
+//! engine parallelizes the gSpan search itself, so these tests cover
+//! the canonical-code sort merge rather than a reorder buffer.
+
+use proptest::prelude::*;
+use taxogram_core::{mine_stealing_with, MiningResult, StealOptions, Taxogram, TaxogramConfig};
+use tsg_graph::{EdgeLabel, GraphDatabase, LabeledGraph, NodeLabel};
+use tsg_taxonomy::{Taxonomy, TaxonomyBuilder};
+
+/// A random DAG taxonomy over `n` concepts: each non-root concept gets 1–2
+/// parents among lower-numbered concepts (so acyclicity is structural).
+fn arb_taxonomy(max_concepts: usize) -> impl Strategy<Value = Taxonomy> {
+    (2..=max_concepts)
+        .prop_flat_map(|n| {
+            let parent_choices: Vec<_> = (1..n)
+                .map(|i| prop::collection::vec(0..i, 1..=2.min(i)))
+                .collect();
+            (Just(n), parent_choices)
+        })
+        .prop_map(|(n, parents)| {
+            let mut b = TaxonomyBuilder::with_concepts(n);
+            for (i, ps) in parents.into_iter().enumerate() {
+                let child = NodeLabel((i + 1) as u32);
+                let mut seen = vec![];
+                for p in ps {
+                    if !seen.contains(&p) {
+                        seen.push(p);
+                        b.is_a(child, NodeLabel(p as u32)).unwrap();
+                    }
+                }
+            }
+            b.build().expect("parents < child ⇒ acyclic")
+        })
+}
+
+/// A random connected graph whose labels are drawn from the taxonomy's
+/// concepts.
+fn arb_graph(concepts: usize, max_nodes: usize) -> impl Strategy<Value = LabeledGraph> {
+    (2..=max_nodes)
+        .prop_flat_map(move |n| {
+            let labels = prop::collection::vec(0..concepts, n);
+            let chain_elabels = prop::collection::vec(0..2u32, n - 1);
+            let extras = prop::collection::vec(((0..n), (0..n), 0..2u32), 0..=2);
+            (labels, chain_elabels, extras)
+        })
+        .prop_map(|(labels, chain, extras)| {
+            let mut g = LabeledGraph::with_nodes(labels.iter().map(|&l| NodeLabel(l as u32)));
+            for (i, &el) in chain.iter().enumerate() {
+                g.add_edge(i, i + 1, EdgeLabel(el)).unwrap();
+            }
+            for (u, v, el) in extras {
+                if u != v {
+                    let _ = g.add_edge(u, v, EdgeLabel(el));
+                }
+            }
+            g
+        })
+}
+
+fn arb_input() -> impl Strategy<Value = (Taxonomy, GraphDatabase)> {
+    arb_taxonomy(6).prop_flat_map(|t| {
+        let n = t.concept_count();
+        let db = prop::collection::vec(arb_graph(n, 5), 2..=5)
+            .prop_map(GraphDatabase::from_graphs);
+        (Just(t), db)
+    })
+}
+
+/// Patterns, order, supports, and enumeration stats must all match — not
+/// just as sets.
+fn assert_streams_identical(serial: &MiningResult, other: &MiningResult, what: &str) {
+    assert_eq!(
+        serial.patterns.len(),
+        other.patterns.len(),
+        "{what}: pattern count"
+    );
+    for (i, (a, b)) in serial.patterns.iter().zip(&other.patterns).enumerate() {
+        assert_eq!(a.graph.labels(), b.graph.labels(), "{what}: labels at {i}");
+        assert_eq!(a.graph.edges(), b.graph.edges(), "{what}: edges at {i}");
+        assert_eq!(
+            a.support_count, b.support_count,
+            "{what}: support at {i}"
+        );
+    }
+    assert_eq!(serial.stats.classes, other.stats.classes, "{what}: classes");
+    assert_eq!(
+        serial.stats.enumeration.emitted, other.stats.enumeration.emitted,
+        "{what}: emitted"
+    );
+    assert_eq!(
+        serial.stats.enumeration.intersections, other.stats.enumeration.intersections,
+        "{what}: intersections"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn stealing_equals_serial_at_every_thread_count(
+        (taxonomy, db) in arb_input(),
+        theta in prop::sample::select(vec![1.0f64, 0.6, 0.4, 0.25]),
+    ) {
+        let cfg = TaxogramConfig::with_threshold(theta).max_edges(3);
+        let serial = Taxogram::new(cfg).mine(&db, &taxonomy).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            // clamp_to_cores off: the merge must be exercised at every
+            // worker count regardless of how many cores the host has.
+            let stolen = mine_stealing_with(
+                &cfg,
+                &db,
+                &taxonomy,
+                StealOptions { threads, deque_capacity: 0, clamp_to_cores: false },
+            )
+            .unwrap();
+            assert_streams_identical(&serial, &stolen, &format!("stealing t={threads}"));
+        }
+    }
+
+    #[test]
+    fn stealing_survives_forced_steals(
+        (taxonomy, db) in arb_input(),
+    ) {
+        // Deque capacity 1 spills nearly every spawned task to the shared
+        // injector, maximizing cross-worker movement of sibling subtrees.
+        let cfg = TaxogramConfig::with_threshold(0.25).max_edges(3);
+        let serial = Taxogram::new(cfg).mine(&db, &taxonomy).unwrap();
+        for threads in [2usize, 4, 8] {
+            let stolen = mine_stealing_with(
+                &cfg,
+                &db,
+                &taxonomy,
+                StealOptions { threads, deque_capacity: 1, clamp_to_cores: false },
+            )
+            .unwrap();
+            assert_streams_identical(&serial, &stolen, &format!("steal-forced t={threads}"));
+        }
+    }
+}

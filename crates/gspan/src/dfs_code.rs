@@ -141,6 +141,11 @@ impl DfsCode {
         self.edges.pop()
     }
 
+    /// Empties the code, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.edges.clear();
+    }
+
     /// Number of vertices spanned by the code (max DFS id + 1).
     pub fn node_count(&self) -> usize {
         self.edges

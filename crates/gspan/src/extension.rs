@@ -8,8 +8,9 @@
 //! check.
 
 use crate::dfs_code::{dfs_edge_cmp, ArcDir, DfsCode, DfsEdge};
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
-use tsg_graph::{EdgeId, GraphDatabase, GraphId, NodeId};
+use tsg_graph::{EdgeId, GraphDatabase, GraphId, NodeId, NodeLabel};
 
 /// One embedding of a DFS code into a database graph: `map[dfs_id]` is the
 /// database vertex, `edges[k]` the database edge realizing code edge `k`.
@@ -60,14 +61,18 @@ impl Ord for OrderedExt {
 /// grown code, in database order.
 pub type ExtensionMap = BTreeMap<OrderedExt, Vec<Embedding>>;
 
-/// All frequent-orientation single-edge seed codes with their embeddings.
+/// Calls `f` with every seed candidate of `db`, in database order: the
+/// 1-edge DFS key plus the two database vertices realizing it (code
+/// vertex 0 ↦ `a`, 1 ↦ `b`) and the database edge id.
 ///
-/// Every database edge yields embeddings for the orientation(s) whose
+/// Every database edge yields candidates for the orientation(s) whose
 /// `from_label ≤ to_label` — the other orientation can never start a
-/// minimal code. When both endpoint labels are equal, both orientations are
-/// embeddings of the same seed.
-pub fn seed_extensions(db: &GraphDatabase) -> ExtensionMap {
-    let mut out = ExtensionMap::new();
+/// minimal code. When both endpoint labels are equal, both orientations
+/// are candidates of the same seed.
+fn for_each_seed_candidate(
+    db: &GraphDatabase,
+    mut f: impl FnMut(DfsEdge, GraphId, NodeId, NodeId, EdgeId),
+) {
     for (gid, g) in db.iter() {
         let directed = g.is_directed();
         for (eid, e) in g.edges().iter().enumerate() {
@@ -78,9 +83,9 @@ pub fn seed_extensions(db: &GraphDatabase) -> ExtensionMap {
             // only the arc-source-first variant (FromTo < ToFrom).
             let mut orientations: Vec<(NodeId, NodeId)> = Vec::with_capacity(2);
             match lu.cmp(&lv) {
-                std::cmp::Ordering::Less => orientations.push((e.u, e.v)),
-                std::cmp::Ordering::Greater => orientations.push((e.v, e.u)),
-                std::cmp::Ordering::Equal => {
+                Ordering::Less => orientations.push((e.u, e.v)),
+                Ordering::Greater => orientations.push((e.v, e.u)),
+                Ordering::Equal => {
                     orientations.push((e.u, e.v));
                     if !directed {
                         orientations.push((e.v, e.u));
@@ -103,15 +108,170 @@ pub fn seed_extensions(db: &GraphDatabase) -> ExtensionMap {
                     arc,
                     to_label: g.label(b),
                 };
-                out.entry(OrderedExt(key)).or_default().push(Embedding {
-                    gid,
-                    map: vec![a, b],
-                    edges: vec![eid],
-                });
+                f(key, gid, a, b, eid);
             }
         }
     }
+}
+
+/// All frequent-orientation single-edge seed codes with their embeddings.
+pub fn seed_extensions(db: &GraphDatabase) -> ExtensionMap {
+    let mut out = ExtensionMap::new();
+    for_each_seed_candidate(db, |key, gid, a, b, eid| {
+        out.entry(OrderedExt(key)).or_default().push(Embedding {
+            gid,
+            map: vec![a, b],
+            edges: vec![eid],
+        });
+    });
     out
+}
+
+/// The smallest seed key of `db` with its embedding list written into
+/// `out` (reusing `out`'s allocation), or `None` for an edgeless database.
+///
+/// Equivalent to `seed_extensions(db)`'s first entry, but allocation-free
+/// apart from the embeddings themselves: candidates are scanned twice —
+/// once to find the minimum key, once to materialize only its embeddings —
+/// so losing orientations are never cloned and no map is built. This is
+/// the seed step of the minimality check, which runs once per mined node.
+pub fn min_seed(db: &GraphDatabase, out: &mut Vec<Embedding>) -> Option<DfsEdge> {
+    out.clear();
+    let mut best: Option<DfsEdge> = None;
+    for_each_seed_candidate(db, |key, _, _, _, _| match &best {
+        None => best = Some(key),
+        Some(b) => {
+            if dfs_edge_cmp(&key, b) == Ordering::Less {
+                best = Some(key);
+            }
+        }
+    });
+    let min = best?;
+    for_each_seed_candidate(db, |key, gid, a, b, eid| {
+        if key == min {
+            out.push(Embedding {
+                gid,
+                map: vec![a, b],
+                edges: vec![eid],
+            });
+        }
+    });
+    Some(min)
+}
+
+/// Per-code context shared by every embedding while enumerating that
+/// code's rightmost-path extension candidates.
+struct ExtFrame {
+    /// Rightmost path, root first, rightmost vertex last.
+    path: Vec<usize>,
+    /// The rightmost vertex (last element of `path`).
+    rmost: usize,
+    rmost_label: NodeLabel,
+    /// DFS id a forward extension would assign (`code.node_count()`).
+    next_id: usize,
+    /// Vertex label per DFS id.
+    vlabels: Vec<NodeLabel>,
+}
+
+impl ExtFrame {
+    fn of(code: &DfsCode) -> ExtFrame {
+        let path = code.rightmost_path();
+        let &rmost = path.last().expect("nonempty code has a rightmost path");
+        let next_id = code.node_count();
+        let mut vlabels = vec![NodeLabel(0); next_id];
+        for e in code.edges() {
+            vlabels[e.from] = e.from_label;
+            vlabels[e.to] = e.to_label;
+        }
+        ExtFrame {
+            rmost_label: vlabels[rmost],
+            path,
+            rmost,
+            next_id,
+            vlabels,
+        }
+    }
+}
+
+/// Calls `f` with every legal rightmost-path extension candidate of one
+/// embedding: the induced DFS key, the database edge realizing it, and
+/// the newly discovered database vertex for forward extensions (`None`
+/// for backward ones). Candidate order is fixed — backward extensions
+/// off the rightmost vertex first (adjacency-major), then forward
+/// extensions along the path (path-major) — so callers grouping by key
+/// reproduce identical per-key embedding orders.
+fn for_each_candidate(
+    frame: &ExtFrame,
+    emb: &Embedding,
+    g: &tsg_graph::LabeledGraph,
+    mut f: impl FnMut(DfsEdge, EdgeId, Option<NodeId>),
+) {
+    let directed = g.is_directed();
+    let arc_of = |a: &tsg_graph::Adjacency| {
+        if !directed {
+            ArcDir::Undirected
+        } else if a.outgoing {
+            ArcDir::FromTo
+        } else {
+            ArcDir::ToFrom
+        }
+    };
+    let (_, spine) = frame
+        .path
+        .split_last()
+        .expect("frame path is never empty");
+    let phi_rm = emb.map[frame.rmost];
+
+    // Backward extensions: rightmost vertex → earlier rightmost-path
+    // vertex, via an unused database edge. With antiparallel arcs both
+    // adjacency entries produce (direction-distinct) extensions.
+    for a in g.neighbors(phi_rm) {
+        if emb.uses_edge(a.edge) {
+            continue;
+        }
+        for &v in spine {
+            if emb.map[v] == a.to {
+                let key = DfsEdge {
+                    from: frame.rmost,
+                    to: v,
+                    from_label: frame.rmost_label,
+                    elabel: a.elabel,
+                    arc: arc_of(a),
+                    to_label: frame.vlabels[v],
+                };
+                f(key, a.edge, None);
+            }
+        }
+    }
+
+    // Forward extensions: any rightmost-path vertex → a fresh vertex.
+    for &v in frame.path.iter() {
+        let phi_v = emb.map[v];
+        for a in g.neighbors(phi_v) {
+            if emb.maps_vertex(a.to) {
+                continue;
+            }
+            let key = DfsEdge {
+                from: v,
+                to: frame.next_id,
+                from_label: frame.vlabels[v],
+                elabel: a.elabel,
+                arc: arc_of(a),
+                to_label: g.label(a.to),
+            };
+            f(key, a.edge, Some(a.to));
+        }
+    }
+}
+
+/// The embedding of `emb` grown by one candidate extension.
+fn grow(emb: &Embedding, eid: EdgeId, fresh: Option<NodeId>) -> Embedding {
+    let mut grown = emb.clone();
+    if let Some(v) = fresh {
+        grown.map.push(v);
+    }
+    grown.edges.push(eid);
+    grown
 }
 
 /// Enumerates every legal rightmost-path extension of `code` across
@@ -122,72 +282,66 @@ pub fn enumerate_extensions(
     db: &GraphDatabase,
 ) -> ExtensionMap {
     let mut out = ExtensionMap::new();
-    let path = code.rightmost_path();
-    let (&rmost, spine) = path.split_last().expect("nonempty code has a rightmost path");
-    let rmost_label = code.vertex_label(rmost).expect("rightmost vertex is labeled");
-    let next_id = code.node_count();
-
+    let frame = ExtFrame::of(code);
     for emb in embeddings {
         let g = db.graph(emb.gid);
-        let directed = g.is_directed();
-        let arc_of = |a: &tsg_graph::Adjacency| {
-            if !directed {
-                ArcDir::Undirected
-            } else if a.outgoing {
-                ArcDir::FromTo
-            } else {
-                ArcDir::ToFrom
-            }
-        };
-        let phi_rm = emb.map[rmost];
-
-        // Backward extensions: rightmost vertex → earlier rightmost-path
-        // vertex, via an unused database edge. With antiparallel arcs both
-        // adjacency entries produce (direction-distinct) extensions.
-        for a in g.neighbors(phi_rm) {
-            if emb.uses_edge(a.edge) {
-                continue;
-            }
-            for &v in spine {
-                if emb.map[v] == a.to {
-                    let key = DfsEdge {
-                        from: rmost,
-                        to: v,
-                        from_label: rmost_label,
-                        elabel: a.elabel,
-                        arc: arc_of(a),
-                        to_label: code.vertex_label(v).expect("path vertex is labeled"),
-                    };
-                    let mut grown = emb.clone();
-                    grown.edges.push(a.edge);
-                    out.entry(OrderedExt(key)).or_default().push(grown);
-                }
-            }
-        }
-
-        // Forward extensions: any rightmost-path vertex → a fresh vertex.
-        for &v in path.iter() {
-            let phi_v = emb.map[v];
-            for a in g.neighbors(phi_v) {
-                if emb.maps_vertex(a.to) {
-                    continue;
-                }
-                let key = DfsEdge {
-                    from: v,
-                    to: next_id,
-                    from_label: code.vertex_label(v).expect("path vertex is labeled"),
-                    elabel: a.elabel,
-                    arc: arc_of(a),
-                    to_label: g.label(a.to),
-                };
-                let mut grown = emb.clone();
-                grown.map.push(a.to);
-                grown.edges.push(a.edge);
-                out.entry(OrderedExt(key)).or_default().push(grown);
-            }
-        }
+        for_each_candidate(&frame, emb, g, |key, eid, fresh| {
+            out.entry(OrderedExt(key)).or_default().push(grow(emb, eid, fresh));
+        });
     }
     out
+}
+
+/// The smallest rightmost-path extension of `code` across `embeddings`,
+/// with the grown embeddings of that (and only that) extension written
+/// into `out`, reusing `out`'s allocation. `None` if no extension exists.
+///
+/// This is `enumerate_extensions(..).iter().next()` without the map: the
+/// minimality check only ever consumes the smallest extension, so building
+/// (and cloning embeddings into) every group is pure waste on its hot
+/// path. Candidates are scanned twice — minimum first, then materialize —
+/// and the resulting embedding list is byte-identical to the map entry's.
+pub fn min_extension(
+    code: &DfsCode,
+    embeddings: &[Embedding],
+    db: &GraphDatabase,
+    out: &mut Vec<Embedding>,
+) -> Option<DfsEdge> {
+    out.clear();
+    let frame = ExtFrame::of(code);
+    let mut best: Option<DfsEdge> = None;
+    for emb in embeddings {
+        let g = db.graph(emb.gid);
+        for_each_candidate(&frame, emb, g, |key, _, _| match &best {
+            None => best = Some(key),
+            Some(b) => {
+                if dfs_edge_cmp(&key, b) == Ordering::Less {
+                    best = Some(key);
+                }
+            }
+        });
+    }
+    let min = best?;
+    for emb in embeddings {
+        let g = db.graph(emb.gid);
+        for_each_candidate(&frame, emb, g, |key, eid, fresh| {
+            if key == min {
+                out.push(grow(emb, eid, fresh));
+            }
+        });
+    }
+    Some(min)
+}
+
+/// Approximate heap footprint of an embedding list in bytes: the spine
+/// plus each embedding's vertex map and edge list.
+pub fn embedding_list_bytes(embeddings: &[Embedding]) -> usize {
+    let spine = std::mem::size_of_val(embeddings);
+    let inner: usize = embeddings
+        .iter()
+        .map(|e| std::mem::size_of_val(&e.map[..]) + std::mem::size_of_val(&e.edges[..]))
+        .sum();
+    spine + inner
 }
 
 /// The number of distinct database graphs among `embeddings` — gSpan's

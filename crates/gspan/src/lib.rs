@@ -38,14 +38,19 @@ mod extension;
 mod minimal;
 mod miner;
 pub mod oracle;
+mod parallel;
 
 pub use dfs_code::{dfs_edge_cmp, ArcDir, DfsCode, DfsEdge};
 pub use extension::{
-    distinct_graph_count, enumerate_extensions, seed_extensions, Embedding, ExtensionMap,
-    OrderedExt,
+    distinct_graph_count, embedding_list_bytes, enumerate_extensions, seed_extensions, Embedding,
+    ExtensionMap, OrderedExt,
 };
-pub use minimal::{is_min, min_dfs_code};
+pub use minimal::{is_min, is_min_with_scratch, min_dfs_code, MinScratch};
 pub use miner::{
     mine_frequent, ClassHandoff, CollectSink, FrequentPattern, GSpan, GSpanConfig, Grow,
     MinedPattern, PatternSink,
+};
+pub use parallel::{
+    mine_frequent_parallel, mine_parallel_classes, mine_parallel_with, ParallelOptions,
+    StealStats, TaskGauge,
 };

@@ -4,7 +4,7 @@ use crate::dfs_code::DfsCode;
 use crate::extension::{
     distinct_graph_count, enumerate_extensions, prune_infrequent, seed_extensions, Embedding,
 };
-use crate::minimal::is_min;
+use crate::minimal::{is_min_with_scratch, MinScratch};
 use std::ops::ControlFlow;
 use tsg_graph::{GraphDatabase, LabeledGraph};
 
@@ -65,6 +65,9 @@ pub enum Grow {
 /// by then, so the parent's are dead weight to the miner.
 #[derive(Debug)]
 pub struct ClassHandoff {
+    /// The pattern's minimal DFS code — the class's canonical identity.
+    /// Parallel consumers key their deterministic merge on it.
+    pub code: DfsCode,
     /// The pattern as a graph (vertex ids = DFS ids).
     pub graph: LabeledGraph,
     /// Number of distinct database graphs containing the pattern.
@@ -133,27 +136,37 @@ impl<'a> GSpan<'a> {
 
     /// Runs the mining loop, feeding `sink`.
     pub fn mine<S: PatternSink>(&self, sink: &mut S) {
+        let mut scratch = MinScratch::new();
         let mut seeds = seed_extensions(self.db);
         prune_infrequent(&mut seeds, self.config.min_support);
         for (key, embs) in seeds {
             let mut code = DfsCode::from_edges(vec![key.0]);
-            if self.mine_rec(&mut code, embs, sink).is_break() {
+            if self.mine_rec(&mut code, embs, sink, &mut scratch).is_break() {
                 return;
             }
         }
     }
 
-    /// Recursive step. Precondition: `embs` is frequent. Owns the
-    /// embedding list so completed classes can be handed off by move.
-    fn mine_rec<S: PatternSink>(
+    /// Visits one search-tree node: minimality check, report, extension
+    /// enumeration, completion handoff. Returns `None` if the node is
+    /// non-minimal or its report said [`Grow::Stop`] (distinguished by
+    /// `stopped`); otherwise the frequent children to recurse into, in
+    /// canonical order (empty when pruned or at the edge cap).
+    ///
+    /// This is the unit of work both the serial recursion and the parallel
+    /// work-stealing driver are built from — sharing it is what keeps
+    /// their per-class output byte-identical.
+    pub(crate) fn visit<S: PatternSink>(
         &self,
-        code: &mut DfsCode,
+        code: &DfsCode,
         embs: Vec<Embedding>,
         sink: &mut S,
-    ) -> ControlFlow<()> {
-        if !is_min(code) {
+        scratch: &mut MinScratch,
+        stopped: &mut bool,
+    ) -> Option<Vec<(crate::extension::OrderedExt, Vec<Embedding>)>> {
+        if !is_min_with_scratch(code, scratch) {
             // A smaller code reaches this graph; that branch reports it.
-            return ControlFlow::Continue(());
+            return None;
         }
         let graph = code.to_graph().expect("mined codes denote valid graphs");
         let support = distinct_graph_count(&embs);
@@ -164,21 +177,25 @@ impl<'a> GSpan<'a> {
             embeddings: &embs,
         });
         let handoff = |embeddings: Vec<Embedding>, graph: LabeledGraph| ClassHandoff {
+            code: code.clone(),
             graph,
             support,
             embeddings,
         };
         match decision {
-            Grow::Stop => return ControlFlow::Break(()),
+            Grow::Stop => {
+                *stopped = true;
+                return None;
+            }
             Grow::Prune => {
                 sink.complete(handoff(embs, graph));
-                return ControlFlow::Continue(());
+                return Some(Vec::new());
             }
             Grow::Continue => {}
         }
         if self.config.max_edges.is_some_and(|m| code.len() >= m) {
             sink.complete(handoff(embs, graph));
-            return ControlFlow::Continue(());
+            return Some(Vec::new());
         }
         let exts = enumerate_extensions(code, &embs, self.db);
         // The children's embedding lists now exist; the parent's are dead
@@ -186,12 +203,35 @@ impl<'a> GSpan<'a> {
         // the subtree is explored — streaming consumers start on it while
         // mining continues.
         sink.complete(handoff(embs, graph));
-        for (key, child_embs) in exts {
-            if distinct_graph_count(&child_embs) < self.config.min_support {
-                continue;
-            }
+        Some(
+            exts.into_iter()
+                .filter(|(_, child_embs)| {
+                    distinct_graph_count(child_embs) >= self.config.min_support
+                })
+                .collect(),
+        )
+    }
+
+    /// Recursive step. Precondition: `embs` is frequent. Owns the
+    /// embedding list so completed classes can be handed off by move.
+    fn mine_rec<S: PatternSink>(
+        &self,
+        code: &mut DfsCode,
+        embs: Vec<Embedding>,
+        sink: &mut S,
+        scratch: &mut MinScratch,
+    ) -> ControlFlow<()> {
+        let mut stopped = false;
+        let Some(children) = self.visit(code, embs, sink, scratch, &mut stopped) else {
+            return if stopped {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            };
+        };
+        for (key, child_embs) in children {
             code.push(key.0);
-            let flow = self.mine_rec(code, child_embs, sink);
+            let flow = self.mine_rec(code, child_embs, sink, scratch);
             code.pop();
             flow?;
         }

@@ -1,8 +1,30 @@
 //! The DFS-code minimality (canonicality) test.
 
 use crate::dfs_code::DfsCode;
-use crate::extension::{enumerate_extensions, seed_extensions};
+use crate::extension::{min_extension, min_seed, Embedding};
 use tsg_graph::GraphDatabase;
+
+/// Reusable buffers for the minimality check.
+///
+/// The check runs once per search-tree node, making it gSpan's hottest
+/// non-enumeration path. A scratch keeps the canonical-growth replay
+/// allocation-free across calls: `cur`/`next` are the prefix's embedding
+/// lists (double-buffered, swapped each step) and `prefix` is the growing
+/// canonical code. Workers own one scratch each; none of the state
+/// escapes a call.
+#[derive(Debug, Default)]
+pub struct MinScratch {
+    cur: Vec<Embedding>,
+    next: Vec<Embedding>,
+    prefix: DfsCode,
+}
+
+impl MinScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        MinScratch::default()
+    }
+}
 
 /// `true` iff `code` is the minimum DFS code of the graph it denotes.
 ///
@@ -13,33 +35,37 @@ use tsg_graph::GraphDatabase;
 /// The test replays canonical growth on the pattern itself: starting from
 /// the smallest seed edge, at every step the smallest legal rightmost-path
 /// extension must equal the next code edge. Any deviation proves a smaller
-/// code exists.
-pub fn is_min(code: &DfsCode) -> bool {
+/// code exists. Only the minimum extension is ever materialized
+/// ([`min_extension`]), so no extension map is built and losing branches
+/// are never cloned.
+pub fn is_min_with_scratch(code: &DfsCode, scratch: &mut MinScratch) -> bool {
     if code.is_empty() {
         return true;
     }
     let g = code.to_graph().expect("mined codes denote valid graphs");
     let db = GraphDatabase::from_graphs(vec![g]);
-    let seeds = seed_extensions(&db);
-    let (first, first_embs) = seeds.iter().next().expect("code has at least one edge");
-    if first.0 != code.edges()[0] {
+    let first = min_seed(&db, &mut scratch.cur).expect("code has at least one edge");
+    if first != code.edges()[0] {
         return false;
     }
-    let mut prefix = DfsCode::from_edges(vec![first.0]);
-    let mut embs = first_embs.clone();
+    scratch.prefix.clear();
+    scratch.prefix.push(first);
     for k in 1..code.len() {
-        let exts = enumerate_extensions(&prefix, &embs, &db);
-        let (min_key, min_embs) = exts
-            .iter()
-            .next()
+        let min_key = min_extension(&scratch.prefix, &scratch.cur, &db, &mut scratch.next)
             .expect("the code's own edge k is a legal extension, so the set is nonempty");
-        if min_key.0 != code.edges()[k] {
+        if min_key != code.edges()[k] {
             return false;
         }
-        prefix.push(min_key.0);
-        embs = min_embs.clone();
+        scratch.prefix.push(min_key);
+        std::mem::swap(&mut scratch.cur, &mut scratch.next);
     }
     true
+}
+
+/// [`is_min_with_scratch`] with a throwaway scratch, for callers outside
+/// the mining hot loop.
+pub fn is_min(code: &DfsCode) -> bool {
+    is_min_with_scratch(code, &mut MinScratch::new())
 }
 
 /// Computes the minimum (canonical) DFS code of an arbitrary labeled
@@ -59,18 +85,14 @@ pub fn min_dfs_code(g: &tsg_graph::LabeledGraph) -> DfsCode {
     assert!(g.is_connected(), "DFS codes cover connected graphs only");
     let total_edges = g.edge_count();
     let db = GraphDatabase::from_graphs(vec![g.clone()]);
-    let seeds = seed_extensions(&db);
-    let (first, first_embs) = seeds.iter().next().expect("graph has an edge");
-    let mut code = DfsCode::from_edges(vec![first.0]);
-    let mut embs = first_embs.clone();
+    let mut scratch = MinScratch::new();
+    let first = min_seed(&db, &mut scratch.cur).expect("graph has an edge");
+    let mut code = DfsCode::from_edges(vec![first]);
     for _ in 1..total_edges {
-        let exts = enumerate_extensions(&code, &embs, &db);
-        let (min_key, min_embs) = exts
-            .iter()
-            .next()
+        let min_key = min_extension(&code, &scratch.cur, &db, &mut scratch.next)
             .expect("connected graph always extends until all edges are covered");
-        code.push(min_key.0);
-        embs = min_embs.clone();
+        code.push(min_key);
+        std::mem::swap(&mut scratch.cur, &mut scratch.next);
     }
     debug_assert!(is_min(&code));
     code

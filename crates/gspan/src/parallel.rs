@@ -1,0 +1,573 @@
+//! Work-stealing parallel gSpan search.
+//!
+//! The serial miner explores the DFS-code tree in canonical pre-order.
+//! Subtrees rooted at distinct minimal codes are *independent*: each is
+//! fully determined by its root's code and embedding list, so they can be
+//! explored on any thread in any order without changing what is found.
+//! This module turns every search-tree node into a task on a
+//! work-stealing scheduler:
+//!
+//! * each worker owns a bounded LIFO deque; a task's children are pushed
+//!   in reverse canonical order, so local pops explore smallest-first —
+//!   the exact serial descent — keeping the working set shaped like the
+//!   serial miner's;
+//! * deque overflow and the 1-edge seed classes go to a shared FIFO
+//!   injector; idle workers drain the injector, then steal the *oldest*
+//!   task from a sibling (oldest = closest to the root = the largest
+//!   subtree, so one steal buys the most independent work);
+//! * workers park on a condvar when no work is visible; a `pending` task
+//!   counter (incremented before a task becomes visible, decremented
+//!   after its children are spawned) reaching zero is the termination
+//!   signal.
+//!
+//! # Determinism
+//!
+//! Every task computes exactly what the serial recursion would at the
+//! same node — [`crate::GSpan`]'s shared `visit` step — so per-class
+//! output (graph, support, embedding list and its order) is schedule
+//! independent. Only *inter*-class order varies with scheduling, and the
+//! canonical pre-order is recoverable: pre-order of the code tree equals
+//! lexicographic [`DfsCode::cmp_code`] order (a parent's code is a strict
+//! prefix of its descendants' and therefore smaller; sibling subtrees
+//! compare at the first edge past the common prefix). Sorting collected
+//! classes by `cmp_code` hence reproduces the serial stream byte for
+//! byte, at any thread count, under any steal schedule.
+
+use crate::dfs_code::DfsCode;
+use crate::extension::{embedding_list_bytes, prune_infrequent, seed_extensions, Embedding};
+use crate::miner::{ClassHandoff, FrequentPattern, GSpan, GSpanConfig, Grow, PatternSink};
+use crate::minimal::MinScratch;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use tsg_graph::GraphDatabase;
+
+/// Knobs for the work-stealing search.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelOptions {
+    /// Worker thread count; `0` and `1` both mean one worker (still run
+    /// through the scheduler, so behavior is identical at every count).
+    pub threads: usize,
+    /// Local deque capacity; pushing beyond it overflows the *oldest*
+    /// local task to the shared injector. Capacity 1 forces nearly every
+    /// task through the injector — maximal stealing, used by the
+    /// determinism tests to exercise the worst schedule.
+    pub deque_capacity: usize,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            threads: 1,
+            deque_capacity: 256,
+        }
+    }
+}
+
+/// Scheduler counters, for benchmarks and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Search-tree tasks executed (minimality checks performed).
+    pub tasks: usize,
+    /// Tasks taken from another worker's deque.
+    pub steals: usize,
+}
+
+/// Observer for the bytes held by queued-or-running tasks' embedding
+/// lists. Implemented by memory gauges that track high-water residency;
+/// `enqueued` fires when a task is spawned, `dequeued` when its
+/// embeddings die (after the node is visited and its children spawned).
+pub trait TaskGauge: Sync {
+    /// `bytes` of embeddings became resident in the scheduler.
+    fn task_enqueued(&self, bytes: usize);
+    /// `bytes` of embeddings left the scheduler.
+    fn task_dequeued(&self, bytes: usize);
+}
+
+/// One search-tree node awaiting its visit.
+struct Task {
+    code: DfsCode,
+    embs: Vec<Embedding>,
+    bytes: usize,
+}
+
+struct Scheduler {
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    injector: Mutex<VecDeque<Task>>,
+    capacity: usize,
+    /// Tasks spawned but not yet fully processed (children spawned and
+    /// node visited). Zero ⇒ the search is exhausted.
+    pending: AtomicUsize,
+    /// Workers currently parked (or committing to park) on `wake`.
+    sleepers: AtomicUsize,
+    park: Mutex<()>,
+    wake: Condvar,
+    stopped: AtomicBool,
+    tasks: AtomicUsize,
+    steals: AtomicUsize,
+}
+
+impl Scheduler {
+    fn new(workers: usize, capacity: usize) -> Self {
+        Scheduler {
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            pending: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            park: Mutex::new(()),
+            wake: Condvar::new(),
+            stopped: AtomicBool::new(false),
+            tasks: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+        }
+    }
+
+    fn lock_local(&self, i: usize) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+        self.locals[i].lock().expect("no panic while holding a deque")
+    }
+
+    /// Makes `task` visible to the scheduler. `pending` is incremented
+    /// *before* the push so no worker can observe the queue nonempty
+    /// while the counter still reads zero.
+    fn spawn(&self, me: usize, task: Task, gauge: Option<&dyn TaskGauge>) {
+        if let Some(g) = gauge {
+            g.task_enqueued(task.bytes);
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.tasks.fetch_add(1, Ordering::Relaxed);
+        let overflow = {
+            let mut q = self.lock_local(me);
+            q.push_back(task);
+            if q.len() > self.capacity {
+                q.pop_front()
+            } else {
+                None
+            }
+        };
+        if let Some(t) = overflow {
+            self.injector
+                .lock()
+                .expect("no panic while holding the injector")
+                .push_back(t);
+        }
+        self.notify_if_sleeping();
+    }
+
+    /// Seeds the injector directly (used for the 1-edge root classes).
+    fn spawn_root(&self, task: Task, gauge: Option<&dyn TaskGauge>) {
+        if let Some(g) = gauge {
+            g.task_enqueued(task.bytes);
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.tasks.fetch_add(1, Ordering::Relaxed);
+        self.injector
+            .lock()
+            .expect("no panic while holding the injector")
+            .push_back(task);
+    }
+
+    /// Wakes parked workers if any exist. Safe against lost wakeups:
+    /// parkers bump `sleepers` (SeqCst) *before* their final
+    /// work-visibility check, and every queue push happens-before this
+    /// load (same deque/injector mutex), so reading `sleepers == 0` here
+    /// proves the parker's check will observe the pushed task.
+    fn notify_if_sleeping(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.park.lock().expect("no panic while holding park");
+            self.wake.notify_all();
+        }
+    }
+
+    fn pop_local(&self, me: usize) -> Option<Task> {
+        self.lock_local(me).pop_back()
+    }
+
+    fn pop_injector(&self) -> Option<Task> {
+        self.injector
+            .lock()
+            .expect("no panic while holding the injector")
+            .pop_front()
+    }
+
+    /// Steals the oldest task from some other worker.
+    fn steal(&self, me: usize) -> Option<Task> {
+        let n = self.locals.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if let Some(t) = self.lock_local(victim).pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn any_work(&self) -> bool {
+        if !self
+            .injector
+            .lock()
+            .expect("no panic while holding the injector")
+            .is_empty()
+        {
+            return true;
+        }
+        (0..self.locals.len()).any(|i| !self.lock_local(i).is_empty())
+    }
+
+    fn stop(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+        let _guard = self.park.lock().expect("no panic while holding park");
+        self.wake.notify_all();
+    }
+
+    /// Marks one task fully processed; wakes everyone on exhaustion.
+    fn finish_task(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.park.lock().expect("no panic while holding park");
+            self.wake.notify_all();
+        }
+    }
+
+    fn worker_loop<S: PatternSink>(
+        &self,
+        me: usize,
+        miner: &GSpan<'_>,
+        sink: &mut S,
+        gauge: Option<&dyn TaskGauge>,
+    ) {
+        let mut scratch = MinScratch::new();
+        loop {
+            if self.stopped.load(Ordering::SeqCst) {
+                return;
+            }
+            let task = self
+                .pop_local(me)
+                .or_else(|| self.pop_injector())
+                .or_else(|| self.steal(me));
+            let Some(task) = task else {
+                if self.pending.load(Ordering::SeqCst) == 0 {
+                    return;
+                }
+                let guard = self.park.lock().expect("no panic while holding park");
+                self.sleepers.fetch_add(1, Ordering::SeqCst);
+                // Re-check *after* registering as a sleeper: any spawn
+                // completing after this point sees `sleepers > 0` and
+                // notifies; any spawn completing before it is visible to
+                // `any_work`. Either way no task is missed.
+                if self.pending.load(Ordering::SeqCst) != 0
+                    && !self.stopped.load(Ordering::SeqCst)
+                    && !self.any_work()
+                {
+                    drop(self.wake.wait(guard).expect("park poisoned"));
+                }
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            };
+            let Task { code, embs, bytes } = task;
+            let mut stopped = false;
+            let children = miner.visit(&code, embs, sink, &mut scratch, &mut stopped);
+            if stopped {
+                self.stop();
+            }
+            if let Some(children) = children {
+                // Reverse push: LIFO pop then explores the smallest child
+                // first, replicating the serial descent per worker.
+                for (key, child_embs) in children.into_iter().rev() {
+                    let mut child_code = code.clone();
+                    child_code.push(key.0);
+                    let bytes = embedding_list_bytes(&child_embs);
+                    self.spawn(
+                        me,
+                        Task {
+                            code: child_code,
+                            embs: child_embs,
+                            bytes,
+                        },
+                        gauge,
+                    );
+                }
+            }
+            // The node's own embeddings died inside `visit` (moved in,
+            // consumed); its children are accounted separately above.
+            if let Some(g) = gauge {
+                g.task_dequeued(bytes);
+            }
+            self.finish_task();
+        }
+    }
+}
+
+/// Runs the work-stealing search with one sink per worker, returning the
+/// sinks (indexed by worker) and scheduler counters.
+///
+/// Each class is reported to exactly one worker's sink, with content
+/// identical to the serial miner's report of the same class; *which*
+/// worker, and in what order, depends on the schedule. Callers reassemble
+/// the canonical stream by sorting collected classes with
+/// [`DfsCode::cmp_code`] (see the module docs for why that equals serial
+/// pre-order). [`Grow::Prune`] works per class as in the serial miner;
+/// [`Grow::Stop`] halts all workers best-effort — the set of classes
+/// visited before the stop lands is schedule dependent, unlike the serial
+/// miner's exact prefix.
+pub fn mine_parallel_with<S, F>(
+    db: &GraphDatabase,
+    config: GSpanConfig,
+    options: ParallelOptions,
+    gauge: Option<&dyn TaskGauge>,
+    make_sink: F,
+) -> (Vec<S>, StealStats)
+where
+    S: PatternSink + Send,
+    F: Fn(usize) -> S + Sync,
+{
+    let workers = options.threads.max(1);
+    let sched = Scheduler::new(workers, options.deque_capacity);
+    let miner = GSpan::new(db, config);
+
+    let mut seeds = seed_extensions(db);
+    prune_infrequent(&mut seeds, config.min_support);
+    for (key, embs) in seeds {
+        let bytes = embedding_list_bytes(&embs);
+        sched.spawn_root(
+            Task {
+                code: DfsCode::from_edges(vec![key.0]),
+                embs,
+                bytes,
+            },
+            gauge,
+        );
+    }
+
+    let sinks: Vec<S> = if sched.pending.load(Ordering::SeqCst) == 0 {
+        (0..workers).map(&make_sink).collect()
+    } else if workers == 1 {
+        // One worker needs no threads: run the loop on the caller.
+        let mut sink = make_sink(0);
+        sched.worker_loop(0, &miner, &mut sink, gauge);
+        vec![sink]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|i| {
+                    let sched = &sched;
+                    let miner = &miner;
+                    let make_sink = &make_sink;
+                    scope.spawn(move || {
+                        let mut sink = make_sink(i);
+                        sched.worker_loop(i, miner, &mut sink, gauge);
+                        sink
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("mining worker panicked"))
+                .collect()
+        })
+    };
+    let stats = StealStats {
+        tasks: sched.tasks.load(Ordering::Relaxed),
+        steals: sched.steals.load(Ordering::Relaxed),
+    };
+    (sinks, stats)
+}
+
+/// Collects every completed class from the work-stealing search, sorted
+/// into canonical (serial) order. The returned classes are byte-identical
+/// to what [`PatternSink::complete`] receives from the serial miner, in
+/// the same order, at any thread count.
+pub fn mine_parallel_classes(
+    db: &GraphDatabase,
+    config: GSpanConfig,
+    options: ParallelOptions,
+    gauge: Option<&dyn TaskGauge>,
+) -> (Vec<ClassHandoff>, StealStats) {
+    #[derive(Default)]
+    struct Collect {
+        classes: Vec<ClassHandoff>,
+    }
+    impl PatternSink for Collect {
+        fn report(&mut self, _: &crate::miner::MinedPattern<'_>) -> Grow {
+            Grow::Continue
+        }
+        fn complete(&mut self, class: ClassHandoff) {
+            self.classes.push(class);
+        }
+    }
+    let (sinks, stats) = mine_parallel_with(db, config, options, gauge, |_| Collect::default());
+    let mut classes: Vec<ClassHandoff> = sinks.into_iter().flat_map(|s| s.classes).collect();
+    classes.sort_by(|a, b| a.code.cmp_code(&b.code));
+    (classes, stats)
+}
+
+/// Parallel analog of [`crate::mine_frequent`]: identical output (same
+/// patterns, same order) mined on `options.threads` workers.
+pub fn mine_frequent_parallel(
+    db: &GraphDatabase,
+    min_support: usize,
+    max_edges: Option<usize>,
+    options: ParallelOptions,
+) -> Vec<FrequentPattern> {
+    let (classes, _) = mine_parallel_classes(
+        db,
+        GSpanConfig {
+            min_support,
+            max_edges,
+        },
+        options,
+        None,
+    );
+    classes
+        .into_iter()
+        .map(|c| FrequentPattern {
+            graph: c.graph,
+            code: c.code,
+            support: c.support,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mine_frequent;
+    use tsg_graph::{EdgeLabel, LabeledGraph, NodeLabel};
+
+    fn path_graph(labels: &[u32]) -> LabeledGraph {
+        let mut g = LabeledGraph::with_nodes(labels.iter().map(|&x| NodeLabel(x)));
+        for i in 1..labels.len() {
+            g.add_edge(i - 1, i, EdgeLabel(0)).unwrap();
+        }
+        g
+    }
+
+    fn sample_db() -> GraphDatabase {
+        let mut tri = LabeledGraph::with_nodes([NodeLabel(1), NodeLabel(1), NodeLabel(2)]);
+        tri.add_edge(0, 1, EdgeLabel(0)).unwrap();
+        tri.add_edge(1, 2, EdgeLabel(0)).unwrap();
+        tri.add_edge(2, 0, EdgeLabel(0)).unwrap();
+        GraphDatabase::from_graphs(vec![
+            path_graph(&[1, 1, 2, 1]),
+            tri,
+            path_graph(&[2, 1, 1]),
+            path_graph(&[1, 2]),
+        ])
+    }
+
+    fn assert_identical(serial: &[FrequentPattern], parallel: &[FrequentPattern]) {
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(parallel) {
+            assert_eq!(a.code, b.code);
+            assert_eq!(a.graph.labels(), b.graph.labels());
+            assert_eq!(a.graph.edges(), b.graph.edges());
+            assert_eq!(a.support, b.support);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_at_every_thread_count() {
+        let db = sample_db();
+        let serial = mine_frequent(&db, 2, None);
+        assert!(!serial.is_empty());
+        for threads in [1, 2, 4, 8] {
+            let parallel = mine_frequent_parallel(
+                &db,
+                2,
+                None,
+                ParallelOptions {
+                    threads,
+                    deque_capacity: 256,
+                },
+            );
+            assert_identical(&serial, &parallel);
+        }
+    }
+
+    #[test]
+    fn forced_steals_preserve_output() {
+        let db = sample_db();
+        let serial = mine_frequent(&db, 1, None);
+        for threads in [2, 4, 8] {
+            let (_, stats) = mine_parallel_classes(
+                &db,
+                GSpanConfig {
+                    min_support: 1,
+                    max_edges: None,
+                },
+                ParallelOptions {
+                    threads,
+                    deque_capacity: 1,
+                },
+                None,
+            );
+            assert!(stats.tasks > 0);
+            let parallel = mine_frequent_parallel(
+                &db,
+                1,
+                None,
+                ParallelOptions {
+                    threads,
+                    deque_capacity: 1,
+                },
+            );
+            assert_identical(&serial, &parallel);
+        }
+    }
+
+    #[test]
+    fn max_edges_respected_in_parallel() {
+        let db = sample_db();
+        let serial = mine_frequent(&db, 1, Some(2));
+        let parallel =
+            mine_frequent_parallel(&db, 1, Some(2), ParallelOptions { threads: 4, deque_capacity: 2 });
+        assert_identical(&serial, &parallel);
+        assert!(parallel.iter().all(|p| p.graph.edge_count() <= 2));
+    }
+
+    #[test]
+    fn empty_database_yields_nothing() {
+        let got = mine_frequent_parallel(
+            &GraphDatabase::new(),
+            1,
+            None,
+            ParallelOptions::default(),
+        );
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn gauge_sees_balanced_traffic() {
+        use std::sync::atomic::{AtomicIsize, Ordering};
+        #[derive(Default)]
+        struct Net {
+            delta: AtomicIsize,
+            seen: AtomicIsize,
+        }
+        impl TaskGauge for Net {
+            fn task_enqueued(&self, bytes: usize) {
+                self.delta.fetch_add(bytes as isize, Ordering::SeqCst);
+                self.seen.fetch_add(1, Ordering::SeqCst);
+            }
+            fn task_dequeued(&self, bytes: usize) {
+                self.delta.fetch_sub(bytes as isize, Ordering::SeqCst);
+            }
+        }
+        let net = Net::default();
+        let (classes, stats) = mine_parallel_classes(
+            &sample_db(),
+            GSpanConfig {
+                min_support: 1,
+                max_edges: None,
+            },
+            ParallelOptions {
+                threads: 4,
+                deque_capacity: 4,
+            },
+            Some(&net),
+        );
+        assert!(!classes.is_empty());
+        assert_eq!(net.delta.load(Ordering::SeqCst), 0, "every byte released");
+        assert_eq!(net.seen.load(Ordering::SeqCst) as usize, stats.tasks);
+    }
+}

@@ -1,0 +1,153 @@
+//! Serial equivalence of the work-stealing gSpan search: on random
+//! inputs, [`tsg_gspan::mine_frequent_parallel`] must reproduce the
+//! serial miner's output *byte-identically* — same codes, same graphs,
+//! same supports, same order — at 1/2/4/8 threads, including under
+//! forced steals (deque capacity 1, which pushes nearly every task
+//! through the shared injector so sibling subtrees constantly land on
+//! different workers). The canonical-code merge is what makes this hold;
+//! these tests are its contract.
+
+use proptest::prelude::*;
+use tsg_gspan::{
+    mine_frequent, mine_parallel_classes, FrequentPattern, GSpanConfig, ParallelOptions,
+};
+use tsg_graph::{EdgeLabel, GraphDatabase, LabeledGraph};
+
+/// A random small connected graph: a chain plus a few extra edges.
+fn arb_graph(labels: usize, max_nodes: usize) -> impl Strategy<Value = LabeledGraph> {
+    (2..=max_nodes)
+        .prop_flat_map(move |n| {
+            let vlabels = prop::collection::vec(0..labels as u32, n);
+            let chain_elabels = prop::collection::vec(0..2u32, n - 1);
+            let extras = prop::collection::vec(((0..n), (0..n), 0..2u32), 0..=2);
+            (vlabels, chain_elabels, extras)
+        })
+        .prop_map(|(vlabels, chain, extras)| {
+            let mut g = LabeledGraph::with_nodes(
+                vlabels.iter().map(|&l| tsg_graph::NodeLabel(l)),
+            );
+            for (i, &el) in chain.iter().enumerate() {
+                g.add_edge(i, i + 1, EdgeLabel(el)).unwrap();
+            }
+            for (u, v, el) in extras {
+                if u != v {
+                    let _ = g.add_edge(u, v, EdgeLabel(el));
+                }
+            }
+            g
+        })
+}
+
+fn arb_db() -> impl Strategy<Value = GraphDatabase> {
+    prop::collection::vec(arb_graph(3, 5), 2..=5).prop_map(GraphDatabase::from_graphs)
+}
+
+fn assert_identical(serial: &[FrequentPattern], parallel: &[FrequentPattern], what: &str) {
+    assert_eq!(serial.len(), parallel.len(), "{what}: pattern count");
+    for (i, (a, b)) in serial.iter().zip(parallel).enumerate() {
+        assert_eq!(a.code, b.code, "{what}: code at {i}");
+        assert_eq!(a.graph.labels(), b.graph.labels(), "{what}: labels at {i}");
+        assert_eq!(a.graph.edges(), b.graph.edges(), "{what}: edges at {i}");
+        assert_eq!(a.support, b.support, "{what}: support at {i}");
+    }
+}
+
+fn mine_parallel_patterns(
+    db: &GraphDatabase,
+    min_support: usize,
+    max_edges: Option<usize>,
+    options: ParallelOptions,
+) -> (Vec<FrequentPattern>, usize) {
+    let (classes, stats) = mine_parallel_classes(
+        db,
+        GSpanConfig {
+            min_support,
+            max_edges,
+        },
+        options,
+        None,
+    );
+    let patterns = classes
+        .into_iter()
+        .map(|c| FrequentPattern {
+            graph: c.graph,
+            code: c.code,
+            support: c.support,
+        })
+        .collect();
+    (patterns, stats.steals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parallel_equals_serial_at_every_thread_count(
+        db in arb_db(),
+        min_support in 1usize..=3,
+    ) {
+        let serial = mine_frequent(&db, min_support, Some(4));
+        for threads in [1usize, 2, 4, 8] {
+            let (parallel, _) = mine_parallel_patterns(
+                &db,
+                min_support,
+                Some(4),
+                ParallelOptions { threads, deque_capacity: 256 },
+            );
+            assert_identical(&serial, &parallel, &format!("t={threads}"));
+        }
+    }
+
+    #[test]
+    fn forced_steals_preserve_byte_identity(
+        db in arb_db(),
+    ) {
+        // Deque capacity 1: every second child spills to the injector,
+        // so subtrees are torn across workers as aggressively as the
+        // scheduler allows. Output must not move by a byte.
+        let serial = mine_frequent(&db, 1, Some(4));
+        for threads in [2usize, 4, 8] {
+            let (parallel, _) = mine_parallel_patterns(
+                &db,
+                1,
+                Some(4),
+                ParallelOptions { threads, deque_capacity: 1 },
+            );
+            assert_identical(&serial, &parallel, &format!("steal-forced t={threads}"));
+        }
+    }
+
+    #[test]
+    fn embeddings_are_byte_identical_to_serial_handoffs(
+        db in arb_db(),
+    ) {
+        // Beyond patterns: the full per-class embedding lists (the data
+        // Step 2/3 consumers build on) must match the serial complete()
+        // stream exactly, entry for entry.
+        use tsg_gspan::{ClassHandoff, GSpan, Grow, MinedPattern, PatternSink};
+        struct Collect(Vec<ClassHandoff>);
+        impl PatternSink for Collect {
+            fn report(&mut self, _: &MinedPattern<'_>) -> Grow {
+                Grow::Continue
+            }
+            fn complete(&mut self, class: ClassHandoff) {
+                self.0.push(class);
+            }
+        }
+        let mut serial = Collect(Vec::new());
+        GSpan::new(&db, GSpanConfig { min_support: 1, max_edges: Some(3) })
+            .mine(&mut serial);
+        let (parallel, _) = mine_parallel_classes(
+            &db,
+            GSpanConfig { min_support: 1, max_edges: Some(3) },
+            ParallelOptions { threads: 4, deque_capacity: 1 },
+            None,
+        );
+        prop_assert_eq!(serial.0.len(), parallel.len());
+        for (i, (a, b)) in serial.0.iter().zip(&parallel).enumerate() {
+            prop_assert_eq!(&a.code, &b.code, "code at {}", i);
+            prop_assert_eq!(a.support, b.support, "support at {}", i);
+            prop_assert_eq!(&a.embeddings, &b.embeddings, "embeddings at {}", i);
+        }
+    }
+}

@@ -12,16 +12,45 @@ pub type Embedding = Vec<NodeId>;
 /// first of its connected component has at least one earlier neighbor —
 /// this lets the searcher grow candidates from mapped neighborhoods instead
 /// of scanning all target vertices.
-fn matching_order(pattern: &LabeledGraph) -> Vec<NodeId> {
+///
+/// Component starts are the expensive assignments (they scan every target
+/// vertex), so each component starts at its most *selective* vertex: the
+/// one with the fewest matcher-compatible target vertices, ties broken by
+/// highest degree (more already-mapped-neighbor constraints on the rest
+/// of the component), then lowest index for determinism. Selectivity is
+/// computed against the matcher, not raw labels — under generalized
+/// matching a root-labeled pattern vertex is compatible with far more
+/// target vertices than its own label's frequency suggests.
+///
+/// Returns `None` when some pattern vertex has no compatible target
+/// vertex at all: no embedding can exist, and the candidate scan already
+/// proved it, so the search is skipped entirely.
+fn matching_order<M: LabelMatcher>(
+    pattern: &LabeledGraph,
+    target: &LabeledGraph,
+    matcher: &M,
+) -> Option<Vec<NodeId>> {
     let n = pattern.node_count();
+    // Matcher-compatible target-vertex count per pattern vertex. The
+    // O(|V_P|·|V_T|) scan is amortized by the search it steers: one
+    // infeasible component start costs a full target scan per attempt.
+    let mut candidates = vec![0usize; n];
+    for (p, slot) in candidates.iter_mut().enumerate() {
+        let lp = pattern.label(p);
+        *slot = (0..target.node_count())
+            .filter(|&t| matcher.node_match(lp, target.label(t)))
+            .count();
+        if *slot == 0 {
+            return None;
+        }
+    }
     let mut order = Vec::with_capacity(n);
     let mut placed = vec![false; n];
-    for start in 0..n {
-        if placed[start] {
-            continue;
-        }
-        // BFS the component, highest-degree start first would be a further
-        // optimization; pattern graphs here are small enough not to bother.
+    while order.len() < n {
+        let start = (0..n)
+            .filter(|&v| !placed[v])
+            .min_by_key(|&v| (candidates[v], std::cmp::Reverse(pattern.degree(v))))
+            .expect("some vertex is unplaced while order is short");
         let mut queue = std::collections::VecDeque::from([start]);
         placed[start] = true;
         while let Some(v) = queue.pop_front() {
@@ -34,7 +63,7 @@ fn matching_order(pattern: &LabeledGraph) -> Vec<NodeId> {
             }
         }
     }
-    order
+    Some(order)
 }
 
 struct Searcher<'a, M: LabelMatcher, F: FnMut(&[NodeId]) -> ControlFlow<()>> {
@@ -155,11 +184,14 @@ pub fn enumerate_embeddings<M: LabelMatcher>(
         let _ = visit(&[]);
         return;
     }
+    let Some(order) = matching_order(pattern, target, matcher) else {
+        return; // some pattern vertex has no compatible target vertex
+    };
     let mut s = Searcher {
         pattern,
         target,
         matcher,
-        order: matching_order(pattern),
+        order,
         map: vec![usize::MAX; pattern.node_count()],
         used: vec![false; target.node_count()],
         visit,
@@ -411,6 +443,39 @@ mod tests {
         let _ = &mut p;
         let t = path(&[2, 3, 1], &[0, 0]);
         assert_eq!(count_embeddings(&p, &t, &ExactMatcher), 1);
+    }
+
+    #[test]
+    fn rare_label_start_prunes_but_preserves_results() {
+        // Pattern: star with a hub labeled 9 (unique in the target) and
+        // two leaves labeled 1 (common). The order must start at the
+        // rare hub; either way, results must match brute force.
+        let mut p = LabeledGraph::with_nodes([nl(1), nl(9), nl(1)]);
+        p.add_edge(0, 1, el(0)).unwrap();
+        p.add_edge(1, 2, el(0)).unwrap();
+        let mut t = LabeledGraph::with_nodes([nl(1), nl(1), nl(1), nl(9), nl(1)]);
+        t.add_edge(0, 3, el(0)).unwrap();
+        t.add_edge(1, 3, el(0)).unwrap();
+        t.add_edge(2, 3, el(0)).unwrap();
+        t.add_edge(2, 4, el(0)).unwrap();
+        let mut got: Vec<Embedding> = vec![];
+        enumerate_embeddings(&p, &t, &ExactMatcher, |e| {
+            got.push(e.to_vec());
+            ControlFlow::Continue(())
+        });
+        let mut want = brute_embeddings(&p, &t, &ExactMatcher);
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 6); // 3 choices × 2 ordered leaf pairs
+    }
+
+    #[test]
+    fn absent_label_short_circuits_to_no_embeddings() {
+        let p = path(&[1, 42], &[0]);
+        let t = path(&[1, 2, 1], &[0, 0]);
+        assert_eq!(count_embeddings(&p, &t, &ExactMatcher), 0);
+        assert!(find_embedding(&p, &t, &ExactMatcher).is_none());
     }
 
     #[test]

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full local CI gate: release build, every workspace test, and clippy
+# with warnings promoted to errors. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+# Tier-1 first (the root package's fast suites), then the full workspace.
+cargo test -q
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings

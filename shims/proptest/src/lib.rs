@@ -723,7 +723,7 @@ mod tests {
 
         #[test]
         fn vec_of_strategies_generates_elementwise(n in 1usize..5) {
-            let strategies: Vec<_> = (0..n).map(|i| Just(i)).collect();
+            let strategies: Vec<_> = (0..n).map(Just).collect();
             let mut rng = crate::TestRng::new(9);
             let got = crate::Strategy::generate(&strategies, &mut rng);
             prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
