@@ -11,7 +11,18 @@
 //! negligible next to the work per item.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Recovers the guard from a poisoned lock. The channel poisons only if a
+/// caller panics between `lock` and the guard drop — every critical
+/// section here leaves `State` consistent at all points, and a panicking
+/// pipeline discards its results anyway, so surviving threads continue on
+/// the recovered state instead of cascading `.expect()` panics.
+pub(crate) fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A bounded FIFO usable from any number of threads by shared reference.
 #[derive(Debug)]
@@ -56,12 +67,9 @@ impl<T> Bounded<T> {
     /// single producer closes only when done sending.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn send(&self, item: T) {
-        let mut st = self.state.lock().expect("channel lock never poisoned");
+        let mut st = recover(self.state.lock());
         while st.queue.len() >= st.capacity && !st.closed {
-            st = self
-                .not_full
-                .wait(st)
-                .expect("channel lock never poisoned");
+            st = recover(self.not_full.wait(st));
         }
         assert!(!st.closed, "send on closed channel");
         st.queue.push_back(item);
@@ -83,7 +91,7 @@ impl<T> Bounded<T> {
     /// # Panics
     /// Panics if called after [`close`](Bounded::close).
     pub fn send_or_swap(&self, item: T) -> Option<T> {
-        let mut st = self.state.lock().expect("channel lock never poisoned");
+        let mut st = recover(self.state.lock());
         assert!(!st.closed, "send on closed channel");
         let stolen = if st.queue.len() >= st.capacity {
             st.queue.pop_front()
@@ -104,7 +112,7 @@ impl<T> Bounded<T> {
     /// Dequeues an item without blocking; `None` if the queue is empty
     /// (whether or not the channel is closed).
     pub fn try_recv(&self) -> Option<T> {
-        let mut st = self.state.lock().expect("channel lock never poisoned");
+        let mut st = recover(self.state.lock());
         let item = st.queue.pop_front();
         if item.is_some() {
             drop(st);
@@ -116,7 +124,7 @@ impl<T> Bounded<T> {
     /// Dequeues an item, blocking while the channel is empty and open.
     /// Returns `None` once the channel is closed **and** drained.
     pub fn recv(&self) -> Option<T> {
-        let mut st = self.state.lock().expect("channel lock never poisoned");
+        let mut st = recover(self.state.lock());
         loop {
             if let Some(item) = st.queue.pop_front() {
                 drop(st);
@@ -127,10 +135,7 @@ impl<T> Bounded<T> {
                 return None;
             }
             st.waiting_recv += 1;
-            st = self
-                .not_empty
-                .wait(st)
-                .expect("channel lock never poisoned");
+            st = recover(self.not_empty.wait(st));
             st.waiting_recv -= 1;
         }
     }
@@ -138,7 +143,7 @@ impl<T> Bounded<T> {
     /// Closes the channel: queued items remain receivable, further `recv`s
     /// after draining return `None`, and blocked receivers wake up.
     pub fn close(&self) {
-        let mut st = self.state.lock().expect("channel lock never poisoned");
+        let mut st = recover(self.state.lock());
         st.closed = true;
         drop(st);
         self.not_empty.notify_all();

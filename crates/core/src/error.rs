@@ -21,6 +21,14 @@ pub enum TaxogramError {
         /// The offending value.
         theta: f64,
     },
+    /// A worker thread of a parallel engine panicked. The panic was
+    /// caught inside the worker, the remaining workers unwound cleanly,
+    /// and the first panic's payload is reported here — a parallel run
+    /// never aborts the process or deadlocks on a dead worker.
+    WorkerPanicked {
+        /// The first panic's payload, rendered as text.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for TaxogramError {
@@ -32,6 +40,9 @@ impl std::fmt::Display for TaxogramError {
             ),
             TaxogramError::InvalidThreshold { theta } => {
                 write!(f, "support threshold {theta} outside [0, 1]")
+            }
+            TaxogramError::WorkerPanicked { message } => {
+                write!(f, "a mining worker panicked: {message}")
             }
         }
     }

@@ -60,3 +60,9 @@ pub use miner::{MiningResult, MiningStats, Pattern, Taxogram};
 pub use parallel::mine_parallel;
 pub use pipeline::{mine_pipelined, mine_pipelined_with, PipelineOptions};
 pub use steal::{mine_stealing, mine_stealing_with, StealOptions};
+#[doc(hidden)]
+pub use pipeline::{mine_pipelined_faulted, PipelineFaults};
+#[doc(hidden)]
+pub use steal::mine_stealing_faulted;
+#[doc(hidden)]
+pub use tsg_gspan::FaultInjection as SearchFaults;

@@ -32,7 +32,7 @@
 //!   specialization work stacks are recycled across classes, so the hot
 //!   loop stops allocating once warm.
 
-use crate::channel::Bounded;
+use crate::channel::{recover, Bounded};
 use crate::config::TaxogramConfig;
 use crate::enumerate::EnumScratch;
 use crate::error::TaxogramError;
@@ -42,6 +42,8 @@ use crate::oi::{OccurrenceIndex, OiOptions, OiScratch};
 use crate::relabel::{relabel, Relabeled};
 use tsg_bitset::BitSet;
 use tsg_graph::{GraphDatabase, LabeledGraph};
+use std::panic::AssertUnwindSafe;
+use std::sync::Mutex;
 use tsg_gspan::{ClassHandoff, Embedding, GSpan, GSpanConfig, Grow, MinedPattern, PatternSink};
 use tsg_taxonomy::Taxonomy;
 
@@ -75,6 +77,54 @@ impl Default for PipelineOptions {
     }
 }
 
+/// Deterministic fault injector for the pipelined engine. Test-only
+/// plumbing (driven by `tsg-testkit`); every field defaults to "no
+/// fault", in which case [`mine_pipelined_faulted`] behaves exactly like
+/// [`mine_pipelined_with`].
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineFaults {
+    /// Panic while enumerating the class with this 1-based *serial class
+    /// index*. Sequence numbers are assigned in serial (pre-order) class
+    /// order, so the faulting class is fixed regardless of which thread —
+    /// dedicated worker or stealing producer — happens to process it.
+    pub panic_at_class: Option<usize>,
+    /// Simulate a dropped `PipeSink` receiver: each dedicated worker stops
+    /// receiving (returns, dropping its end of the channel loop) after
+    /// processing this many items. Queued classes stay in the channel and
+    /// are drained by the producer after close, so the run still succeeds
+    /// with byte-identical output.
+    pub drop_receiver_after: Option<usize>,
+}
+
+/// Renders a caught panic payload as text (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Records the first panic; later panics are dropped (first-wins, like
+/// the search scheduler's recorder).
+fn record_panic(slot: &Mutex<Option<String>>, message: String) {
+    let mut guard = recover(slot.lock());
+    if guard.is_none() {
+        *guard = Some(message);
+    }
+}
+
+/// Trips the injected panic for class `seq` (0-based) if armed.
+fn maybe_injected_panic(faults: &PipelineFaults, seq: usize) {
+    if faults.panic_at_class == Some(seq + 1) {
+        panic!("injected fault: pipeline worker panicked at class {}", seq + 1);
+    }
+}
+
 /// Mines like [`crate::Taxogram::mine`] with Step 2 and Step 3 overlapped
 /// on `threads` workers. Output is exactly the serial result (same
 /// patterns, same order, same supports).
@@ -102,12 +152,28 @@ pub fn mine_pipelined(
 /// [`mine_pipelined`] with an explicit channel capacity.
 ///
 /// # Errors
-/// Same conditions as the serial miner.
+/// Same conditions as the serial miner, plus
+/// [`TaxogramError::WorkerPanicked`] if an enumeration thread panicked
+/// (the panic is caught, every thread unwinds cleanly, and the run
+/// surfaces the first panic instead of aborting or deadlocking).
 pub fn mine_pipelined_with(
     config: &TaxogramConfig,
     db: &GraphDatabase,
     taxonomy: &Taxonomy,
     options: PipelineOptions,
+) -> Result<MiningResult, TaxogramError> {
+    mine_pipelined_faulted(config, db, taxonomy, options, PipelineFaults::default())
+}
+
+/// [`mine_pipelined_with`] plus the deterministic fault injector.
+/// Test-only plumbing (driven by `tsg-testkit`).
+#[doc(hidden)]
+pub fn mine_pipelined_faulted(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    options: PipelineOptions,
+    faults: PipelineFaults,
 ) -> Result<MiningResult, TaxogramError> {
     let threads = options.threads;
     if threads <= 1 {
@@ -140,6 +206,9 @@ pub fn mine_pipelined_with(
     let channel: Bounded<WorkItem> = Bounded::new(capacity);
     let emb_gauge = MemoryGauge::new();
     let oi_gauge = MemoryGauge::new();
+    // First panic from any enumeration thread; a set slot turns the whole
+    // run into `Err(WorkerPanicked)` after every thread has unwound.
+    let panic_slot: Mutex<Option<String>> = Mutex::new(None);
 
     let mut classes = 0usize;
     let mut outputs: Vec<(usize, ClassOutput)> = Vec::new();
@@ -150,24 +219,48 @@ pub fn mine_pipelined_with(
                 let emb_gauge = &emb_gauge;
                 let oi_gauge = &oi_gauge;
                 let prepared = &prepared;
+                let panic_slot = &panic_slot;
                 scope.spawn(move || {
                     let mut local: Vec<(usize, ClassOutput)> = Vec::new();
                     let mut enum_scratch = EnumScratch::new();
                     let mut oi_scratch = OiScratch::new();
+                    let mut received = 0usize;
                     while let Some(item) = channel.recv() {
-                        let out = enumerate_class(
-                            &item.skeleton,
-                            &item.embeddings,
-                            prepared,
-                            config,
-                            Some(oi_gauge),
-                            &mut enum_scratch,
-                            &mut oi_scratch,
-                        );
-                        // Embeddings die here; release them from the gauge.
-                        drop(item.embeddings);
-                        emb_gauge.sub(item.emb_bytes);
-                        local.push((item.seq, out));
+                        received += 1;
+                        // Catch panics per item: a dead worker must not
+                        // leave the producer blocked or the process
+                        // aborted. The item unwinding mid-enumeration is
+                        // lost, which is exactly why a recorded panic
+                        // fails the whole run below.
+                        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            maybe_injected_panic(&faults, item.seq);
+                            let out = enumerate_class(
+                                &item.skeleton,
+                                &item.embeddings,
+                                prepared,
+                                config,
+                                Some(oi_gauge),
+                                &mut enum_scratch,
+                                &mut oi_scratch,
+                            );
+                            // Embeddings die here; release them from the gauge.
+                            drop(item.embeddings);
+                            emb_gauge.sub(item.emb_bytes);
+                            (item.seq, out)
+                        }));
+                        match caught {
+                            Ok(pair) => local.push(pair),
+                            Err(payload) => {
+                                record_panic(panic_slot, panic_message(payload.as_ref()));
+                                return local;
+                            }
+                        }
+                        // Simulated receiver drop: stop pulling from the
+                        // channel; the producer's post-close drain picks
+                        // up whatever this worker abandons.
+                        if faults.drop_receiver_after == Some(received) {
+                            return local;
+                        }
                     }
                     local
                 })
@@ -183,31 +276,56 @@ pub fn mine_pipelined_with(
             oi_gauge: &oi_gauge,
             prepared: &prepared,
             config,
+            faults,
             enum_scratch: EnumScratch::new(),
             oi_scratch: OiScratch::new(),
             outputs: Vec::new(),
             next_seq: 0,
         };
-        GSpan::new(
-            &prepared.rel.dmg,
-            GSpanConfig {
-                min_support: prepared.min_support,
-                max_edges: config.max_edges,
-            },
-        )
-        .mine(&mut sink);
+        // The producer can panic too — the injected class may land on it
+        // via a backpressure steal. Catch so the channel still closes:
+        // an unclosed channel would park every worker on `recv` forever.
+        let mined = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            GSpan::new(
+                &prepared.rel.dmg,
+                GSpanConfig {
+                    min_support: prepared.min_support,
+                    max_edges: config.max_edges,
+                },
+            )
+            .mine(&mut sink);
+        }));
         classes = sink.next_seq;
         channel.close();
+        if let Err(payload) = mined {
+            record_panic(&panic_slot, panic_message(payload.as_ref()));
+        }
         // Mining is done; the producer joins the drain instead of idling.
+        // This drain is also what rescues classes abandoned by a dropped
+        // receiver, so no item is ever lost to a worker that quit early.
         while let Some(item) = channel.try_recv() {
-            sink.process(item);
+            if let Err(payload) =
+                std::panic::catch_unwind(AssertUnwindSafe(|| sink.process(item)))
+            {
+                record_panic(&panic_slot, panic_message(payload.as_ref()));
+            }
         }
         outputs = sink.outputs;
 
         for h in handles {
-            outputs.extend(h.join().expect("pipeline worker does not panic"));
+            // A panic that somehow escaped the per-item catch (e.g. from
+            // the channel itself) still surfaces as an error, not an
+            // abort-on-join.
+            match h.join() {
+                Ok(local) => outputs.extend(local),
+                Err(payload) => record_panic(&panic_slot, panic_message(payload.as_ref())),
+            }
         }
     });
+
+    if let Some(message) = recover(panic_slot.lock()).take() {
+        return Err(TaxogramError::WorkerPanicked { message });
+    }
 
     // Reorder buffer: sequence numbers are serial class indices, so
     // sorting restores exactly the serial output order.
@@ -295,6 +413,7 @@ struct PipeSink<'a> {
     oi_gauge: &'a MemoryGauge,
     prepared: &'a Prepared,
     config: &'a TaxogramConfig,
+    faults: PipelineFaults,
     /// Scratch arenas for classes the producer enumerates itself when
     /// the channel is full (work stealing instead of blocking).
     enum_scratch: EnumScratch,
@@ -305,6 +424,7 @@ struct PipeSink<'a> {
 
 impl PipeSink<'_> {
     fn process(&mut self, item: WorkItem) {
+        maybe_injected_panic(&self.faults, item.seq);
         let out = enumerate_class(
             &item.skeleton,
             &item.embeddings,

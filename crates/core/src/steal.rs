@@ -32,8 +32,8 @@ use crate::oi::OiScratch;
 use crate::pipeline::{enumerate_class, merge_outputs, prepare, ClassOutput, Prepared, Prologue};
 use tsg_graph::GraphDatabase;
 use tsg_gspan::{
-    mine_parallel_with, ClassHandoff, DfsCode, GSpanConfig, Grow, MinedPattern, ParallelOptions,
-    PatternSink,
+    mine_parallel_with_faults, ClassHandoff, DfsCode, FaultInjection, GSpanConfig, Grow,
+    MinedPattern, ParallelOptions, PatternSink,
 };
 use tsg_taxonomy::Taxonomy;
 
@@ -93,12 +93,28 @@ pub fn mine_stealing(
 /// [`mine_stealing`] with explicit scheduler knobs.
 ///
 /// # Errors
-/// Same conditions as the serial miner.
+/// Same conditions as the serial miner, plus
+/// [`TaxogramError::WorkerPanicked`] if a search worker panicked (the
+/// panic is caught, every worker unwinds cleanly, and the run surfaces
+/// the first panic instead of aborting or deadlocking).
 pub fn mine_stealing_with(
     config: &TaxogramConfig,
     db: &GraphDatabase,
     taxonomy: &Taxonomy,
     options: StealOptions,
+) -> Result<MiningResult, TaxogramError> {
+    mine_stealing_faulted(config, db, taxonomy, options, FaultInjection::default())
+}
+
+/// [`mine_stealing_with`] plus the deterministic fault/schedule injector.
+/// Test-only plumbing (driven by `tsg-testkit`).
+#[doc(hidden)]
+pub fn mine_stealing_faulted(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    options: StealOptions,
+    faults: FaultInjection,
 ) -> Result<MiningResult, TaxogramError> {
     let prepared = match prepare(config, db, taxonomy)? {
         Prologue::Done(result) => return Ok(result),
@@ -123,7 +139,7 @@ pub fn mine_stealing_with(
 
     let emb_gauge = MemoryGauge::new();
     let oi_gauge = MemoryGauge::new();
-    let (sinks, steal_stats) = mine_parallel_with(
+    let (sinks, steal_stats) = mine_parallel_with_faults(
         &prepared.rel.dmg,
         GSpanConfig {
             min_support: prepared.min_support,
@@ -139,7 +155,9 @@ pub fn mine_stealing_with(
             oi_scratch: OiScratch::new(),
             outputs: Vec::new(),
         },
-    );
+        faults,
+    )
+    .map_err(|p| TaxogramError::WorkerPanicked { message: p.message })?;
 
     // Reorder by canonical code: lexicographic DFS-code order *is* the
     // serial class order, so the merge sees outputs exactly as the

@@ -7,68 +7,14 @@ use proptest::prelude::*;
 use taxogram_core::reference::{compare_with_reference, reference_mine};
 use taxogram_core::{Enhancements, Taxogram, TaxogramConfig};
 use tsg_graph::{EdgeLabel, GraphDatabase, LabeledGraph, NodeLabel};
-use tsg_taxonomy::{Taxonomy, TaxonomyBuilder};
+use tsg_taxonomy::Taxonomy;
+use tsg_testkit::gen::arb_taxonomy;
 
-/// A random DAG taxonomy over `n` concepts: each non-root concept gets 1–2
-/// parents among lower-numbered concepts (so acyclicity is structural).
-fn arb_taxonomy(max_concepts: usize) -> impl Strategy<Value = Taxonomy> {
-    (2..=max_concepts)
-        .prop_flat_map(|n| {
-            // parents[i] ⊆ {0..i}; concept 0 is always a root.
-            let parent_choices: Vec<_> = (1..n)
-                .map(|i| {
-                    prop::collection::vec(0..i, 1..=2.min(i))
-                })
-                .collect();
-            (Just(n), parent_choices)
-        })
-        .prop_map(|(n, parents)| {
-            let mut b = TaxonomyBuilder::with_concepts(n);
-            for (i, ps) in parents.into_iter().enumerate() {
-                let child = NodeLabel((i + 1) as u32);
-                let mut seen = vec![];
-                for p in ps {
-                    if !seen.contains(&p) {
-                        seen.push(p);
-                        b.is_a(child, NodeLabel(p as u32)).unwrap();
-                    }
-                }
-            }
-            b.build().expect("parents < child ⇒ acyclic")
-        })
-}
-
-/// A random connected graph whose labels are drawn from the taxonomy's
-/// concepts.
-fn arb_graph(concepts: usize, max_nodes: usize) -> impl Strategy<Value = LabeledGraph> {
-    (2..=max_nodes)
-        .prop_flat_map(move |n| {
-            let labels = prop::collection::vec(0..concepts, n);
-            let chain_elabels = prop::collection::vec(0..2u32, n - 1);
-            let extras = prop::collection::vec(((0..n), (0..n), 0..2u32), 0..=2);
-            (labels, chain_elabels, extras)
-        })
-        .prop_map(|(labels, chain, extras)| {
-            let mut g = LabeledGraph::with_nodes(labels.iter().map(|&l| NodeLabel(l as u32)));
-            for (i, &el) in chain.iter().enumerate() {
-                g.add_edge(i, i + 1, EdgeLabel(el)).unwrap();
-            }
-            for (u, v, el) in extras {
-                if u != v {
-                    let _ = g.add_edge(u, v, EdgeLabel(el));
-                }
-            }
-            g
-        })
-}
-
+/// Coupled inputs at this suite's historical shape (up to 6 concepts,
+/// 2–4 graphs of up to 4 vertices — small enough for the brute-force
+/// reference), via the shared [`tsg_testkit::gen`] generators.
 fn arb_input() -> impl Strategy<Value = (Taxonomy, GraphDatabase)> {
-    arb_taxonomy(6).prop_flat_map(|t| {
-        let n = t.concept_count();
-        let db = prop::collection::vec(arb_graph(n, 4), 2..=4)
-            .prop_map(GraphDatabase::from_graphs);
-        (Just(t), db)
-    })
+    tsg_testkit::gen::arb_input_sized(6, 4, 4)
 }
 
 fn all_enhancement_combos() -> Vec<Enhancements> {

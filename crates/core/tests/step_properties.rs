@@ -1,0 +1,222 @@
+//! Property tests for the per-step support modules on seeded
+//! [`tsg_testkit`] inputs: Step 1 relabeling (`relabel`), the SON-style
+//! two-pass partitioned miner (`son`), and the Srikant–Agrawal
+//! R-interestingness filter (`interest`).
+//!
+//! The full-pipeline agreement suites already exercise these modules
+//! end-to-end; the relations here pin down each module's own contract so
+//! a regression localizes to the step that broke it.
+
+use taxogram_core::interest::{r_interesting, score_pattern};
+use taxogram_core::relabel::relabel;
+use taxogram_core::son::{mine_partitioned, partition};
+use taxogram_core::{Taxogram, TaxogramConfig};
+use tsg_testkit::gen::{case_count, cases, Case};
+use tsg_testkit::metamorphic::MAX_EDGES;
+
+const BASE_SEED: u64 = 0x7a78_6f67_7261_6d02;
+
+fn sweep(what: &str, mut check: impl FnMut(&Case) -> Result<(), String>) {
+    for c in cases(BASE_SEED, case_count(64)) {
+        if let Err(msg) = check(&c) {
+            panic!("{what} violated on seed {:#x}: {msg}", c.seed);
+        }
+    }
+}
+
+fn config(c: &Case) -> TaxogramConfig {
+    TaxogramConfig::with_threshold(c.theta).max_edges(MAX_EDGES)
+}
+
+// ---------------------------------------------------------------- relabel
+
+/// Step 1 contract: every vertex's new label is *the* most general
+/// ancestor of its old one (unique after unification), the old labels are
+/// preserved verbatim in `originals`, and the graph structure does not
+/// move at all.
+#[test]
+fn relabel_maps_every_vertex_to_its_most_general_ancestor() {
+    sweep("relabel/mga", |c| {
+        let r = relabel(&c.db, &c.taxonomy).map_err(|e| e.to_string())?;
+        for (gid, g) in c.db.iter() {
+            let relabeled = &r.dmg[gid];
+            if relabeled.edges() != g.edges() {
+                return Err(format!("graph {gid}: edges changed"));
+            }
+            for (node, &orig) in g.labels().iter().enumerate() {
+                if r.originals[gid][node] != orig {
+                    return Err(format!("graph {gid} node {node}: original label lost"));
+                }
+                let mga = r
+                    .taxonomy
+                    .most_general_ancestor(orig)
+                    .ok_or_else(|| format!("no unique mga for {orig:?} after unification"))?;
+                if relabeled.label(node) != mga {
+                    return Err(format!(
+                        "graph {gid} node {node}: relabeled to {:?}, mga is {mga:?}",
+                        relabeled.label(node)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Relabeling is idempotent: running Step 1 on `D_mg` (under the working
+/// taxonomy) changes nothing — most-general ancestors are fixed points.
+#[test]
+fn relabel_is_idempotent() {
+    sweep("relabel/idempotent", |c| {
+        let once = relabel(&c.db, &c.taxonomy).map_err(|e| e.to_string())?;
+        let twice = relabel(&once.dmg, &once.taxonomy).map_err(|e| e.to_string())?;
+        for (gid, g) in once.dmg.iter() {
+            if twice.dmg[gid].labels() != g.labels() {
+                return Err(format!("graph {gid}: labels moved on second pass"));
+            }
+        }
+        Ok(())
+    });
+}
+
+// -------------------------------------------------------------------- son
+
+/// `partition(db, k)` is an ordered disjoint cover: concatenating the
+/// chunks reproduces the database's graphs exactly, in order, for every
+/// chunk count (including k larger than the database).
+#[test]
+fn partition_concatenates_back_to_the_database() {
+    sweep("son/partition-cover", |c| {
+        for k in 1..=c.db.len() + 2 {
+            let parts = partition(&c.db, k);
+            let flat: Vec<_> = parts.iter().flat_map(|p| p.graphs().iter()).collect();
+            if flat.len() != c.db.len() {
+                return Err(format!("k={k}: {} graphs of {}", flat.len(), c.db.len()));
+            }
+            for (i, g) in flat.into_iter().enumerate() {
+                if g.labels() != c.db[i].labels() || g.edges() != c.db[i].edges() {
+                    return Err(format!("k={k}: graph {i} altered by partitioning"));
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+/// The SON two-pass result equals the single-pass miner for every
+/// partitioning — same patterns (up to isomorphism), same supports, same
+/// global support floor — even with empty partitions interleaved.
+#[test]
+fn partitioned_mining_equals_single_pass() {
+    sweep("son/agreement", |c| {
+        let single = Taxogram::new(config(c))
+            .mine(&c.db, &c.taxonomy)
+            .map_err(|e| e.to_string())?;
+        for k in [1usize, 2, 3] {
+            let mut parts = partition(&c.db, k);
+            // Empty partitions are legal input and must not perturb counts.
+            parts.push(tsg_graph::GraphDatabase::from_graphs(vec![]));
+            let two_pass =
+                mine_partitioned(&config(c), &parts, &c.taxonomy).map_err(|e| e.to_string())?;
+            if two_pass.min_support_count != single.min_support_count {
+                return Err(format!(
+                    "k={k}: support floor {} vs {}",
+                    two_pass.min_support_count, single.min_support_count
+                ));
+            }
+            if two_pass.patterns.len() != single.patterns.len() {
+                return Err(format!(
+                    "k={k}: {} patterns vs {}",
+                    two_pass.patterns.len(),
+                    single.patterns.len()
+                ));
+            }
+            let mut used = vec![false; two_pass.patterns.len()];
+            for p in &single.patterns {
+                let hit = two_pass.patterns.iter().enumerate().find(|(i, q)| {
+                    !used[*i]
+                        && q.support_count == p.support_count
+                        && tsg_iso::is_isomorphic(&q.graph, &p.graph)
+                });
+                match hit {
+                    Some((i, _)) => used[i] = true,
+                    None => {
+                        return Err(format!(
+                            "k={k}: two-pass missing {:?} (sup {})",
+                            p.graph.labels(),
+                            p.support_count
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+// --------------------------------------------------------------- interest
+
+/// The R-interestingness filter is monotone in `r`: `r = 0` keeps every
+/// mined pattern, raising `r` only removes patterns, and the survivor set
+/// at a higher `r` is a subset of the survivor set at any lower `r`.
+#[test]
+fn interest_filter_is_monotone_in_r() {
+    sweep("interest/monotone", |c| {
+        let mined = Taxogram::new(config(c))
+            .mine(&c.db, &c.taxonomy)
+            .map_err(|e| e.to_string())?;
+        let mut previous = mined.patterns.len();
+        let all = r_interesting(&mined.patterns, &c.db, &c.taxonomy, 0.0);
+        if all.len() != mined.patterns.len() {
+            return Err(format!(
+                "r=0 kept {} of {} patterns",
+                all.len(),
+                mined.patterns.len()
+            ));
+        }
+        for r in [0.5, 1.0, 1.5, 10.0] {
+            let kept = r_interesting(&mined.patterns, &c.db, &c.taxonomy, r);
+            if kept.len() > previous {
+                return Err(format!("r={r}: {} survivors > {previous} at lower r", kept.len()));
+            }
+            for (_, score) in &kept {
+                if !score.is_interesting(r) {
+                    return Err(format!("r={r}: filter kept an uninteresting score"));
+                }
+            }
+            previous = kept.len();
+        }
+        Ok(())
+    });
+}
+
+/// Patterns labeled entirely by root concepts have no one-step
+/// generalization, so they are vacuously interesting at every factor.
+#[test]
+fn root_only_patterns_are_vacuously_interesting() {
+    sweep("interest/root-vacuous", |c| {
+        let mined = Taxogram::new(config(c))
+            .mine(&c.db, &c.taxonomy)
+            .map_err(|e| e.to_string())?;
+        let freq = c.taxonomy.generalized_label_frequencies(&c.db);
+        for p in &mined.patterns {
+            let root_only = p
+                .graph
+                .labels()
+                .iter()
+                .all(|&l| c.taxonomy.parents(l).is_empty());
+            let score = score_pattern(p, &c.db, &c.taxonomy, &freq);
+            if root_only && score.min_ratio.is_some() {
+                return Err(format!(
+                    "root-only pattern {:?} got ratio {:?}",
+                    p.graph.labels(),
+                    score.min_ratio
+                ));
+            }
+            if root_only && !score.is_interesting(f64::MAX) {
+                return Err("vacuous pattern rejected".into());
+            }
+        }
+        Ok(())
+    });
+}

@@ -52,5 +52,7 @@ pub use miner::{
 };
 pub use parallel::{
     mine_frequent_parallel, mine_parallel_classes, mine_parallel_with, ParallelOptions,
-    StealStats, TaskGauge,
+    SearchPanicked, StealStats, TaskGauge,
 };
+#[doc(hidden)]
+pub use parallel::{mine_parallel_with_faults, FaultInjection};

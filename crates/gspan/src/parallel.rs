@@ -38,9 +38,83 @@ use crate::extension::{embedding_list_bytes, prune_infrequent, seed_extensions, 
 use crate::miner::{ClassHandoff, FrequentPattern, GSpan, GSpanConfig, Grow, PatternSink};
 use crate::minimal::MinScratch;
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use tsg_graph::GraphDatabase;
+
+/// A worker panicked during the search (its own panic was caught and the
+/// remaining workers unwound cleanly). Carries the first panic's message.
+///
+/// Without fault injection this can only originate in sink code (a
+/// [`PatternSink`] implementation that panics); the scheduler itself does
+/// not panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SearchPanicked {
+    /// The payload of the first panic observed, rendered as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for SearchPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mining worker panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for SearchPanicked {}
+
+/// Deterministic fault/schedule injection for the work-stealing search.
+/// Test-only plumbing (driven by `tsg-testkit`); not part of the public
+/// API surface.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultInjection {
+    /// Panic inside whichever worker executes the `n`th task (1-based
+    /// count of task executions across all workers).
+    pub panic_at_task: Option<usize>,
+    /// Seeded placement perturbation: each spawned task flips a coin
+    /// derived from `(seed, task serial)` and, on heads, bypasses the
+    /// local deque straight to the shared injector — a deterministic
+    /// forced-steal schedule independent of OS timing.
+    pub steal_schedule_seed: Option<u64>,
+}
+
+impl FaultInjection {
+    /// Whether task number `serial` should be forced to the injector.
+    fn force_inject(&self, serial: usize) -> bool {
+        let Some(seed) = self.steal_schedule_seed else {
+            return false;
+        };
+        // splitmix64 finalizer over (seed, serial).
+        let mut z = seed ^ (serial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) & 1 == 1
+    }
+}
+
+/// Recovers the guard from a poisoned lock. A mutex poisons when a thread
+/// panics while holding it; every scheduler critical section leaves the
+/// queues structurally valid between operations, and once any panic is
+/// recorded the whole run's results are discarded, so continuing with the
+/// recovered guard is sound — and required for the surviving workers to
+/// unwind cleanly instead of cascading `.expect()` panics.
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a caught panic payload as text (best effort).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
 
 /// Knobs for the work-stealing search.
 #[derive(Clone, Copy, Debug)]
@@ -104,11 +178,17 @@ struct Scheduler {
     wake: Condvar,
     stopped: AtomicBool,
     tasks: AtomicUsize,
+    /// Task *executions* started, for deterministic panic injection.
+    executed: AtomicUsize,
     steals: AtomicUsize,
+    /// First panic caught in any worker; set before `stopped`, read after
+    /// all workers have returned.
+    panic: Mutex<Option<String>>,
+    faults: FaultInjection,
 }
 
 impl Scheduler {
-    fn new(workers: usize, capacity: usize) -> Self {
+    fn new(workers: usize, capacity: usize, faults: FaultInjection) -> Self {
         Scheduler {
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             injector: Mutex::new(VecDeque::new()),
@@ -119,12 +199,35 @@ impl Scheduler {
             wake: Condvar::new(),
             stopped: AtomicBool::new(false),
             tasks: AtomicUsize::new(0),
+            executed: AtomicUsize::new(0),
             steals: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            faults,
         }
     }
 
-    fn lock_local(&self, i: usize) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
-        self.locals[i].lock().expect("no panic while holding a deque")
+    fn lock_local(&self, i: usize) -> MutexGuard<'_, VecDeque<Task>> {
+        recover(self.locals[i].lock())
+    }
+
+    fn lock_injector(&self) -> MutexGuard<'_, VecDeque<Task>> {
+        recover(self.injector.lock())
+    }
+
+    /// Records the first caught worker panic and halts the search. Later
+    /// panics (cascades in other workers) are dropped — the first is the
+    /// root cause.
+    fn record_panic(&self, message: String) {
+        let mut slot = recover(self.panic.lock());
+        if slot.is_none() {
+            *slot = Some(message);
+        }
+        drop(slot);
+        self.stop();
+    }
+
+    fn take_panic(&self) -> Option<String> {
+        recover(self.panic.lock()).take()
     }
 
     /// Makes `task` visible to the scheduler. `pending` is incremented
@@ -135,7 +238,12 @@ impl Scheduler {
             g.task_enqueued(task.bytes);
         }
         self.pending.fetch_add(1, Ordering::SeqCst);
-        self.tasks.fetch_add(1, Ordering::Relaxed);
+        let serial = self.tasks.fetch_add(1, Ordering::Relaxed);
+        if self.faults.force_inject(serial) {
+            self.lock_injector().push_back(task);
+            self.notify_if_sleeping();
+            return;
+        }
         let overflow = {
             let mut q = self.lock_local(me);
             q.push_back(task);
@@ -146,10 +254,7 @@ impl Scheduler {
             }
         };
         if let Some(t) = overflow {
-            self.injector
-                .lock()
-                .expect("no panic while holding the injector")
-                .push_back(t);
+            self.lock_injector().push_back(t);
         }
         self.notify_if_sleeping();
     }
@@ -161,10 +266,7 @@ impl Scheduler {
         }
         self.pending.fetch_add(1, Ordering::SeqCst);
         self.tasks.fetch_add(1, Ordering::Relaxed);
-        self.injector
-            .lock()
-            .expect("no panic while holding the injector")
-            .push_back(task);
+        self.lock_injector().push_back(task);
     }
 
     /// Wakes parked workers if any exist. Safe against lost wakeups:
@@ -174,7 +276,7 @@ impl Scheduler {
     /// proves the parker's check will observe the pushed task.
     fn notify_if_sleeping(&self) {
         if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let _guard = self.park.lock().expect("no panic while holding park");
+            let _guard = recover(self.park.lock());
             self.wake.notify_all();
         }
     }
@@ -184,10 +286,7 @@ impl Scheduler {
     }
 
     fn pop_injector(&self) -> Option<Task> {
-        self.injector
-            .lock()
-            .expect("no panic while holding the injector")
-            .pop_front()
+        self.lock_injector().pop_front()
     }
 
     /// Steals the oldest task from some other worker.
@@ -204,12 +303,7 @@ impl Scheduler {
     }
 
     fn any_work(&self) -> bool {
-        if !self
-            .injector
-            .lock()
-            .expect("no panic while holding the injector")
-            .is_empty()
-        {
+        if !self.lock_injector().is_empty() {
             return true;
         }
         (0..self.locals.len()).any(|i| !self.lock_local(i).is_empty())
@@ -217,15 +311,61 @@ impl Scheduler {
 
     fn stop(&self) {
         self.stopped.store(true, Ordering::SeqCst);
-        let _guard = self.park.lock().expect("no panic while holding park");
+        let _guard = recover(self.park.lock());
         self.wake.notify_all();
     }
 
     /// Marks one task fully processed; wakes everyone on exhaustion.
     fn finish_task(&self) {
         if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-            let _guard = self.park.lock().expect("no panic while holding park");
+            let _guard = recover(self.park.lock());
             self.wake.notify_all();
+        }
+    }
+
+    /// Executes one task: the shared `visit` step plus child spawning.
+    /// Factored out so the worker loop can wrap it in `catch_unwind`.
+    fn run_task<S: PatternSink>(
+        &self,
+        me: usize,
+        task: Task,
+        miner: &GSpan<'_>,
+        sink: &mut S,
+        scratch: &mut MinScratch,
+        gauge: Option<&dyn TaskGauge>,
+    ) {
+        let executed = self.executed.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.faults.panic_at_task == Some(executed) {
+            panic!("injected fault: worker {me} panicked at task {executed}");
+        }
+        let Task { code, embs, bytes } = task;
+        let mut stopped = false;
+        let children = miner.visit(&code, embs, sink, scratch, &mut stopped);
+        if stopped {
+            self.stop();
+        }
+        if let Some(children) = children {
+            // Reverse push: LIFO pop then explores the smallest child
+            // first, replicating the serial descent per worker.
+            for (key, child_embs) in children.into_iter().rev() {
+                let mut child_code = code.clone();
+                child_code.push(key.0);
+                let bytes = embedding_list_bytes(&child_embs);
+                self.spawn(
+                    me,
+                    Task {
+                        code: child_code,
+                        embs: child_embs,
+                        bytes,
+                    },
+                    gauge,
+                );
+            }
+        }
+        // The node's own embeddings died inside `visit` (moved in,
+        // consumed); its children are accounted separately above.
+        if let Some(g) = gauge {
+            g.task_dequeued(bytes);
         }
     }
 
@@ -249,7 +389,7 @@ impl Scheduler {
                 if self.pending.load(Ordering::SeqCst) == 0 {
                     return;
                 }
-                let guard = self.park.lock().expect("no panic while holding park");
+                let guard = recover(self.park.lock());
                 self.sleepers.fetch_add(1, Ordering::SeqCst);
                 // Re-check *after* registering as a sleeper: any spawn
                 // completing after this point sees `sleepers > 0` and
@@ -259,41 +399,28 @@ impl Scheduler {
                     && !self.stopped.load(Ordering::SeqCst)
                     && !self.any_work()
                 {
-                    drop(self.wake.wait(guard).expect("park poisoned"));
+                    drop(recover(self.wake.wait(guard)));
                 }
                 self.sleepers.fetch_sub(1, Ordering::SeqCst);
                 continue;
             };
-            let Task { code, embs, bytes } = task;
-            let mut stopped = false;
-            let children = miner.visit(&code, embs, sink, &mut scratch, &mut stopped);
-            if stopped {
-                self.stop();
-            }
-            if let Some(children) = children {
-                // Reverse push: LIFO pop then explores the smallest child
-                // first, replicating the serial descent per worker.
-                for (key, child_embs) in children.into_iter().rev() {
-                    let mut child_code = code.clone();
-                    child_code.push(key.0);
-                    let bytes = embedding_list_bytes(&child_embs);
-                    self.spawn(
-                        me,
-                        Task {
-                            code: child_code,
-                            embs: child_embs,
-                            bytes,
-                        },
-                        gauge,
-                    );
+            // Panic isolation: a panic in `visit` (sink code) or an
+            // injected fault is caught here, with no scheduler lock held.
+            // The first one recorded halts the search via the `stopped`
+            // flag, so the other workers drain out of their loops instead
+            // of parking on a `pending` count that will never reach zero
+            // (the panicked task's `finish_task` never runs) — that is
+            // the deadlock this catch exists to prevent.
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                self.run_task(me, task, miner, sink, &mut scratch, gauge);
+            }));
+            match caught {
+                Ok(()) => self.finish_task(),
+                Err(payload) => {
+                    self.record_panic(panic_message(payload.as_ref()));
+                    return;
                 }
             }
-            // The node's own embeddings died inside `visit` (moved in,
-            // consumed); its children are accounted separately above.
-            if let Some(g) = gauge {
-                g.task_dequeued(bytes);
-            }
-            self.finish_task();
         }
     }
 }
@@ -310,19 +437,43 @@ impl Scheduler {
 /// [`Grow::Stop`] halts all workers best-effort — the set of classes
 /// visited before the stop lands is schedule dependent, unlike the serial
 /// miner's exact prefix.
+///
+/// # Errors
+/// [`SearchPanicked`] if any worker panicked (only sink code can panic).
+/// The panic is caught inside the worker, the remaining workers drain and
+/// exit, and the first panic's message is returned — no abort, no
+/// deadlock, no poisoned-lock cascade.
 pub fn mine_parallel_with<S, F>(
     db: &GraphDatabase,
     config: GSpanConfig,
     options: ParallelOptions,
     gauge: Option<&dyn TaskGauge>,
     make_sink: F,
-) -> (Vec<S>, StealStats)
+) -> Result<(Vec<S>, StealStats), SearchPanicked>
+where
+    S: PatternSink + Send,
+    F: Fn(usize) -> S + Sync,
+{
+    mine_parallel_with_faults(db, config, options, gauge, make_sink, FaultInjection::default())
+}
+
+/// [`mine_parallel_with`] plus a deterministic fault/schedule injector.
+/// Test-only plumbing; see [`FaultInjection`].
+#[doc(hidden)]
+pub fn mine_parallel_with_faults<S, F>(
+    db: &GraphDatabase,
+    config: GSpanConfig,
+    options: ParallelOptions,
+    gauge: Option<&dyn TaskGauge>,
+    make_sink: F,
+    faults: FaultInjection,
+) -> Result<(Vec<S>, StealStats), SearchPanicked>
 where
     S: PatternSink + Send,
     F: Fn(usize) -> S + Sync,
 {
     let workers = options.threads.max(1);
-    let sched = Scheduler::new(workers, options.deque_capacity);
+    let sched = Scheduler::new(workers, options.deque_capacity, faults);
     let miner = GSpan::new(db, config);
 
     let mut seeds = seed_extensions(db);
@@ -362,27 +513,42 @@ where
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("mining worker panicked"))
+                .filter_map(|h| match h.join() {
+                    Ok(sink) => Some(sink),
+                    // A panic that escaped the in-loop catch (i.e. not in
+                    // task execution — nothing in the loop itself panics,
+                    // but stay defensive): record it like any other.
+                    Err(payload) => {
+                        sched.record_panic(panic_message(payload.as_ref()));
+                        None
+                    }
+                })
                 .collect()
         })
     };
+    if let Some(message) = sched.take_panic() {
+        return Err(SearchPanicked { message });
+    }
     let stats = StealStats {
         tasks: sched.tasks.load(Ordering::Relaxed),
         steals: sched.steals.load(Ordering::Relaxed),
     };
-    (sinks, stats)
+    Ok((sinks, stats))
 }
 
 /// Collects every completed class from the work-stealing search, sorted
 /// into canonical (serial) order. The returned classes are byte-identical
 /// to what [`PatternSink::complete`] receives from the serial miner, in
 /// the same order, at any thread count.
+///
+/// # Errors
+/// [`SearchPanicked`] if any worker panicked; see [`mine_parallel_with`].
 pub fn mine_parallel_classes(
     db: &GraphDatabase,
     config: GSpanConfig,
     options: ParallelOptions,
     gauge: Option<&dyn TaskGauge>,
-) -> (Vec<ClassHandoff>, StealStats) {
+) -> Result<(Vec<ClassHandoff>, StealStats), SearchPanicked> {
     #[derive(Default)]
     struct Collect {
         classes: Vec<ClassHandoff>,
@@ -395,20 +561,23 @@ pub fn mine_parallel_classes(
             self.classes.push(class);
         }
     }
-    let (sinks, stats) = mine_parallel_with(db, config, options, gauge, |_| Collect::default());
+    let (sinks, stats) = mine_parallel_with(db, config, options, gauge, |_| Collect::default())?;
     let mut classes: Vec<ClassHandoff> = sinks.into_iter().flat_map(|s| s.classes).collect();
     classes.sort_by(|a, b| a.code.cmp_code(&b.code));
-    (classes, stats)
+    Ok((classes, stats))
 }
 
 /// Parallel analog of [`crate::mine_frequent`]: identical output (same
 /// patterns, same order) mined on `options.threads` workers.
+///
+/// # Errors
+/// [`SearchPanicked`] if any worker panicked; see [`mine_parallel_with`].
 pub fn mine_frequent_parallel(
     db: &GraphDatabase,
     min_support: usize,
     max_edges: Option<usize>,
     options: ParallelOptions,
-) -> Vec<FrequentPattern> {
+) -> Result<Vec<FrequentPattern>, SearchPanicked> {
     let (classes, _) = mine_parallel_classes(
         db,
         GSpanConfig {
@@ -417,21 +586,22 @@ pub fn mine_frequent_parallel(
         },
         options,
         None,
-    );
-    classes
+    )?;
+    Ok(classes
         .into_iter()
         .map(|c| FrequentPattern {
             graph: c.graph,
             code: c.code,
             support: c.support,
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::mine_frequent;
+    use crate::miner::{CollectSink, MinedPattern};
     use tsg_graph::{EdgeLabel, LabeledGraph, NodeLabel};
 
     fn path_graph(labels: &[u32]) -> LabeledGraph {
@@ -479,7 +649,8 @@ mod tests {
                     threads,
                     deque_capacity: 256,
                 },
-            );
+            )
+            .unwrap();
             assert_identical(&serial, &parallel);
         }
     }
@@ -500,7 +671,8 @@ mod tests {
                     deque_capacity: 1,
                 },
                 None,
-            );
+            )
+            .unwrap();
             assert!(stats.tasks > 0);
             let parallel = mine_frequent_parallel(
                 &db,
@@ -510,7 +682,8 @@ mod tests {
                     threads,
                     deque_capacity: 1,
                 },
-            );
+            )
+            .unwrap();
             assert_identical(&serial, &parallel);
         }
     }
@@ -520,7 +693,8 @@ mod tests {
         let db = sample_db();
         let serial = mine_frequent(&db, 1, Some(2));
         let parallel =
-            mine_frequent_parallel(&db, 1, Some(2), ParallelOptions { threads: 4, deque_capacity: 2 });
+            mine_frequent_parallel(&db, 1, Some(2), ParallelOptions { threads: 4, deque_capacity: 2 })
+                .unwrap();
         assert_identical(&serial, &parallel);
         assert!(parallel.iter().all(|p| p.graph.edge_count() <= 2));
     }
@@ -532,8 +706,88 @@ mod tests {
             1,
             None,
             ParallelOptions::default(),
-        );
+        )
+        .unwrap();
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn panicking_sink_returns_error_not_abort() {
+        #[derive(Debug)]
+        struct Bomb(usize);
+        impl PatternSink for Bomb {
+            fn report(&mut self, _: &MinedPattern<'_>) -> Grow {
+                self.0 += 1;
+                if self.0 == 2 {
+                    panic!("sink exploded");
+                }
+                Grow::Continue
+            }
+        }
+        let db = sample_db();
+        for threads in [1, 2, 4] {
+            let err = mine_parallel_with(
+                &db,
+                GSpanConfig { min_support: 1, max_edges: None },
+                ParallelOptions { threads, deque_capacity: 1 },
+                None,
+                |_| Bomb(0),
+            )
+            .expect_err("a panicking sink must surface as an error");
+            assert!(err.message.contains("sink exploded"), "got {err}");
+        }
+    }
+
+    #[test]
+    fn injected_panic_at_every_task_index_terminates() {
+        // Exhaustive sweep: whichever task the fault lands on, the run
+        // must return an error (or finish, once N exceeds the task
+        // count) without deadlocking or cascading panics.
+        let db = sample_db();
+        let total = {
+            let (_, stats) = mine_parallel_classes(
+                &db,
+                GSpanConfig { min_support: 1, max_edges: Some(3) },
+                ParallelOptions { threads: 2, deque_capacity: 1 },
+                None,
+            )
+            .unwrap();
+            stats.tasks
+        };
+        assert!(total > 2);
+        for n in 1..=total {
+            let got = mine_parallel_with_faults(
+                &db,
+                GSpanConfig { min_support: 1, max_edges: Some(3) },
+                ParallelOptions { threads: 2, deque_capacity: 1 },
+                None,
+                |_| CollectSink::default(),
+                FaultInjection { panic_at_task: Some(n), ..FaultInjection::default() },
+            );
+            let err = got.expect_err("injected fault must surface");
+            assert!(err.message.contains("injected fault"), "got {err}");
+        }
+    }
+
+    #[test]
+    fn seeded_steal_schedules_preserve_output() {
+        let db = sample_db();
+        let serial = mine_frequent(&db, 1, None);
+        for seed in [1u64, 7, 42] {
+            let (sinks, _) = mine_parallel_with_faults(
+                &db,
+                GSpanConfig { min_support: 1, max_edges: None },
+                ParallelOptions { threads: 4, deque_capacity: 4 },
+                None,
+                |_| CollectSink::default(),
+                FaultInjection { steal_schedule_seed: Some(seed), ..FaultInjection::default() },
+            )
+            .unwrap();
+            let mut got: Vec<FrequentPattern> =
+                sinks.into_iter().flat_map(|s| s.patterns).collect();
+            got.sort_by(|a, b| a.code.cmp_code(&b.code));
+            assert_identical(&serial, &got);
+        }
     }
 
     #[test]
@@ -565,7 +819,8 @@ mod tests {
                 deque_capacity: 4,
             },
             Some(&net),
-        );
+        )
+        .unwrap();
         assert!(!classes.is_empty());
         assert_eq!(net.delta.load(Ordering::SeqCst), 0, "every byte released");
         assert_eq!(net.seen.load(Ordering::SeqCst) as usize, stats.tasks);

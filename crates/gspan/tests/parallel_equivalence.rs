@@ -11,35 +11,12 @@ use proptest::prelude::*;
 use tsg_gspan::{
     mine_frequent, mine_parallel_classes, FrequentPattern, GSpanConfig, ParallelOptions,
 };
-use tsg_graph::{EdgeLabel, GraphDatabase, LabeledGraph};
+use tsg_graph::GraphDatabase;
 
-/// A random small connected graph: a chain plus a few extra edges.
-fn arb_graph(labels: usize, max_nodes: usize) -> impl Strategy<Value = LabeledGraph> {
-    (2..=max_nodes)
-        .prop_flat_map(move |n| {
-            let vlabels = prop::collection::vec(0..labels as u32, n);
-            let chain_elabels = prop::collection::vec(0..2u32, n - 1);
-            let extras = prop::collection::vec(((0..n), (0..n), 0..2u32), 0..=2);
-            (vlabels, chain_elabels, extras)
-        })
-        .prop_map(|(vlabels, chain, extras)| {
-            let mut g = LabeledGraph::with_nodes(
-                vlabels.iter().map(|&l| tsg_graph::NodeLabel(l)),
-            );
-            for (i, &el) in chain.iter().enumerate() {
-                g.add_edge(i, i + 1, EdgeLabel(el)).unwrap();
-            }
-            for (u, v, el) in extras {
-                if u != v {
-                    let _ = g.add_edge(u, v, EdgeLabel(el));
-                }
-            }
-            g
-        })
-}
-
+/// 2–5 random connected graphs over 3 flat labels — the shared
+/// [`tsg_testkit::gen`] generators at this crate's historical shape.
 fn arb_db() -> impl Strategy<Value = GraphDatabase> {
-    prop::collection::vec(arb_graph(3, 5), 2..=5).prop_map(GraphDatabase::from_graphs)
+    tsg_testkit::gen::arb_db(3, 2, 5, 5)
 }
 
 fn assert_identical(serial: &[FrequentPattern], parallel: &[FrequentPattern], what: &str) {
@@ -66,7 +43,8 @@ fn mine_parallel_patterns(
         },
         options,
         None,
-    );
+    )
+    .expect("no worker panics in this test");
     let patterns = classes
         .into_iter()
         .map(|c| FrequentPattern {
@@ -142,7 +120,8 @@ proptest! {
             GSpanConfig { min_support: 1, max_edges: Some(3) },
             ParallelOptions { threads: 4, deque_capacity: 1 },
             None,
-        );
+        )
+        .expect("no worker panics in this test");
         prop_assert_eq!(serial.0.len(), parallel.len());
         for (i, (a, b)) in serial.0.iter().zip(&parallel).enumerate() {
             prop_assert_eq!(&a.code, &b.code, "code at {}", i);

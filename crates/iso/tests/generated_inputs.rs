@@ -1,0 +1,56 @@
+//! Matcher laws on seeded [`tsg_testkit`] inputs: reflexivity of
+//! isomorphism, self-containment under both matchers, and the exact ⇒
+//! generalized implication (equal labels are ancestor-or-equal labels).
+
+use tsg_iso::{contains_subgraph, is_gen_iso, is_isomorphic, ExactMatcher, GeneralizedMatcher};
+use tsg_testkit::gen::{case_count, cases};
+
+const BASE_SEED: u64 = 0x7a78_6f67_7261_6d03;
+
+#[test]
+fn isomorphism_is_reflexive_and_gen_iso_extends_it() {
+    for c in cases(BASE_SEED, case_count(64)) {
+        for (gid, g) in c.db.iter() {
+            assert!(is_isomorphic(g, g), "seed {:#x} graph {gid}", c.seed);
+            assert!(
+                is_gen_iso(g, g, &c.taxonomy),
+                "seed {:#x} graph {gid}: gen-iso must subsume equality",
+                c.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_containment_implies_generalized_containment() {
+    for c in cases(BASE_SEED ^ 1, case_count(64)) {
+        let gen = GeneralizedMatcher::new(&c.taxonomy);
+        for (_, pattern) in c.db.iter() {
+            for (_, target) in c.db.iter() {
+                if contains_subgraph(pattern, target, &ExactMatcher) {
+                    assert!(
+                        contains_subgraph(pattern, target, &gen),
+                        "seed {:#x}: exact embedding not found by generalized matcher",
+                        c.seed
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn generalized_support_is_at_least_exact_support() {
+    for c in cases(BASE_SEED ^ 2, case_count(64)) {
+        let gen = GeneralizedMatcher::new(&c.taxonomy);
+        for (_, pattern) in c.db.iter() {
+            let exact = tsg_iso::support_count(pattern, &c.db, &ExactMatcher);
+            let general = tsg_iso::support_count(pattern, &c.db, &gen);
+            assert!(
+                general >= exact && exact >= 1,
+                "seed {:#x}: exact {exact} > generalized {general}",
+                c.seed
+            );
+        }
+    }
+}

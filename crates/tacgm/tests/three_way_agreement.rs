@@ -1,6 +1,9 @@
 //! Three-way cross-validation on random inputs: TAcGM (bottom-up,
 //! level-wise), Taxogram (top-down, occurrence indices), and the
 //! brute-force reference must produce identical pattern sets.
+//!
+//! Inputs come from the shared [`tsg_testkit::gen`] generators (the
+//! strategies formerly copy-pasted here live there now).
 
 use proptest::prelude::*;
 use taxogram_core::reference::reference_mine;
@@ -8,62 +11,8 @@ use taxogram_core::{Taxogram, TaxogramConfig};
 use tsg_graph::{EdgeLabel, GraphDatabase, LabeledGraph, NodeLabel};
 use tsg_iso::is_isomorphic;
 use tsg_tacgm::{mine, TacgmConfig};
-use tsg_taxonomy::{Taxonomy, TaxonomyBuilder};
-
-fn arb_taxonomy(max_concepts: usize) -> impl Strategy<Value = Taxonomy> {
-    (2..=max_concepts)
-        .prop_flat_map(|n| {
-            let parent_choices: Vec<_> = (1..n)
-                .map(|i| prop::collection::vec(0..i, 1..=2.min(i)))
-                .collect();
-            (Just(n), parent_choices)
-        })
-        .prop_map(|(n, parents)| {
-            let mut b = TaxonomyBuilder::with_concepts(n);
-            for (i, ps) in parents.into_iter().enumerate() {
-                let child = NodeLabel((i + 1) as u32);
-                let mut seen = vec![];
-                for p in ps {
-                    if !seen.contains(&p) {
-                        seen.push(p);
-                        b.is_a(child, NodeLabel(p as u32)).unwrap();
-                    }
-                }
-            }
-            b.build().expect("acyclic by construction")
-        })
-}
-
-fn arb_graph(concepts: usize, max_nodes: usize) -> impl Strategy<Value = LabeledGraph> {
-    (2..=max_nodes)
-        .prop_flat_map(move |n| {
-            let labels = prop::collection::vec(0..concepts, n);
-            let chain = prop::collection::vec(0..2u32, n - 1);
-            let extras = prop::collection::vec(((0..n), (0..n), 0..2u32), 0..=2);
-            (labels, chain, extras)
-        })
-        .prop_map(|(labels, chain, extras)| {
-            let mut g = LabeledGraph::with_nodes(labels.iter().map(|&l| NodeLabel(l as u32)));
-            for (i, &el) in chain.iter().enumerate() {
-                g.add_edge(i, i + 1, EdgeLabel(el)).unwrap();
-            }
-            for (u, v, el) in extras {
-                if u != v {
-                    let _ = g.add_edge(u, v, EdgeLabel(el));
-                }
-            }
-            g
-        })
-}
-
-fn arb_input() -> impl Strategy<Value = (Taxonomy, GraphDatabase)> {
-    arb_taxonomy(5).prop_flat_map(|t| {
-        let n = t.concept_count();
-        let db =
-            prop::collection::vec(arb_graph(n, 4), 2..=4).prop_map(GraphDatabase::from_graphs);
-        (Just(t), db)
-    })
-}
+use tsg_taxonomy::Taxonomy;
+use tsg_testkit::gen::{arb_input, arb_theta};
 
 fn assert_same_patterns(
     label_a: &str,
@@ -97,42 +46,83 @@ fn assert_same_patterns(
     Ok(())
 }
 
+/// The three-way check the property test and the promoted regression
+/// cases share. Panics with a full input dump on divergence.
+fn check_three_way(taxonomy: &Taxonomy, db: &GraphDatabase, theta: f64) -> Result<(), String> {
+    let max_edges = 3;
+    let reference = reference_mine(db, taxonomy, theta, max_edges);
+    let tac = mine(
+        db,
+        taxonomy,
+        &TacgmConfig::with_threshold(theta).max_edges(max_edges),
+    )
+    .expect("no memory budget set");
+    let tac_set: Vec<_> = tac
+        .patterns
+        .into_iter()
+        .map(|p| (p.graph, p.support_count))
+        .collect();
+    let tax = Taxogram::new(TaxogramConfig::with_threshold(theta).max_edges(max_edges))
+        .mine(db, taxonomy)
+        .unwrap();
+    let tax_set: Vec<_> = tax
+        .patterns
+        .into_iter()
+        .map(|p| (p.graph, p.support_count))
+        .collect();
+    assert_same_patterns("tacgm", &tac_set, "reference", &reference)?;
+    assert_same_patterns("taxogram", &tax_set, "tacgm", &tac_set)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     #[test]
     fn tacgm_taxogram_reference_agree(
         (taxonomy, db) in arb_input(),
-        theta in prop::sample::select(vec![1.0f64, 0.6, 0.4]),
+        theta in arb_theta(),
     ) {
-        let max_edges = 3;
-        let reference = reference_mine(&db, &taxonomy, theta, max_edges);
-        let tac = mine(
-            &db,
-            &taxonomy,
-            &TacgmConfig::with_threshold(theta).max_edges(max_edges),
-        )
-        .expect("no memory budget set");
-        let tac_set: Vec<_> = tac
-            .patterns
-            .into_iter()
-            .map(|p| (p.graph, p.support_count))
-            .collect();
-        let tax = Taxogram::new(TaxogramConfig::with_threshold(theta).max_edges(max_edges))
-            .mine(&db, &taxonomy)
-            .unwrap();
-        let tax_set: Vec<_> = tax
-            .patterns
-            .into_iter()
-            .map(|p| (p.graph, p.support_count))
-            .collect();
-        if let Err(msg) = assert_same_patterns("tacgm", &tac_set, "reference", &reference) {
-            let dump = tsg_graph::io::write_database(&db);
-            prop_assert!(false, "θ={theta}: {msg}\ntaxonomy: {:?}\n{dump}", taxonomy.edge_list());
-        }
-        if let Err(msg) = assert_same_patterns("taxogram", &tax_set, "tacgm", &tac_set) {
+        if let Err(msg) = check_three_way(&taxonomy, &db, theta) {
             let dump = tsg_graph::io::write_database(&db);
             prop_assert!(false, "θ={theta}: {msg}\ntaxonomy: {:?}\n{dump}", taxonomy.edge_list());
         }
     }
+}
+
+/// A labeled path graph: `labels[i]` at vertex `i`, edge `i—i+1` with
+/// label `elabels[i]`.
+fn path(labels: &[u32], elabels: &[u32]) -> LabeledGraph {
+    let mut g = LabeledGraph::with_nodes(labels.iter().map(|&l| NodeLabel(l)));
+    for (i, &el) in elabels.iter().enumerate() {
+        g.add_edge(i, i + 1, EdgeLabel(el)).unwrap();
+    }
+    g
+}
+
+/// Promoted from `three_way_agreement.proptest-regressions` (first
+/// shrunk case): a two-concept taxonomy (n1 is-a n0) and a database
+/// where the generalization n0–n0 ties its specialization's support at
+/// θ = 0.4 — the minimality filter must keep exactly one of them.
+#[test]
+fn regression_two_concepts_equal_support_generalization() {
+    let taxonomy = tsg_taxonomy::taxonomy_from_edges(2, [(1, 0)]).unwrap();
+    let db = GraphDatabase::from_graphs(vec![
+        path(&[0, 0], &[0]),
+        path(&[0, 1, 0], &[0, 0]),
+    ]);
+    check_three_way(&taxonomy, &db, 0.4).unwrap();
+}
+
+/// Promoted from `three_way_agreement.proptest-regressions` (second
+/// shrunk case): a three-deep chain taxonomy (n2 is-a n1 is-a n0) with
+/// two path graphs whose shared suffix generalizes at different depths;
+/// θ = 0.6 makes the mid-level concept the minimal frequent one.
+#[test]
+fn regression_three_chain_mid_level_minimal() {
+    let taxonomy = tsg_taxonomy::taxonomy_from_edges(3, [(1, 0), (2, 1)]).unwrap();
+    let db = GraphDatabase::from_graphs(vec![
+        path(&[2, 2, 1, 0], &[1, 0, 0]),
+        path(&[2, 1, 0], &[1, 0]),
+    ]);
+    check_three_way(&taxonomy, &db, 0.6).unwrap();
 }

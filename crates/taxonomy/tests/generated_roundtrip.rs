@@ -1,0 +1,27 @@
+//! Structural roundtrip on seeded [`tsg_testkit`] taxonomies: rebuilding
+//! a generated taxonomy from its own edge list must reproduce the full
+//! closure structure (ancestors, roots, depths).
+
+use tsg_graph::NodeLabel;
+use tsg_taxonomy::taxonomy_from_edges;
+use tsg_testkit::gen::{case_count, cases};
+
+const BASE_SEED: u64 = 0x7a78_6f67_7261_6d06;
+
+#[test]
+fn edge_list_rebuild_preserves_closures() {
+    for c in cases(BASE_SEED, case_count(64)) {
+        let t = &c.taxonomy;
+        let edges: Vec<(u32, u32)> = t.edge_list().iter().map(|&(c, p)| (c.0, p.0)).collect();
+        let rebuilt = taxonomy_from_edges(t.concept_count(), edges)
+            .unwrap_or_else(|e| panic!("seed {:#x}: rebuild failed: {e}", c.seed));
+        assert_eq!(rebuilt.concept_count(), t.concept_count());
+        assert_eq!(rebuilt.roots(), t.roots(), "seed {:#x}", c.seed);
+        for i in 0..t.concept_count() {
+            let l = NodeLabel(i as u32);
+            assert_eq!(rebuilt.ancestors(l), t.ancestors(l), "seed {:#x} concept {i}", c.seed);
+            assert_eq!(rebuilt.depth(l), t.depth(l), "seed {:#x} concept {i}", c.seed);
+            assert_eq!(rebuilt.parents(l), t.parents(l), "seed {:#x} concept {i}", c.seed);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Deterministic fault and schedule plans for the parallel engines.
+//!
+//! The parallel miners' failure modes — a panicking sink, a worker dying
+//! mid-task, a receiver abandoning the pipeline channel, pathological
+//! steal schedules — are all timing-dependent in the wild. This module
+//! pins them down: every plan is a plain value, every injected event
+//! fires at a deterministic point (the Nth task, the Nth class, a seeded
+//! coin per spawn), so a failing configuration replays exactly.
+//!
+//! Plans thread into the engines through their `#[doc(hidden)]` hooks:
+//! [`SearchFaults`] into the work-stealing gSpan scheduler (used by both
+//! `tsg_gspan::mine_parallel_with` and `taxogram_core::mine_stealing`),
+//! [`PipelineFaults`] into the streaming pipeline's channel workers.
+
+use crate::gen::Case;
+use taxogram_core::{
+    mine_pipelined_faulted, mine_stealing_faulted, MiningResult, PipelineFaults, PipelineOptions,
+    SearchFaults, StealOptions, TaxogramConfig, TaxogramError,
+};
+
+/// The thread counts the acceptance matrix sweeps.
+pub const FAULT_THREADS: [usize; 3] = [1, 2, 4];
+
+/// The channel/deque capacities the acceptance matrix sweeps; capacity 1
+/// maximizes contention (every spawn overflows, every send backpressures).
+pub const FAULT_CAPACITIES: [usize; 3] = [1, 2, 4];
+
+/// One deterministic parallel-run configuration: scheduler shape plus
+/// injected faults.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// Worker thread count (0 ⇒ engine default).
+    pub threads: usize,
+    /// Deque capacity (stealing) / channel capacity (pipelined);
+    /// 0 ⇒ engine default.
+    pub capacity: usize,
+    /// Faults for the work-stealing search.
+    pub search: SearchFaults,
+    /// Faults for the streaming pipeline.
+    pub pipeline: PipelineFaults,
+}
+
+impl FaultPlan {
+    /// A clean plan (no faults) with the given scheduler shape.
+    pub fn shape(threads: usize, capacity: usize) -> Self {
+        FaultPlan {
+            threads,
+            capacity,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Injects a panic into the `n`th executed search task (stealing
+    /// engine) and the `n`th pattern class (pipelined engine).
+    pub fn panic_at(mut self, n: usize) -> Self {
+        self.search.panic_at_task = Some(n);
+        self.pipeline.panic_at_class = Some(n);
+        self
+    }
+
+    /// Applies a seeded forced-steal schedule to the search.
+    pub fn steal_schedule(mut self, seed: u64) -> Self {
+        self.search.steal_schedule_seed = Some(seed);
+        self
+    }
+
+    /// Simulates pipeline receivers dropping after `n` processed items.
+    pub fn drop_receiver_after(mut self, n: usize) -> Self {
+        self.pipeline.drop_receiver_after = Some(n);
+        self
+    }
+
+    /// Runs the fused work-stealing engine under this plan.
+    pub fn run_stealing(&self, case: &Case) -> Result<MiningResult, TaxogramError> {
+        mine_stealing_faulted(
+            &self.config(case),
+            &case.db,
+            &case.taxonomy,
+            StealOptions {
+                threads: self.threads,
+                deque_capacity: self.capacity,
+                clamp_to_cores: false,
+            },
+            self.search,
+        )
+    }
+
+    /// Runs the streaming pipelined engine under this plan. Note the
+    /// engine needs `threads ≥ 2` to exercise the channel (at 1 it falls
+    /// back to the serial miner and faults cannot fire).
+    pub fn run_pipelined(&self, case: &Case) -> Result<MiningResult, TaxogramError> {
+        mine_pipelined_faulted(
+            &self.config(case),
+            &case.db,
+            &case.taxonomy,
+            PipelineOptions {
+                threads: self.threads,
+                channel_capacity: self.capacity,
+                clamp_to_cores: false,
+            },
+            self.pipeline,
+        )
+    }
+
+    fn config(&self, case: &Case) -> TaxogramConfig {
+        TaxogramConfig::with_threshold(case.theta).max_edges(crate::metamorphic::MAX_EDGES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::case;
+    use crate::metamorphic::{assert_engines_identical, Engine, MAX_EDGES};
+
+    #[test]
+    fn clean_plans_reproduce_serial_output() {
+        let c = case(11);
+        let serial = Engine::Serial
+            .mine(
+                &TaxogramConfig::with_threshold(c.theta).max_edges(MAX_EDGES),
+                &c.db,
+                &c.taxonomy,
+            )
+            .unwrap();
+        for &threads in &FAULT_THREADS {
+            for &capacity in &FAULT_CAPACITIES {
+                let plan = FaultPlan::shape(threads, capacity);
+                let stolen = plan.run_stealing(&c).unwrap();
+                assert_engines_identical(&serial, &stolen).unwrap();
+                if threads >= 2 {
+                    let piped = plan.run_pipelined(&c).unwrap();
+                    assert_engines_identical(&serial, &piped).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panics_surface_as_errors() {
+        let c = case(13);
+        let plan = FaultPlan::shape(2, 1).panic_at(1);
+        assert!(matches!(
+            plan.run_stealing(&c),
+            Err(TaxogramError::WorkerPanicked { .. })
+        ));
+    }
+}

@@ -1,0 +1,29 @@
+//! Shared test harness for the Taxogram workspace.
+//!
+//! Before this crate existed, five test files carried near-identical
+//! copies of the same proptest strategies for random taxonomies and
+//! graph databases, and every new correctness idea (a metamorphic
+//! relation, a fault schedule) had to be re-plumbed per crate. This
+//! crate centralizes the three layers every suite builds on:
+//!
+//! * [`gen`] — seeded, structure-aware generators for `(Taxonomy,
+//!   GraphDatabase, θ)` triples, usable both as proptest strategies and
+//!   as a plain deterministic `seed → Case` function;
+//! * [`metamorphic`] — the relation engine: properties that must hold
+//!   across *transformations* of the input (taxonomy flattening, graph
+//!   duplication, label permutation, …), checked uniformly against the
+//!   serial, barrier, pipelined, and work-stealing engines;
+//! * [`fault`] — deterministic fault/schedule plans (injected worker
+//!   panics, forced-steal schedules, channel-capacity sweeps, receiver
+//!   drops) threaded into the parallel engines through their
+//!   `#[doc(hidden)]` hooks.
+//!
+//! Everything is deterministic from an explicit `u64` seed — no ambient
+//! randomness — so any failure reproduces from its printed seed alone.
+
+pub mod fault;
+pub mod gen;
+pub mod metamorphic;
+
+pub use gen::{case, cases, Case};
+pub use metamorphic::{Engine, ENGINES};

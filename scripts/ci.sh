@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Full local CI gate: release build, every workspace test, and clippy
-# with warnings promoted to errors. Run from anywhere inside the repo.
+# Full local CI gate: release build, every workspace test, clippy with
+# warnings promoted to errors, then the deep deterministic stages — a
+# pinned-seed high-case proptest sweep and the parallel-engine
+# fault-injection matrix. Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,3 +11,16 @@ cargo build --release
 cargo test -q
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Deep property stage: 256 cases per property (the acceptance floor for
+# the metamorphic relations), pinned to one run seed so any failure here
+# replays bit-for-bit on any host. The proptest shim mixes
+# PROPTEST_RNG_SEED into every property's stream; the tsg-testkit harness
+# loops use their own fixed base seeds and honor PROPTEST_CASES.
+echo "== deep proptest sweep (PROPTEST_CASES=256, pinned seed) =="
+PROPTEST_CASES=256 PROPTEST_RNG_SEED=0x7a78c0ffee cargo test --workspace -q
+
+# Fault-injection stage: the panic/receiver-drop/forced-steal/capacity
+# matrix for the parallel engines, at the acceptance thread counts.
+echo "== fault-injection matrix =="
+cargo test -q -p taxogram-core --test fault_injection

@@ -95,6 +95,20 @@ pub fn run_property(
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(config.cases);
+    // PROPTEST_RNG_SEED pins the whole run to one reproducible stream
+    // (decimal or 0x-prefixed hex); CI exports it so a failure there
+    // replays bit-for-bit on any host. Unset, each property still derives
+    // a deterministic stream from its own name.
+    let run_seed = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|v| {
+            let v = v.trim();
+            match v.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => v.parse().ok(),
+            }
+        })
+        .unwrap_or(0);
     let mut rejected = 0u32;
     for i in 0..cases {
         // Seed mixes the property name so sibling properties in one file
@@ -103,7 +117,7 @@ pub fn run_property(
         for b in name.bytes() {
             h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
         }
-        let seed = h ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = run_seed ^ h ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut rng = TestRng::new(seed);
         match case(&mut rng) {
             Ok(()) => {}
