@@ -1,8 +1,10 @@
 //! Machine-readable performance snapshot: median nanoseconds for the hot
 //! bitset kernels plus end-to-end D1000/θ=0.2 mine times for the serial,
-//! barrier-parallel, streaming-pipelined, and work-stealing engines, and
-//! a `thread_scaling` section sweeping the scaling engines over
-//! 1/2/4/8 workers.
+//! barrier-parallel, streaming-pipelined, and work-stealing engines, a
+//! `thread_scaling` section sweeping the scaling engines over
+//! 1/2/4/8 workers, and a `governed_overhead` section timing the serial
+//! miner ungoverned vs governed with an infinite budget (the pure cost
+//! of the governance poll points).
 //!
 //! Emits a single JSON object on stdout; `scripts/bench_snapshot.sh`
 //! redirects it into a dated `BENCH_<date>.json`. Timing is hand-rolled
@@ -204,6 +206,31 @@ fn main() {
         })
         .collect();
 
+    // --- Governance overhead: ungoverned vs infinite budget -------------
+    // Same interleave-and-take-min discipline as the engine timings. The
+    // governed run enables every poll point (admission gate per class,
+    // pattern accounting) with ceilings that never bind, so the delta is
+    // the pure cost of governance plumbing on the serial engine.
+    let govern_unlimited = taxogram_core::GovernOptions::default();
+    let governed_run = || {
+        taxogram_core::Taxogram::new(cfg)
+            .mine_governed(&ds.database, &ds.taxonomy, &govern_unlimited)
+            .unwrap()
+            .result
+            .patterns
+            .len()
+    };
+    let gov_reps = 25usize;
+    let mut t_ungoverned = Vec::with_capacity(gov_reps);
+    let mut t_governed = Vec::with_capacity(gov_reps);
+    for _ in 0..gov_reps {
+        t_ungoverned.push(time_once(&serial_run));
+        t_governed.push(time_once(&governed_run));
+    }
+    let ungoverned_ms = best(&t_ungoverned);
+    let governed_ms = best(&t_governed);
+    let overhead_pct = (governed_ms - ungoverned_ms) / ungoverned_ms * 100.0;
+
     // --- JSON -----------------------------------------------------------
     let mut json = String::from("{\n  \"kernels_ns\": {\n");
     for (i, (name, ns)) in kernels.iter().enumerate() {
@@ -231,6 +258,9 @@ fn main() {
             "    {{ \"threads\": {t}, \"pipelined_ms\": {piped_ms:.3}, \"stealing_ms\": {steal_ms:.3}, \"steals\": {steals} }}{comma}\n"
         ));
     }
-    json.push_str("  ]\n}");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"governed_overhead\": {{\n    \"serial_ungoverned_ms\": {ungoverned_ms:.3},\n    \"serial_governed_unlimited_ms\": {governed_ms:.3},\n    \"overhead_pct\": {overhead_pct:.2}\n  }}\n}}"
+    ));
     println!("{json}");
 }

@@ -11,7 +11,20 @@
 //! paper-faithful serial miner.
 //!
 //! Experiments: `table1`, `fig4_2`, `fig4_3`, `fig4_4`, `fig4_5`,
-//! `fig4_6`, `fig4_7`, `table2`, `fig4_8`, `ablation`, `all`.
+//! `fig4_6`, `fig4_7`, `table2`, `fig4_8`, `ablation`, `parallel`,
+//! `governed`, `all`.
+//!
+//! The `governed` experiment runs all four engines on D1000/θ=0.2 under a
+//! resource budget and reports the truthful termination of each:
+//!
+//! ```text
+//! cargo run --release -p tsg-bench --bin experiments -- --exp governed --time-limit 0.5
+//! cargo run --release -p tsg-bench --bin experiments -- --exp governed --memory-limit 64K --max-patterns 100
+//! ```
+//!
+//! `--time-limit SECONDS` (fractional ok), `--memory-limit BYTES[K|M|G]`,
+//! and `--max-patterns N` shape the budget; with none given the budget is
+//! unlimited and every engine must complete untouched.
 
 use tsg_bench::report::{ms, render_table};
 use tsg_bench::{experiments as exp, Profile};
@@ -49,9 +62,44 @@ fn main() {
         if threads == 1 { "" } else { "s" }
     );
 
+    let mut budget = taxogram_core::Budget::unlimited();
+    let time_limit = get("--time-limit", "");
+    if !time_limit.is_empty() {
+        match time_limit.parse::<f64>() {
+            Ok(secs) if secs >= 0.0 && secs.is_finite() => {
+                budget = budget.deadline(std::time::Duration::from_secs_f64(secs));
+            }
+            _ => {
+                eprintln!("--time-limit must be a non-negative number of seconds");
+                std::process::exit(2);
+            }
+        }
+    }
+    let memory_limit = get("--memory-limit", "");
+    if !memory_limit.is_empty() {
+        match parse_bytes(&memory_limit) {
+            Some(bytes) => budget = budget.max_peak_bytes(bytes),
+            None => {
+                eprintln!("--memory-limit must be BYTES with an optional K/M/G suffix");
+                std::process::exit(2);
+            }
+        }
+    }
+    let max_patterns = get("--max-patterns", "");
+    if !max_patterns.is_empty() {
+        match max_patterns.parse::<usize>() {
+            Ok(n) => budget = budget.max_patterns(n),
+            Err(_) => {
+                eprintln!("--max-patterns must be an integer");
+                std::process::exit(2);
+            }
+        }
+    }
+    let govern = taxogram_core::GovernOptions::with_budget(budget);
+
     let known = [
         "table1", "fig4_2", "fig4_3", "fig4_4", "fig4_5", "fig4_6", "fig4_7", "table2", "fig4_8",
-        "ablation", "parallel",
+        "ablation", "parallel", "governed",
     ];
     let run_all = which == "all";
     if !run_all && !known.contains(&which.as_str()) {
@@ -176,6 +224,29 @@ fn main() {
             )
         );
     }
+    if want("governed") {
+        section("Governed runs (beyond the paper) — four engines under one budget on D1000");
+        let rows: Vec<Vec<String>> = exp::governed(&profile, threads, &govern)
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.engine.to_string(),
+                    ms(r.time_ms),
+                    r.patterns.to_string(),
+                    r.reason,
+                    r.finished.to_string(),
+                    r.abandoned.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["engine", "time", "patterns", "termination", "finished", "abandoned"],
+                &rows
+            )
+        );
+    }
     if want("ablation") {
         section("Ablation (beyond the paper) — per-enhancement cost on D2000");
         let rows: Vec<Vec<String>> = exp::ablation(&profile)
@@ -203,6 +274,19 @@ fn main() {
 
 fn section(title: &str) {
     println!("\n## {title}\n");
+}
+
+/// Byte counts with an optional K/M/G (binary) suffix, as in the CLI's
+/// `--memory-limit`.
+fn parse_bytes(s: &str) -> Option<usize> {
+    let (digits, shift) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 10),
+        b'M' | b'm' => (&s[..s.len() - 1], 20),
+        b'G' | b'g' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: usize = digits.parse().ok()?;
+    n.checked_shl(shift)
 }
 
 fn print_algo_rows(rows: &[exp::AlgoRow]) {

@@ -3,7 +3,7 @@
 
 use crate::profile::Profile;
 use std::time::Instant;
-use taxogram_core::{Enhancements, MiningResult, Taxogram, TaxogramConfig};
+use taxogram_core::{Enhancements, GovernOptions, MiningOutcome, MiningResult, Taxogram, TaxogramConfig};
 use tsg_datagen::registry::{build, table1_ids, DatasetId};
 use tsg_datagen::{go_like_taxonomy_scaled, pathway_corpus, GO_CONCEPTS};
 use tsg_graph::{DatabaseStats, GraphDatabase};
@@ -419,6 +419,91 @@ pub struct ParallelRow {
     pub pipelined_emb_bytes: usize,
     /// Pattern count (identical across rows and engines).
     pub patterns: usize,
+}
+
+/// One row of the governed-run experiment: one engine under a budget.
+#[derive(Debug)]
+pub struct GovernedRow {
+    /// Engine label (`serial`, `barrier`, `pipelined`, `stealing`).
+    pub engine: &'static str,
+    /// Wall-clock time (ms) — for partial runs, the time to the stop.
+    pub time_ms: f64,
+    /// Patterns in the (possibly partial) result stream.
+    pub patterns: usize,
+    /// Truthful termination reason rendered for display.
+    pub reason: String,
+    /// Equivalence classes fully mined before the stop.
+    pub finished: usize,
+    /// Classes abandoned (admitted classes always finish; these never
+    /// started Step 3).
+    pub abandoned: usize,
+}
+
+/// Beyond the paper: budget-bounded mining on D1000 at θ = 0.2. All four
+/// engines run under the same [`GovernOptions`]; each row reports the
+/// truthful [`taxogram_core::Termination`] alongside how much of the
+/// result stream survived. With an unlimited budget this doubles as a
+/// smoke test that governance is invisible: every engine must complete
+/// with zero abandoned classes and identical pattern counts.
+pub fn governed(profile: &Profile, threads: usize, govern: &GovernOptions) -> Vec<GovernedRow> {
+    let ds = build(DatasetId::D(1000), profile.scale);
+    let mut cfg = TaxogramConfig::with_threshold(THETA);
+    cfg.max_edges = profile.max_edges;
+    let row = |engine: &'static str, (outcome, t): (MiningOutcome, f64)| GovernedRow {
+        engine,
+        time_ms: t,
+        patterns: outcome.result.patterns.len(),
+        reason: outcome.termination.reason.to_string(),
+        finished: outcome.termination.classes_finished,
+        abandoned: outcome.termination.classes_abandoned,
+    };
+    vec![
+        row(
+            "serial",
+            time_ms(|| {
+                Taxogram::new(cfg)
+                    .mine_governed(&ds.database, &ds.taxonomy, govern)
+                    .expect("valid input")
+            }),
+        ),
+        row(
+            "barrier",
+            time_ms(|| {
+                taxogram_core::mine_parallel_governed(&cfg, &ds.database, &ds.taxonomy, threads, govern)
+                    .expect("valid input")
+            }),
+        ),
+        row(
+            "pipelined",
+            time_ms(|| {
+                taxogram_core::mine_pipelined_governed(
+                    &cfg,
+                    &ds.database,
+                    &ds.taxonomy,
+                    taxogram_core::PipelineOptions { threads, ..Default::default() },
+                    govern,
+                )
+                .expect("valid input")
+            }),
+        ),
+        row(
+            "stealing",
+            time_ms(|| {
+                taxogram_core::mine_stealing_governed(
+                    &cfg,
+                    &ds.database,
+                    &ds.taxonomy,
+                    taxogram_core::StealOptions {
+                        threads,
+                        deque_capacity: 0,
+                        clamp_to_cores: false,
+                    },
+                    govern,
+                )
+                .expect("valid input")
+            }),
+        ),
+    ]
 }
 
 /// Beyond the paper: Step 3 thread scaling on the D3000 dataset at

@@ -9,6 +9,13 @@
 //! with two condvars. The queue is short (a few items per worker) and
 //! each item is heavyweight (a pattern class), so lock contention is
 //! negligible next to the work per item.
+//!
+//! On an early stop (a governance trip, a receiver drop, a worker
+//! panic) the producer closes the channel and the pipeline *drains*
+//! whatever is still queued: in-flight classes carry tracked gauge
+//! reservations, and dropping them unobserved would leak those bytes
+//! from the memory accounting (the governed paths assert the gauge
+//! returns to zero).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};

@@ -1,4 +1,11 @@
 //! Error type for the mining pipeline.
+//!
+//! Early termination under governance (a cancelled token, an expired
+//! deadline, an exhausted budget) is **not** an error and never appears
+//! here: the governed entry points return `Ok` with a
+//! [`crate::MiningOutcome`] whose [`crate::Termination`] names the stop.
+//! This enum is reserved for runs that cannot produce a trustworthy
+//! (even partial) result.
 
 use tsg_graph::{GraphId, NodeId, NodeLabel};
 

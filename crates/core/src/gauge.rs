@@ -36,6 +36,13 @@ impl MemoryGauge {
     pub fn peak(&self) -> usize {
         self.peak.load(Ordering::Relaxed)
     }
+
+    /// Bytes resident right now. Returns to zero after a run — including
+    /// an early-terminated one — once every reservation has been released
+    /// (the governance tests assert this balance).
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
 }
 
 /// The work-stealing search reports task embedding residency through this

@@ -42,6 +42,7 @@ mod config;
 pub mod enumerate;
 mod error;
 mod gauge;
+pub mod govern;
 pub mod interest;
 pub mod lemmas;
 mod miner;
@@ -56,13 +57,19 @@ pub mod steal;
 
 pub use config::{Enhancements, TaxogramConfig};
 pub use error::TaxogramError;
+pub use govern::{
+    Budget, BudgetKind, CancelToken, GovernOptions, MiningOutcome, Termination,
+    TerminationReason,
+};
 pub use miner::{MiningResult, MiningStats, Pattern, Taxogram};
-pub use parallel::mine_parallel;
-pub use pipeline::{mine_pipelined, mine_pipelined_with, PipelineOptions};
-pub use steal::{mine_stealing, mine_stealing_with, StealOptions};
+pub use parallel::{mine_parallel, mine_parallel_governed};
+pub use pipeline::{
+    mine_pipelined, mine_pipelined_governed, mine_pipelined_with, PipelineOptions,
+};
+pub use steal::{mine_stealing, mine_stealing_governed, mine_stealing_with, StealOptions};
 #[doc(hidden)]
-pub use pipeline::{mine_pipelined_faulted, PipelineFaults};
+pub use pipeline::{mine_pipelined_faulted, mine_pipelined_governed_faulted, PipelineFaults};
 #[doc(hidden)]
-pub use steal::mine_stealing_faulted;
+pub use steal::{mine_stealing_faulted, mine_stealing_governed_faulted};
 #[doc(hidden)]
 pub use tsg_gspan::FaultInjection as SearchFaults;

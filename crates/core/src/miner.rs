@@ -3,6 +3,7 @@
 use crate::config::TaxogramConfig;
 use crate::enumerate::EnumerationStats;
 use crate::error::TaxogramError;
+use crate::govern::{GovernOptions, Governor, MiningOutcome, Termination};
 use crate::oi::{OccurrenceIndex, OiOptions};
 use crate::relabel::relabel;
 use tsg_bitset::BitSet;
@@ -109,18 +110,53 @@ impl Taxogram {
         db: &GraphDatabase,
         taxonomy: &Taxonomy,
     ) -> Result<MiningResult, TaxogramError> {
+        Ok(self.mine_with(db, taxonomy, &Governor::disabled())?.0)
+    }
+
+    /// [`Taxogram::mine`] under governance: the run polls `govern`'s
+    /// cancel token and budget at every class admission and, on an early
+    /// stop, returns the patterns of the classes finished so far — a
+    /// byte-identical prefix of the full run's output — together with a
+    /// truthful [`Termination`] report.
+    ///
+    /// # Errors
+    /// Same conditions as [`Taxogram::mine`]; early termination is *not*
+    /// an error.
+    pub fn mine_governed(
+        &self,
+        db: &GraphDatabase,
+        taxonomy: &Taxonomy,
+        govern: &GovernOptions,
+    ) -> Result<MiningOutcome, TaxogramError> {
+        let governor = Governor::new(govern);
+        let (result, termination) = self.mine_with(db, taxonomy, &governor)?;
+        Ok(MiningOutcome {
+            result,
+            termination,
+        })
+    }
+
+    fn mine_with(
+        &self,
+        db: &GraphDatabase,
+        taxonomy: &Taxonomy,
+        governor: &Governor,
+    ) -> Result<(MiningResult, Termination), TaxogramError> {
         let theta = self.config.threshold;
         if !(0.0..=1.0).contains(&theta) || theta.is_nan() {
             return Err(TaxogramError::InvalidThreshold { theta });
         }
         let min_support = db.min_support_count(theta);
         if db.is_empty() {
-            return Ok(MiningResult {
-                patterns: Vec::new(),
-                stats: MiningStats::default(),
-                min_support_count: min_support,
-                database_size: 0,
-            });
+            return Ok((
+                MiningResult {
+                    patterns: Vec::new(),
+                    stats: MiningStats::default(),
+                    min_support_count: min_support,
+                    database_size: 0,
+                },
+                Termination::completed(0),
+            ));
         }
 
         // Step 1: relabel with most-general ancestors.
@@ -151,6 +187,8 @@ impl Taxogram {
             frequent: frequent_mask.as_ref(),
             patterns: Vec::new(),
             stats: MiningStats::default(),
+            governor,
+            rejected: None,
         };
         GSpan::new(
             &rel.dmg,
@@ -161,12 +199,24 @@ impl Taxogram {
         )
         .mine(&mut sink);
 
-        Ok(MiningResult {
-            patterns: sink.patterns,
-            stats: sink.stats,
-            min_support_count: min_support,
-            database_size: db.len(),
-        })
+        // Classes are admitted in canonical pre-order on this one thread,
+        // so at most one class — the rejected one — is ever abandoned,
+        // and the output is exactly the first `classes` classes.
+        let rejected = sink.rejected;
+        let termination = governor.finish(
+            sink.stats.classes,
+            usize::from(rejected.is_some()),
+            rejected.into_iter().collect(),
+        );
+        Ok((
+            MiningResult {
+                patterns: sink.patterns,
+                stats: sink.stats,
+                min_support_count: min_support,
+                database_size: db.len(),
+            },
+            termination,
+        ))
     }
 }
 
@@ -178,10 +228,20 @@ struct ClassSink<'a> {
     frequent: Option<&'a BitSet>,
     patterns: Vec<Pattern>,
     stats: MiningStats,
+    governor: &'a Governor,
+    /// DFS code of the class rejected at admission, if the run stopped.
+    rejected: Option<String>,
 }
 
 impl PatternSink for ClassSink<'_> {
     fn report(&mut self, class: &MinedPattern<'_>) -> Grow {
+        // Governance poll point: serially one occurrence index is
+        // resident at a time, so the running `peak_oi_bytes` maximum is
+        // this engine's true memory high-water mark.
+        if !self.governor.admit_class(self.stats.peak_oi_bytes) {
+            self.rejected = Some(class.code.to_string());
+            return Grow::Stop;
+        }
         self.stats.classes += 1;
         self.stats.occurrences += class.embeddings.len();
         let t_oi = std::time::Instant::now();
@@ -232,6 +292,7 @@ impl PatternSink for ClassSink<'_> {
         self.stats.enumeration.intersections += stats.intersections;
         self.stats.enumeration.emitted += stats.emitted;
         self.stats.enumeration.overgeneralized += stats.overgeneralized;
+        self.governor.add_patterns(patterns.len());
         self.patterns.extend(patterns);
         Grow::Continue
     }

@@ -25,6 +25,7 @@ use crate::config::TaxogramConfig;
 use crate::enumerate::EnumScratch;
 use crate::error::TaxogramError;
 use crate::gauge::MemoryGauge;
+use crate::govern::{GovernOptions, Governor, MiningOutcome};
 use crate::miner::MiningResult;
 use crate::oi::OiScratch;
 use crate::pipeline::{
@@ -33,11 +34,12 @@ use crate::pipeline::{
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use tsg_graph::{GraphDatabase, LabeledGraph};
-use tsg_gspan::{Embedding, GSpan, GSpanConfig, Grow, MinedPattern, PatternSink};
+use tsg_gspan::{DfsCode, Embedding, GSpan, GSpanConfig, Grow, MinedPattern, PatternSink};
 use tsg_taxonomy::Taxonomy;
 
 /// One collected pattern class awaiting enumeration.
 struct ClassWork {
+    code: DfsCode,
     skeleton: LabeledGraph,
     embeddings: Vec<Embedding>,
 }
@@ -62,8 +64,46 @@ pub fn mine_parallel(
     if threads <= 1 {
         return crate::Taxogram::new(*config).mine(db, taxonomy);
     }
+    Ok(mine_parallel_with_governor(config, db, taxonomy, threads, &Governor::disabled())?.result)
+}
+
+/// [`mine_parallel`] under governance: admission is gated per class while
+/// collecting (in serial class order, against the collected embedding
+/// residency), Step 3 workers poll the cancel token/deadline between
+/// classes, and an early stop returns the longest fully-enumerated class
+/// prefix — byte-identical to the serial output's prefix — with a
+/// truthful [`crate::Termination`].
+///
+/// # Errors
+/// Same conditions as [`mine_parallel`]; early termination is not an
+/// error.
+pub fn mine_parallel_governed(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    threads: usize,
+    govern: &GovernOptions,
+) -> Result<MiningOutcome, TaxogramError> {
+    if threads <= 1 {
+        return crate::Taxogram::new(*config).mine_governed(db, taxonomy, govern);
+    }
+    mine_parallel_with_governor(config, db, taxonomy, threads, &Governor::new(govern))
+}
+
+fn mine_parallel_with_governor(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    threads: usize,
+    governor: &Governor,
+) -> Result<MiningOutcome, TaxogramError> {
     let prepared = match prepare(config, db, taxonomy)? {
-        Prologue::Done(result) => return Ok(result),
+        Prologue::Done(result) => {
+            return Ok(MiningOutcome {
+                result,
+                termination: crate::govern::Termination::completed(0),
+            })
+        }
         Prologue::Ready(p) => p,
     };
 
@@ -71,20 +111,36 @@ pub fn mine_parallel(
     // deliberately stays on the borrowing `report` API — cloning each
     // skeleton and embedding list is the collect-all barrier's inherent
     // cost, which the pipelined engine's move-based `complete` handoff
-    // eliminates.
-    struct Collect {
+    // eliminates. Admission is checked here, in serial class order,
+    // against the running collected-embedding residency (this engine's
+    // true memory high-water mark: everything survives the barrier).
+    struct Collect<'a> {
         classes: Vec<ClassWork>,
+        emb_bytes: usize,
+        governor: &'a Governor,
+        rejected: Option<String>,
     }
-    impl PatternSink for Collect {
+    impl PatternSink for Collect<'_> {
         fn report(&mut self, p: &MinedPattern<'_>) -> Grow {
+            if !self.governor.admit_class(self.emb_bytes) {
+                self.rejected = Some(p.code.to_string());
+                return Grow::Stop;
+            }
+            self.emb_bytes += tsg_gspan::embedding_list_bytes(p.embeddings);
             self.classes.push(ClassWork {
+                code: p.code.clone(),
                 skeleton: p.graph.clone(),
                 embeddings: p.embeddings.to_vec(),
             });
             Grow::Continue
         }
     }
-    let mut collect = Collect { classes: Vec::new() };
+    let mut collect = Collect {
+        classes: Vec::new(),
+        emb_bytes: 0,
+        governor,
+        rejected: None,
+    };
     GSpan::new(
         &prepared.rel.dmg,
         GSpanConfig {
@@ -103,9 +159,9 @@ pub fn mine_parallel(
         .sum();
 
     // Step 3 (fan-out): one slot per class, claimed via an atomic cursor.
-    let outputs: Vec<Mutex<ClassOutput>> = (0..classes.len())
-        .map(|_| Mutex::new(ClassOutput::default()))
-        .collect();
+    // `None` slots mark classes abandoned by a mid-fan-out stop.
+    let outputs: Vec<Mutex<Option<ClassOutput>>> =
+        (0..classes.len()).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     let oi_gauge = MemoryGauge::new();
     std::thread::scope(|scope| {
@@ -114,6 +170,14 @@ pub fn mine_parallel(
                 let mut enum_scratch = EnumScratch::new();
                 let mut oi_scratch = OiScratch::new();
                 loop {
+                    // Governance poll point: the deadline, the token, or
+                    // the pattern ceiling (collection admitted every
+                    // class before a single pattern existed) can trip
+                    // *during* the fan-out; each worker observes it
+                    // before claiming its next class.
+                    if governor.should_stop_class_boundary() {
+                        break;
+                    }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(class) = classes.get(i) else { break };
                     let out = enumerate_class(
@@ -125,23 +189,37 @@ pub fn mine_parallel(
                         &mut enum_scratch,
                         &mut oi_scratch,
                     );
-                    *outputs[i].lock().expect("no worker panicked holding this lock") = out;
+                    governor.add_patterns(out.patterns.len());
+                    *outputs[i].lock().expect("no worker panicked holding this lock") = Some(out);
                 }
             });
         }
     });
 
-    // Merge in class order → identical to the serial pipeline's output.
-    let mut result = merge_outputs(
-        outputs
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("workers finished")),
-        classes.len(),
-        &prepared,
-    );
+    // Keep the longest fully-enumerated prefix: sequence order is serial
+    // class order, so cutting at the first missing slot preserves the
+    // byte-identical-prefix contract even if later slots completed.
+    let mut slots: Vec<Option<ClassOutput>> = outputs
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("workers finished"))
+        .collect();
+    let finished = slots.iter().take_while(|s| s.is_some()).count();
+    let total = classes.len();
+    let abandoned = total - finished + usize::from(collect.rejected.is_some());
+    let frontier: Vec<String> = classes[finished..]
+        .iter()
+        .map(|c| c.code.to_string())
+        .chain(collect.rejected)
+        .collect();
+    let termination = governor.finish(finished, abandoned, frontier);
+    slots.truncate(finished);
+    let mut result = merge_outputs(slots.into_iter().flatten(), finished, &prepared);
     result.stats.peak_oi_bytes = oi_gauge.peak();
     result.stats.peak_embedding_bytes = peak_embedding_bytes;
-    Ok(result)
+    Ok(MiningOutcome {
+        result,
+        termination,
+    })
 }
 
 #[cfg(test)]

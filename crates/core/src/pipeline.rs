@@ -37,6 +37,7 @@ use crate::config::TaxogramConfig;
 use crate::enumerate::EnumScratch;
 use crate::error::TaxogramError;
 use crate::gauge::MemoryGauge;
+use crate::govern::{GovernOptions, Governor, MiningOutcome, Termination};
 use crate::miner::{MiningResult, MiningStats, Pattern};
 use crate::oi::{OccurrenceIndex, OiOptions, OiScratch};
 use crate::relabel::{relabel, Relabeled};
@@ -175,12 +176,65 @@ pub fn mine_pipelined_faulted(
     options: PipelineOptions,
     faults: PipelineFaults,
 ) -> Result<MiningResult, TaxogramError> {
-    let threads = options.threads;
-    if threads <= 1 {
+    if options.threads <= 1 {
         return crate::Taxogram::new(*config).mine(db, taxonomy);
     }
+    Ok(mine_pipelined_impl(config, db, taxonomy, options, faults, &Governor::disabled())?.result)
+}
+
+/// [`mine_pipelined_with`] under governance: the producer gates class
+/// admission (in serial class order) on `govern`'s cancel token and
+/// budget; on an early stop the channel closes and drains cleanly, every
+/// *admitted* class is still enumerated, and the output is exactly the
+/// admitted prefix of the serial class stream — byte-identical to a
+/// prefix of the full serial output.
+///
+/// # Errors
+/// Same conditions as [`mine_pipelined_with`]; early termination is not
+/// an error.
+pub fn mine_pipelined_governed(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    options: PipelineOptions,
+    govern: &GovernOptions,
+) -> Result<MiningOutcome, TaxogramError> {
+    mine_pipelined_governed_faulted(config, db, taxonomy, options, PipelineFaults::default(), govern)
+}
+
+/// [`mine_pipelined_governed`] plus the deterministic fault injector.
+/// Test-only plumbing (driven by `tsg-testkit`).
+#[doc(hidden)]
+pub fn mine_pipelined_governed_faulted(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    options: PipelineOptions,
+    faults: PipelineFaults,
+    govern: &GovernOptions,
+) -> Result<MiningOutcome, TaxogramError> {
+    if options.threads <= 1 {
+        return crate::Taxogram::new(*config).mine_governed(db, taxonomy, govern);
+    }
+    mine_pipelined_impl(config, db, taxonomy, options, faults, &Governor::new(govern))
+}
+
+fn mine_pipelined_impl(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    options: PipelineOptions,
+    faults: PipelineFaults,
+    governor: &Governor,
+) -> Result<MiningOutcome, TaxogramError> {
+    let threads = options.threads;
     let prepared = match prepare(config, db, taxonomy)? {
-        Prologue::Done(result) => return Ok(result),
+        Prologue::Done(result) => {
+            return Ok(MiningOutcome {
+                result,
+                termination: Termination::completed(0),
+            })
+        }
         Prologue::Ready(p) => p,
     };
     let effective = if options.clamp_to_cores {
@@ -194,7 +248,7 @@ pub fn mine_pipelined_faulted(
         // No dedicated worker to be had: stream inline. Still the
         // pipelined engine — classes hand off by move and scratch arenas
         // persist — just with the channel optimized away.
-        return Ok(mine_inline(config, &prepared));
+        return Ok(mine_inline(config, &prepared, governor));
     }
     let threads = effective;
     let capacity = if options.channel_capacity == 0 {
@@ -211,6 +265,7 @@ pub fn mine_pipelined_faulted(
     let panic_slot: Mutex<Option<String>> = Mutex::new(None);
 
     let mut classes = 0usize;
+    let mut rejected: Option<String> = None;
     let mut outputs: Vec<(usize, ClassOutput)> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads - 1)
@@ -227,6 +282,7 @@ pub fn mine_pipelined_faulted(
                     let mut received = 0usize;
                     while let Some(item) = channel.recv() {
                         received += 1;
+                        let (seq, emb_bytes) = (item.seq, item.emb_bytes);
                         // Catch panics per item: a dead worker must not
                         // leave the producer blocked or the process
                         // aborted. The item unwinding mid-enumeration is
@@ -243,13 +299,20 @@ pub fn mine_pipelined_faulted(
                                 &mut enum_scratch,
                                 &mut oi_scratch,
                             );
-                            // Embeddings die here; release them from the gauge.
+                            // Embeddings die here (with the item).
                             drop(item.embeddings);
-                            emb_gauge.sub(item.emb_bytes);
-                            (item.seq, out)
+                            out
                         }));
+                        // Release the reservation on *both* paths: an item
+                        // destroyed by an unwinding worker is just as dead
+                        // as an enumerated one, and leaking it would leave
+                        // the gauge's running total permanently inflated.
+                        emb_gauge.sub(emb_bytes);
                         match caught {
-                            Ok(pair) => local.push(pair),
+                            Ok(out) => {
+                                governor.add_patterns(out.patterns.len());
+                                local.push((seq, out));
+                            }
                             Err(payload) => {
                                 record_panic(panic_slot, panic_message(payload.as_ref()));
                                 return local;
@@ -277,6 +340,8 @@ pub fn mine_pipelined_faulted(
             prepared: &prepared,
             config,
             faults,
+            governor,
+            rejected: None,
             enum_scratch: EnumScratch::new(),
             oi_scratch: OiScratch::new(),
             outputs: Vec::new(),
@@ -296,6 +361,7 @@ pub fn mine_pipelined_faulted(
             .mine(&mut sink);
         }));
         classes = sink.next_seq;
+        rejected = sink.rejected.take();
         channel.close();
         if let Err(payload) = mined {
             record_panic(&panic_slot, panic_message(payload.as_ref()));
@@ -304,9 +370,13 @@ pub fn mine_pipelined_faulted(
         // This drain is also what rescues classes abandoned by a dropped
         // receiver, so no item is ever lost to a worker that quit early.
         while let Some(item) = channel.try_recv() {
+            let emb_bytes = item.emb_bytes;
             if let Err(payload) =
                 std::panic::catch_unwind(AssertUnwindSafe(|| sink.process(item)))
             {
+                // `process` panicked before its own release; the item died
+                // in the unwind, so release its reservation here.
+                emb_gauge.sub(emb_bytes);
                 record_panic(&panic_slot, panic_message(payload.as_ref()));
             }
         }
@@ -326,32 +396,64 @@ pub fn mine_pipelined_faulted(
     if let Some(message) = recover(panic_slot.lock()).take() {
         return Err(TaxogramError::WorkerPanicked { message });
     }
+    // Gauge balance: every enqueued reservation was released — by
+    // `process`, by a displaced-item steal, or by the post-close drain —
+    // even when the run stopped early. (The governance tests' partial
+    // runs exercise this; a leak here was the original abandoned-class
+    // accounting bug.)
+    debug_assert_eq!(emb_gauge.current(), 0, "embedding reservations leaked");
 
     // Reorder buffer: sequence numbers are serial class indices, so
-    // sorting restores exactly the serial output order.
+    // sorting restores exactly the serial output order. On an early stop
+    // every admitted class was still drained and enumerated (admission
+    // is the only gate), so the output is the exact admitted prefix and
+    // nothing needs cutting.
     outputs.sort_unstable_by_key(|(seq, _)| *seq);
+    let termination = governor.finish(
+        classes,
+        usize::from(rejected.is_some()),
+        rejected.into_iter().collect(),
+    );
     let mut result = merge_outputs(outputs.into_iter().map(|(_, out)| out), classes, &prepared);
     result.stats.peak_oi_bytes = oi_gauge.peak();
     result.stats.peak_embedding_bytes = emb_gauge.peak();
-    Ok(result)
+    Ok(MiningOutcome {
+        result,
+        termination,
+    })
 }
 
 /// Single-thread streaming: each class is enumerated the moment gSpan
 /// completes it, on the mining thread, with persistent scratch arenas.
 /// Used when the core clamp leaves no dedicated worker; also the
 /// fairest possible single-core baseline for the channel pipeline.
-fn mine_inline(config: &TaxogramConfig, prepared: &Prepared) -> MiningResult {
+fn mine_inline(
+    config: &TaxogramConfig,
+    prepared: &Prepared,
+    governor: &Governor,
+) -> MiningOutcome {
     struct InlineSink<'a> {
         prepared: &'a Prepared,
         config: &'a TaxogramConfig,
         emb_gauge: &'a MemoryGauge,
         oi_gauge: &'a MemoryGauge,
+        governor: &'a Governor,
+        rejected: Option<String>,
         enum_scratch: EnumScratch,
         oi_scratch: OiScratch,
         outputs: Vec<ClassOutput>,
     }
     impl PatternSink for InlineSink<'_> {
-        fn report(&mut self, _class: &MinedPattern<'_>) -> Grow {
+        fn report(&mut self, class: &MinedPattern<'_>) -> Grow {
+            // Governance poll point (same contract as the channel path's
+            // producer sink): admission in serial class order.
+            if !self
+                .governor
+                .admit_class(self.emb_gauge.peak() + self.oi_gauge.peak())
+            {
+                self.rejected = Some(class.code.to_string());
+                return Grow::Stop;
+            }
             Grow::Continue
         }
         fn complete(&mut self, class: ClassHandoff) {
@@ -368,6 +470,7 @@ fn mine_inline(config: &TaxogramConfig, prepared: &Prepared) -> MiningResult {
             );
             drop(class);
             self.emb_gauge.sub(emb_bytes);
+            self.governor.add_patterns(out.patterns.len());
             self.outputs.push(out);
         }
     }
@@ -378,6 +481,8 @@ fn mine_inline(config: &TaxogramConfig, prepared: &Prepared) -> MiningResult {
         config,
         emb_gauge: &emb_gauge,
         oi_gauge: &oi_gauge,
+        governor,
+        rejected: None,
         enum_scratch: EnumScratch::new(),
         oi_scratch: OiScratch::new(),
         outputs: Vec::new(),
@@ -391,10 +496,19 @@ fn mine_inline(config: &TaxogramConfig, prepared: &Prepared) -> MiningResult {
     )
     .mine(&mut sink);
     let classes = sink.outputs.len();
+    let rejected = sink.rejected;
+    let termination = governor.finish(
+        classes,
+        usize::from(rejected.is_some()),
+        rejected.into_iter().collect(),
+    );
     let mut result = merge_outputs(sink.outputs.into_iter(), classes, prepared);
     result.stats.peak_oi_bytes = oi_gauge.peak();
     result.stats.peak_embedding_bytes = emb_gauge.peak();
-    result
+    MiningOutcome {
+        result,
+        termination,
+    }
 }
 
 /// A pattern class in flight from the gSpan producer to a worker.
@@ -414,6 +528,9 @@ struct PipeSink<'a> {
     prepared: &'a Prepared,
     config: &'a TaxogramConfig,
     faults: PipelineFaults,
+    governor: &'a Governor,
+    /// DFS code of the class rejected at admission, if the run stopped.
+    rejected: Option<String>,
     /// Scratch arenas for classes the producer enumerates itself when
     /// the channel is full (work stealing instead of blocking).
     enum_scratch: EnumScratch,
@@ -436,12 +553,24 @@ impl PipeSink<'_> {
         );
         drop(item.embeddings);
         self.emb_gauge.sub(item.emb_bytes);
+        self.governor.add_patterns(out.patterns.len());
         self.outputs.push((item.seq, out));
     }
 }
 
 impl PatternSink for PipeSink<'_> {
-    fn report(&mut self, _class: &MinedPattern<'_>) -> Grow {
+    fn report(&mut self, class: &MinedPattern<'_>) -> Grow {
+        // Governance poll point: report fires in serial (pre-order) class
+        // order on the producer, so admissions form an exact serial
+        // prefix. The tracked high-water mark is in-flight embeddings
+        // plus resident occurrence indices.
+        if !self
+            .governor
+            .admit_class(self.emb_gauge.peak() + self.oi_gauge.peak())
+        {
+            self.rejected = Some(class.code.to_string());
+            return Grow::Stop;
+        }
         Grow::Continue
     }
 

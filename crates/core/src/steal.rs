@@ -27,6 +27,7 @@ use crate::config::TaxogramConfig;
 use crate::enumerate::EnumScratch;
 use crate::error::TaxogramError;
 use crate::gauge::MemoryGauge;
+use crate::govern::{GovernOptions, Governor, MiningOutcome, Termination};
 use crate::miner::MiningResult;
 use crate::oi::OiScratch;
 use crate::pipeline::{enumerate_class, merge_outputs, prepare, ClassOutput, Prepared, Prologue};
@@ -116,8 +117,57 @@ pub fn mine_stealing_faulted(
     options: StealOptions,
     faults: FaultInjection,
 ) -> Result<MiningResult, TaxogramError> {
+    Ok(mine_stealing_impl(config, db, taxonomy, options, faults, &Governor::disabled())?.result)
+}
+
+/// [`mine_stealing_with`] under governance. Admission happens in schedule
+/// order (workers race), so the stop *point* is nondeterministic — but the
+/// returned patterns are still a byte-identical prefix of the serial
+/// output: the merge cuts the completed classes at the smallest unfinished
+/// DFS code (rejected ∪ still-queued), and the canonical-order argument
+/// guarantees every class below that cut completed.
+///
+/// # Errors
+/// Same conditions as [`mine_stealing_with`]; early termination is not an
+/// error.
+pub fn mine_stealing_governed(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    options: StealOptions,
+    govern: &GovernOptions,
+) -> Result<MiningOutcome, TaxogramError> {
+    mine_stealing_governed_faulted(config, db, taxonomy, options, FaultInjection::default(), govern)
+}
+
+/// [`mine_stealing_governed`] plus the fault injector (test plumbing).
+#[doc(hidden)]
+pub fn mine_stealing_governed_faulted(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    options: StealOptions,
+    faults: FaultInjection,
+    govern: &GovernOptions,
+) -> Result<MiningOutcome, TaxogramError> {
+    mine_stealing_impl(config, db, taxonomy, options, faults, &Governor::new(govern))
+}
+
+fn mine_stealing_impl(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    options: StealOptions,
+    faults: FaultInjection,
+    governor: &Governor,
+) -> Result<MiningOutcome, TaxogramError> {
     let prepared = match prepare(config, db, taxonomy)? {
-        Prologue::Done(result) => return Ok(result),
+        Prologue::Done(result) => {
+            return Ok(MiningOutcome {
+                result,
+                termination: Termination::completed(0),
+            })
+        }
         Prologue::Ready(p) => p,
     };
     let threads = if options.clamp_to_cores {
@@ -139,7 +189,7 @@ pub fn mine_stealing_faulted(
 
     let emb_gauge = MemoryGauge::new();
     let oi_gauge = MemoryGauge::new();
-    let (sinks, steal_stats) = mine_parallel_with_faults(
+    let run = mine_parallel_with_faults(
         &prepared.rel.dmg,
         GSpanConfig {
             min_support: prepared.min_support,
@@ -150,27 +200,66 @@ pub fn mine_stealing_faulted(
         |_| FusedSink {
             prepared: &prepared,
             config,
+            emb_gauge: &emb_gauge,
             oi_gauge: &oi_gauge,
+            governor,
             enum_scratch: EnumScratch::new(),
             oi_scratch: OiScratch::new(),
             outputs: Vec::new(),
+            rejected: Vec::new(),
         },
         faults,
     )
     .map_err(|p| TaxogramError::WorkerPanicked { message: p.message })?;
+    // Gauge balance: the scheduler releases every task reservation, even
+    // for tasks stranded in deques by an early stop (`drain_leftovers`).
+    debug_assert_eq!(emb_gauge.current(), 0, "task reservations leaked");
 
     // Reorder by canonical code: lexicographic DFS-code order *is* the
     // serial class order, so the merge sees outputs exactly as the
     // serial engine would produce them.
-    let mut outputs: Vec<(DfsCode, ClassOutput)> =
-        sinks.into_iter().flat_map(|s| s.outputs).collect();
+    let mut outputs: Vec<(DfsCode, ClassOutput)> = Vec::new();
+    // Unfinished work: classes a sink refused admission plus tasks the
+    // scheduler abandoned in its deques when the stop tripped.
+    let mut unfinished: Vec<DfsCode> = run.frontier;
+    for sink in run.sinks {
+        outputs.extend(sink.outputs);
+        unfinished.extend(sink.rejected);
+    }
     outputs.sort_by(|(a, _), (b, _)| a.cmp_code(b));
-    let classes = outputs.len();
-    let mut result = merge_outputs(outputs.into_iter().map(|(_, out)| out), classes, &prepared);
+
+    // Prefix cut: admission raced across workers, so classes *past* the
+    // smallest unfinished code may have completed out of order. Discard
+    // them — every class strictly below the cut is guaranteed complete
+    // (had it been skipped, it or a pre-order ancestor would itself sit
+    // in `unfinished` at a code ≤ its own, since a parent's DFS code is a
+    // strict prefix of its descendants'). What remains is byte-identical
+    // to the serial output's first `finished` classes.
+    unfinished.sort_by(DfsCode::cmp_code);
+    if let Some(cut) = unfinished.first() {
+        let keep = outputs
+            .iter()
+            .take_while(|(code, _)| code.cmp_code(cut).is_lt())
+            .count();
+        unfinished.extend(outputs.drain(keep..).map(|(code, _)| code));
+        unfinished.sort_by(DfsCode::cmp_code);
+    }
+
+    let finished = outputs.len();
+    let frontier: Vec<String> = unfinished
+        .iter()
+        .take(crate::govern::FRONTIER_CAP)
+        .map(|code| code.to_string())
+        .collect();
+    let termination = governor.finish(finished, unfinished.len(), frontier);
+    let mut result = merge_outputs(outputs.into_iter().map(|(_, out)| out), finished, &prepared);
     result.stats.peak_oi_bytes = oi_gauge.peak();
     result.stats.peak_embedding_bytes = emb_gauge.peak();
-    result.stats.steals = steal_stats.steals;
-    Ok(result)
+    result.stats.steals = run.stats.steals;
+    Ok(MiningOutcome {
+        result,
+        termination,
+    })
 }
 
 /// Per-worker sink fusing Steps 2–3 into the search loop: every
@@ -179,14 +268,26 @@ pub fn mine_stealing_faulted(
 struct FusedSink<'a> {
     prepared: &'a Prepared,
     config: &'a TaxogramConfig,
+    emb_gauge: &'a MemoryGauge,
     oi_gauge: &'a MemoryGauge,
+    governor: &'a Governor,
     enum_scratch: EnumScratch,
     oi_scratch: OiScratch,
     outputs: Vec<(DfsCode, ClassOutput)>,
+    rejected: Vec<DfsCode>,
 }
 
 impl PatternSink for FusedSink<'_> {
-    fn report(&mut self, _class: &MinedPattern<'_>) -> Grow {
+    fn report(&mut self, class: &MinedPattern<'_>) -> Grow {
+        // Admission gate (schedule order): tracked residency is the sum
+        // of the cross-worker embedding and index high-water marks.
+        if !self
+            .governor
+            .admit_class(self.emb_gauge.peak() + self.oi_gauge.peak())
+        {
+            self.rejected.push(class.code.clone());
+            return Grow::Stop;
+        }
         Grow::Continue
     }
 
@@ -200,6 +301,7 @@ impl PatternSink for FusedSink<'_> {
             &mut self.enum_scratch,
             &mut self.oi_scratch,
         );
+        self.governor.add_patterns(out.patterns.len());
         self.outputs.push((class.code, out));
     }
 }

@@ -1,0 +1,411 @@
+//! Governance acceptance matrix: deterministic cancellation triggers and
+//! budget ceilings across all four engines, at the acceptance thread
+//! counts (1/2/4) with capacity 1 (maximum contention).
+//!
+//! The invariant under every stop: the run returns `Ok(MiningOutcome)`
+//! whose patterns are a **byte-identical completed prefix** of the full
+//! serial output — no lost, duplicated, or torn classes — and whose
+//! `Termination` is truthful (reason, finished/abandoned arithmetic,
+//! frontier only on early stops). The serially-admitting engines
+//! (serial, barrier, pipelined) additionally stop at the *exact* Nth
+//! class; the work-stealing engine admits in schedule order, so only the
+//! prefix contract and the reason are schedule-independent.
+
+use std::time::Duration;
+use taxogram_core::{
+    mine_parallel_governed, Budget, CancelToken, GovernOptions, MiningResult, Taxogram,
+    TaxogramConfig, TerminationReason,
+};
+use tsg_testkit::fault::{assert_completed_prefix, FaultPlan, FAULT_THREADS};
+use tsg_testkit::gen::{case, Case};
+use tsg_testkit::metamorphic::{assert_engines_identical, MAX_EDGES};
+
+/// Same seeds as the fault-injection matrix: several distinct shapes,
+/// each deterministic via `tsg_testkit::case(seed)`.
+const CASE_SEEDS: [u64; 4] = [3, 17, 101, 0xbeef];
+
+fn config(c: &Case) -> TaxogramConfig {
+    TaxogramConfig::with_threshold(c.theta).max_edges(MAX_EDGES)
+}
+
+fn serial(c: &Case) -> MiningResult {
+    Taxogram::new(config(c)).mine(&c.db, &c.taxonomy).unwrap()
+}
+
+/// Cancel at the Nth class, swept over N, threads 1/2/4, capacity 1.
+/// Serial, barrier, and pipelined admit in serial class order, so each
+/// must finish *exactly* min(N, total) classes and emit the
+/// byte-identical prefix; stealing must emit a byte-identical prefix of
+/// at most N classes with a truthful reason.
+#[test]
+fn cancel_at_nth_class_yields_exact_prefix() {
+    for &seed in &CASE_SEEDS {
+        let c = case(seed);
+        let full = serial(&c);
+        let total = full.stats.classes;
+        for &threads in &FAULT_THREADS {
+            for n in [0usize, 1, 2, 3, 5, 8] {
+                let plan = FaultPlan::shape(threads, 1).cancel_after(n);
+                let want_finished = n.min(total);
+                let want_reason = if n < total {
+                    TerminationReason::Cancelled
+                } else {
+                    TerminationReason::Completed
+                };
+                let tag = |engine: &str| format!("seed {seed:#x} {engine} t={threads} n={n}");
+
+                for (engine, outcome) in [
+                    ("serial", plan.run_serial_governed(&c)),
+                    ("barrier", plan.run_barrier_governed(&c)),
+                    ("pipelined", plan.run_pipelined_governed(&c)),
+                ] {
+                    let outcome = outcome.unwrap_or_else(|e| panic!("{}: {e}", tag(engine)));
+                    assert_completed_prefix(&outcome, &full)
+                        .unwrap_or_else(|msg| panic!("{}: {msg}", tag(engine)));
+                    assert_eq!(
+                        outcome.termination.classes_finished,
+                        want_finished,
+                        "{}: wrong class count",
+                        tag(engine)
+                    );
+                    assert_eq!(
+                        outcome.termination.reason,
+                        want_reason,
+                        "{}: wrong reason",
+                        tag(engine)
+                    );
+                }
+
+                let outcome = plan
+                    .run_stealing_governed(&c)
+                    .unwrap_or_else(|e| panic!("{}: {e}", tag("stealing")));
+                assert_completed_prefix(&outcome, &full)
+                    .unwrap_or_else(|msg| panic!("{}: {msg}", tag("stealing")));
+                assert!(
+                    outcome.termination.classes_finished <= want_finished.max(n.min(total)),
+                    "{}: finished more classes than were admitted",
+                    tag("stealing")
+                );
+                if n >= total {
+                    assert!(outcome.termination.is_complete(), "{}", tag("stealing"));
+                } else {
+                    assert_eq!(
+                        outcome.termination.reason,
+                        TerminationReason::Cancelled,
+                        "{}",
+                        tag("stealing")
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The same deterministic stop point must yield the same bytes on every
+/// run and at every thread count — partial results are reproducible.
+#[test]
+fn partial_results_are_schedule_independent() {
+    let c = case(CASE_SEEDS[1]);
+    let full = serial(&c);
+    for n in [1usize, 3] {
+        let want = FaultPlan::shape(1, 1)
+            .cancel_after(n)
+            .run_serial_governed(&c)
+            .unwrap();
+        for &threads in &FAULT_THREADS {
+            let plan = FaultPlan::shape(threads, 1).cancel_after(n);
+            for outcome in [
+                plan.run_barrier_governed(&c).unwrap(),
+                plan.run_pipelined_governed(&c).unwrap(),
+            ] {
+                assert_engines_identical(&want.result, &outcome.result)
+                    .unwrap_or_else(|msg| panic!("t={threads} n={n}: {msg}"));
+            }
+            // Stealing's stop *depth* is schedule-dependent (admission
+            // races the workers), so two runs may legally cut at
+            // different lengths — but both must be completed prefixes
+            // of the same serial stream, which makes the shorter one a
+            // byte-prefix of the longer.
+            let a = plan.run_stealing_governed(&c).unwrap();
+            let b = plan.run_stealing_governed(&c).unwrap();
+            assert_completed_prefix(&a, &full)
+                .unwrap_or_else(|msg| panic!("stealing t={threads} n={n}: {msg}"));
+            assert_completed_prefix(&b, &full)
+                .unwrap_or_else(|msg| panic!("stealing t={threads} n={n}: {msg}"));
+        }
+    }
+}
+
+/// Class-count budget: same exactness contract as cancellation, but the
+/// reason must name the ceiling.
+#[test]
+fn class_budget_stops_exactly() {
+    // Seed 23 mines 5 classes (8 patterns) at its θ — enough room for
+    // the ceiling to land strictly inside the class stream.
+    let c = case(23);
+    let full = serial(&c);
+    let total = full.stats.classes;
+    assert!(total >= 2, "case too small to exercise the budget");
+    for &threads in &FAULT_THREADS {
+        for n in [1usize, 2] {
+            let plan = FaultPlan::shape(threads, 1).budget_classes(n);
+            for outcome in [
+                plan.run_serial_governed(&c).unwrap(),
+                plan.run_barrier_governed(&c).unwrap(),
+                plan.run_pipelined_governed(&c).unwrap(),
+            ] {
+                assert_completed_prefix(&outcome, &full).unwrap();
+                assert_eq!(outcome.termination.classes_finished, n);
+                assert_eq!(
+                    outcome.termination.reason,
+                    TerminationReason::BudgetExceeded {
+                        which: taxogram_core::BudgetKind::Classes
+                    }
+                );
+                assert!(!outcome.termination.frontier.is_empty());
+            }
+            let outcome = plan.run_stealing_governed(&c).unwrap();
+            assert_completed_prefix(&outcome, &full).unwrap();
+            assert!(outcome.termination.classes_finished <= n);
+        }
+    }
+}
+
+/// Pattern-count budget on the serial engine: admission stops at the
+/// first class after the ceiling is crossed, so the final count may
+/// overshoot by at most one class's patterns and never undershoots a
+/// reachable ceiling.
+#[test]
+fn pattern_budget_stops_after_crossing_class() {
+    let mut tripped = 0;
+    for &seed in &CASE_SEEDS {
+        let c = case(seed);
+        let full = serial(&c);
+        let outcome = FaultPlan::shape(1, 1)
+            .budget_patterns(1)
+            .run_serial_governed(&c)
+            .unwrap();
+        assert_completed_prefix(&outcome, &full).unwrap();
+        if outcome.termination.is_complete() {
+            // Every pattern came from the final admitted class, so no
+            // admission point saw the crossed ceiling; legal, but only
+            // if the prefix really is everything (checked above).
+            continue;
+        }
+        tripped += 1;
+        assert!(
+            !outcome.result.patterns.is_empty(),
+            "seed {seed:#x}: the crossing class itself completes"
+        );
+        assert!(outcome.result.patterns.len() < full.patterns.len());
+        assert_eq!(
+            outcome.termination.reason,
+            TerminationReason::BudgetExceeded {
+                which: taxogram_core::BudgetKind::Patterns
+            },
+            "seed {seed:#x}"
+        );
+    }
+    assert!(tripped >= 1, "no seed ever tripped the pattern budget");
+}
+
+/// Pattern-count budget on the parallel engines. The stop point is
+/// schedule-dependent (the ceiling is observed by racing workers), but
+/// the contract is not: a byte-identical completed prefix, and a
+/// truthful `Patterns` reason whenever the stream was actually cut. The
+/// barrier engine is the interesting one — it admits every class before
+/// a single pattern exists, so the ceiling can only bind at its Step 3
+/// class-boundary poll.
+#[test]
+fn pattern_budget_binds_on_every_parallel_engine() {
+    let c = case(23); // 5 classes / 8 patterns: ceiling 1 cuts early
+    let full = serial(&c);
+    for &threads in &FAULT_THREADS {
+        let plan = FaultPlan::shape(threads, 1).budget_patterns(1);
+        for (engine, outcome) in [
+            ("barrier", plan.run_barrier_governed(&c)),
+            ("pipelined", plan.run_pipelined_governed(&c)),
+            ("stealing", plan.run_stealing_governed(&c)),
+        ] {
+            let outcome = outcome.unwrap();
+            let tag = format!("{engine} t={threads}");
+            assert_completed_prefix(&outcome, &full)
+                .unwrap_or_else(|msg| panic!("{tag}: {msg}"));
+            // With >1 worker, admission can legally outrun pattern
+            // accumulation and complete the run; the barrier engine
+            // cannot (its last Step 3 claim requires a poll after some
+            // class already finished), and one worker is deterministic
+            // on every engine. Wherever a cut happened — or had to —
+            // the reason must name the pattern ceiling.
+            let must_cut = threads == 1 || engine == "barrier";
+            if must_cut {
+                assert!(
+                    outcome.result.patterns.len() < full.patterns.len(),
+                    "{tag}: ceiling 1 of {} patterns must cut the stream",
+                    full.patterns.len()
+                );
+            }
+            if !outcome.termination.is_complete() {
+                assert_eq!(
+                    outcome.termination.reason,
+                    TerminationReason::BudgetExceeded {
+                        which: taxogram_core::BudgetKind::Patterns
+                    },
+                    "{tag}"
+                );
+            } else {
+                assert!(!must_cut, "{tag}: complete run where a cut was mandatory");
+            }
+        }
+    }
+}
+
+/// A token cancelled before the run starts yields zero classes, zero
+/// patterns, and a `Cancelled` report — on every engine.
+#[test]
+fn pre_cancelled_token_yields_empty_cancelled_outcome() {
+    let c = case(CASE_SEEDS[0]);
+    let full = serial(&c);
+    let token = CancelToken::new();
+    token.cancel();
+    let govern = GovernOptions::with_cancel(token);
+    let outcomes = [
+        Taxogram::new(config(&c))
+            .mine_governed(&c.db, &c.taxonomy, &govern)
+            .unwrap(),
+        mine_parallel_governed(&config(&c), &c.db, &c.taxonomy, 2, &govern).unwrap(),
+        taxogram_core::mine_pipelined_governed(
+            &config(&c),
+            &c.db,
+            &c.taxonomy,
+            taxogram_core::PipelineOptions {
+                threads: 2,
+                channel_capacity: 1,
+                clamp_to_cores: false,
+            },
+            &govern,
+        )
+        .unwrap(),
+        taxogram_core::mine_stealing_governed(
+            &config(&c),
+            &c.db,
+            &c.taxonomy,
+            taxogram_core::StealOptions {
+                threads: 2,
+                deque_capacity: 1,
+                clamp_to_cores: false,
+            },
+            &govern,
+        )
+        .unwrap(),
+    ];
+    for outcome in outcomes {
+        assert!(outcome.result.patterns.is_empty());
+        assert_eq!(outcome.termination.classes_finished, 0);
+        assert_eq!(outcome.termination.reason, TerminationReason::Cancelled);
+        assert_completed_prefix(&outcome, &full).unwrap();
+    }
+}
+
+/// An already-expired deadline stops every engine before any class.
+#[test]
+fn zero_deadline_stops_immediately() {
+    let c = case(CASE_SEEDS[0]);
+    let govern = GovernOptions::with_budget(Budget::unlimited().deadline(Duration::ZERO));
+    let serial_outcome = Taxogram::new(config(&c))
+        .mine_governed(&c.db, &c.taxonomy, &govern)
+        .unwrap();
+    assert!(serial_outcome.result.patterns.is_empty());
+    assert_eq!(
+        serial_outcome.termination.reason,
+        TerminationReason::DeadlineExceeded
+    );
+    let stealing = taxogram_core::mine_stealing_governed(
+        &config(&c),
+        &c.db,
+        &c.taxonomy,
+        taxogram_core::StealOptions {
+            threads: 4,
+            deque_capacity: 1,
+            clamp_to_cores: false,
+        },
+        &govern,
+    )
+    .unwrap();
+    assert!(stealing.result.patterns.is_empty());
+    assert_eq!(
+        stealing.termination.reason,
+        TerminationReason::DeadlineExceeded
+    );
+}
+
+/// A one-byte memory ceiling trips as soon as the tracked peak becomes
+/// visible at an admission point; the partial output is still a clean
+/// prefix.
+#[test]
+fn tiny_memory_budget_trips_with_clean_prefix() {
+    let c = case(23); // 5 classes: the ceiling trips mid-stream
+    let full = serial(&c);
+    assert!(full.stats.classes >= 2, "case too small to trip the budget");
+    let govern = GovernOptions::with_budget(Budget::unlimited().max_peak_bytes(1));
+    let outcome = Taxogram::new(config(&c))
+        .mine_governed(&c.db, &c.taxonomy, &govern)
+        .unwrap();
+    assert_completed_prefix(&outcome, &full).unwrap();
+    assert_eq!(
+        outcome.termination.reason,
+        TerminationReason::BudgetExceeded {
+            which: taxogram_core::BudgetKind::Memory
+        }
+    );
+    assert!(outcome.termination.classes_finished < full.stats.classes);
+}
+
+/// Governance with an unlimited budget and an untouched token is
+/// invisible: every engine produces the byte-identical complete result
+/// and reports `Completed` with an empty frontier.
+#[test]
+fn unlimited_governance_is_invisible() {
+    for &seed in &CASE_SEEDS[..2] {
+        let c = case(seed);
+        let full = serial(&c);
+        for &threads in &FAULT_THREADS {
+            let plan = FaultPlan::shape(threads, 1);
+            for (engine, outcome) in [
+                ("serial", plan.run_serial_governed(&c)),
+                ("barrier", plan.run_barrier_governed(&c)),
+                ("pipelined", plan.run_pipelined_governed(&c)),
+                ("stealing", plan.run_stealing_governed(&c)),
+            ] {
+                let outcome = outcome.unwrap();
+                assert!(
+                    outcome.termination.is_complete(),
+                    "seed {seed:#x} {engine} t={threads}: {:?}",
+                    outcome.termination
+                );
+                assert_eq!(outcome.termination.classes_abandoned, 0);
+                assert!(outcome.termination.frontier.is_empty());
+                assert_engines_identical(&full, &outcome.result)
+                    .unwrap_or_else(|msg| panic!("seed {seed:#x} {engine} t={threads}: {msg}"));
+            }
+        }
+    }
+}
+
+/// Governance composed with injected faults: a cancel trigger and a
+/// forced-steal schedule together still yield a clean prefix or a clean
+/// panic error — never a hang, a torn class, or a silent loss.
+#[test]
+fn governance_composes_with_fault_injection() {
+    let c = case(CASE_SEEDS[3]);
+    let full = serial(&c);
+    for &threads in &FAULT_THREADS {
+        for n in [1usize, 3] {
+            let plan = FaultPlan::shape(threads, 1)
+                .cancel_after(n)
+                .steal_schedule(7);
+            let outcome = plan.run_stealing_governed(&c).unwrap();
+            assert_completed_prefix(&outcome, &full).unwrap();
+        }
+    }
+}

@@ -72,6 +72,9 @@ pub fn read_database(text: &str) -> Result<GraphDatabase, GraphError> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| parse(lineno, "bad vertex label"))?;
+                if parts.next().is_some() {
+                    return Err(parse(lineno, "trailing tokens after vertex record"));
+                }
                 if id != g.node_count() {
                     return Err(parse(
                         lineno,
@@ -92,8 +95,16 @@ pub fn read_database(text: &str) -> Result<GraphDatabase, GraphError> {
                 };
                 let u = int()?;
                 let v = int()?;
-                let l = int()?;
-                g.add_edge(u, v, EdgeLabel(l as u32)).map_err(|e| GraphError::Parse {
+                // The label is parsed at its real width: a value past
+                // u32::MAX is a malformed record, not a silent wrap.
+                let l: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse(lineno, "bad edge label"))?;
+                if parts.next().is_some() {
+                    return Err(parse(lineno, "trailing tokens after edge record"));
+                }
+                g.add_edge(u, v, EdgeLabel(l)).map_err(|e| GraphError::Parse {
                     line: lineno,
                     msg: e.to_string(),
                 })?;

@@ -1,0 +1,111 @@
+//! Parser hardening by seeded mutation: take a *valid* database
+//! serialization from the testkit generators, corrupt it with the
+//! seeded operator pipeline (byte flips, line surgery, truncation,
+//! absurd numbers), and require the parser to return a structured
+//! result — success or `GraphError::Parse` — and never panic, wrap, or
+//! allocate proportionally to a declared (rather than actual) size.
+//!
+//! Pin `PROPTEST_RNG_SEED` to replay a CI run exactly.
+
+use proptest::prelude::*;
+use tsg_graph::io::{read_database, write_database};
+use tsg_graph::GraphError;
+use tsg_testkit::corrupt::Corruptor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn corrupted_valid_serializations_never_panic(seed in 0u64..u64::MAX) {
+        let case = tsg_testkit::case(seed);
+        let text = write_database(&case.db);
+        let mut corruptor = Corruptor::new(seed);
+        for _round in 0..8 {
+            let mutant = corruptor.corrupt(&text);
+            // Success or structured error; a panic fails the test.
+            let _ = read_database(&mutant);
+        }
+    }
+
+    #[test]
+    fn corruption_composes_with_reserialization(seed in 0u64..u64::MAX) {
+        // Anything that *does* survive corruption must itself survive a
+        // write → read round: parsing normalizes to a valid database.
+        let case = tsg_testkit::case(seed);
+        let mut corruptor = Corruptor::new(seed.rotate_left(13));
+        let mutant = corruptor.corrupt(&write_database(&case.db));
+        if let Ok(db) = read_database(&mutant) {
+            let back = read_database(&write_database(&db)).expect("reparse of own output");
+            prop_assert_eq!(back.len(), db.len());
+        }
+    }
+}
+
+fn parse_err(text: &str) -> GraphError {
+    read_database(text).expect_err("must be rejected")
+}
+
+/// The adversarial catalogue, pinned as unit cases so each rejection is
+/// exact (not just panic-free).
+#[test]
+fn adversarial_records_are_rejected_with_line_numbers() {
+    // Duplicate vertex id.
+    assert!(matches!(
+        parse_err("t # 0\nv 0 1\nv 0 2\n"),
+        GraphError::Parse { line: 3, .. }
+    ));
+    // Edge to a vertex that does not exist.
+    assert!(matches!(
+        parse_err("t # 0\nv 0 1\ne 0 7 0\n"),
+        GraphError::Parse { line: 3, .. }
+    ));
+    // Absurd declared vertex id (no dense prefix) — the parser must not
+    // allocate 10^19 slots.
+    assert!(matches!(
+        parse_err("t # 0\nv 9999999999999999999 1\n"),
+        GraphError::Parse { line: 2, .. }
+    ));
+    // Vertex label past u32::MAX.
+    assert!(matches!(
+        parse_err("t # 0\nv 0 4294967296\n"),
+        GraphError::Parse { line: 2, .. }
+    ));
+    // Edge label past u32::MAX must error, not wrap to 0.
+    assert!(matches!(
+        parse_err("t # 0\nv 0 1\nv 1 1\ne 0 1 4294967296\n"),
+        GraphError::Parse { line: 4, .. }
+    ));
+    // Trailing tokens are malformed records, not ignored noise.
+    assert!(matches!(
+        parse_err("t # 0\nv 0 1 junk\n"),
+        GraphError::Parse { line: 2, .. }
+    ));
+    assert!(matches!(
+        parse_err("t # 0\nv 0 1\nv 1 1\ne 0 1 0 junk\n"),
+        GraphError::Parse { line: 4, .. }
+    ));
+    // Records before any 't'.
+    assert!(matches!(
+        parse_err("e 0 1 0\n"),
+        GraphError::Parse { line: 1, .. }
+    ));
+    // Negative and fractional fields.
+    assert!(matches!(
+        parse_err("t # 0\nv -1 1\n"),
+        GraphError::Parse { line: 2, .. }
+    ));
+    assert!(matches!(
+        parse_err("t # 0\nv 0 1.5\n"),
+        GraphError::Parse { line: 2, .. }
+    ));
+}
+
+#[test]
+fn truncated_records_are_malformed() {
+    for text in ["t # 0\nv", "t # 0\nv 0", "t # 0\nv 0 1\ne", "t # 0\nv 0 1\ne 0", "t # 0\nv 0 1\ne 0 1"] {
+        assert!(
+            matches!(read_database(text), Err(GraphError::Parse { .. })),
+            "{text:?} must be rejected"
+        );
+    }
+}

@@ -52,7 +52,7 @@ pub use miner::{
 };
 pub use parallel::{
     mine_frequent_parallel, mine_parallel_classes, mine_parallel_with, ParallelOptions,
-    SearchPanicked, StealStats, TaskGauge,
+    SearchPanicked, SearchRun, StealStats, TaskGauge,
 };
 #[doc(hidden)]
 pub use parallel::{mine_parallel_with_faults, FaultInjection};

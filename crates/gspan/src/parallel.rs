@@ -147,6 +147,23 @@ pub struct StealStats {
     pub steals: usize,
 }
 
+/// Everything a finished work-stealing search hands back: the per-worker
+/// sinks, scheduler counters, and — when the search stopped early via
+/// [`Grow::Stop`] — the DFS codes of tasks still queued at the stop
+/// point, in canonical [`DfsCode::cmp_code`] order. The frontier's
+/// embedding bytes have already been released through the [`TaskGauge`],
+/// so gauge traffic balances even on an aborted run.
+#[derive(Debug)]
+pub struct SearchRun<S> {
+    /// One sink per worker, in worker order.
+    pub sinks: Vec<S>,
+    /// Scheduler counters.
+    pub stats: StealStats,
+    /// Codes of tasks abandoned in the deques/injector by an early stop;
+    /// empty when the search ran to exhaustion.
+    pub frontier: Vec<DfsCode>,
+}
+
 /// Observer for the bytes held by queued-or-running tasks' embedding
 /// lists. Implemented by memory gauges that track high-water residency;
 /// `enqueued` fires when a task is spawned, `dequeued` when its
@@ -302,6 +319,35 @@ impl Scheduler {
         None
     }
 
+    /// Empties every queue after the workers have exited, releasing each
+    /// leftover task's embedding bytes from the gauge and collecting its
+    /// code. Leftovers exist only when the search stopped early (a
+    /// [`Grow::Stop`] sink decision or a recorded panic); on a run to
+    /// exhaustion this is a no-op. Without the release, an early stop
+    /// would leak the queued tasks' reservations and the gauge's running
+    /// total would never return to zero.
+    fn drain_leftovers(&self, gauge: Option<&dyn TaskGauge>) -> Vec<DfsCode> {
+        let mut codes = Vec::new();
+        {
+            let mut release = |task: Task| {
+                if let Some(g) = gauge {
+                    g.task_dequeued(task.bytes);
+                }
+                codes.push(task.code);
+            };
+            for task in self.lock_injector().drain(..) {
+                release(task);
+            }
+            for i in 0..self.locals.len() {
+                for task in self.lock_local(i).drain(..) {
+                    release(task);
+                }
+            }
+        }
+        codes.sort_by(|a, b| a.cmp_code(b));
+        codes
+    }
+
     fn any_work(&self) -> bool {
         if !self.lock_injector().is_empty() {
             return true;
@@ -455,10 +501,13 @@ where
     F: Fn(usize) -> S + Sync,
 {
     mine_parallel_with_faults(db, config, options, gauge, make_sink, FaultInjection::default())
+        .map(|run| (run.sinks, run.stats))
 }
 
-/// [`mine_parallel_with`] plus a deterministic fault/schedule injector.
-/// Test-only plumbing; see [`FaultInjection`].
+/// [`mine_parallel_with`] plus a deterministic fault/schedule injector,
+/// returning the full [`SearchRun`] (including the abandoned-task
+/// frontier of an early stop). Test-only / engine-internal plumbing; see
+/// [`FaultInjection`].
 #[doc(hidden)]
 pub fn mine_parallel_with_faults<S, F>(
     db: &GraphDatabase,
@@ -467,7 +516,7 @@ pub fn mine_parallel_with_faults<S, F>(
     gauge: Option<&dyn TaskGauge>,
     make_sink: F,
     faults: FaultInjection,
-) -> Result<(Vec<S>, StealStats), SearchPanicked>
+) -> Result<SearchRun<S>, SearchPanicked>
 where
     S: PatternSink + Send,
     F: Fn(usize) -> S + Sync,
@@ -526,6 +575,9 @@ where
                 .collect()
         })
     };
+    // Release (and record) whatever an early stop stranded in the queues
+    // — before the panic check, so gauge traffic balances on every path.
+    let frontier = sched.drain_leftovers(gauge);
     if let Some(message) = sched.take_panic() {
         return Err(SearchPanicked { message });
     }
@@ -533,7 +585,11 @@ where
         tasks: sched.tasks.load(Ordering::Relaxed),
         steals: sched.steals.load(Ordering::Relaxed),
     };
-    Ok((sinks, stats))
+    Ok(SearchRun {
+        sinks,
+        stats,
+        frontier,
+    })
 }
 
 /// Collects every completed class from the work-stealing search, sorted
@@ -774,7 +830,7 @@ mod tests {
         let db = sample_db();
         let serial = mine_frequent(&db, 1, None);
         for seed in [1u64, 7, 42] {
-            let (sinks, _) = mine_parallel_with_faults(
+            let run = mine_parallel_with_faults(
                 &db,
                 GSpanConfig { min_support: 1, max_edges: None },
                 ParallelOptions { threads: 4, deque_capacity: 4 },
@@ -783,30 +839,32 @@ mod tests {
                 FaultInjection { steal_schedule_seed: Some(seed), ..FaultInjection::default() },
             )
             .unwrap();
+            assert!(run.frontier.is_empty(), "clean run leaves no frontier");
             let mut got: Vec<FrequentPattern> =
-                sinks.into_iter().flat_map(|s| s.patterns).collect();
+                run.sinks.into_iter().flat_map(|s| s.patterns).collect();
             got.sort_by(|a, b| a.code.cmp_code(&b.code));
             assert_identical(&serial, &got);
         }
     }
 
+    use std::sync::atomic::AtomicIsize;
+    #[derive(Default)]
+    struct Net {
+        delta: AtomicIsize,
+        seen: AtomicIsize,
+    }
+    impl TaskGauge for Net {
+        fn task_enqueued(&self, bytes: usize) {
+            self.delta.fetch_add(bytes as isize, Ordering::SeqCst);
+            self.seen.fetch_add(1, Ordering::SeqCst);
+        }
+        fn task_dequeued(&self, bytes: usize) {
+            self.delta.fetch_sub(bytes as isize, Ordering::SeqCst);
+        }
+    }
+
     #[test]
     fn gauge_sees_balanced_traffic() {
-        use std::sync::atomic::{AtomicIsize, Ordering};
-        #[derive(Default)]
-        struct Net {
-            delta: AtomicIsize,
-            seen: AtomicIsize,
-        }
-        impl TaskGauge for Net {
-            fn task_enqueued(&self, bytes: usize) {
-                self.delta.fetch_add(bytes as isize, Ordering::SeqCst);
-                self.seen.fetch_add(1, Ordering::SeqCst);
-            }
-            fn task_dequeued(&self, bytes: usize) {
-                self.delta.fetch_sub(bytes as isize, Ordering::SeqCst);
-            }
-        }
         let net = Net::default();
         let (classes, stats) = mine_parallel_classes(
             &sample_db(),
@@ -824,5 +882,51 @@ mod tests {
         assert!(!classes.is_empty());
         assert_eq!(net.delta.load(Ordering::SeqCst), 0, "every byte released");
         assert_eq!(net.seen.load(Ordering::SeqCst) as usize, stats.tasks);
+    }
+
+    #[test]
+    fn early_stop_releases_abandoned_tasks_and_reports_frontier() {
+        // Regression: a sink that stops the search strands tasks in the
+        // deques/injector. Their reserved bytes must be released (the
+        // gauge balances to zero) and their codes surfaced as the
+        // frontier; before the drain existed, both were silently lost.
+        struct StopAfter(usize);
+        impl PatternSink for StopAfter {
+            fn report(&mut self, _: &MinedPattern<'_>) -> Grow {
+                if self.0 == 0 {
+                    return Grow::Stop;
+                }
+                self.0 -= 1;
+                Grow::Continue
+            }
+        }
+        let db = sample_db();
+        for threads in [1usize, 2, 4] {
+            let net = Net::default();
+            let run = mine_parallel_with_faults(
+                &db,
+                GSpanConfig { min_support: 1, max_edges: None },
+                ParallelOptions { threads, deque_capacity: 1 },
+                Some(&net),
+                |_| StopAfter(1),
+                FaultInjection::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                net.delta.load(Ordering::SeqCst),
+                0,
+                "t={threads}: abandoned tasks must release their bytes"
+            );
+            assert!(
+                !run.frontier.is_empty(),
+                "t={threads}: an early stop on this database strands work"
+            );
+            for w in run.frontier.windows(2) {
+                assert!(
+                    w[0].cmp_code(&w[1]).is_le(),
+                    "frontier arrives in canonical order"
+                );
+            }
+        }
     }
 }

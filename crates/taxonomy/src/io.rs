@@ -76,7 +76,12 @@ pub fn read_taxonomy(text: &str) -> Result<(LabelTable, Taxonomy), GraphError> {
                         ),
                     ));
                 }
-                let name = parts.next().map(str::to_owned);
+                // The name is the rest of the line (spaces allowed), not
+                // just the next token — truncating "molecular function"
+                // to "molecular" both loses data and manufactures bogus
+                // duplicate-name collisions.
+                let rest: Vec<&str> = parts.collect();
+                let name = (!rest.is_empty()).then(|| rest.join(" "));
                 let declared = builder.add_concept();
                 let interned =
                     names.intern(&name.unwrap_or_else(|| format!("concept-{id}")));
@@ -93,6 +98,9 @@ pub fn read_taxonomy(text: &str) -> Result<(LabelTable, Taxonomy), GraphError> {
                 };
                 let child = NodeLabel(int()?);
                 let parent = NodeLabel(int()?);
+                if parts.next().is_some() {
+                    return Err(parse(lineno, "trailing tokens after is-a record"));
+                }
                 edges.push((child, parent, lineno));
             }
             Some(other) => return Err(parse(lineno, &format!("unknown record type {other:?}"))),
@@ -157,10 +165,8 @@ mod tests {
         assert_eq!(t2.relationship_count(), taxonomy.relationship_count());
         for c in taxonomy.concepts() {
             assert_eq!(t2.ancestors(c).to_vec(), taxonomy.ancestors(c).to_vec());
-            // Single-token names survive.
-            if !names.name(c).unwrap().contains(' ') {
-                assert_eq!(names2.name(c), names.name(c));
-            }
+            // Names survive verbatim, spaces included.
+            assert_eq!(names2.name(c), names.name(c));
         }
     }
 

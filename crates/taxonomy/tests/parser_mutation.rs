@@ -1,0 +1,107 @@
+//! Parser hardening by seeded mutation for the taxonomy `c`/`p` format:
+//! corrupt valid serializations from the testkit generators and require
+//! a structured result — never a panic, a silent wrap, or an
+//! input-disproportionate allocation.
+//!
+//! Pin `PROPTEST_RNG_SEED` to replay a CI run exactly.
+
+use proptest::prelude::*;
+use tsg_graph::GraphError;
+use tsg_taxonomy::io::{read_taxonomy, write_taxonomy};
+use tsg_testkit::corrupt::Corruptor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn corrupted_valid_serializations_never_panic(seed in 0u64..u64::MAX) {
+        let case = tsg_testkit::case(seed);
+        let text = write_taxonomy(&case.taxonomy, None);
+        let mut corruptor = Corruptor::new(seed);
+        for _round in 0..8 {
+            let mutant = corruptor.corrupt(&text);
+            let _ = read_taxonomy(&mutant);
+        }
+    }
+
+    #[test]
+    fn survivors_reserialize_cleanly(seed in 0u64..u64::MAX) {
+        let case = tsg_testkit::case(seed);
+        let mut corruptor = Corruptor::new(seed.rotate_left(29));
+        let mutant = corruptor.corrupt(&write_taxonomy(&case.taxonomy, None));
+        if let Ok((names, taxonomy)) = read_taxonomy(&mutant) {
+            let (_, back) = read_taxonomy(&write_taxonomy(&taxonomy, Some(&names)))
+                .expect("reparse of own output");
+            prop_assert_eq!(back.concept_count(), taxonomy.concept_count());
+            prop_assert_eq!(back.relationship_count(), taxonomy.relationship_count());
+        }
+    }
+}
+
+fn parse_err(text: &str) -> GraphError {
+    read_taxonomy(text).expect_err("must be rejected")
+}
+
+/// The adversarial catalogue as pinned unit cases.
+#[test]
+fn adversarial_records_are_rejected() {
+    // Duplicate concept id (non-dense).
+    assert!(matches!(
+        parse_err("c 0 a\nc 0 b\n"),
+        GraphError::Parse { line: 2, .. }
+    ));
+    // Duplicate concept *name* — the label table would silently alias
+    // two distinct concepts.
+    assert!(matches!(
+        parse_err("c 0 same\nc 1 same\n"),
+        GraphError::Parse { line: 2, .. }
+    ));
+    // Absurd declared concept id: must error, not allocate.
+    assert!(matches!(
+        parse_err("c 99999999999999999999 x\n"),
+        GraphError::Parse { line: 1, .. }
+    ));
+    // is-a referencing a concept that never appears.
+    assert!(read_taxonomy("c 0 a\np 5 0\n").is_err());
+    // is-a field past u32::MAX must error, not wrap.
+    assert!(matches!(
+        parse_err("c 0 a\np 4294967296 0\n"),
+        GraphError::Parse { line: 2, .. }
+    ));
+    // Trailing tokens on an is-a record.
+    assert!(matches!(
+        parse_err("c 0 a\nc 1 b\np 1 0 junk\n"),
+        GraphError::Parse { line: 3, .. }
+    ));
+    // Self-loop and cycle.
+    assert!(read_taxonomy("c 0 a\np 0 0\n").is_err());
+    assert!(read_taxonomy("c 0 a\nc 1 b\np 0 1\np 1 0\n").is_err());
+    // Unknown record type.
+    assert!(matches!(
+        parse_err("q 1 2\n"),
+        GraphError::Parse { line: 1, .. }
+    ));
+}
+
+/// Multi-word names are preserved verbatim, not truncated to the first
+/// token (truncation also manufactured bogus duplicate-name errors for
+/// names sharing a first word).
+#[test]
+fn multi_word_names_roundtrip() {
+    let text = "c 0 molecular function\nc 1 molecular transport\np 1 0\n";
+    let (names, taxonomy) = read_taxonomy(text).unwrap();
+    assert_eq!(names.name(tsg_graph::NodeLabel(0)), Some("molecular function"));
+    assert_eq!(names.name(tsg_graph::NodeLabel(1)), Some("molecular transport"));
+    let (names2, _) = read_taxonomy(&write_taxonomy(&taxonomy, Some(&names))).unwrap();
+    assert_eq!(names2.name(tsg_graph::NodeLabel(1)), Some("molecular transport"));
+}
+
+#[test]
+fn truncated_records_are_malformed() {
+    for text in ["c", "c 0 a\np", "c 0 a\np 0"] {
+        assert!(
+            read_taxonomy(text).is_err(),
+            "{text:?} must be rejected"
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Seeded corruption operators for line-oriented text serializations.
+//!
+//! The parser-hardening suites take a *valid* serialization (produced by
+//! the generators in [`crate::gen`] plus the crates' own writers) and
+//! mutate it with a seeded operator pipeline: byte flips, line
+//! duplication/deletion/swaps, truncation mid-record, digit-run
+//! scrambles (including values far past `u32::MAX`/`usize::MAX`), and
+//! junk-line insertion. Valid-input-adjacent garbage exercises far more
+//! parser branches than uniformly random bytes — the mutants keep the
+//! record skeleton (`t`/`v`/`e`, `c`/`p`) that steers parsing into the
+//! deep paths where panics and overflow bugs hide.
+//!
+//! Everything is deterministic from the seed; a failing mutant reprints
+//! from `(seed, round)` alone.
+
+use proptest::TestRng;
+
+/// A seeded stream of corruption decisions.
+pub struct Corruptor {
+    rng: TestRng,
+}
+
+/// Digit runs that overflow `u32`, `usize`, or look negative/fractional —
+/// the classic "absurd declared count" payloads.
+const ABSURD_NUMBERS: [&str; 6] = [
+    "4294967296",
+    "18446744073709551616",
+    "99999999999999999999999999",
+    "-1",
+    "3.5",
+    "0x10",
+];
+
+impl Corruptor {
+    /// A corruptor whose whole decision stream derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Corruptor {
+            rng: TestRng::new(seed ^ 0x00c0_defa_u64.rotate_left(17)),
+        }
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.rng.next_u64() % n as u64) as usize
+    }
+
+    /// Applies 1–3 random operators to `text` and returns the mutant.
+    /// The result may or may not still parse; the only contract the
+    /// parsers owe it is "structured error or success, never a panic".
+    pub fn corrupt(&mut self, text: &str) -> String {
+        let mut mutant = text.to_owned();
+        for _ in 0..1 + self.below(3) {
+            mutant = self.apply_one(&mutant);
+        }
+        mutant
+    }
+
+    fn apply_one(&mut self, text: &str) -> String {
+        match self.below(7) {
+            0 => self.flip_byte(text),
+            1 => self.drop_line(text),
+            2 => self.dup_line(text),
+            3 => self.swap_lines(text),
+            4 => self.truncate(text),
+            5 => self.scramble_number(text),
+            _ => self.insert_junk(text),
+        }
+    }
+
+    fn flip_byte(&mut self, text: &str) -> String {
+        if text.is_empty() {
+            return text.to_owned();
+        }
+        let mut bytes = text.as_bytes().to_vec();
+        let i = self.below(bytes.len());
+        bytes[i] ^= 1 + self.below(255) as u8;
+        // The parsers take &str, so the mutant must stay UTF-8; lossy
+        // replacement keeps the flip while staying in-type.
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    fn drop_line(&mut self, text: &str) -> String {
+        let mut lines: Vec<&str> = text.lines().collect();
+        if lines.is_empty() {
+            return text.to_owned();
+        }
+        let i = self.below(lines.len());
+        lines.remove(i);
+        lines.join("\n")
+    }
+
+    fn dup_line(&mut self, text: &str) -> String {
+        let mut lines: Vec<&str> = text.lines().collect();
+        if lines.is_empty() {
+            return text.to_owned();
+        }
+        let i = self.below(lines.len());
+        lines.insert(i, lines[i]);
+        lines.join("\n")
+    }
+
+    fn swap_lines(&mut self, text: &str) -> String {
+        let mut lines: Vec<&str> = text.lines().collect();
+        if lines.len() < 2 {
+            return text.to_owned();
+        }
+        let i = self.below(lines.len());
+        let j = self.below(lines.len());
+        lines.swap(i, j);
+        lines.join("\n")
+    }
+
+    fn truncate(&mut self, text: &str) -> String {
+        if text.is_empty() {
+            return text.to_owned();
+        }
+        let mut cut = self.below(text.len());
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        text[..cut].to_owned()
+    }
+
+    /// Replaces one whitespace-delimited digit-run with an absurd value.
+    fn scramble_number(&mut self, text: &str) -> String {
+        let numbers: Vec<(usize, usize)> = text
+            .split_whitespace()
+            .filter(|t| t.bytes().all(|b| b.is_ascii_digit()) && !t.is_empty())
+            .map(|t| {
+                let start = t.as_ptr() as usize - text.as_ptr() as usize;
+                (start, t.len())
+            })
+            .collect();
+        if numbers.is_empty() {
+            return text.to_owned();
+        }
+        let (start, len) = numbers[self.below(numbers.len())];
+        let replacement = ABSURD_NUMBERS[self.below(ABSURD_NUMBERS.len())];
+        format!("{}{}{}", &text[..start], replacement, &text[start + len..])
+    }
+
+    fn insert_junk(&mut self, text: &str) -> String {
+        const JUNK: [&str; 6] = [
+            "t # 18446744073709551615",
+            "v 0",
+            "e 0",
+            "p 0",
+            "c",
+            "\u{0} \u{7f} \t\t",
+        ];
+        let mut lines: Vec<&str> = text.lines().collect();
+        let i = if lines.is_empty() {
+            0
+        } else {
+            self.below(lines.len() + 1)
+        };
+        lines.insert(i, JUNK[self.below(JUNK.len())]);
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let text = "t # 0\nv 0 1\nv 1 2\ne 0 1 0\n";
+        let a: Vec<String> = {
+            let mut c = Corruptor::new(42);
+            (0..10).map(|_| c.corrupt(text)).collect()
+        };
+        let b: Vec<String> = {
+            let mut c = Corruptor::new(42);
+            (0..10).map(|_| c.corrupt(text)).collect()
+        };
+        assert_eq!(a, b);
+        let mut c = Corruptor::new(43);
+        let other: Vec<String> = (0..10).map(|_| c.corrupt(text)).collect();
+        assert_ne!(a, other, "different seeds diverge");
+    }
+
+    #[test]
+    fn operators_eventually_mutate() {
+        let text = "c 0 root\nc 1 kid\np 1 0\n";
+        let mut c = Corruptor::new(7);
+        let changed = (0..50).filter(|_| c.corrupt(text) != text).count();
+        assert!(changed > 25, "only {changed}/50 mutants differed");
+    }
+}

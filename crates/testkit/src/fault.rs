@@ -14,8 +14,10 @@
 
 use crate::gen::Case;
 use taxogram_core::{
-    mine_pipelined_faulted, mine_stealing_faulted, MiningResult, PipelineFaults, PipelineOptions,
-    SearchFaults, StealOptions, TaxogramConfig, TaxogramError,
+    mine_parallel_governed, mine_pipelined_faulted, mine_pipelined_governed_faulted,
+    mine_stealing_faulted, mine_stealing_governed_faulted, Budget, GovernOptions, MiningOutcome,
+    MiningResult, PipelineFaults, PipelineOptions, SearchFaults, StealOptions, Taxogram,
+    TaxogramConfig, TaxogramError,
 };
 
 /// The thread counts the acceptance matrix sweeps.
@@ -38,6 +40,13 @@ pub struct FaultPlan {
     pub search: SearchFaults,
     /// Faults for the streaming pipeline.
     pub pipeline: PipelineFaults,
+    /// Governance trigger: cancel at the `n`th class admission (exact and
+    /// schedule-independent for the serially-admitting engines).
+    pub cancel_after: Option<usize>,
+    /// Governance budget: admitted-class ceiling.
+    pub max_classes: Option<usize>,
+    /// Governance budget: emitted-pattern ceiling.
+    pub max_patterns: Option<usize>,
 }
 
 impl FaultPlan {
@@ -68,6 +77,41 @@ impl FaultPlan {
     pub fn drop_receiver_after(mut self, n: usize) -> Self {
         self.pipeline.drop_receiver_after = Some(n);
         self
+    }
+
+    /// Governed runs behave as if the cancel token flipped at the `n`th
+    /// class admission (`0` cancels before any class).
+    pub fn cancel_after(mut self, n: usize) -> Self {
+        self.cancel_after = Some(n);
+        self
+    }
+
+    /// Governed runs admit at most `n` pattern classes.
+    pub fn budget_classes(mut self, n: usize) -> Self {
+        self.max_classes = Some(n);
+        self
+    }
+
+    /// Governed runs stop admitting once `n` patterns have been emitted.
+    pub fn budget_patterns(mut self, n: usize) -> Self {
+        self.max_patterns = Some(n);
+        self
+    }
+
+    /// The [`GovernOptions`] this plan's governed runners use.
+    pub fn govern_options(&self) -> GovernOptions {
+        let mut budget = Budget::unlimited();
+        if let Some(n) = self.max_classes {
+            budget = budget.max_classes(n);
+        }
+        if let Some(n) = self.max_patterns {
+            budget = budget.max_patterns(n);
+        }
+        GovernOptions {
+            cancel: None,
+            budget,
+            cancel_after_classes: self.cancel_after,
+        }
     }
 
     /// Runs the fused work-stealing engine under this plan.
@@ -102,9 +146,109 @@ impl FaultPlan {
         )
     }
 
+    /// Runs the serial engine under this plan's governance.
+    pub fn run_serial_governed(&self, case: &Case) -> Result<MiningOutcome, TaxogramError> {
+        Taxogram::new(self.config(case)).mine_governed(
+            &case.db,
+            &case.taxonomy,
+            &self.govern_options(),
+        )
+    }
+
+    /// Runs the barrier engine under this plan's governance.
+    pub fn run_barrier_governed(&self, case: &Case) -> Result<MiningOutcome, TaxogramError> {
+        mine_parallel_governed(
+            &self.config(case),
+            &case.db,
+            &case.taxonomy,
+            self.threads,
+            &self.govern_options(),
+        )
+    }
+
+    /// Runs the pipelined engine under this plan's governance and faults.
+    pub fn run_pipelined_governed(&self, case: &Case) -> Result<MiningOutcome, TaxogramError> {
+        mine_pipelined_governed_faulted(
+            &self.config(case),
+            &case.db,
+            &case.taxonomy,
+            PipelineOptions {
+                threads: self.threads,
+                channel_capacity: self.capacity,
+                clamp_to_cores: false,
+            },
+            self.pipeline,
+            &self.govern_options(),
+        )
+    }
+
+    /// Runs the work-stealing engine under this plan's governance and
+    /// faults.
+    pub fn run_stealing_governed(&self, case: &Case) -> Result<MiningOutcome, TaxogramError> {
+        mine_stealing_governed_faulted(
+            &self.config(case),
+            &case.db,
+            &case.taxonomy,
+            StealOptions {
+                threads: self.threads,
+                deque_capacity: self.capacity,
+                clamp_to_cores: false,
+            },
+            self.search,
+            &self.govern_options(),
+        )
+    }
+
     fn config(&self, case: &Case) -> TaxogramConfig {
         TaxogramConfig::with_threshold(case.theta).max_edges(crate::metamorphic::MAX_EDGES)
     }
+}
+
+/// Asserts the governed `outcome` upholds the partial-result contract
+/// against the ungoverned serial result `full`: its patterns are a
+/// byte-identical prefix of `full.patterns`, its termination arithmetic
+/// is truthful (`classes_finished` matches the result, a complete run
+/// has nothing abandoned and the whole stream, an early stop reports a
+/// non-`Completed` reason), and the frontier is only populated on early
+/// stops.
+pub fn assert_completed_prefix(outcome: &MiningOutcome, full: &MiningResult) -> Result<(), String> {
+    let got = &outcome.result.patterns;
+    let term = &outcome.termination;
+    if got.len() > full.patterns.len() {
+        return Err(format!(
+            "partial result has {} patterns, full only {}",
+            got.len(),
+            full.patterns.len()
+        ));
+    }
+    crate::metamorphic::assert_same_sequence("prefix", &full.patterns[..got.len()], got, 1)?;
+    if term.classes_finished != outcome.result.stats.classes {
+        return Err(format!(
+            "termination says {} classes finished, stats say {}",
+            term.classes_finished, outcome.result.stats.classes
+        ));
+    }
+    if term.is_complete() {
+        if got.len() != full.patterns.len() {
+            return Err(format!(
+                "claims Completed but has {}/{} patterns",
+                got.len(),
+                full.patterns.len()
+            ));
+        }
+        if term.classes_abandoned != 0 || !term.frontier.is_empty() {
+            return Err(format!(
+                "claims Completed but abandoned {} classes (frontier {:?})",
+                term.classes_abandoned, term.frontier
+            ));
+        }
+    } else if term.classes_abandoned == 0 {
+        return Err(format!(
+            "claims {} but abandoned no classes",
+            term.reason
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

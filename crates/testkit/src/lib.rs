@@ -15,12 +15,15 @@
 //!   serial, barrier, pipelined, and work-stealing engines;
 //! * [`fault`] — deterministic fault/schedule plans (injected worker
 //!   panics, forced-steal schedules, channel-capacity sweeps, receiver
-//!   drops) threaded into the parallel engines through their
-//!   `#[doc(hidden)]` hooks.
+//!   drops, governance cancel/budget triggers) threaded into the
+//!   parallel engines through their `#[doc(hidden)]` hooks;
+//! * [`corrupt`] — seeded mutation operators over text serializations,
+//!   for the parser-hardening suites (valid input, corrupted).
 //!
 //! Everything is deterministic from an explicit `u64` seed — no ambient
 //! randomness — so any failure reproduces from its printed seed alone.
 
+pub mod corrupt;
 pub mod fault;
 pub mod gen;
 pub mod metamorphic;

@@ -126,7 +126,7 @@ fn edge_tuples(g: &LabeledGraph) -> Vec<(usize, usize, u32)> {
 /// Order-sensitive byte comparison of two pattern sequences, with
 /// per-pattern support scaling (`scale` = 2 for the duplication
 /// relation, 1 otherwise).
-fn assert_same_sequence(
+pub(crate) fn assert_same_sequence(
     what: &str,
     base: &[Pattern],
     other: &[Pattern],

@@ -24,3 +24,12 @@ PROPTEST_CASES=256 PROPTEST_RNG_SEED=0x7a78c0ffee cargo test --workspace -q
 # matrix for the parallel engines, at the acceptance thread counts.
 echo "== fault-injection matrix =="
 cargo test -q -p taxogram-core --test fault_injection
+
+# Governance stage: the cancellation/deadline/budget acceptance matrix
+# (clean completed-prefix partial results across all four engines) plus
+# the seeded parser-mutation sweeps, pinned to one run seed so any
+# corruption-induced failure replays bit-for-bit.
+echo "== governance matrix + parser mutation (pinned seed) =="
+cargo test -q -p taxogram-core --test governance
+PROPTEST_RNG_SEED=0x60be41 cargo test -q -p tsg-graph --test parser_mutation
+PROPTEST_RNG_SEED=0x60be41 cargo test -q -p tsg-taxonomy --test parser_mutation

@@ -89,6 +89,8 @@ pub const USAGE: &str = "usage: taxogram <mine|stats|generate> [flags]
             [--max-edges N] [--baseline true] [--algorithm taxogram|tacgm]
             [--threads N] [--partitions N] [--dot-dir DIR]
             [--filter closed|maximal|interesting:R]
+            [--time-limit SECONDS] [--memory-limit BYTES[K|M|G]]
+            [--max-patterns N]   (budgeted runs report '# termination:')
   stats     --database FILE
   generate  --dataset ID --out DIR [--scale S]   (ID per Table 1, e.g. D1000, NC20, TD8, PTE)";
 
@@ -127,6 +129,48 @@ fn load_inputs(args: &Args) -> Result<(LabelTable, Taxonomy, GraphDatabase), Cli
     Ok((names, taxonomy, db))
 }
 
+/// Parses a byte count with an optional `K`/`M`/`G` suffix (powers of
+/// 1024), e.g. `512`, `64K`, `8M`, `1G`.
+fn parse_bytes(s: &str) -> Option<usize> {
+    let (digits, shift) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 10),
+        b'M' | b'm' => (&s[..s.len() - 1], 20),
+        b'G' | b'g' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: usize = digits.parse().ok()?;
+    n.checked_shl(shift)
+}
+
+/// Collects the governance flags into [`taxogram_core::GovernOptions`];
+/// `None` when no governance flag was given (run ungoverned).
+fn govern_flags(args: &Args) -> Result<Option<taxogram_core::GovernOptions>, CliError> {
+    let mut budget = taxogram_core::Budget::unlimited();
+    if let Some(s) = args.get("time-limit") {
+        let secs = s
+            .parse::<f64>()
+            .ok()
+            .filter(|v| *v >= 0.0 && v.is_finite())
+            .ok_or_else(|| err("--time-limit must be a non-negative number of seconds"))?;
+        budget = budget.deadline(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(s) = args.get("memory-limit") {
+        budget = budget.max_peak_bytes(
+            parse_bytes(s).ok_or_else(|| err("--memory-limit must be BYTES with optional K/M/G"))?,
+        );
+    }
+    if let Some(s) = args.get("max-patterns") {
+        budget = budget.max_patterns(
+            s.parse()
+                .map_err(|_| err("--max-patterns must be an integer"))?,
+        );
+    }
+    if budget.is_unlimited() {
+        return Ok(None);
+    }
+    Ok(Some(taxogram_core::GovernOptions::with_budget(budget)))
+}
+
 fn mine(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let (names, taxonomy, db) = load_inputs(args)?;
     let theta: f64 = args
@@ -162,6 +206,11 @@ fn mine(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             };
             cfg.max_edges = max_edges;
             if partitions > 1 {
+                if govern_flags(args)?.is_some() {
+                    return Err(err(
+                        "--time-limit/--memory-limit/--max-patterns are not supported with --partitions",
+                    ));
+                }
                 // Two-pass partitioned ("disk-based") mining.
                 let parts = taxogram_core::son::partition(&db, partitions);
                 let r = taxogram_core::son::mine_partitioned(&cfg, &parts, &taxonomy)
@@ -180,8 +229,29 @@ fn mine(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             } else {
                 // threads > 1 uses the streaming pipelined engine (Step 2
                 // and Step 3 overlapped); threads <= 1 is the serial miner.
-                let r = taxogram_core::mine_pipelined(&cfg, &db, &taxonomy, threads)
-                    .map_err(|e| err(e.to_string()))?;
+                // Governance flags route through the governed entry point
+                // and surface the termination report as a comment line.
+                let (r, termination) = match govern_flags(args)? {
+                    Some(govern) => {
+                        let outcome = taxogram_core::mine_pipelined_governed(
+                            &cfg,
+                            &db,
+                            &taxonomy,
+                            taxogram_core::PipelineOptions {
+                                threads,
+                                ..Default::default()
+                            },
+                            &govern,
+                        )
+                        .map_err(|e| err(e.to_string()))?;
+                        (outcome.result, Some(outcome.termination))
+                    }
+                    None => (
+                        taxogram_core::mine_pipelined(&cfg, &db, &taxonomy, threads)
+                            .map_err(|e| err(e.to_string()))?,
+                        None,
+                    ),
+                };
                 // Optional post-filters on the minimal pattern set.
                 let selected: Vec<&taxogram_core::Pattern> = match args.get("filter") {
                     None => r.sorted_patterns(),
@@ -223,10 +293,22 @@ fn mine(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                     r.stats.classes,
                     r.stats.oi_updates
                 )?;
+                if let Some(t) = &termination {
+                    writeln!(
+                        out,
+                        "# termination: {} ({} classes finished, {} abandoned)",
+                        t.reason, t.classes_finished, t.classes_abandoned
+                    )?;
+                }
                 selected.len()
             }
         }
         "tacgm" => {
+            if govern_flags(args)?.is_some() {
+                return Err(err(
+                    "--time-limit/--memory-limit/--max-patterns are not supported with --algorithm tacgm",
+                ));
+            }
             let mut cfg = tsg_tacgm::TacgmConfig::with_threshold(theta);
             cfg.max_edges = max_edges;
             let r = tsg_tacgm::mine(&db, &taxonomy, &cfg).map_err(|e| err(e.to_string()))?;
@@ -468,6 +550,69 @@ mod tests {
         ]);
         assert_eq!(code, 2);
         assert!(fout.contains("--filter"), "{fout}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_bytes_accepts_suffixes() {
+        assert_eq!(parse_bytes("512"), Some(512));
+        assert_eq!(parse_bytes("64K"), Some(64 << 10));
+        assert_eq!(parse_bytes("8M"), Some(8 << 20));
+        assert_eq!(parse_bytes("1g"), Some(1 << 30));
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(parse_bytes("x"), None);
+        assert_eq!(parse_bytes("-1"), None);
+        assert_eq!(parse_bytes("3.5M"), None);
+    }
+
+    #[test]
+    fn governed_mine_reports_termination() {
+        let dir = std::env::temp_dir().join(format!("taxogram-cli-gov-{}", std::process::id()));
+        let dirs = dir.to_string_lossy().to_string();
+        let (code, out) = run_capture(&[
+            "generate", "--dataset", "TS25", "--scale", "0.01", "--out", &dirs,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let taxf = dir.join("taxonomy.txt").to_string_lossy().to_string();
+        let dbf = dir.join("database.txt").to_string_lossy().to_string();
+
+        // A generous pattern budget completes; the report says so.
+        let (code, out) = run_capture(&[
+            "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+            "--max-edges", "3", "--max-patterns", "100000",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("# termination: completed"), "{out}");
+
+        // An expired deadline yields a truthful early-stop report, not
+        // an error.
+        let (code, out) = run_capture(&[
+            "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+            "--max-edges", "3", "--time-limit", "0",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("# termination: deadline exceeded"), "{out}");
+
+        // Bad flag values and unsupported combinations fail cleanly.
+        let (code, out) = run_capture(&[
+            "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+            "--memory-limit", "lots",
+        ]);
+        assert_eq!(code, 2);
+        assert!(out.contains("--memory-limit"), "{out}");
+        let (code, out) = run_capture(&[
+            "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+            "--max-patterns", "5", "--partitions", "2",
+        ]);
+        assert_eq!(code, 2);
+        assert!(out.contains("--partitions"), "{out}");
+        let (code, out) = run_capture(&[
+            "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+            "--max-patterns", "5", "--algorithm", "tacgm",
+        ]);
+        assert_eq!(code, 2);
+        assert!(out.contains("tacgm"), "{out}");
 
         let _ = std::fs::remove_dir_all(&dir);
     }
