@@ -71,7 +71,7 @@ fn iso_cost(c: &mut Criterion) {
             db.iter()
                 .map(|(_, g)| count_embeddings(&pattern, g, &ExactMatcher))
                 .sum::<usize>()
-        })
+        });
     });
     let gm = GeneralizedMatcher::new(&tax);
     group.bench_function("generalized", |b| {
@@ -79,7 +79,7 @@ fn iso_cost(c: &mut Criterion) {
             db.iter()
                 .map(|(_, g)| count_embeddings(&general, g, &gm))
                 .sum::<usize>()
-        })
+        });
     });
     group.finish();
 }
@@ -107,7 +107,7 @@ fn pipeline_overhead(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.bench_function("gspan_on_dmg_only", |b| {
         let rel = taxogram_core::relabel::relabel(&db, &tax).unwrap();
-        b.iter(|| tsg_gspan::mine_frequent(&rel.dmg, 12, Some(5)).len())
+        b.iter(|| tsg_gspan::mine_frequent(&rel.dmg, 12, Some(5)).len());
     });
     group.bench_function("full_taxogram", |b| {
         let cfg = taxogram_core::TaxogramConfig::with_threshold(0.2).max_edges(5);
@@ -117,7 +117,7 @@ fn pipeline_overhead(c: &mut Criterion) {
                 .unwrap()
                 .patterns
                 .len()
-        })
+        });
     });
     group.finish();
 }
@@ -130,24 +130,24 @@ fn fused_kernels(c: &mut Criterion) {
     let sparse: SparseBitSet = (0..universe).step_by(40).collect();
     let mut group = c.benchmark_group("fused");
     group.bench_function("sparse_dense_count_fused", |b| {
-        b.iter(|| sparse.intersection_count_dense(&dense))
+        b.iter(|| sparse.intersection_count_dense(&dense));
     });
     group.bench_function("sparse_dense_count_materialized", |b| {
         let mut out = BitSet::new(universe);
-        b.iter(|| sparse.intersect_into_dense(&dense, &mut out))
+        b.iter(|| sparse.intersect_into_dense(&dense, &mut out));
     });
     // Distinct-graph counting (Lemma 7's unit of work): occurrences map
     // to ~200 database graphs.
     let map: Vec<u32> = (0..universe as u32).map(|i| i % 200).collect();
     let mut scratch = BitSet::new(200);
     group.bench_function("sparse_dense_distinct_mapped", |b| {
-        b.iter(|| tsg_bitset::sparse_dense_distinct_mapped_count(&sparse, &dense, &map, &mut scratch))
+        b.iter(|| tsg_bitset::sparse_dense_distinct_mapped_count(&sparse, &dense, &map, &mut scratch));
     });
     // Skewed sparse∩sparse: 64 members probing 20k — the galloping path.
     let small: SparseBitSet = (0..universe).step_by(universe / 64).collect();
     let large: SparseBitSet = (0..universe).collect();
     group.bench_function("sparse_sparse_gallop", |b| {
-        b.iter(|| small.intersection_count(&large))
+        b.iter(|| small.intersection_count(&large));
     });
     group.finish();
 }
@@ -164,25 +164,25 @@ fn sparse_intersection_regimes(c: &mut Criterion) {
     let a: SparseBitSet = (0..universe).step_by(8).collect();
     let b: SparseBitSet = (4..universe).step_by(8).chain((0..universe).step_by(64)).collect();
     group.bench_function("comparable/adaptive", |bench| {
-        bench.iter(|| a.intersection_count(&b))
+        bench.iter(|| a.intersection_count(&b));
     });
     group.bench_function("comparable/merge", |bench| {
-        bench.iter(|| a.intersection_count_merge(&b))
+        bench.iter(|| a.intersection_count_merge(&b));
     });
     group.bench_function("comparable/gallop", |bench| {
-        bench.iter(|| a.intersection_count_gallop(&b))
+        bench.iter(|| a.intersection_count_gallop(&b));
     });
     // Regime 2: heavy skew (ratio 512): 128 members probing 64k.
     let small: SparseBitSet = (0..universe).step_by(universe / 128).collect();
     let large: SparseBitSet = (0..universe).collect();
     group.bench_function("skewed/adaptive", |bench| {
-        bench.iter(|| small.intersection_count(&large))
+        bench.iter(|| small.intersection_count(&large));
     });
     group.bench_function("skewed/merge", |bench| {
-        bench.iter(|| small.intersection_count_merge(&large))
+        bench.iter(|| small.intersection_count_merge(&large));
     });
     group.bench_function("skewed/gallop", |bench| {
-        bench.iter(|| small.intersection_count_gallop(&large))
+        bench.iter(|| small.intersection_count_gallop(&large));
     });
     // Ratio sweep across the crossover: the large side is fixed at 32k
     // members; the small side shrinks by powers of two.
@@ -221,7 +221,7 @@ fn engines(c: &mut Criterion) {
                 .unwrap()
                 .patterns
                 .len()
-        })
+        });
     });
     for threads in [2usize, 4] {
         group.bench_with_input(BenchmarkId::new("barrier", threads), &threads, |b, &t| {
@@ -230,7 +230,7 @@ fn engines(c: &mut Criterion) {
                     .unwrap()
                     .patterns
                     .len()
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("pipelined", threads), &threads, |b, &t| {
             b.iter(|| {
@@ -238,7 +238,7 @@ fn engines(c: &mut Criterion) {
                     .unwrap()
                     .patterns
                     .len()
-            })
+            });
         });
     }
     group.finish();

@@ -53,16 +53,16 @@ fn fig4_2(c: &mut Criterion) {
     for n in [1000, 3000, 5000] {
         let ds = build(DatasetId::D(n), p.scale);
         group.bench_with_input(BenchmarkId::new("taxogram", n), &ds, |b, ds| {
-            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::all(), p.max_edges))
+            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::all(), p.max_edges));
         });
         group.bench_with_input(BenchmarkId::new("baseline", n), &ds, |b, ds| {
-            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::none(), p.max_edges))
+            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::none(), p.max_edges));
         });
         group.bench_with_input(BenchmarkId::new("tacgm", n), &ds, |b, ds| {
             let mut cfg = tsg_tacgm::TacgmConfig::with_threshold(0.2)
                 .memory_budget(p.tacgm_budget_bytes);
             cfg.max_edges = p.max_edges;
-            b.iter(|| tsg_tacgm::mine(&ds.database, &ds.taxonomy, &cfg).map(|r| r.patterns.len()))
+            b.iter(|| tsg_tacgm::mine(&ds.database, &ds.taxonomy, &cfg).map(|r| r.patterns.len()));
         });
     }
     group.finish();
@@ -76,7 +76,7 @@ fn fig4_3(c: &mut Criterion) {
     for m in [10, 20, 30, 40] {
         let ds = build(DatasetId::NC(m), p.scale);
         group.bench_with_input(BenchmarkId::new("taxogram", m), &ds, |b, ds| {
-            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::all(), p.max_edges))
+            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::all(), p.max_edges));
         });
     }
     group.finish();
@@ -90,7 +90,7 @@ fn fig4_4(c: &mut Criterion) {
     for d in [6, 9, 10, 11] {
         let ds = build(DatasetId::ED(d as f64 / 100.0), p.scale);
         group.bench_with_input(BenchmarkId::new("taxogram", d), &ds, |b, ds| {
-            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::all(), p.max_edges))
+            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::all(), p.max_edges));
         });
     }
     group.finish();
@@ -104,7 +104,7 @@ fn fig4_5(c: &mut Criterion) {
     for k in [5, 9, 12, 15] {
         let ds = build(DatasetId::TD(k), p.scale);
         group.bench_with_input(BenchmarkId::new("taxogram", k), &ds, |b, ds| {
-            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::all(), p.max_edges))
+            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::all(), p.max_edges));
         });
     }
     group.finish();
@@ -118,7 +118,7 @@ fn fig4_6(c: &mut Criterion) {
     for cc in [25, 100, 400, 1600] {
         let ds = build(DatasetId::TS(cc), p.scale);
         group.bench_with_input(BenchmarkId::new("taxogram", cc), &ds, |b, ds| {
-            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::all(), p.max_edges))
+            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, Enhancements::all(), p.max_edges));
         });
     }
     group.finish();
@@ -133,13 +133,13 @@ fn fig4_7(c: &mut Criterion) {
     for theta_pct in [60, 40, 20, 5] {
         let theta = theta_pct as f64 / 100.0;
         group.bench_with_input(BenchmarkId::new("taxogram", theta_pct), &theta, |b, &t| {
-            b.iter(|| mine_with(&ds.database, &ds.taxonomy, t, Enhancements::all(), p.max_edges))
+            b.iter(|| mine_with(&ds.database, &ds.taxonomy, t, Enhancements::all(), p.max_edges));
         });
         group.bench_with_input(BenchmarkId::new("tacgm", theta_pct), &theta, |b, &t| {
             let mut cfg =
                 tsg_tacgm::TacgmConfig::with_threshold(t).memory_budget(p.tacgm_budget_bytes);
             cfg.max_edges = p.max_edges;
-            b.iter(|| tsg_tacgm::mine(&ds.database, &ds.taxonomy, &cfg).map(|r| r.patterns.len()))
+            b.iter(|| tsg_tacgm::mine(&ds.database, &ds.taxonomy, &cfg).map(|r| r.patterns.len()));
         });
     }
     group.finish();
@@ -154,7 +154,7 @@ fn table2(c: &mut Criterion) {
     for (idx, tag) in [(0usize, "vitamin_b6"), (15, "tca_cycle"), (23, "nitrogen")] {
         let db = pathway_database(&taxonomy, &PATHWAYS[idx], 30, 0xEDB7);
         group.bench_with_input(BenchmarkId::new("taxogram", tag), &db, |b, db| {
-            b.iter(|| mine_with(db, &taxonomy, 0.2, Enhancements::all(), p.max_edges))
+            b.iter(|| mine_with(db, &taxonomy, 0.2, Enhancements::all(), p.max_edges));
         });
     }
     group.finish();
@@ -169,7 +169,7 @@ fn fig4_8(c: &mut Criterion) {
     for theta_pct in [60, 50, 30] {
         let theta = theta_pct as f64 / 100.0;
         group.bench_with_input(BenchmarkId::new("taxogram", theta_pct), &theta, |b, &t| {
-            b.iter(|| mine_with(&pte.database, &pte.taxonomy, t, Enhancements::all(), p.max_edges))
+            b.iter(|| mine_with(&pte.database, &pte.taxonomy, t, Enhancements::all(), p.max_edges));
         });
     }
     group.finish();
@@ -191,7 +191,7 @@ fn ablation(c: &mut Criterion) {
     tune(&mut group);
     for (name, enh) in configs {
         group.bench_function(name, |b| {
-            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, enh, p.max_edges))
+            b.iter(|| mine_with(&ds.database, &ds.taxonomy, 0.2, enh, p.max_edges));
         });
     }
     group.finish();

@@ -1,0 +1,55 @@
+//! Vector clocks for the happens-before race detector.
+//!
+//! One logical clock per virtual thread; every visible operation ticks
+//! the acting thread's own component. Happens-before edges (spawn, join,
+//! mutex release→acquire, atomic Release-store→Acquire-load) are `join`s
+//! of one clock into another. A write by thread `w` is ordered before a
+//! later access by thread `r` iff `r`'s clock component for `w` has
+//! caught up to the write's timestamp.
+
+/// A grow-on-demand vector clock indexed by virtual-thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VecClock(Vec<u32>);
+
+impl VecClock {
+    /// Advances this thread's own component by one event.
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum: absorbs everything `other` has observed.
+    pub fn join(&mut self, other: &VecClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// The component for `tid` (zero if never observed).
+    pub fn component(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::VecClock;
+
+    #[test]
+    fn tick_and_join_track_components() {
+        let mut a = VecClock::default();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VecClock::default();
+        b.tick(3);
+        b.join(&a);
+        assert_eq!(b.component(0), 2);
+        assert_eq!(b.component(3), 1);
+        assert_eq!(b.component(7), 0);
+    }
+}

@@ -1,0 +1,414 @@
+//! Schedule exploration: bounded-exhaustive DFS plus seeded-random
+//! sampling, in the spirit of loom (exhaustive interleaving search) and
+//! CHESS (preemption bounding).
+//!
+//! Every execution's scheduling decisions are recorded as a sequence of
+//! *ordinals* into the sorted enabled-thread set at each visible
+//! operation. That sequence is the schedule: replaying it as a prefix
+//! reproduces the execution bit-for-bit (the runtime serializes all
+//! real effects, so values are a function of the schedule alone).
+//!
+//! The DFS phase walks the schedule tree depth-first. At each decision
+//! the children are ordered "previous thread first" — continuing the
+//! running thread costs zero preemptions; switching to another thread
+//! while the previous one is still enabled costs one. Branches whose
+//! accumulated preemption count exceeds the bound are pruned (forced
+//! switches, where the previous thread blocked or finished, are free).
+//! With the default bound of 2 this finds the overwhelming majority of
+//! real-world concurrency bugs (the CHESS observation) while keeping
+//! the tree tractable.
+//!
+//! The random phase then samples schedules with *unbounded* preemptions
+//! from a splitmix64 stream seeded by `PROPTEST_RNG_SEED` (the
+//! workspace's determinism convention), deduplicating against
+//! everything already explored, until the target interleaving count is
+//! reached. Failures panic with the offending schedule and seed so
+//! [`Checker::replay`] reproduces them exactly.
+
+use crate::runtime::{self, Decision, Execution, RaceRecord, SplitMix, Strategy};
+use std::collections::HashSet;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// A data race found by the vector-clock detector: a cross-thread
+/// reads-from edge with no happens-before ordering (and not the
+/// RMW-reads-RMW counter pattern, which the modification order itself
+/// serializes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Race {
+    /// Facade object id of the racy location (stable within a test).
+    pub location: u64,
+    /// The writing operation (e.g. `"AtomicBool::store"`) and vthread.
+    pub write_op: &'static str,
+    pub write_tid: usize,
+    /// The reading operation and vthread.
+    pub read_op: &'static str,
+    pub read_tid: usize,
+}
+
+impl From<RaceRecord> for Race {
+    fn from(r: RaceRecord) -> Self {
+        Race {
+            location: r.location,
+            write_op: r.write_op,
+            write_tid: r.write_tid,
+            read_op: r.read_op,
+            read_tid: r.read_tid,
+        }
+    }
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "location #{}: {} by vthread {} unordered before {} by vthread {}",
+            self.location, self.write_op, self.write_tid, self.read_op, self.read_tid
+        )
+    }
+}
+
+/// Exploration summary returned by [`Checker::check`].
+#[derive(Debug)]
+pub struct Report {
+    /// Distinct schedules executed (DFS + deduplicated random).
+    pub interleavings: usize,
+    /// True when the DFS exhausted every schedule within the preemption
+    /// bound (the random phase then samples beyond the bound).
+    pub exhaustive: bool,
+    /// Distinct data races observed across all executions.
+    pub races: Vec<Race>,
+}
+
+impl Report {
+    /// Panics with a readable listing if any race was detected.
+    pub fn assert_race_free(&self) {
+        assert!(
+            self.races.is_empty(),
+            "data races detected:\n  {}",
+            self.races
+                .iter()
+                .map(Race::to_string)
+                .collect::<Vec<_>>()
+                .join("\n  ")
+        );
+    }
+}
+
+struct RunOutcome {
+    /// Scheduler-detected failure (deadlock, runaway schedule).
+    failure: Option<String>,
+    /// User-code panic message, if the root closure panicked.
+    panic: Option<String>,
+    races: Vec<RaceRecord>,
+    trace: Vec<Decision>,
+}
+
+/// The model checker: explores interleavings of a closure that uses the
+/// `tsg_model` facade types for all of its concurrency.
+pub struct Checker {
+    bound: usize,
+    target: usize,
+    dfs_cap: usize,
+    max_steps: usize,
+    seed: Option<u64>,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker::new()
+    }
+}
+
+impl Checker {
+    #[must_use]
+    pub fn new() -> Self {
+        Checker {
+            bound: 2,
+            target: 1000,
+            dfs_cap: 2000,
+            max_steps: 20_000,
+            seed: None,
+        }
+    }
+
+    /// Preemption bound for the DFS phase (default 2). Forced context
+    /// switches (blocked/finished previous thread) are always free.
+    #[must_use]
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// Minimum number of distinct interleavings to explore (default
+    /// 1000); the seeded-random phase tops up whatever the DFS leaves.
+    #[must_use]
+    pub fn target_interleavings(mut self, target: usize) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Hard cap on DFS executions before declaring non-exhaustive
+    /// (default 2000).
+    #[must_use]
+    pub fn dfs_cap(mut self, cap: usize) -> Self {
+        self.dfs_cap = cap;
+        self
+    }
+
+    /// Visible-operation budget per execution; exceeding it fails the
+    /// schedule as a livelock (default 20 000).
+    #[must_use]
+    pub fn max_steps(mut self, steps: usize) -> Self {
+        self.max_steps = steps;
+        self
+    }
+
+    /// Pins the random-phase seed. Defaults to `PROPTEST_RNG_SEED`
+    /// (hex `0x…` or decimal) from the environment, falling back to
+    /// `0x007a_78c0_ffee` — the workspace's proptest convention.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    fn resolved_seed(&self) -> u64 {
+        self.seed.unwrap_or_else(|| {
+            std::env::var("PROPTEST_RNG_SEED")
+                .ok()
+                .and_then(|s| {
+                    let s = s.trim();
+                    s.strip_prefix("0x")
+                        .map_or_else(|| s.parse().ok(), |h| u64::from_str_radix(h, 16).ok())
+                })
+                .unwrap_or(0x007a_78c0_ffee)
+        })
+    }
+
+    /// Explores interleavings of `f`: DFS within the preemption bound,
+    /// then seeded-random schedules beyond it until the target count.
+    ///
+    /// # Panics
+    /// On deadlock, lost wakeup, livelock, or a panic inside `f` — the
+    /// message carries the schedule and seed needed to [`replay`] it.
+    ///
+    /// [`replay`]: Checker::replay
+    pub fn check<F: Fn()>(&self, f: F) -> Report {
+        let seed = self.resolved_seed();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut races: Vec<RaceRecord> = Vec::new();
+        let mut interleavings = 0usize;
+        let mut exhaustive = false;
+
+        // Phase 1: bounded-exhaustive DFS.
+        let mut prefix: Vec<usize> = Vec::new();
+        loop {
+            let outcome = run_once(prefix.clone(), Strategy::PrevFirst, self.max_steps, &f);
+            let schedule: Vec<usize> = outcome.trace.iter().map(|d| d.chosen).collect();
+            fail_if_needed(&outcome, &schedule, seed);
+            interleavings += 1;
+            seen.insert(schedule_hash(&schedule));
+            merge_races(&mut races, outcome.races);
+            if interleavings >= self.dfs_cap {
+                break;
+            }
+            match next_prefix(&outcome.trace, self.bound) {
+                Some(p) => prefix = p,
+                None => {
+                    exhaustive = true;
+                    break;
+                }
+            }
+        }
+
+        // Phase 2: seeded-random top-up beyond the bound.
+        let mut rng = SplitMix(seed);
+        let mut attempts = 0usize;
+        let attempt_cap = self.target.saturating_mul(50).max(1000);
+        while interleavings < self.target && attempts < attempt_cap {
+            attempts += 1;
+            let outcome = run_once(
+                Vec::new(),
+                Strategy::Random(SplitMix(rng.next())),
+                self.max_steps,
+                &f,
+            );
+            let schedule: Vec<usize> = outcome.trace.iter().map(|d| d.chosen).collect();
+            fail_if_needed(&outcome, &schedule, seed);
+            if seen.insert(schedule_hash(&schedule)) {
+                interleavings += 1;
+            }
+            merge_races(&mut races, outcome.races);
+        }
+
+        Report {
+            interleavings,
+            exhaustive,
+            races: races.into_iter().map(Race::from).collect(),
+        }
+    }
+
+    /// Replays one schedule bit-for-bit (ordinals into the sorted
+    /// enabled set at each decision; decisions past the end continue
+    /// previous-thread-first). Returns the races that execution saw.
+    ///
+    /// # Panics
+    /// Same conditions as [`Checker::check`].
+    pub fn replay<F: Fn()>(&self, schedule: &[usize], f: F) -> Report {
+        let seed = self.resolved_seed();
+        let outcome = run_once(schedule.to_vec(), Strategy::PrevFirst, self.max_steps, &f);
+        let ran: Vec<usize> = outcome.trace.iter().map(|d| d.chosen).collect();
+        fail_if_needed(&outcome, &ran, seed);
+        Report {
+            interleavings: 1,
+            exhaustive: false,
+            races: outcome.races.into_iter().map(Race::from).collect(),
+        }
+    }
+
+    /// Runs exactly `count` seeded-random schedules (no DFS, no dedup
+    /// target): the cheap way to pin a named regression scenario to a
+    /// seed. Failures replay via the schedule in the panic message.
+    ///
+    /// # Panics
+    /// Same conditions as [`Checker::check`].
+    pub fn explore_random<F: Fn()>(&self, count: usize, f: F) -> Report {
+        let seed = self.resolved_seed();
+        let mut rng = SplitMix(seed);
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut races: Vec<RaceRecord> = Vec::new();
+        let mut interleavings = 0usize;
+        for _ in 0..count {
+            let outcome = run_once(
+                Vec::new(),
+                Strategy::Random(SplitMix(rng.next())),
+                self.max_steps,
+                &f,
+            );
+            let schedule: Vec<usize> = outcome.trace.iter().map(|d| d.chosen).collect();
+            fail_if_needed(&outcome, &schedule, seed);
+            if seen.insert(schedule_hash(&schedule)) {
+                interleavings += 1;
+            }
+            merge_races(&mut races, outcome.races);
+        }
+        Report {
+            interleavings,
+            exhaustive: false,
+            races: races.into_iter().map(Race::from).collect(),
+        }
+    }
+}
+
+fn schedule_hash(schedule: &[usize]) -> u64 {
+    let mut h = DefaultHasher::new();
+    schedule.hash(&mut h);
+    h.finish()
+}
+
+fn merge_races(into: &mut Vec<RaceRecord>, from: Vec<RaceRecord>) {
+    for r in from {
+        if !into.contains(&r) {
+            into.push(r);
+        }
+    }
+}
+
+fn fail_if_needed(outcome: &RunOutcome, schedule: &[usize], seed: u64) {
+    if let Some(msg) = &outcome.failure {
+        panic!("model checker: {msg}\n  seed: {seed:#x}\n  schedule: {schedule:?}");
+    }
+    if let Some(msg) = &outcome.panic {
+        panic!(
+            "model execution panicked: {msg}\n  seed: {seed:#x}\n  schedule: {schedule:?}"
+        );
+    }
+}
+
+/// Runs `f` once as virtual thread 0 of a fresh [`Execution`].
+fn run_once<F: Fn()>(
+    prefix: Vec<usize>,
+    strategy: Strategy,
+    max_steps: usize,
+    f: &F,
+) -> RunOutcome {
+    let exec = Arc::new(Execution::new(prefix, strategy, max_steps));
+    runtime::set_current(Some((Arc::clone(&exec), 0)));
+    let res = catch_unwind(AssertUnwindSafe(f));
+    runtime::set_current(None);
+    let panic = match res {
+        Ok(()) => None,
+        Err(payload) => {
+            // Wake and unwind every child before inspecting state.
+            exec.abort_from_root();
+            if runtime::is_model_abort(payload.as_ref()) {
+                None // scheduler abort: the failure message tells the story
+            } else {
+                Some(payload_message(payload.as_ref()))
+            }
+        }
+    };
+    exec.finish_root_and_wait();
+    let (failure, races, trace, _steps) = exec.take_outcome();
+    RunOutcome {
+        failure,
+        panic,
+        races,
+        trace,
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Computes the next DFS prefix from a completed trace, or `None` when
+/// the tree within the preemption bound is exhausted.
+///
+/// Children at each decision are ordered previous-thread-first (the
+/// order the `PrevFirst` strategy walks them), so backtracking means:
+/// find the deepest decision with an unexplored sibling whose
+/// preemption cost stays within the bound, and branch there.
+fn next_prefix(trace: &[Decision], bound: usize) -> Option<Vec<usize>> {
+    // Preemptions accumulated strictly before each decision.
+    let mut pre = Vec::with_capacity(trace.len());
+    let mut acc = 0usize;
+    for d in trace {
+        pre.push(acc);
+        if let Some(p) = d.prev {
+            if d.chosen != p {
+                acc += 1;
+            }
+        }
+    }
+    for i in (0..trace.len()).rev() {
+        let d = &trace[i];
+        let order: Vec<usize> = match d.prev {
+            Some(p) => std::iter::once(p)
+                .chain((0..d.enabled).filter(|&x| x != p))
+                .collect(),
+            None => (0..d.enabled).collect(),
+        };
+        let cur = order
+            .iter()
+            .position(|&x| x == d.chosen)
+            .expect("chosen ordinal is within the enabled set");
+        for &cand in &order[cur + 1..] {
+            let cost = pre[i] + usize::from(d.prev.is_some_and(|p| cand != p));
+            if cost <= bound {
+                let mut prefix: Vec<usize> = trace[..i].iter().map(|t| t.chosen).collect();
+                prefix.push(cand);
+                return Some(prefix);
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,746 @@
+//! The instrumented execution runtime behind the `tsg_model` facade.
+//!
+//! One [`Execution`] models a single run of the closure under test. Real
+//! OS threads back the virtual threads, but a baton (one mutex + one
+//! condvar) serializes them so exactly one runs at a time; context
+//! switches happen only at *visible operations* — facade atomic ops,
+//! lock/unlock, condvar wait/notify, spawn, join, thread exit. At each
+//! visible op the acting thread performs the operation's real effect (so
+//! observed values are exactly those the serialized order produces),
+//! updates the vector-clock race bookkeeping, then asks the scheduler to
+//! pick the next runnable thread: either replaying a recorded prefix
+//! (DFS backtracking / bit-for-bit replay), preferring the previous
+//! thread (the zero-preemption baseline), or drawing from a seeded RNG.
+//!
+//! Failure modes surface as an *abort*: the execution records a failure
+//! message, every virtual thread wakes and unwinds via a [`ModelAbort`]
+//! panic that the thread wrappers swallow, and the driving
+//! [`crate::explore::Checker`] re-raises the failure with the schedule
+//! that reproduces it. Operations reached while a thread is already
+//! unwinding (lock guards dropped during a panic) never double-panic:
+//! they degrade to silent best-effort cleanup.
+
+use crate::clock::VecClock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Process-wide id source for facade objects (atomics, mutexes,
+/// condvars). Ids, not addresses, identify locations — address reuse
+/// across executions would otherwise alias race-detector state.
+pub(crate) fn next_object_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, StdOrdering::Relaxed)
+}
+
+std::thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The execution + virtual-thread id the calling OS thread acts as, if
+/// it is a registered model thread.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(v: Option<(Arc<Execution>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+/// Panic payload used to unwind virtual threads when an execution
+/// aborts (deadlock, detected failure, exploration cutoff). Thread
+/// wrappers catch and swallow it; anything else propagates as a real
+/// test failure.
+pub(crate) struct ModelAbort;
+
+/// Is this unwind payload a scheduler-initiated abort?
+pub(crate) fn is_model_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<ModelAbort>()
+}
+
+fn abort_unwind() -> ! {
+    std::panic::panic_any(ModelAbort);
+}
+
+/// How the scheduler chooses among enabled threads once the replay
+/// prefix is exhausted.
+pub(crate) enum Strategy {
+    /// Prefer the previously running thread (zero added preemptions);
+    /// fall back to the lowest-id enabled thread. The DFS baseline.
+    PrevFirst,
+    /// Draw uniformly from the enabled set with a seeded splitmix64
+    /// stream — the beyond-the-bound random phase.
+    Random(SplitMix),
+}
+
+/// The splitmix64 generator (same recurrence the workspace's fault
+/// injection uses), kept dependency-free.
+pub(crate) struct SplitMix(pub u64);
+
+impl SplitMix {
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Run state of one virtual thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RunState {
+    Runnable,
+    /// Waiting to acquire the lock with this object id.
+    BlockedLock(u64),
+    /// Parked on a condvar (condvar id, lock id to reacquire).
+    BlockedCond(u64, u64),
+    /// Waiting for the given virtual thread to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct VThread {
+    run: RunState,
+    clock: VecClock,
+}
+
+#[derive(Default)]
+struct LockState {
+    holder: Option<usize>,
+    /// Release clock: joined from each unlocking thread, joined into
+    /// each acquiring thread — the mutex happens-before edge.
+    clock: VecClock,
+}
+
+/// Kind of atomic access, for the race-detection policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AccessKind {
+    Load,
+    Store,
+    Rmw,
+    /// The read half of a `fetch_update`/CAS whose closure declined (no
+    /// write happened). Records no write, but joins the RMW carve-out:
+    /// a failed CAS reads the location's modification order directly,
+    /// so its value is self-ordering exactly like a successful RMW's.
+    RmwFailed,
+}
+
+struct LastWrite {
+    tid: usize,
+    /// The writer's clock at the write event (own component ticked).
+    clock: VecClock,
+    rmw: bool,
+    release: bool,
+    op: &'static str,
+}
+
+#[derive(Default)]
+struct AtomicState {
+    /// Accumulated clocks of Release writes (the location's
+    /// release-sequence history); joined into Acquire readers.
+    sync_clock: VecClock,
+    last_write: Option<LastWrite>,
+}
+
+/// One scheduling decision, recorded for DFS backtracking and replay.
+pub(crate) struct Decision {
+    /// How many threads were enabled (the branching factor).
+    pub enabled: usize,
+    /// Ordinal of the chosen thread within the sorted enabled set.
+    pub chosen: usize,
+    /// Ordinal of the previously running thread within the enabled set,
+    /// if it was still enabled (choosing anything else is a preemption).
+    pub prev: Option<usize>,
+}
+
+/// A detected data race: a cross-thread reads-from edge with no
+/// happens-before ordering.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct RaceRecord {
+    pub location: u64,
+    pub write_op: &'static str,
+    pub write_tid: usize,
+    pub read_op: &'static str,
+    pub read_tid: usize,
+}
+
+struct ExecState {
+    threads: Vec<VThread>,
+    /// The thread currently holding the baton (None once all finish).
+    active: Option<usize>,
+    /// The thread that ran the previous visible op (preemption anchor).
+    prev: Option<usize>,
+    /// Replay prefix: chosen ordinals into successive enabled sets.
+    prefix: Vec<usize>,
+    pos: usize,
+    strategy: Strategy,
+    trace: Vec<Decision>,
+    /// FIFO wait queues per condvar (notify_one wakes the head).
+    cond_waiters: HashMap<u64, Vec<usize>>,
+    locks: HashMap<u64, LockState>,
+    atomics: HashMap<u64, AtomicState>,
+    races: Vec<RaceRecord>,
+    /// Deadlock / runaway-schedule message, set once.
+    failure: Option<String>,
+    aborting: bool,
+    steps: usize,
+    max_steps: usize,
+}
+
+/// One model-checked execution: scheduler state plus the baton condvar
+/// all virtual threads block on.
+pub(crate) struct Execution {
+    state: StdMutex<ExecState>,
+    baton: StdCondvar,
+}
+
+fn recover<'a, T>(
+    r: Result<StdMutexGuard<'a, T>, std::sync::PoisonError<StdMutexGuard<'a, T>>>,
+) -> StdMutexGuard<'a, T> {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Execution {
+    pub fn new(prefix: Vec<usize>, strategy: Strategy, max_steps: usize) -> Self {
+        let mut root_clock = VecClock::default();
+        root_clock.tick(0);
+        Execution {
+            state: StdMutex::new(ExecState {
+                threads: vec![VThread {
+                    run: RunState::Runnable,
+                    clock: root_clock,
+                }],
+                active: Some(0),
+                prev: Some(0),
+                prefix,
+                pos: 0,
+                strategy,
+                trace: Vec::new(),
+                cond_waiters: HashMap::new(),
+                locks: HashMap::new(),
+                atomics: HashMap::new(),
+                races: Vec::new(),
+                failure: None,
+                aborting: false,
+                steps: 0,
+                max_steps,
+            }),
+            baton: StdCondvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> StdMutexGuard<'_, ExecState> {
+        recover(self.state.lock())
+    }
+
+    /// Blocks until `me` holds the baton. Returns `None` if the
+    /// execution aborted while waiting — callers must unwind (or, when
+    /// already unwinding, fall back to a best-effort real operation).
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, ExecState>,
+        me: usize,
+    ) -> Option<StdMutexGuard<'a, ExecState>> {
+        loop {
+            if st.aborting {
+                return None;
+            }
+            if st.active == Some(me) && st.threads[me].run == RunState::Runnable {
+                return Some(st);
+            }
+            st = recover(self.baton.wait(st));
+        }
+    }
+
+    /// Unwinds with [`ModelAbort`] unless the thread is already
+    /// panicking (a second panic would abort the process); callers
+    /// degrade to a best-effort fallback in that case.
+    fn unwind_or_continue(&self) {
+        if !std::thread::panicking() {
+            abort_unwind();
+        }
+    }
+
+    /// Records a failure, wakes everyone, and marks the execution
+    /// aborting so every virtual thread unwinds at its next visible op.
+    fn fail(&self, st: &mut ExecState, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.aborting = true;
+        st.active = None;
+        self.baton.notify_all();
+    }
+
+    /// Advances the step budget; trips the runaway guard when a schedule
+    /// fails to terminate (e.g. a livelocking loop under test).
+    fn count_step(&self, st: &mut ExecState) {
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            self.fail(
+                st,
+                format!(
+                    "model execution exceeded {} visible operations (livelock or \
+                     unbounded loop under test)",
+                    st.max_steps
+                ),
+            );
+        }
+    }
+
+    /// Picks the next thread to run after a visible op. Detects deadlock
+    /// when nothing is runnable but unfinished threads remain —
+    /// including lost wakeups, which strand waiters in exactly this
+    /// shape.
+    fn pick_next(&self, st: &mut ExecState) {
+        if st.aborting {
+            self.baton.notify_all();
+            return;
+        }
+        let enabled: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.run == RunState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            if st.threads.iter().any(|t| t.run != RunState::Finished) {
+                let stuck: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.run != RunState::Finished)
+                    .map(|(i, t)| format!("vthread {i}: {:?}", t.run))
+                    .collect();
+                self.fail(
+                    st,
+                    format!(
+                        "deadlock: every virtual thread is blocked [{}]",
+                        stuck.join(", ")
+                    ),
+                );
+            } else {
+                st.active = None;
+                self.baton.notify_all();
+            }
+            return;
+        }
+        let prev_ordinal = st.prev.and_then(|p| enabled.iter().position(|&t| t == p));
+        let ordinal = if st.pos < st.prefix.len() {
+            st.prefix[st.pos].min(enabled.len() - 1)
+        } else {
+            match &mut st.strategy {
+                Strategy::PrevFirst => prev_ordinal.unwrap_or(0),
+                Strategy::Random(rng) => (rng.next() % enabled.len() as u64) as usize,
+            }
+        };
+        st.pos += 1;
+        st.trace.push(Decision {
+            enabled: enabled.len(),
+            chosen: ordinal,
+            prev: prev_ordinal,
+        });
+        let chosen = enabled[ordinal];
+        st.prev = Some(chosen);
+        st.active = Some(chosen);
+        self.baton.notify_all();
+    }
+
+    /// Runs one visible operation: wait for the baton, tick the acting
+    /// thread's clock, apply `f` while serialized, hand the baton on.
+    /// `None` means the execution aborted (caller unwinds or degrades).
+    fn visible_op<R>(&self, me: usize, f: impl FnOnce(&mut ExecState) -> R) -> Option<R> {
+        let st = self.lock_state();
+        let mut st = self.wait_for_turn(st, me)?;
+        st.threads[me].clock.tick(me);
+        self.count_step(&mut st);
+        if st.aborting {
+            return None;
+        }
+        let out = f(&mut st);
+        self.pick_next(&mut st);
+        Some(out)
+    }
+
+    // ---- atomics -------------------------------------------------------
+
+    /// Bookkeeping for one atomic access; `real` performs the actual
+    /// operation on the inner std atomic while serialized, and reports
+    /// the effective access (`fetch_update`'s kind depends on success).
+    /// `None` only when aborting while already unwinding — the caller
+    /// then applies a fallback real operation.
+    pub fn atomic_op<R>(
+        &self,
+        me: usize,
+        id: u64,
+        op: &'static str,
+        real: impl FnOnce() -> (R, AccessKind, bool, bool),
+    ) -> Option<R> {
+        let out = self.visible_op(me, |st| {
+            let (value, kind, acquire, release) = real();
+            if kind != AccessKind::Store {
+                Self::check_read(st, me, id, op, kind, acquire);
+            }
+            if matches!(kind, AccessKind::Store | AccessKind::Rmw) {
+                let tc = st.threads[me].clock.clone();
+                let atom = st.atomics.entry(id).or_default();
+                if release {
+                    atom.sync_clock.join(&tc);
+                }
+                atom.last_write = Some(LastWrite {
+                    tid: me,
+                    clock: tc,
+                    rmw: kind == AccessKind::Rmw,
+                    release,
+                    op,
+                });
+            }
+            value
+        });
+        if out.is_none() {
+            self.unwind_or_continue();
+        }
+        out
+    }
+
+    /// Read-side bookkeeping: synchronize-with edge first (so promoted
+    /// Release/Acquire pairs are never flagged), then the reads-from
+    /// race check against the last write.
+    fn check_read(
+        st: &mut ExecState,
+        me: usize,
+        id: u64,
+        op: &'static str,
+        kind: AccessKind,
+        acquire: bool,
+    ) {
+        let Some(atom) = st.atomics.get(&id) else {
+            return;
+        };
+        let Some(w) = &atom.last_write else { return };
+        // An Acquire read of a Release write synchronizes with it; an
+        // Acquire read of a Relaxed RMW still synchronizes with the
+        // release-sequence head (C++20 §6.9.2.2: RMWs continue the
+        // release sequence), which `sync_clock` accumulates.
+        let sync = (acquire && (w.release || w.rmw)).then(|| atom.sync_clock.clone());
+        let (wtid, wclock, wrmw, wop) = (w.tid, w.clock.clone(), w.rmw, w.op);
+        if let Some(sc) = sync {
+            st.threads[me].clock.join(&sc);
+        }
+        if wtid == me {
+            return;
+        }
+        let ordered = wclock.component(wtid) <= st.threads[me].clock.component(wtid);
+        // RMW-reads-RMW is ordered by the location's modification order
+        // itself — the genuinely-relaxed-counter carve-out (e.g. stat
+        // counters that are only fetch_add'ed concurrently and read
+        // after join).
+        let benign = matches!(kind, AccessKind::Rmw | AccessKind::RmwFailed) && wrmw;
+        if !ordered && !benign {
+            let rec = RaceRecord {
+                location: id,
+                write_op: wop,
+                write_tid: wtid,
+                read_op: op,
+                read_tid: me,
+            };
+            if !st.races.contains(&rec) {
+                st.races.push(rec);
+            }
+        }
+    }
+
+    // ---- mutexes -------------------------------------------------------
+
+    /// Model-level lock acquisition. On return the model holds the lock
+    /// for `me`; the facade then `try_lock`s the real mutex (guaranteed
+    /// uncontended). `false` means aborting-while-unwinding.
+    pub fn mutex_lock(&self, me: usize, id: u64) -> bool {
+        let st = self.lock_state();
+        let Some(mut st) = self.wait_for_turn(st, me) else {
+            self.unwind_or_continue();
+            return false;
+        };
+        loop {
+            st.threads[me].clock.tick(me);
+            self.count_step(&mut st);
+            if st.aborting {
+                drop(st);
+                self.unwind_or_continue();
+                return false;
+            }
+            let lock = st.locks.entry(id).or_default();
+            if lock.holder.is_none() {
+                lock.holder = Some(me);
+                let lc = lock.clock.clone();
+                st.threads[me].clock.join(&lc);
+                self.pick_next(&mut st);
+                return true;
+            }
+            st.threads[me].run = RunState::BlockedLock(id);
+            self.pick_next(&mut st);
+            match self.wait_for_turn(st, me) {
+                Some(s) => st = s,
+                None => {
+                    self.unwind_or_continue();
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Model-level unlock; callable from `Drop` during unwinding
+    /// (degrades to a silent release when the execution is aborting).
+    pub fn mutex_unlock(&self, me: usize, id: u64) {
+        let st = self.lock_state();
+        let Some(mut st) = self.wait_for_turn(st, me) else {
+            self.release_silently(me, id);
+            self.unwind_or_continue();
+            return;
+        };
+        st.threads[me].clock.tick(me);
+        self.count_step(&mut st);
+        if st.aborting {
+            drop(st);
+            self.release_silently(me, id);
+            self.unwind_or_continue();
+            return;
+        }
+        let me_clock = st.threads[me].clock.clone();
+        let lock = st.locks.entry(id).or_default();
+        debug_assert_eq!(lock.holder, Some(me), "unlock by non-holder");
+        lock.holder = None;
+        lock.clock.join(&me_clock);
+        Self::wake_lock_waiters(&mut st, id);
+        self.pick_next(&mut st);
+    }
+
+    fn release_silently(&self, me: usize, id: u64) {
+        let mut st = self.lock_state();
+        if let Some(lock) = st.locks.get_mut(&id) {
+            if lock.holder == Some(me) {
+                lock.holder = None;
+            }
+        }
+        drop(st);
+        self.baton.notify_all();
+    }
+
+    fn wake_lock_waiters(st: &mut ExecState, id: u64) {
+        for t in &mut st.threads {
+            if t.run == RunState::BlockedLock(id) {
+                t.run = RunState::Runnable;
+            }
+        }
+    }
+
+    // ---- condvars ------------------------------------------------------
+
+    /// Atomically (within one visible op) releases the model lock and
+    /// parks on the condvar; after a notify, reacquires the model lock.
+    /// The atomic release+park means a notify is either strictly before
+    /// the park (waiter never sleeps through it — it re-checks its
+    /// predicate first) or strictly after (waiter is in the FIFO); a
+    /// protocol that can still strand a waiter deadlocks and is
+    /// reported. `false` means aborting-while-unwinding.
+    pub fn condvar_wait(&self, me: usize, cv: u64, lock_id: u64) -> bool {
+        let st = self.lock_state();
+        let Some(mut st) = self.wait_for_turn(st, me) else {
+            self.unwind_or_continue();
+            return false;
+        };
+        st.threads[me].clock.tick(me);
+        self.count_step(&mut st);
+        if st.aborting {
+            drop(st);
+            self.unwind_or_continue();
+            return false;
+        }
+        // Release the lock exactly like unlock...
+        let me_clock = st.threads[me].clock.clone();
+        let lock = st.locks.entry(lock_id).or_default();
+        debug_assert_eq!(lock.holder, Some(me), "condvar wait without the lock");
+        lock.holder = None;
+        lock.clock.join(&me_clock);
+        Self::wake_lock_waiters(&mut st, lock_id);
+        // ...and park in the same visible op (no lost-wakeup window).
+        st.threads[me].run = RunState::BlockedCond(cv, lock_id);
+        st.cond_waiters.entry(cv).or_default().push(me);
+        self.pick_next(&mut st);
+        // Woken by a notify: contend for the lock again.
+        let Some(mut st) = self.wait_for_turn(st, me) else {
+            self.unwind_or_continue();
+            return false;
+        };
+        loop {
+            st.threads[me].clock.tick(me);
+            self.count_step(&mut st);
+            if st.aborting {
+                drop(st);
+                self.unwind_or_continue();
+                return false;
+            }
+            let lock = st.locks.entry(lock_id).or_default();
+            if lock.holder.is_none() {
+                lock.holder = Some(me);
+                let lc = lock.clock.clone();
+                st.threads[me].clock.join(&lc);
+                self.pick_next(&mut st);
+                return true;
+            }
+            st.threads[me].run = RunState::BlockedLock(lock_id);
+            self.pick_next(&mut st);
+            match self.wait_for_turn(st, me) {
+                Some(s) => st = s,
+                None => {
+                    self.unwind_or_continue();
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Wakes the longest-parked waiter (`all == false`) or every waiter.
+    /// The model never delivers spurious wakeups: a waiter runs only
+    /// after a notify. (Engines' `while`-loop predicates still execute,
+    /// so code relying on spurious wakeups for progress shows up as a
+    /// deadlock.)
+    pub fn condvar_notify(&self, me: usize, cv: u64, all: bool) {
+        let out = self.visible_op(me, |st| {
+            let waiters = st.cond_waiters.entry(cv).or_default();
+            let woken: Vec<usize> = if all {
+                std::mem::take(waiters)
+            } else if waiters.is_empty() {
+                Vec::new()
+            } else {
+                vec![waiters.remove(0)]
+            };
+            for w in woken {
+                st.threads[w].run = RunState::Runnable;
+            }
+        });
+        if out.is_none() {
+            self.unwind_or_continue();
+        }
+    }
+
+    // ---- threads -------------------------------------------------------
+
+    /// Registers a child virtual thread (spawn edge: the child inherits
+    /// the parent's clock). Returns the child's vthread id; `None` when
+    /// the execution is aborting.
+    pub fn register_thread(&self, parent: usize) -> Option<usize> {
+        let out = self.visible_op(parent, |st| {
+            let id = st.threads.len();
+            let mut clock = st.threads[parent].clock.clone();
+            clock.tick(id);
+            st.threads.push(VThread {
+                run: RunState::Runnable,
+                clock,
+            });
+            id
+        });
+        if out.is_none() {
+            self.unwind_or_continue();
+        }
+        out
+    }
+
+    /// Marks `me` finished and wakes joiners. Always succeeds — during
+    /// an abort it records the exit silently so the checker's
+    /// wait-for-all-finished barrier terminates.
+    pub fn thread_finished(&self, me: usize) {
+        let st = self.lock_state();
+        match self.wait_for_turn(st, me) {
+            Some(mut st) => {
+                st.threads[me].clock.tick(me);
+                self.count_step(&mut st);
+                st.threads[me].run = RunState::Finished;
+                for t in &mut st.threads {
+                    if t.run == RunState::BlockedJoin(me) {
+                        t.run = RunState::Runnable;
+                    }
+                }
+                self.pick_next(&mut st);
+            }
+            None => {
+                let mut st = self.lock_state();
+                st.threads[me].run = RunState::Finished;
+                drop(st);
+                self.baton.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until `child` finishes; the join edge merges the child's
+    /// final clock. `false` means aborting-while-unwinding.
+    pub fn thread_join(&self, me: usize, child: usize) -> bool {
+        let st = self.lock_state();
+        let Some(mut st) = self.wait_for_turn(st, me) else {
+            self.unwind_or_continue();
+            return false;
+        };
+        loop {
+            st.threads[me].clock.tick(me);
+            self.count_step(&mut st);
+            if st.aborting {
+                drop(st);
+                self.unwind_or_continue();
+                return false;
+            }
+            if st.threads[child].run == RunState::Finished {
+                let cc = st.threads[child].clock.clone();
+                st.threads[me].clock.join(&cc);
+                self.pick_next(&mut st);
+                return true;
+            }
+            st.threads[me].run = RunState::BlockedJoin(child);
+            self.pick_next(&mut st);
+            match self.wait_for_turn(st, me) {
+                Some(s) => st = s,
+                None => {
+                    self.unwind_or_continue();
+                    return false;
+                }
+            }
+        }
+    }
+
+    // ---- checker-side driving -----------------------------------------
+
+    /// Called by the checker after the root closure returns: marks
+    /// vthread 0 finished, then blocks until every virtual thread has
+    /// exited (so no straggler touches state across executions).
+    pub fn finish_root_and_wait(&self) {
+        self.thread_finished(0);
+        let mut st = self.lock_state();
+        while st.threads.iter().any(|t| t.run != RunState::Finished) {
+            st = recover(self.baton.wait(st));
+        }
+    }
+
+    /// Aborts the execution from outside (the root closure panicked with
+    /// a user assertion) so child threads unwind instead of blocking
+    /// forever on a baton nobody will pass.
+    pub fn abort_from_root(&self) {
+        let mut st = self.lock_state();
+        st.aborting = true;
+        st.active = None;
+        drop(st);
+        self.baton.notify_all();
+    }
+
+    /// Drains (failure, races, trace, steps) once all threads finished.
+    pub fn take_outcome(&self) -> (Option<String>, Vec<RaceRecord>, Vec<Decision>, usize) {
+        let mut st = self.lock_state();
+        (
+            st.failure.take(),
+            std::mem::take(&mut st.races),
+            std::mem::take(&mut st.trace),
+            st.steps,
+        )
+    }
+}

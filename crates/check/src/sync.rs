@@ -1,0 +1,433 @@
+//! The sync facade: `std::sync` names, two personalities.
+//!
+//! Normal builds re-export `std` types untouched — a zero-cost alias.
+//! Under `--cfg tsg_model` the same names are instrumented wrappers:
+//! when the calling OS thread is a model-checker virtual thread every
+//! operation becomes a *visible op* (serialized, vector-clock-tracked,
+//! schedulable); on any other thread the wrappers delegate straight to
+//! the inner `std` primitive, so ordinary tests run unchanged in a
+//! model build.
+//!
+//! Sharing one facade object between model and non-model threads
+//! concurrently is not supported (the model assumes it observes every
+//! access to the objects it schedules).
+
+#[cfg(not(tsg_model))]
+pub use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(not(tsg_model))]
+pub use std::sync::{Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError};
+
+#[cfg(tsg_model)]
+pub use model_impl::{AtomicBool, AtomicUsize, Condvar, Mutex, MutexGuard};
+#[cfg(tsg_model)]
+pub use std::sync::atomic::Ordering;
+#[cfg(tsg_model)]
+pub use std::sync::{Arc, LockResult, PoisonError};
+
+#[cfg(tsg_model)]
+mod model_impl {
+    use crate::runtime::{self, AccessKind};
+    use std::sync::atomic::Ordering as StdOrdering;
+    use std::sync::{
+        Arc, Condvar as StdCondvar, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard,
+        PoisonError, TryLockError,
+    };
+
+    use super::Ordering;
+
+    fn acq(order: Ordering) -> bool {
+        matches!(
+            order,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+
+    fn rel(order: Ordering) -> bool {
+        matches!(
+            order,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+
+    /// Instrumented `AtomicUsize`. The value lives in a real std atomic
+    /// and every model-thread access applies the real operation while
+    /// serialized, so observed values are a pure function of the
+    /// schedule; the declared `Ordering` feeds the race detector only.
+    #[derive(Debug)]
+    pub struct AtomicUsize {
+        id: u64,
+        inner: std::sync::atomic::AtomicUsize,
+    }
+
+    impl Default for AtomicUsize {
+        fn default() -> Self {
+            AtomicUsize::new(0)
+        }
+    }
+
+    impl AtomicUsize {
+        #[must_use]
+        pub fn new(v: usize) -> Self {
+            AtomicUsize {
+                id: runtime::next_object_id(),
+                inner: std::sync::atomic::AtomicUsize::new(v),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> usize {
+            if let Some((exec, me)) = runtime::current() {
+                if let Some(v) = exec.atomic_op(me, self.id, "AtomicUsize::load", || {
+                    (
+                        self.inner.load(StdOrdering::SeqCst),
+                        AccessKind::Load,
+                        acq(order),
+                        false,
+                    )
+                }) {
+                    return v;
+                }
+            }
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, v: usize, order: Ordering) {
+            if let Some((exec, me)) = runtime::current() {
+                if exec
+                    .atomic_op(me, self.id, "AtomicUsize::store", || {
+                        self.inner.store(v, StdOrdering::SeqCst);
+                        ((), AccessKind::Store, false, rel(order))
+                    })
+                    .is_some()
+                {
+                    return;
+                }
+            }
+            self.inner.store(v, order);
+        }
+
+        pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+            self.rmw("AtomicUsize::fetch_add", order, || {
+                self.inner.fetch_add(v, StdOrdering::SeqCst)
+            })
+            .unwrap_or_else(|| self.inner.fetch_add(v, order))
+        }
+
+        pub fn fetch_sub(&self, v: usize, order: Ordering) -> usize {
+            self.rmw("AtomicUsize::fetch_sub", order, || {
+                self.inner.fetch_sub(v, StdOrdering::SeqCst)
+            })
+            .unwrap_or_else(|| self.inner.fetch_sub(v, order))
+        }
+
+        pub fn fetch_max(&self, v: usize, order: Ordering) -> usize {
+            self.rmw("AtomicUsize::fetch_max", order, || {
+                self.inner.fetch_max(v, StdOrdering::SeqCst)
+            })
+            .unwrap_or_else(|| self.inner.fetch_max(v, order))
+        }
+
+        /// `Some(result)` on the model path, `None` if the model path is
+        /// unavailable (off-model thread, or aborting while unwinding —
+        /// the caller then applies the op for real, exactly once).
+        fn rmw(
+            &self,
+            op: &'static str,
+            order: Ordering,
+            real: impl FnOnce() -> usize,
+        ) -> Option<usize> {
+            let (exec, me) = runtime::current()?;
+            exec.atomic_op(me, self.id, op, || {
+                (real(), AccessKind::Rmw, acq(order), rel(order))
+            })
+        }
+
+        /// # Errors
+        /// Returns the last observed value when `f` returns `None`,
+        /// matching `std::sync::atomic::AtomicUsize::fetch_update`.
+        pub fn fetch_update<F>(
+            &self,
+            set_order: Ordering,
+            fetch_order: Ordering,
+            mut f: F,
+        ) -> Result<usize, usize>
+        where
+            F: FnMut(usize) -> Option<usize>,
+        {
+            if let Some((exec, me)) = runtime::current() {
+                if let Some(r) = exec.atomic_op(me, self.id, "AtomicUsize::fetch_update", || {
+                    let r = self
+                        .inner
+                        .fetch_update(StdOrdering::SeqCst, StdOrdering::SeqCst, &mut f);
+                    match r {
+                        // A successful update is a read-modify-write with
+                        // the success ordering...
+                        Ok(_) => (r, AccessKind::Rmw, acq(set_order), rel(set_order)),
+                        // ...a failed one is just a load with the failure
+                        // ordering.
+                        Err(_) => (r, AccessKind::RmwFailed, acq(fetch_order), false),
+                    }
+                }) {
+                    return r;
+                }
+            }
+            self.inner.fetch_update(set_order, fetch_order, f)
+        }
+    }
+
+    /// Instrumented `AtomicBool`; see [`AtomicUsize`].
+    #[derive(Debug)]
+    pub struct AtomicBool {
+        id: u64,
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            AtomicBool::new(false)
+        }
+    }
+
+    impl AtomicBool {
+        #[must_use]
+        pub fn new(v: bool) -> Self {
+            AtomicBool {
+                id: runtime::next_object_id(),
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            if let Some((exec, me)) = runtime::current() {
+                if let Some(v) = exec.atomic_op(me, self.id, "AtomicBool::load", || {
+                    (
+                        self.inner.load(StdOrdering::SeqCst),
+                        AccessKind::Load,
+                        acq(order),
+                        false,
+                    )
+                }) {
+                    return v;
+                }
+            }
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, v: bool, order: Ordering) {
+            if let Some((exec, me)) = runtime::current() {
+                if exec
+                    .atomic_op(me, self.id, "AtomicBool::store", || {
+                        self.inner.store(v, StdOrdering::SeqCst);
+                        ((), AccessKind::Store, false, rel(order))
+                    })
+                    .is_some()
+                {
+                    return;
+                }
+            }
+            self.inner.store(v, order);
+        }
+    }
+
+    /// Instrumented mutex. Lock ownership is arbitrated by the model
+    /// scheduler (a model-blocked thread parks in the scheduler, never
+    /// on the real mutex); the protected value still lives in a real
+    /// `std::sync::Mutex`, so guards, poisoning, and `into_inner`
+    /// behave exactly like std's.
+    #[derive(Debug)]
+    pub struct Mutex<T> {
+        id: u64,
+        inner: StdMutex<T>,
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex {
+                id: runtime::next_object_id(),
+                inner: StdMutex::new(value),
+            }
+        }
+
+        /// # Errors
+        /// Poisoned like `std::sync::Mutex::lock`; the guard is still
+        /// returned inside the error.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            if let Some((exec, me)) = runtime::current() {
+                if exec.mutex_lock(me, self.id) {
+                    return self.claim_real(Some((exec, me)));
+                }
+                // Aborting while unwinding: fall through to a real lock
+                // so Drop-path cleanup can still finish.
+            }
+            match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    model: None,
+                })),
+            }
+        }
+
+        /// Claims the real mutex after a model-level grant (must be
+        /// uncontended: the model serializes holders).
+        fn claim_real(
+            &self,
+            model: Option<(Arc<crate::runtime::Execution>, usize)>,
+        ) -> LockResult<MutexGuard<'_, T>> {
+            match self.inner.try_lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model,
+                }),
+                Err(TryLockError::Poisoned(p)) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    model,
+                })),
+                Err(TryLockError::WouldBlock) => unreachable!(
+                    "model-granted mutex held elsewhere: a facade object is shared \
+                     between model and non-model threads"
+                ),
+            }
+        }
+
+        /// # Errors
+        /// Poisoned like `std::sync::Mutex::into_inner`.
+        pub fn into_inner(self) -> LockResult<T> {
+            self.inner.into_inner()
+        }
+    }
+
+    /// Guard for the instrumented [`Mutex`]. Dropping releases the real
+    /// mutex first, then performs the model-level unlock (so no thread
+    /// the model wakes can ever find the real mutex still held).
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        inner: Option<StdMutexGuard<'a, T>>,
+        model: Option<(Arc<crate::runtime::Execution>, usize)>,
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard holds the real lock")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard holds the real lock")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            std::fmt::Debug::fmt(&**self, f)
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Real guard first (poisons on panic, exactly like std)...
+            self.inner.take();
+            // ...then the model release, which may context-switch.
+            if let Some((exec, me)) = self.model.take() {
+                exec.mutex_unlock(me, self.lock.id);
+            }
+        }
+    }
+
+    /// Instrumented condvar. Model threads park in the scheduler (the
+    /// release-and-wait is one atomic visible op, notify order is FIFO,
+    /// and there are no spurious wakeups); non-model threads use the
+    /// inner `std::sync::Condvar`.
+    #[derive(Debug)]
+    pub struct Condvar {
+        id: u64,
+        inner: StdCondvar,
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Condvar::new()
+        }
+    }
+
+    impl Condvar {
+        #[must_use]
+        pub fn new() -> Self {
+            Condvar {
+                id: runtime::next_object_id(),
+                inner: StdCondvar::new(),
+            }
+        }
+
+        /// # Errors
+        /// Poisoned like `std::sync::Condvar::wait`.
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let lock = guard.lock;
+            if let Some((exec, me)) = guard.model.take() {
+                guard.inner.take();
+                drop(guard); // both fields empty: Drop is a no-op
+                if exec.condvar_wait(me, self.id, lock.id) {
+                    return lock.claim_real(Some((exec, me)));
+                }
+                // Aborting while unwinding: reacquire for real so the
+                // caller's cleanup still holds a lock.
+                return match lock.inner.lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(g),
+                        model: None,
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(p.into_inner()),
+                        model: None,
+                    })),
+                };
+            }
+            let g = guard.inner.take().expect("guard holds the real lock");
+            drop(guard);
+            match self.inner.wait(g) {
+                Ok(g) => Ok(MutexGuard {
+                    lock,
+                    inner: Some(g),
+                    model: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock,
+                    inner: Some(p.into_inner()),
+                    model: None,
+                })),
+            }
+        }
+
+        pub fn notify_one(&self) {
+            if let Some((exec, me)) = runtime::current() {
+                exec.condvar_notify(me, self.id, false);
+                return;
+            }
+            self.inner.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            if let Some((exec, me)) = runtime::current() {
+                exec.condvar_notify(me, self.id, true);
+                return;
+            }
+            self.inner.notify_all();
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The thread facade: `std::thread` names, two personalities.
+//!
+//! Normal builds re-export `std::thread` wholesale. Under
+//! `--cfg tsg_model`, [`spawn`] creates a *virtual* thread when called
+//! from a model-checker thread — backed by a real OS thread, but
+//! scheduled cooperatively by the checker, with spawn/join
+//! happens-before edges — and delegates to `std` everywhere else.
+//! `scope` stays a passthrough: scoped engines keep their std structure
+//! and model tests port their contracts onto [`spawn`]/[`JoinHandle`].
+
+#[cfg(not(tsg_model))]
+pub use std::thread::*;
+
+#[cfg(tsg_model)]
+pub use model_impl::{spawn, JoinHandle};
+#[cfg(tsg_model)]
+pub use std::thread::{
+    available_parallelism, panicking, scope, sleep, yield_now, Builder, Result, Scope,
+    ScopedJoinHandle,
+};
+
+#[cfg(tsg_model)]
+mod model_impl {
+    use crate::runtime::{self, Execution};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    enum Inner<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            exec: Arc<Execution>,
+            id: usize,
+            slot: Arc<Mutex<Option<std::thread::Result<T>>>>,
+        },
+    }
+
+    /// Dual-mode join handle; see [`spawn`].
+    pub struct JoinHandle<T>(Inner<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload, exactly like `std::thread::JoinHandle::join`).
+        ///
+        /// # Errors
+        /// The thread's panic payload, if it panicked.
+        ///
+        /// # Panics
+        /// A model handle must be joined from a model thread of the
+        /// same execution.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Inner::Std(h) => h.join(),
+                Inner::Model { exec, id, slot } => {
+                    let (_, me) = runtime::current()
+                        .expect("model JoinHandle joined from a non-model thread");
+                    if exec.thread_join(me, id) {
+                        slot.lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .take()
+                            .expect("finished virtual thread left no result")
+                    } else {
+                        // Aborting while unwinding: surface a placeholder
+                        // payload (the caller is being torn down anyway).
+                        Err(Box::new("model execution aborted before join"))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spawns a thread. On a model-checker thread this registers a
+    /// virtual thread (the spawn edge seeds the child's vector clock
+    /// from the parent's) and the child's facade operations are
+    /// scheduled deterministically; anywhere else it is
+    /// `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if let Some((exec, me)) = runtime::current() {
+            if let Some(child) = exec.register_thread(me) {
+                let slot: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+                let slot2 = Arc::clone(&slot);
+                let exec2 = Arc::clone(&exec);
+                std::thread::Builder::new()
+                    .name(format!("tsg-model-vthread-{child}"))
+                    .spawn(move || {
+                        runtime::set_current(Some((Arc::clone(&exec2), child)));
+                        let res = catch_unwind(AssertUnwindSafe(f));
+                        runtime::set_current(None);
+                        // Result first, then the finish event: a joiner
+                        // only reads the slot after observing Finished.
+                        *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(res);
+                        exec2.thread_finished(child);
+                    })
+                    .expect("spawn OS thread backing a model vthread");
+                return JoinHandle(Inner::Model {
+                    exec,
+                    id: child,
+                    slot,
+                });
+            }
+            // register_thread only declines while the thread is already
+            // unwinding through an abort — fall through to std.
+        }
+        JoinHandle(Inner::Std(std::thread::spawn(f)))
+    }
+}

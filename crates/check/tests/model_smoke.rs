@@ -1,0 +1,267 @@
+//! Self-tests for the model checker (only built under `--cfg tsg_model`).
+//!
+//! These validate the checker itself — race detection fires on a
+//! deliberately relaxed handoff, promoted Release/Acquire pairs and
+//! RMW counters stay quiet, deadlocks and lost wakeups are caught, and
+//! schedules replay bit-for-bit — before the engine contract tests in
+//! `taxogram-core` rely on those verdicts.
+#![cfg(tsg_model)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use tsg_check::model::Checker;
+use tsg_check::sync::{Arc, AtomicBool, AtomicUsize, Condvar, Mutex, Ordering};
+use tsg_check::thread;
+
+/// The seeded intentionally-racy regression fixture from the issue: a
+/// Relaxed flag "publishing" Relaxed data. The flag load reading the
+/// cross-thread store has no happens-before edge, so the detector must
+/// flag it.
+#[test]
+fn relaxed_handoff_is_flagged() {
+    let report = Checker::new().target_interleavings(200).check(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(true, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) {
+            let _ = data.load(Ordering::Relaxed);
+        }
+        t.join().unwrap();
+    });
+    assert!(
+        !report.races.is_empty(),
+        "deliberately relaxed handoff must be flagged"
+    );
+    let flagged_store = report
+        .races
+        .iter()
+        .any(|r| r.write_op == "AtomicBool::store" || r.write_op == "AtomicUsize::store");
+    assert!(flagged_store, "the racy store should appear: {:?}", report.races);
+}
+
+/// The same handoff with Release/Acquire on the flag: the
+/// synchronizes-with edge covers the data store too, so nothing races.
+#[test]
+fn release_acquire_handoff_is_clean() {
+    let report = Checker::new().target_interleavings(200).check(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "publication must hold");
+        }
+        t.join().unwrap();
+    });
+    report.assert_race_free();
+    assert!(report.interleavings >= 200 || report.exhaustive);
+}
+
+/// Relaxed `fetch_add` counters read only after join: the RMW-reads-RMW
+/// carve-out plus the join edge keep them quiet.
+#[test]
+fn relaxed_rmw_counters_stay_quiet() {
+    let report = Checker::new().target_interleavings(200).check(|| {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let h = Arc::clone(&hits);
+                thread::spawn(move || {
+                    h.fetch_add(1, Ordering::Relaxed);
+                    h.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 4, "post-join read is ordered");
+    });
+    report.assert_race_free();
+}
+
+/// Mutual exclusion under the model mutex: no lost increments in any
+/// interleaving, and the exploration hits the issue's 1,000-schedule
+/// floor.
+#[test]
+fn mutex_counter_is_exact_across_1000_interleavings() {
+    let report = Checker::new().check(|| {
+        let n = Arc::new(Mutex::new(0usize));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    for _ in 0..3 {
+                        *n.lock().unwrap() += 1;
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap(), 6);
+    });
+    report.assert_race_free();
+    assert!(
+        report.interleavings >= 1000 || report.exhaustive,
+        "explored only {} interleavings without exhausting",
+        report.interleavings
+    );
+}
+
+/// Classic AB-BA lock inversion: some schedule within preemption bound
+/// 2 deadlocks, and the checker reports it with a replayable schedule.
+#[test]
+fn lock_inversion_deadlock_is_detected() {
+    let failure = catch_unwind(AssertUnwindSafe(|| {
+        Checker::new().check(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t1 = thread::spawn(move || {
+                let _ga = a2.lock().unwrap();
+                let _gb = b2.lock().unwrap();
+            });
+            let (a3, b3) = (Arc::clone(&a), Arc::clone(&b));
+            let t2 = thread::spawn(move || {
+                let _gb = b3.lock().unwrap();
+                let _ga = a3.lock().unwrap();
+            });
+            let _ = t1.join();
+            let _ = t2.join();
+        });
+    }))
+    .expect_err("the AB-BA inversion must deadlock under some schedule");
+    let msg = panic_text(failure.as_ref());
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    assert!(msg.contains("schedule:"), "failure must carry a schedule: {msg}");
+}
+
+/// A waiter whose notifier forgets to signal: the lost wakeup strands
+/// every thread and surfaces as a deadlock on the very first schedule.
+#[test]
+fn lost_wakeup_is_detected() {
+    let failure = catch_unwind(AssertUnwindSafe(|| {
+        Checker::new().check(|| {
+            let flag = Arc::new(Mutex::new(false));
+            let cv = Arc::new(Condvar::new());
+            let (f2, c2) = (Arc::clone(&flag), Arc::clone(&cv));
+            let waiter = thread::spawn(move || {
+                let mut ready = f2.lock().unwrap();
+                while !*ready {
+                    ready = c2.wait(ready).unwrap();
+                }
+            });
+            // Bug under test: sets the flag but never notifies.
+            *flag.lock().unwrap() = true;
+            let _ = waiter.join();
+        });
+    }))
+    .expect_err("the missing notify must strand the waiter");
+    let msg = panic_text(failure.as_ref());
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+/// The fixed protocol — notify under the lock — passes every schedule.
+#[test]
+fn condvar_handoff_completes_everywhere() {
+    let report = Checker::new().target_interleavings(300).check(|| {
+        let flag = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (f2, c2) = (Arc::clone(&flag), Arc::clone(&cv));
+        let waiter = thread::spawn(move || {
+            let mut ready = f2.lock().unwrap();
+            while !*ready {
+                ready = c2.wait(ready).unwrap();
+            }
+        });
+        *flag.lock().unwrap() = true;
+        cv.notify_one();
+        waiter.join().unwrap();
+    });
+    report.assert_race_free();
+}
+
+/// A panicking virtual thread delivers its payload through `join`,
+/// exactly like `std::thread` (the engines' catch_unwind plumbing
+/// depends on this).
+#[test]
+fn child_panic_propagates_through_join() {
+    Checker::new().target_interleavings(50).check(|| {
+        let t = thread::spawn(|| panic!("worker blew up"));
+        let err = t.join().expect_err("panic must surface");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map_or_else(|| "?".to_string(), str::to_string);
+        assert!(msg.contains("worker blew up"));
+    });
+}
+
+/// Replaying one schedule twice observes the identical event order —
+/// the bit-for-bit replay guarantee named deterministic schedules rely
+/// on.
+#[test]
+fn replay_is_bit_for_bit() {
+    let run = |schedule: &[usize]| {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let inner = Arc::clone(&log);
+        Checker::new().replay(schedule, move || {
+            let workers: Vec<_> = (0..2)
+                .map(|who| {
+                    let log = Arc::clone(&inner);
+                    thread::spawn(move || {
+                        for step in 0..3u32 {
+                            log.lock().unwrap().push((who, step));
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+        });
+        // All virtual threads finished; this lock is uncontended std.
+        let order = log.lock().unwrap().clone();
+        order
+    };
+    let schedule = [1, 0, 2, 1, 0, 1, 2, 0, 1, 1, 0, 2];
+    assert_eq!(run(&schedule), run(&schedule));
+    assert_eq!(run(&[]), run(&[]));
+}
+
+/// Same seed, same exploration: `explore_random` is a pure function of
+/// the seed (the PROPTEST_RNG_SEED determinism convention).
+#[test]
+fn seeded_exploration_is_deterministic() {
+    let explore = || {
+        Checker::new().seed(0x60be41).explore_random(40, || {
+            let x = Arc::new(AtomicUsize::new(0));
+            let x2 = Arc::clone(&x);
+            let t = thread::spawn(move || {
+                x2.fetch_add(1, Ordering::AcqRel);
+            });
+            x.fetch_add(1, Ordering::AcqRel);
+            t.join().unwrap();
+            assert_eq!(x.load(Ordering::Acquire), 2);
+        })
+    };
+    let (a, b) = (explore(), explore());
+    assert_eq!(a.interleavings, b.interleavings);
+    assert_eq!(a.races.len(), b.races.len());
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string payload".to_string())
+}

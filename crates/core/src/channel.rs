@@ -17,8 +17,8 @@
 //! from the memory accounting (the governed paths assert the gauge
 //! returns to zero).
 
+use crate::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Recovers the guard from a poisoned lock. The channel poisons only if a
 /// caller panics between `lock` and the guard drop — every critical
@@ -33,7 +33,8 @@ pub(crate) fn recover<'a, T>(
 
 /// A bounded FIFO usable from any number of threads by shared reference.
 #[derive(Debug)]
-pub(crate) struct Bounded<T> {
+#[doc(hidden)] // public only for the model-checker contract tests
+pub struct Bounded<T> {
     state: Mutex<State<T>>,
     /// Signaled when an item is taken (senders may retry).
     not_full: Condvar,
@@ -161,7 +162,7 @@ impl<T> Bounded<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use crate::sync::{AtomicUsize, Ordering};
 
     #[test]
     fn fifo_within_capacity() {

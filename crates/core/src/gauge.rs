@@ -1,6 +1,6 @@
 //! Concurrent high-water-mark byte accounting.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{AtomicUsize, Ordering};
 
 /// Tracks a current byte total and its high-water mark across threads.
 ///
@@ -11,7 +11,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// but it never underestimates — the conservative direction for a
 /// memory bound.)
 #[derive(Debug, Default)]
-pub(crate) struct MemoryGauge {
+#[doc(hidden)] // public only for the model-checker contract tests
+pub struct MemoryGauge {
     current: AtomicUsize,
     peak: AtomicUsize,
 }
@@ -23,25 +24,36 @@ impl MemoryGauge {
 
     /// Records `bytes` becoming resident.
     pub fn add(&self, bytes: usize) {
-        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
-        self.peak.fetch_max(now, Ordering::Relaxed);
+        // Release on both counters: `current()` feeds live admission
+        // decisions and `peak()` is read by the reporting thread — both
+        // reads act on the value, so the updates carry happens-before
+        // (post-join reads are *additionally* ordered by the join edge).
+        let now = self.current.fetch_add(bytes, Ordering::Release) + bytes;
+        self.peak.fetch_max(now, Ordering::Release);
     }
 
     /// Records `bytes` being released.
     pub fn sub(&self, bytes: usize) {
-        self.current.fetch_sub(bytes, Ordering::Relaxed);
+        // Release: pairs with the Acquire read in `current()`.
+        self.current.fetch_sub(bytes, Ordering::Release);
     }
 
     /// Highest value `current` has reached.
     pub fn peak(&self) -> usize {
-        self.peak.load(Ordering::Relaxed)
+        // Acquire: pairs with the Release `fetch_max` in `add`. The
+        // reporting thread reads this after joining the workers — the
+        // join already synchronizes-with their updates — but the Acquire
+        // keeps the read well-ordered even from monitoring threads that
+        // never join.
+        self.peak.load(Ordering::Acquire)
     }
 
     /// Bytes resident right now. Returns to zero after a run — including
     /// an early-terminated one — once every reservation has been released
     /// (the governance tests assert this balance).
     pub fn current(&self) -> usize {
-        self.current.load(Ordering::Relaxed)
+        // Acquire: pairs with the Release updates in `add`/`sub`.
+        self.current.load(Ordering::Acquire)
     }
 }
 

@@ -41,8 +41,7 @@
 //! completed prefix of the serial stream.
 
 use crate::channel::recover;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use crate::sync::{Arc, AtomicBool, AtomicUsize, Mutex, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::miner::MiningResult;
@@ -64,12 +63,17 @@ impl CancelToken {
 
     /// Requests cancellation. Safe from any thread, any number of times.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Relaxed);
+        // Release: everything the cancelling thread did before `cancel`
+        // happens-before a worker that observes the flag (workers act on
+        // the observation — the store is a happens-before carrier, not a
+        // plain counter).
+        self.flag.store(true, Ordering::Release);
     }
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        // Acquire: pairs with the Release store in `cancel`.
+        self.flag.load(Ordering::Acquire)
     }
 }
 
@@ -273,7 +277,8 @@ impl GovernOptions {
 /// first-wins-locked, so any thread can trip it and every thread observes
 /// the stop on its next poll.
 #[derive(Debug)]
-pub(crate) struct Governor {
+#[doc(hidden)] // public only for the model-checker contract tests
+pub struct Governor {
     /// Disabled governors (the ungoverned entry points) short-circuit
     /// every check to a single branch.
     enabled: bool,
@@ -336,7 +341,10 @@ impl Governor {
             *slot = Some(reason);
         }
         drop(slot);
-        self.stopped.store(true, Ordering::Relaxed);
+        // Release: pairs with the Acquire load in `admit_class` — a
+        // worker that sees the stop also sees the recorded reason (and
+        // whatever state the tripping thread settled before stopping).
+        self.stopped.store(true, Ordering::Release);
     }
 
     /// The class-granularity admission gate: checks the cancel token, the
@@ -347,7 +355,8 @@ impl Governor {
         if !self.enabled {
             return true;
         }
-        if self.stopped.load(Ordering::Relaxed) {
+        // Acquire: pairs with the Release store in `trip`.
+        if self.stopped.load(Ordering::Acquire) {
             return false;
         }
         if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
@@ -366,7 +375,7 @@ impl Governor {
         }
         if self
             .max_patterns
-            .is_some_and(|m| self.patterns.load(Ordering::Relaxed) >= m)
+            .is_some_and(|m| self.patterns.load(Ordering::Acquire) >= m)
         {
             self.trip(TerminationReason::BudgetExceeded {
                 which: BudgetKind::Patterns,
@@ -375,7 +384,10 @@ impl Governor {
         }
         if let Some((limit, reason)) = self.class_limit {
             // CAS admission: exactly `limit` classes pass, even when
-            // parallel workers race this gate.
+            // parallel workers race this gate. Genuinely relaxed: the
+            // ticket count is the whole payload and the location's
+            // modification order already totally orders the RMWs — no
+            // other memory rides on the edge.
             let won = self
                 .admitted
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |k| {
@@ -387,6 +399,8 @@ impl Governor {
                 return false;
             }
         } else {
+            // Genuinely relaxed: a pure tally, only read after workers
+            // join.
             self.admitted.fetch_add(1, Ordering::Relaxed);
         }
         true
@@ -429,7 +443,7 @@ impl Governor {
         }
         if self
             .max_patterns
-            .is_some_and(|m| self.patterns.load(Ordering::Relaxed) >= m)
+            .is_some_and(|m| self.patterns.load(Ordering::Acquire) >= m)
         {
             self.trip(TerminationReason::BudgetExceeded {
                 which: BudgetKind::Patterns,
@@ -443,7 +457,11 @@ impl Governor {
     /// class finishes; the ceiling is enforced at the next admission.
     pub fn add_patterns(&self, n: usize) {
         if self.enabled && self.max_patterns.is_some() {
-            self.patterns.fetch_add(n, Ordering::Relaxed);
+            // Release: the ceiling check in `admit_class` reads this
+            // counter with Acquire and *acts* on it (stops the run), so
+            // the classes counted must be visible to the thread that
+            // trips the ceiling — a happens-before carrier, not a stat.
+            self.patterns.fetch_add(n, Ordering::Release);
         }
     }
 

@@ -55,6 +55,29 @@ pub mod relabel;
 pub mod son;
 pub mod steal;
 
+/// Sync facade: every atomic, lock, condvar, and thread spawn in this
+/// crate's concurrent engines goes through here. In normal builds these
+/// are zero-cost re-exports of the `std::sync` / `std::thread` types; a
+/// build with `RUSTFLAGS='--cfg tsg_model'` swaps in the `tsg-check`
+/// model runtime, whose deterministic scheduler explores thread
+/// interleavings and whose vector-clock detector flags data races (see
+/// DESIGN.md §12 and `crates/core/tests/model.rs`).
+pub mod sync {
+    pub use tsg_check::sync::*;
+    pub use tsg_check::thread;
+}
+
+/// Internals re-exported for the model-checker contract tests only
+/// (`crates/core/tests/model.rs`); not part of the public API.
+#[cfg(tsg_model)]
+#[doc(hidden)]
+pub mod model_support {
+    pub use crate::channel::Bounded;
+    pub use crate::gauge::MemoryGauge;
+    pub use crate::govern::Governor;
+    pub use crate::steal::prefix_cut;
+}
+
 pub use config::{Enhancements, TaxogramConfig};
 pub use error::TaxogramError;
 pub use govern::{

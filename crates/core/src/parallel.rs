@@ -31,8 +31,8 @@ use crate::oi::OiScratch;
 use crate::pipeline::{
     embedding_heap_bytes, enumerate_class, merge_outputs, prepare, ClassOutput, Prologue,
 };
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use crate::sync::thread;
+use crate::sync::{AtomicUsize, Mutex, Ordering};
 use tsg_graph::{GraphDatabase, LabeledGraph};
 use tsg_gspan::{DfsCode, Embedding, GSpan, GSpanConfig, Grow, MinedPattern, PatternSink};
 use tsg_taxonomy::Taxonomy;
@@ -164,7 +164,7 @@ fn mine_parallel_with_governor(
         (0..classes.len()).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     let oi_gauge = MemoryGauge::new();
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         for _ in 0..threads.min(classes.len().max(1)) {
             scope.spawn(|| {
                 let mut enum_scratch = EnumScratch::new();
@@ -178,6 +178,10 @@ fn mine_parallel_with_governor(
                     if governor.should_stop_class_boundary() {
                         break;
                     }
+                    // Genuinely relaxed: the claimed index is the whole
+                    // payload (RMW modification order hands out each slot
+                    // exactly once); slot contents synchronize via the
+                    // slot mutex and the scope join.
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(class) = classes.get(i) else { break };
                     let out = enumerate_class(

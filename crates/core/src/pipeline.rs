@@ -43,8 +43,9 @@ use crate::oi::{OccurrenceIndex, OiOptions, OiScratch};
 use crate::relabel::{relabel, Relabeled};
 use tsg_bitset::BitSet;
 use tsg_graph::{GraphDatabase, LabeledGraph};
+use crate::sync::thread;
+use crate::sync::Mutex;
 use std::panic::AssertUnwindSafe;
-use std::sync::Mutex;
 use tsg_gspan::{ClassHandoff, Embedding, GSpan, GSpanConfig, Grow, MinedPattern, PatternSink};
 use tsg_taxonomy::Taxonomy;
 
@@ -238,7 +239,7 @@ fn mine_pipelined_impl(
         Prologue::Ready(p) => p,
     };
     let effective = if options.clamp_to_cores {
-        std::thread::available_parallelism()
+        thread::available_parallelism()
             .map(|n| threads.min(n.get()))
             .unwrap_or(threads)
     } else {
@@ -267,7 +268,7 @@ fn mine_pipelined_impl(
     let mut classes = 0usize;
     let mut rejected: Option<String> = None;
     let mut outputs: Vec<(usize, ClassOutput)> = Vec::new();
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         let handles: Vec<_> = (0..threads - 1)
             .map(|_| {
                 let channel = &channel;

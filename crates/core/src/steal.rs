@@ -31,6 +31,7 @@ use crate::govern::{GovernOptions, Governor, MiningOutcome, Termination};
 use crate::miner::MiningResult;
 use crate::oi::OiScratch;
 use crate::pipeline::{enumerate_class, merge_outputs, prepare, ClassOutput, Prepared, Prologue};
+use crate::sync::thread;
 use tsg_graph::GraphDatabase;
 use tsg_gspan::{
     mine_parallel_with_faults, ClassHandoff, DfsCode, FaultInjection, GSpanConfig, Grow,
@@ -171,7 +172,7 @@ fn mine_stealing_impl(
         Prologue::Ready(p) => p,
     };
     let threads = if options.clamp_to_cores {
-        std::thread::available_parallelism()
+        thread::available_parallelism()
             .map(|n| options.threads.min(n.get()))
             .unwrap_or(options.threads)
     } else {
@@ -235,15 +236,7 @@ fn mine_stealing_impl(
     // in `unfinished` at a code ≤ its own, since a parent's DFS code is a
     // strict prefix of its descendants'). What remains is byte-identical
     // to the serial output's first `finished` classes.
-    unfinished.sort_by(DfsCode::cmp_code);
-    if let Some(cut) = unfinished.first() {
-        let keep = outputs
-            .iter()
-            .take_while(|(code, _)| code.cmp_code(cut).is_lt())
-            .count();
-        unfinished.extend(outputs.drain(keep..).map(|(code, _)| code));
-        unfinished.sort_by(DfsCode::cmp_code);
-    }
+    prefix_cut(&mut outputs, &mut unfinished, DfsCode::cmp_code);
 
     let finished = outputs.len();
     let frontier: Vec<String> = unfinished
@@ -260,6 +253,30 @@ fn mine_stealing_impl(
         result,
         termination,
     })
+}
+
+/// Cuts `outputs` to the longest prefix strictly below the smallest
+/// `unfinished` key (per `cmp`); everything at or past the cut moves into
+/// `unfinished`. Both lists come back sorted. Pure and schedule-free —
+/// the soundness of the cut (every kept class is complete) rests on the
+/// prefix property of DFS codes argued at the call site, and the
+/// model-checker contract tests exercise this helper directly against
+/// racing admission orders.
+#[doc(hidden)] // public only for the model-checker contract tests
+pub fn prefix_cut<K, V>(
+    outputs: &mut Vec<(K, V)>,
+    unfinished: &mut Vec<K>,
+    mut cmp: impl FnMut(&K, &K) -> std::cmp::Ordering,
+) {
+    unfinished.sort_by(&mut cmp);
+    if let Some(cut) = unfinished.first() {
+        let keep = outputs
+            .iter()
+            .take_while(|(key, _)| cmp(key, cut).is_lt())
+            .count();
+        unfinished.extend(outputs.drain(keep..).map(|(key, _)| key));
+        unfinished.sort_by(&mut cmp);
+    }
 }
 
 /// Per-worker sink fusing Steps 2–3 into the search loop: every

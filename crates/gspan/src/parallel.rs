@@ -39,8 +39,8 @@ use crate::miner::{ClassHandoff, FrequentPattern, GSpan, GSpanConfig, Grow, Patt
 use crate::minimal::MinScratch;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use tsg_check::sync::{AtomicBool, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering, PoisonError};
+use tsg_check::thread;
 use tsg_graph::GraphDatabase;
 
 /// A worker panicked during the search (its own panic was caught and the
@@ -255,6 +255,8 @@ impl Scheduler {
             g.task_enqueued(task.bytes);
         }
         self.pending.fetch_add(1, Ordering::SeqCst);
+        // Genuinely relaxed: a ticket counter — RMW modification order
+        // alone guarantees unique serials, and nothing else is published.
         let serial = self.tasks.fetch_add(1, Ordering::Relaxed);
         if self.faults.force_inject(serial) {
             self.lock_injector().push_back(task);
@@ -282,6 +284,7 @@ impl Scheduler {
             g.task_enqueued(task.bytes);
         }
         self.pending.fetch_add(1, Ordering::SeqCst);
+        // Genuinely relaxed: same ticket counter as in `spawn`.
         self.tasks.fetch_add(1, Ordering::Relaxed);
         self.lock_injector().push_back(task);
     }
@@ -312,6 +315,7 @@ impl Scheduler {
         for off in 1..n {
             let victim = (me + off) % n;
             if let Some(t) = self.lock_local(victim).pop_front() {
+                // Genuinely relaxed: a pure tally, read only after join.
                 self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(t);
             }
@@ -380,6 +384,8 @@ impl Scheduler {
         scratch: &mut MinScratch,
         gauge: Option<&dyn TaskGauge>,
     ) {
+        // Genuinely relaxed: a ticket counter for deterministic fault
+        // injection — RMW modification order makes serials unique.
         let executed = self.executed.fetch_add(1, Ordering::Relaxed) + 1;
         if self.faults.panic_at_task == Some(executed) {
             panic!("injected fault: worker {me} panicked at task {executed}");
@@ -547,7 +553,7 @@ where
         sched.worker_loop(0, &miner, &mut sink, gauge);
         vec![sink]
     } else {
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|i| {
                     let sched = &sched;
@@ -581,6 +587,8 @@ where
     if let Some(message) = sched.take_panic() {
         return Err(SearchPanicked { message });
     }
+    // Genuinely relaxed: the scope join above synchronizes-with every
+    // worker, so these post-join reads see the final tallies.
     let stats = StealStats {
         tasks: sched.tasks.load(Ordering::Relaxed),
         steals: sched.steals.load(Ordering::Relaxed),

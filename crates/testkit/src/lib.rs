@@ -27,6 +27,7 @@ pub mod corrupt;
 pub mod fault;
 pub mod gen;
 pub mod metamorphic;
+pub mod schedules;
 
 pub use gen::{case, cases, Case};
 pub use metamorphic::{Engine, ENGINES};

@@ -33,3 +33,41 @@ echo "== governance matrix + parser mutation (pinned seed) =="
 cargo test -q -p taxogram-core --test governance
 PROPTEST_RNG_SEED=0x60be41 cargo test -q -p tsg-graph --test parser_mutation
 PROPTEST_RNG_SEED=0x60be41 cargo test -q -p tsg-taxonomy --test parser_mutation
+
+# Model-checking stage: rebuild the sync facade in tsg_model mode (the
+# tsg-check deterministic scheduler + vector-clock race detector) and
+# run the concurrency contract tests — bounded-exhaustive interleaving
+# exploration with seeded-random top-up past the preemption bound, plus
+# the named deterministic fault schedules. A separate target dir keeps
+# the --cfg rebuild from thrashing the main cache. Budget: <60s.
+echo "== model checker (deterministic interleaving exploration) =="
+RUSTFLAGS='--cfg tsg_model' CARGO_TARGET_DIR=target/model \
+    cargo test -q -p tsg-check -p taxogram-core --test model_smoke --test model
+
+# Nightly-only deep stages: Miri (UB / memory-model interpreter) and
+# ThreadSanitizer over the kernel crates' suites at reduced case counts.
+# Both need a nightly toolchain; skip LOUDLY when unavailable so the
+# gap is visible in CI logs rather than silently green.
+if rustup toolchain list 2>/dev/null | grep -q nightly \
+    && rustup component list --toolchain nightly 2>/dev/null | grep -q 'miri.*(installed)'; then
+    echo "== miri (nightly) =="
+    PROPTEST_CASES=8 cargo +nightly miri test -q \
+        -p tsg-bitset -p tsg-graph -p tsg-taxonomy
+    PROPTEST_CASES=8 cargo +nightly miri test -q -p taxogram-core channel
+else
+    echo "!! SKIPPED: miri stage (no nightly toolchain with miri installed)" >&2
+fi
+if rustup toolchain list 2>/dev/null | grep -q nightly \
+    && rustup component list --toolchain nightly 2>/dev/null | grep -q 'rust-src.*(installed)'; then
+    echo "== thread sanitizer (nightly) =="
+    RUSTFLAGS='-Zsanitizer=thread' CARGO_TARGET_DIR=target/tsan \
+        PROPTEST_CASES=8 cargo +nightly test -q \
+        -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')" \
+        -p tsg-bitset -p tsg-graph -p tsg-taxonomy
+    RUSTFLAGS='-Zsanitizer=thread' CARGO_TARGET_DIR=target/tsan \
+        PROPTEST_CASES=8 cargo +nightly test -q \
+        -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')" \
+        -p taxogram-core channel
+else
+    echo "!! SKIPPED: tsan stage (needs a nightly toolchain with rust-src for -Zbuild-std)" >&2
+fi

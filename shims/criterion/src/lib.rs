@@ -297,7 +297,7 @@ mod tests {
             b.iter(|| {
                 ran += 1;
                 black_box(ran)
-            })
+            });
         });
         group.finish();
         assert!(ran > 3, "warm-up plus samples actually executed: {ran}");
@@ -315,7 +315,7 @@ mod tests {
             b.iter(|| {
                 ran += x;
                 black_box(ran)
-            })
+            });
         });
         group.finish();
         assert_eq!(ran, 7);
