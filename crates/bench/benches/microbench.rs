@@ -1,21 +1,24 @@
 //! Micro-benchmarks for the design choices DESIGN.md calls out:
 //!
 //! * occurrence-set representation: dense bitsets (the paper's choice)
-//!   versus sorted sparse vectors, across set densities;
+//!   versus adaptive Roaring-style containers, across set densities;
 //! * generalized vs exact subgraph isomorphism cost (the paper's claim
 //!   that generalized matching is "at least as hard");
 //! * occurrence-index construction cost per embedding;
 //! * fused intersection kernels vs their materialize-then-count
-//!   equivalents (DESIGN.md §8);
+//!   equivalents (DESIGN.md §8), plus the adaptive containers against
+//!   the retired sorted-vec gallop kernel on Roaring-favorable
+//!   clustered operands (DESIGN.md §13);
 //! * the collect-all barrier engine vs the streaming pipelined engine at
 //!   equal thread counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tsg_bitset::{BitSet, SparseBitSet};
+use tsg_bench::kernels::{baseline_gallop_count, clustered_members};
+use tsg_bitset::{AdaptiveBitSet, BitSet};
 use tsg_datagen::{generate_database, go_like_taxonomy_scaled, GraphGenConfig, LabelPool, Sizing};
 use tsg_iso::{count_embeddings, ExactMatcher, GeneralizedMatcher};
 
-/// Dense vs sparse occurrence-set intersection at several densities.
+/// Dense vs adaptive occurrence-set intersection at several densities.
 fn occset_representation(c: &mut Criterion) {
     let universe = 20_000usize;
     let mut group = c.benchmark_group("occset_repr");
@@ -25,15 +28,15 @@ fn occset_representation(c: &mut Criterion) {
         let members_b: Vec<usize> = (0..universe).skip(step / 2).step_by(step.max(1)).collect();
         let da = BitSet::from_iter_with_universe(universe, members_a.iter().copied());
         let db = BitSet::from_iter_with_universe(universe, members_b.iter().copied());
-        let sa: SparseBitSet = members_a.iter().copied().collect();
-        let sb: SparseBitSet = members_b.iter().copied().collect();
+        let sa = AdaptiveBitSet::from_members(members_a);
+        let sb = AdaptiveBitSet::from_members(members_b);
         group.bench_with_input(
             BenchmarkId::new("dense", fill_permille),
             &(&da, &db),
             |bench, (a, b)| bench.iter(|| a.intersection_count(b)),
         );
         group.bench_with_input(
-            BenchmarkId::new("sparse", fill_permille),
+            BenchmarkId::new("adaptive", fill_permille),
             &(&sa, &sb),
             |bench, (a, b)| bench.iter(|| a.intersection_count(b)),
         );
@@ -122,12 +125,16 @@ fn pipeline_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-/// The fused sparse∩dense kernels against materialize-then-count, and
-/// galloping vs linear sparse merges on skewed operands.
+/// The fused adaptive∩dense kernels against materialize-then-count, the
+/// old skewed sparse∩sparse workload on both the retired sorted-vec
+/// gallop and the adaptive dispatch, and the acceptance-criterion
+/// comparison: adaptive containers vs the retired gallop kernel on
+/// clustered operands with both sides ≥ 4096 members (bitmap/run
+/// territory, where word-parallel AND should win by well over 2×).
 fn fused_kernels(c: &mut Criterion) {
     let universe = 20_000usize;
     let dense = BitSet::from_iter_with_universe(universe, (0..universe).step_by(3));
-    let sparse: SparseBitSet = (0..universe).step_by(40).collect();
+    let sparse: AdaptiveBitSet = (0..universe).step_by(40).collect();
     let mut group = c.benchmark_group("fused");
     group.bench_function("sparse_dense_count_fused", |b| {
         b.iter(|| sparse.intersection_count_dense(&dense));
@@ -141,28 +148,57 @@ fn fused_kernels(c: &mut Criterion) {
     let map: Vec<u32> = (0..universe as u32).map(|i| i % 200).collect();
     let mut scratch = BitSet::new(200);
     group.bench_function("sparse_dense_distinct_mapped", |b| {
-        b.iter(|| tsg_bitset::sparse_dense_distinct_mapped_count(&sparse, &dense, &map, &mut scratch));
+        b.iter(|| {
+            tsg_bitset::adaptive_dense_distinct_mapped_count(&sparse, &dense, &map, &mut scratch)
+        });
     });
-    // Skewed sparse∩sparse: 64 members probing 20k — the galloping path.
-    let small: SparseBitSet = (0..universe).step_by(universe / 64).collect();
-    let large: SparseBitSet = (0..universe).collect();
+    // Skewed sparse∩sparse: 64 members probing 20k. The retired kernel
+    // keeps its historical name for BENCH continuity; the adaptive
+    // dispatch runs the same operands (the 20k side is bitmap-encoded).
+    let small_members: Vec<usize> = (0..universe).step_by(universe / 64).collect();
+    let large_members: Vec<usize> = (0..universe).collect();
+    let small: AdaptiveBitSet = small_members.iter().copied().collect();
+    let large: AdaptiveBitSet = large_members.iter().copied().collect();
     group.bench_function("sparse_sparse_gallop", |b| {
+        b.iter(|| baseline_gallop_count(&small_members, &large_members));
+    });
+    group.bench_function("adaptive_small_probe_large", |b| {
         b.iter(|| small.intersection_count(&large));
+    });
+    // Acceptance criterion: clustered, both sides ≥ 4096.
+    let (ca, cb) = clustered_members();
+    let ra: AdaptiveBitSet = ca.iter().copied().collect();
+    let rb: AdaptiveBitSet = cb.iter().copied().collect();
+    group.bench_function("roaring_clustered_count", |b| {
+        b.iter(|| ra.intersection_count(&rb));
+    });
+    group.bench_function("gallop_baseline_clustered", |b| {
+        b.iter(|| baseline_gallop_count(&ca, &cb));
     });
     group.finish();
 }
 
-/// The adaptive sparse∩sparse dispatch against both forced kernels, in
+/// The adaptive array×array dispatch against both forced kernels, in
 /// both regimes it must cover: comparable sizes (linear merge should
 /// win) and heavy skew (galloping should win). The ratio sweep brackets
 /// the `GALLOP_RATIO = 16` crossover so a regression in either kernel —
 /// or a misplaced threshold — shows up directly.
+///
+/// Every set here keeps per-chunk cardinality below `BITMAP_MIN` so the
+/// containers stay arrays and the merge/gallop pair is actually what
+/// runs; bigger sets would silently promote to bitmaps and measure a
+/// different kernel.
 fn sparse_intersection_regimes(c: &mut Criterion) {
     let universe = 65_536usize;
+    let card = 4_000usize; // < ARRAY_MAX: one array container per set
     let mut group = c.benchmark_group("sparse_regimes");
-    // Regime 1: comparable sizes (ratio 1): two ~8k-member sets.
-    let a: SparseBitSet = (0..universe).step_by(8).collect();
-    let b: SparseBitSet = (4..universe).step_by(8).chain((0..universe).step_by(64)).collect();
+    // Regime 1: comparable sizes (ratio 1): two ~4k-member arrays.
+    let a: AdaptiveBitSet = (0..universe).step_by(16).take(card).collect();
+    let b: AdaptiveBitSet = (8..universe)
+        .step_by(16)
+        .take(card / 2)
+        .chain((0..universe).step_by(32).take(card / 2))
+        .collect();
     group.bench_function("comparable/adaptive", |bench| {
         bench.iter(|| a.intersection_count(&b));
     });
@@ -172,9 +208,9 @@ fn sparse_intersection_regimes(c: &mut Criterion) {
     group.bench_function("comparable/gallop", |bench| {
         bench.iter(|| a.intersection_count_gallop(&b));
     });
-    // Regime 2: heavy skew (ratio 512): 128 members probing 64k.
-    let small: SparseBitSet = (0..universe).step_by(universe / 128).collect();
-    let large: SparseBitSet = (0..universe).collect();
+    // Regime 2: heavy skew (ratio ~31): 128 members probing 4k.
+    let small: AdaptiveBitSet = (0..universe).step_by(512).collect();
+    let large: AdaptiveBitSet = (0..universe).step_by(16).take(card).collect();
     group.bench_function("skewed/adaptive", |bench| {
         bench.iter(|| small.intersection_count(&large));
     });
@@ -184,11 +220,14 @@ fn sparse_intersection_regimes(c: &mut Criterion) {
     group.bench_function("skewed/gallop", |bench| {
         bench.iter(|| small.intersection_count_gallop(&large));
     });
-    // Ratio sweep across the crossover: the large side is fixed at 32k
-    // members; the small side shrinks by powers of two.
-    let large: SparseBitSet = (0..universe).step_by(2).collect();
+    // Ratio sweep across the crossover: the large side is fixed at 4k
+    // members; the small side shrinks by the sweep ratio.
+    let large: AdaptiveBitSet = (0..universe).step_by(16).take(card).collect();
     for ratio in [4usize, 8, 16, 32, 64] {
-        let small: SparseBitSet = (0..universe).step_by(2 * ratio).collect();
+        let small: AdaptiveBitSet = (0..universe)
+            .step_by(16 * ratio)
+            .take(card / ratio)
+            .collect();
         group.bench_with_input(
             BenchmarkId::new("sweep_merge", ratio),
             &(&small, &large),

@@ -1,10 +1,13 @@
-//! Machine-readable performance snapshot: median nanoseconds for the hot
-//! bitset kernels plus end-to-end D1000/θ=0.2 mine times for the serial,
-//! barrier-parallel, streaming-pipelined, and work-stealing engines, a
-//! `thread_scaling` section sweeping the scaling engines over
-//! 1/2/4/8 workers, and a `governed_overhead` section timing the serial
-//! miner ungoverned vs governed with an infinite budget (the pure cost
-//! of the governance poll points).
+//! Machine-readable performance snapshot: a `host` section identifying
+//! the machine (logical CPUs, CPU model, 1-minute load average at start),
+//! median nanoseconds for the hot bitset kernels (shared with the
+//! `kernel_gate` CI stage via `tsg_bench::kernels`), end-to-end
+//! D1000/θ=0.2 mine times for the serial, barrier-parallel,
+//! streaming-pipelined, and work-stealing engines, a `thread_scaling`
+//! section sweeping the scaling engines over 1/2/4/8 workers, and a
+//! `governed_overhead` section timing the serial miner ungoverned vs
+//! governed with an infinite budget (the pure cost of the governance
+//! poll points).
 //!
 //! Emits a single JSON object on stdout; `scripts/bench_snapshot.sh`
 //! redirects it into a dated `BENCH_<date>.json`. Timing is hand-rolled
@@ -17,26 +20,29 @@
 
 use std::time::Instant;
 use tsg_bench::Profile;
-use tsg_bitset::{BitSet, SparseBitSet};
 use tsg_datagen::registry::{build, DatasetId};
 
-/// Median ns/iter over `samples` batches of `batch` calls each.
-fn median_ns(samples: usize, batch: usize, mut f: impl FnMut()) -> f64 {
-    // Warm up caches and scratch pools.
-    for _ in 0..batch {
-        f();
-    }
-    let mut per_iter: Vec<f64> = (0..samples)
-        .map(|_| {
-            let start = Instant::now();
-            for _ in 0..batch {
-                f();
-            }
-            start.elapsed().as_nanos() as f64 / batch as f64
+/// CPU model, logical CPU count, and current 1-minute load, so a
+/// snapshot records which machine (and how busy a machine) produced it.
+/// Every field degrades gracefully off Linux or in restricted sandboxes.
+fn host_info() -> (usize, String, f64) {
+    let nproc = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split_once(':').map(|(_, v)| v.trim().to_string()))
         })
-        .collect();
-    per_iter.sort_by(f64::total_cmp);
-    per_iter[per_iter.len() / 2]
+        .unwrap_or_else(|| "unknown".to_string())
+        .replace(['"', '\\'], "");
+    let loadavg_1m = std::fs::read_to_string("/proc/loadavg")
+        .ok()
+        .and_then(|s| s.split_whitespace().next().and_then(|v| v.parse().ok()))
+        .unwrap_or(-1.0);
+    (nproc, cpu_model, loadavg_1m)
 }
 
 fn main() {
@@ -57,47 +63,11 @@ fn main() {
         std::process::exit(2);
     });
 
-    // --- Kernel medians -------------------------------------------------
-    let universe = 20_000usize;
-    let dense = BitSet::from_iter_with_universe(universe, (0..universe).step_by(3));
-    let sparse: SparseBitSet = (0..universe).step_by(40).collect();
-    let map: Vec<u32> = (0..universe as u32).map(|i| i % 200).collect();
-    let mut scratch = BitSet::new(200);
-    let mut out = BitSet::new(universe);
-    let small: SparseBitSet = (0..universe).step_by(universe / 64).collect();
-    let large: SparseBitSet = (0..universe).collect();
+    // Record load *before* the benchmarks heat the machine up.
+    let (nproc, cpu_model, loadavg_1m) = host_info();
 
-    let kernels: Vec<(&str, f64)> = vec![
-        (
-            "sparse_dense_count_fused",
-            median_ns(31, 200, || {
-                std::hint::black_box(sparse.intersection_count_dense(&dense));
-            }),
-        ),
-        (
-            "sparse_dense_count_materialized",
-            median_ns(31, 200, || {
-                std::hint::black_box(sparse.intersect_into_dense(&dense, &mut out));
-            }),
-        ),
-        (
-            "sparse_dense_distinct_mapped",
-            median_ns(31, 200, || {
-                std::hint::black_box(tsg_bitset::sparse_dense_distinct_mapped_count(
-                    &sparse,
-                    &dense,
-                    &map,
-                    &mut scratch,
-                ));
-            }),
-        ),
-        (
-            "sparse_sparse_gallop",
-            median_ns(31, 200, || {
-                std::hint::black_box(small.intersection_count(&large));
-            }),
-        ),
-    ];
+    // --- Kernel medians (shared workload set with `kernel_gate`) --------
+    let kernels = tsg_bench::kernels::kernel_medians();
 
     // --- End-to-end engines on D1000, θ = 0.2 ---------------------------
     // Reps are interleaved (serial, barrier, pipelined, stealing per
@@ -232,7 +202,11 @@ fn main() {
     let overhead_pct = (governed_ms - ungoverned_ms) / ungoverned_ms * 100.0;
 
     // --- JSON -----------------------------------------------------------
-    let mut json = String::from("{\n  \"kernels_ns\": {\n");
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"host\": {{\n    \"nproc\": {nproc},\n    \"cpu_model\": \"{cpu_model}\",\n    \"loadavg_1m\": {loadavg_1m:.2}\n  }},\n"
+    ));
+    json.push_str("  \"kernels_ns\": {\n");
     for (i, (name, ns)) in kernels.iter().enumerate() {
         let comma = if i + 1 < kernels.len() { "," } else { "" };
         json.push_str(&format!("    \"{name}\": {ns:.1}{comma}\n"));

@@ -1,0 +1,143 @@
+//! Fast kernel-regression check for CI: re-times the shared hot-kernel
+//! workload set (`tsg_bench::kernels`) and compares each median against
+//! the newest recorded `BENCH_*.json` snapshot in the repository root.
+//!
+//! This is a *tripwire, not a gate*: shared CI runners have noisy
+//! neighbours and different silicon than the machine that recorded the
+//! baseline, so a slow kernel prints a loud, unmissable warning block
+//! and the process still exits 0. A human decides whether it is real
+//! (and, if the hardware changed, re-records with
+//! `scripts/bench_snapshot.sh`).
+//!
+//! ```text
+//! cargo run --release -p tsg-bench --bin kernel_gate -- [--baseline FILE] [--tolerance PCT]
+//! ```
+
+use std::path::PathBuf;
+
+/// Newest `BENCH_*.json` by filename (dates are zero-padded `YYYYMMDD`,
+/// so lexicographic max is newest).
+fn newest_snapshot(dir: &str) -> Option<PathBuf> {
+    let mut best: Option<PathBuf> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            match &best {
+                Some(b) if b.file_name().is_some_and(|f| *f >= *entry.file_name()) => {}
+                _ => best = Some(entry.path()),
+            }
+        }
+    }
+    best
+}
+
+/// Pull `"name": number` pairs out of the `"kernels_ns"` object. The
+/// snapshot format is flat and machine-written, so a line scan between
+/// the section header and its closing brace is all the parsing needed.
+fn parse_kernels_ns(json: &str) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    let mut in_section = false;
+    for line in json.lines() {
+        let line = line.trim();
+        if line.starts_with("\"kernels_ns\"") {
+            in_section = true;
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        if line.starts_with('}') {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().trim_matches('"').to_string();
+            let value = value.trim().trim_end_matches(',');
+            if let Ok(ns) = value.parse::<f64>() {
+                rows.push((name, ns));
+            }
+        }
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let tolerance_pct: f64 = get("--tolerance")
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("--tolerance must be a number (percent)");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(25.0);
+    let baseline_path = match get("--baseline").map(PathBuf::from).or_else(|| {
+        newest_snapshot(".").or_else(|| newest_snapshot(".."))
+    }) {
+        Some(p) => p,
+        None => {
+            println!("kernel_gate: no BENCH_*.json snapshot found; nothing to compare against.");
+            return;
+        }
+    };
+    let baseline_json = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            println!(
+                "kernel_gate: cannot read {}: {e}; skipping comparison.",
+                baseline_path.display()
+            );
+            return;
+        }
+    };
+    let baseline = parse_kernels_ns(&baseline_json);
+    if baseline.is_empty() {
+        println!(
+            "kernel_gate: {} has no kernels_ns section; skipping comparison.",
+            baseline_path.display()
+        );
+        return;
+    }
+
+    println!(
+        "kernel_gate: timing hot kernels vs {} (tolerance {tolerance_pct:.0}%)",
+        baseline_path.display()
+    );
+    let current = tsg_bench::kernels::kernel_medians();
+    let mut regressions = Vec::new();
+    for (name, now_ns) in &current {
+        let Some((_, base_ns)) = baseline.iter().find(|(b, _)| b == name) else {
+            println!("  {name:<34} {now_ns:>10.1} ns   (no baseline — new kernel)");
+            continue;
+        };
+        let delta_pct = (now_ns - base_ns) / base_ns * 100.0;
+        println!("  {name:<34} {now_ns:>10.1} ns   baseline {base_ns:>10.1} ns   {delta_pct:+6.1}%");
+        if delta_pct > tolerance_pct {
+            regressions.push((*name, *now_ns, *base_ns, delta_pct));
+        }
+    }
+
+    if regressions.is_empty() {
+        println!("kernel_gate: all kernels within tolerance.");
+    } else {
+        eprintln!();
+        eprintln!("##############################################################");
+        eprintln!("##  WARNING: kernel performance regression (> {tolerance_pct:.0}% slower)  ##");
+        eprintln!("##############################################################");
+        for (name, now_ns, base_ns, delta_pct) in &regressions {
+            eprintln!(
+                "##  {name}: {now_ns:.1} ns vs baseline {base_ns:.1} ns ({delta_pct:+.1}%)"
+            );
+        }
+        eprintln!("##");
+        eprintln!("##  This is a tripwire, not a gate (exit 0). If the slowdown");
+        eprintln!("##  is real, bisect the kernel change; if the hardware or");
+        eprintln!("##  load changed, re-record with scripts/bench_snapshot.sh.");
+        eprintln!("##############################################################");
+    }
+}

@@ -1,0 +1,1150 @@
+//! Per-chunk containers for the Roaring-style [`AdaptiveBitSet`].
+//!
+//! The value space is split into 2¹⁶-value chunks keyed by the high bits;
+//! each chunk stores its low 16 bits in whichever container is cheapest
+//! for its cardinality (see DESIGN.md §13 for the format and dispatch
+//! table):
+//!
+//! * [`Container::Array`] — sorted `u16` vector, cardinality `< 4096`
+//!   (2 bytes/member);
+//! * [`Container::Bitmap`] — 1024 × `u64` fixed bitmap, cardinality
+//!   `>= 4096` (8 KiB flat, O(1) membership, word-parallel kernels);
+//! * [`Container::Runs`] — sorted disjoint inclusive intervals, chosen by
+//!   [`Container::optimize`] when runs undercut both other encodings
+//!   (4 bytes/run).
+//!
+//! Mutation keeps the representation canonical at the array/bitmap
+//! boundary: inserting the [`BITMAP_MIN`]th member promotes an array to a
+//! bitmap in place, and removal demotes a bitmap back to an array the
+//! moment its cardinality drops below [`BITMAP_MIN`]. Run containers stay
+//! runs under mutation (inserts coalesce adjacent runs, removals split
+//! them); only [`Container::optimize`] changes a chunk into or out of run
+//! encoding.
+//!
+//! [`AdaptiveBitSet`]: crate::AdaptiveBitSet
+
+/// Containers with cardinality `>= BITMAP_MIN` use the bitmap encoding;
+/// below it, the sorted array. 4096 is the break-even point where the
+/// array (2 bytes/member) stops undercutting the flat 8 KiB bitmap — the
+/// same threshold the Roaring format uses.
+pub const BITMAP_MIN: usize = 4096;
+
+/// Maximum cardinality of an array container (`BITMAP_MIN - 1`).
+pub const ARRAY_MAX: usize = BITMAP_MIN - 1;
+
+/// Number of `u64` words in a bitmap container (2¹⁶ bits).
+pub const BITMAP_WORDS: usize = (1 << 16) / 64;
+
+/// Size ratio beyond which sorted-array intersection switches from the
+/// linear two-pointer merge to galloping the smaller operand over the
+/// larger one. Below it the merge's branch-predictable loop wins; above
+/// it `O(small · log large)` exponential probing wins.
+///
+/// Tunable: the measured crossover on the reference host (see
+/// EXPERIMENTS.md §"kernel crossover", regenerated from the
+/// `sparse_regimes` criterion sweep) sits between the 8× and 32× ratio
+/// points — at 16× galloping is already ~1.8× faster and below 8× the
+/// merge wins — so 16 keeps both regimes on their winning kernel with
+/// margin. Within a chunk both operands are arrays of at most
+/// [`ARRAY_MAX`] members, so the dispatch is decided per chunk pair.
+pub const GALLOP_RATIO: usize = 16;
+
+/// A maximal interval of consecutive members, `start..=last`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Run {
+    pub start: u16,
+    pub last: u16,
+}
+
+impl Run {
+    #[inline]
+    pub(crate) fn len(self) -> usize {
+        (self.last - self.start) as usize + 1
+    }
+
+    #[inline]
+    fn contains(self, v: u16) -> bool {
+        self.start <= v && v <= self.last
+    }
+}
+
+/// A bitmap container: 2¹⁶ bits as 1024 words.
+#[derive(Clone)]
+pub(crate) struct Bitmap {
+    pub words: [u64; BITMAP_WORDS],
+}
+
+impl Bitmap {
+    fn empty() -> Box<Bitmap> {
+        Box::new(Bitmap {
+            words: [0; BITMAP_WORDS],
+        })
+    }
+
+    #[inline]
+    fn contains(&self, v: u16) -> bool {
+        self.words[v as usize / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    /// Sets bit `v`; returns `true` if it was clear.
+    #[inline]
+    fn set(&mut self, v: u16) -> bool {
+        let w = &mut self.words[v as usize / 64];
+        let m = 1u64 << (v % 64);
+        let fresh = *w & m == 0;
+        *w |= m;
+        fresh
+    }
+
+    /// Clears bit `v`; returns `true` if it was set.
+    #[inline]
+    fn clear(&mut self, v: u16) -> bool {
+        let w = &mut self.words[v as usize / 64];
+        let m = 1u64 << (v % 64);
+        let present = *w & m != 0;
+        *w &= !m;
+        present
+    }
+
+    fn count(&self) -> usize {
+        popcount_words(&self.words)
+    }
+
+    /// Population of `start..=last`.
+    fn count_range(&self, start: u16, last: u16) -> usize {
+        let (ws, we) = (start as usize / 64, last as usize / 64);
+        let head = !0u64 << (start % 64);
+        let tail = !0u64 >> (63 - last % 64);
+        if ws == we {
+            return (self.words[ws] & head & tail).count_ones() as usize;
+        }
+        let mut n = (self.words[ws] & head).count_ones() as usize;
+        for w in &self.words[ws + 1..we] {
+            n += w.count_ones() as usize;
+        }
+        n + (self.words[we] & tail).count_ones() as usize
+    }
+
+    /// Sets every bit in `start..=last`.
+    fn set_range(&mut self, start: u16, last: u16) {
+        let (ws, we) = (start as usize / 64, last as usize / 64);
+        let head = !0u64 << (start % 64);
+        let tail = !0u64 >> (63 - last % 64);
+        if ws == we {
+            self.words[ws] |= head & tail;
+            return;
+        }
+        self.words[ws] |= head;
+        for w in &mut self.words[ws + 1..we] {
+            *w = !0;
+        }
+        self.words[we] |= tail;
+    }
+}
+
+/// Popcount of a word slice, unrolled four wide — the inner loop of every
+/// bitmap×bitmap kernel (1024 words per chunk, so the unroll divides
+/// evenly and the compiler keeps four independent popcnt chains in
+/// flight).
+#[inline]
+fn popcount_words(words: &[u64]) -> usize {
+    let mut chunks = words.chunks_exact(4);
+    let (mut a, mut b, mut c, mut d) = (0usize, 0usize, 0usize, 0usize);
+    for q in &mut chunks {
+        a += q[0].count_ones() as usize;
+        b += q[1].count_ones() as usize;
+        c += q[2].count_ones() as usize;
+        d += q[3].count_ones() as usize;
+    }
+    a + b
+        + c
+        + d
+        + chunks
+            .remainder()
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum::<usize>()
+}
+
+/// One chunk's members (low 16 bits), in one of three encodings.
+#[derive(Clone)]
+pub(crate) enum Container {
+    Array(Vec<u16>),
+    Bitmap(Box<Bitmap>),
+    Runs(Vec<Run>),
+}
+
+impl Container {
+    pub(crate) fn empty() -> Container {
+        Container::Array(Vec::new())
+    }
+
+    /// Builds the canonical container for a sorted, deduplicated slice.
+    pub(crate) fn from_sorted(vals: &[u16]) -> Container {
+        if vals.len() >= BITMAP_MIN {
+            let mut bm = Bitmap::empty();
+            for &v in vals {
+                bm.set(v);
+            }
+            Container::Bitmap(bm)
+        } else {
+            Container::Array(vals.to_vec())
+        }
+    }
+
+    /// Builds the byte-cheapest container for one chunk's span of a
+    /// sorted, deduplicated global member slice (all values share the
+    /// same high bits) — the same encoding rule as [`optimize`], decided
+    /// *before* allocating so construction never re-encodes. One counting
+    /// pass picks the representation; contiguous spans allocate a few
+    /// runs instead of a member array, which is what makes bulk set
+    /// construction (occurrence-index builds) cheap.
+    ///
+    /// [`optimize`]: Container::optimize
+    pub(crate) fn from_sorted_span(vals: &[usize]) -> Container {
+        let n = vals.len();
+        // O(1) fast path for a perfectly contiguous span — the shape of
+        // every occurrence-index root set (occurrence ids are dense).
+        if n > 2 && vals[n - 1] - vals[0] + 1 == n {
+            return Container::Runs(vec![Run {
+                start: (vals[0] & 0xFFFF) as u16,
+                last: (vals[n - 1] & 0xFFFF) as u16,
+            }]);
+        }
+        if n < BITMAP_MIN {
+            // One pass: build the array while counting runs; re-encode
+            // only when runs actually win (mostly-contiguous contents).
+            let mut lows: Vec<u16> = Vec::with_capacity(n);
+            let mut runs = usize::from(n > 0);
+            let mut prev = usize::MAX - 1;
+            for &v in vals {
+                runs += usize::from(v != prev + 1 && !lows.is_empty());
+                lows.push((v & 0xFFFF) as u16);
+                prev = v;
+            }
+            if 4 * runs < 2 * n {
+                return Container::Runs(array_to_runs(&lows, runs));
+            }
+            return Container::Array(lows);
+        }
+        let mut runs = 1usize;
+        for w in vals.windows(2) {
+            runs += usize::from(w[1] != w[0] + 1);
+        }
+        if 4 * runs < 8192 {
+            let mut rs: Vec<Run> = Vec::with_capacity(runs);
+            for &v in vals {
+                let low = (v & 0xFFFF) as u16;
+                match rs.last_mut() {
+                    Some(r) if r.last + 1 == low => r.last = low,
+                    _ => rs.push(Run {
+                        start: low,
+                        last: low,
+                    }),
+                }
+            }
+            Container::Runs(rs)
+        } else {
+            let mut bm = Bitmap::empty();
+            for &v in vals {
+                bm.set((v & 0xFFFF) as u16);
+            }
+            Container::Bitmap(bm)
+        }
+    }
+
+    pub(crate) fn card(&self) -> usize {
+        match self {
+            Container::Array(a) => a.len(),
+            Container::Bitmap(b) => b.count(),
+            Container::Runs(rs) => rs.iter().map(|r| r.len()).sum(),
+        }
+    }
+
+    pub(crate) fn contains(&self, v: u16) -> bool {
+        match self {
+            Container::Array(a) => a.binary_search(&v).is_ok(),
+            Container::Bitmap(b) => b.contains(v),
+            Container::Runs(rs) => rs
+                .binary_search_by(|r| {
+                    if r.last < v {
+                        std::cmp::Ordering::Less
+                    } else if r.start > v {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        std::cmp::Ordering::Equal
+                    }
+                })
+                .is_ok(),
+        }
+    }
+
+    /// Inserts `v`, promoting an array that reaches [`BITMAP_MIN`] to a
+    /// bitmap and coalescing adjacent runs. Returns `true` if `v` was new.
+    pub(crate) fn insert(&mut self, v: u16) -> bool {
+        match self {
+            Container::Array(a) => match a.binary_search(&v) {
+                Ok(_) => false,
+                Err(pos) => {
+                    if a.len() == ARRAY_MAX {
+                        let mut bm = Bitmap::empty();
+                        for &x in a.iter() {
+                            bm.set(x);
+                        }
+                        bm.set(v);
+                        *self = Container::Bitmap(bm);
+                    } else {
+                        a.insert(pos, v);
+                    }
+                    true
+                }
+            },
+            Container::Bitmap(b) => b.set(v),
+            Container::Runs(rs) => runs_insert(rs, v),
+        }
+    }
+
+    /// Appends a member known to exceed every current one. The caller
+    /// (the chunk-level `push_ascending`) guarantees the ordering.
+    pub(crate) fn push_max(&mut self, v: u16) {
+        match self {
+            Container::Array(a) => {
+                debug_assert!(a.last().is_none_or(|&l| l < v));
+                if a.len() == ARRAY_MAX {
+                    let mut bm = Bitmap::empty();
+                    for &x in a.iter() {
+                        bm.set(x);
+                    }
+                    bm.set(v);
+                    *self = Container::Bitmap(bm);
+                } else {
+                    a.push(v);
+                }
+            }
+            Container::Bitmap(b) => {
+                b.set(v);
+            }
+            Container::Runs(rs) => {
+                runs_insert(rs, v);
+            }
+        }
+    }
+
+    /// Removes `v`, demoting a bitmap that drops below [`BITMAP_MIN`] and
+    /// splitting runs. `card` is the container's cardinality before the
+    /// removal (maintained by the chunk). Returns `true` if `v` was
+    /// present.
+    pub(crate) fn remove(&mut self, v: u16, card: usize) -> bool {
+        match self {
+            Container::Array(a) => match a.binary_search(&v) {
+                Ok(pos) => {
+                    a.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            },
+            Container::Bitmap(b) => {
+                if !b.clear(v) {
+                    return false;
+                }
+                if card - 1 < BITMAP_MIN {
+                    *self = Container::Array(bitmap_to_array(b));
+                }
+                true
+            }
+            Container::Runs(rs) => runs_remove(rs, v),
+        }
+    }
+
+    /// Re-encodes the chunk as whichever of the three representations is
+    /// byte-cheapest for its current contents (runs cost 4 bytes each,
+    /// array members 2, the bitmap a flat 8192).
+    pub(crate) fn optimize(&mut self) {
+        let card = self.card();
+        let mut runs: Vec<Run> = Vec::new();
+        self.for_each(|v| match runs.last_mut() {
+            Some(r) if r.last + 1 == v => r.last = v,
+            _ => runs.push(Run { start: v, last: v }),
+        });
+        let run_bytes = 4 * runs.len();
+        let flat_bytes = if card >= BITMAP_MIN { 8192 } else { 2 * card };
+        if run_bytes < flat_bytes {
+            *self = Container::Runs(runs);
+        } else if card >= BITMAP_MIN {
+            if !matches!(self, Container::Bitmap(_)) {
+                let mut bm = Bitmap::empty();
+                for r in &runs {
+                    bm.set_range(r.start, r.last);
+                }
+                *self = Container::Bitmap(bm);
+            }
+        } else if !matches!(self, Container::Array(_)) {
+            let mut a = Vec::with_capacity(card);
+            for r in &runs {
+                for v in r.start..=r.last {
+                    a.push(v);
+                }
+            }
+            *self = Container::Array(a);
+        }
+    }
+
+    /// Calls `f` for each member in ascending order.
+    pub(crate) fn for_each(&self, mut f: impl FnMut(u16)) {
+        match self {
+            Container::Array(a) => a.iter().for_each(|&v| f(v)),
+            Container::Bitmap(b) => {
+                for (i, &w) in b.words.iter().enumerate() {
+                    let mut w = w;
+                    while w != 0 {
+                        f((i * 64) as u16 + w.trailing_zeros() as u16);
+                        w &= w - 1;
+                    }
+                }
+            }
+            Container::Runs(rs) => {
+                for r in rs {
+                    for v in r.start..=r.last {
+                        f(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Member-set equality across encodings, without decoding either
+    /// side into a buffer. The caller must have already verified equal
+    /// cardinality (the chunk caches it): the cross-encoding arms test
+    /// containment only, which equals equality under that precondition.
+    pub(crate) fn semantic_eq(&self, other: &Container) -> bool {
+        match (self, other) {
+            (Container::Array(a), Container::Array(b)) => a == b,
+            (Container::Runs(a), Container::Runs(b)) => a == b,
+            (Container::Bitmap(a), Container::Bitmap(b)) => a.words == b.words,
+            (Container::Array(a), Container::Runs(r)) | (Container::Runs(r), Container::Array(a)) => {
+                let mut i = 0;
+                for run in r {
+                    for v in run.start..=run.last {
+                        if a.get(i) != Some(&v) {
+                            return false;
+                        }
+                        i += 1;
+                    }
+                }
+                i == a.len()
+            }
+            (Container::Bitmap(b), Container::Array(a))
+            | (Container::Array(a), Container::Bitmap(b)) => a.iter().all(|&v| b.contains(v)),
+            (Container::Bitmap(b), Container::Runs(r))
+            | (Container::Runs(r), Container::Bitmap(b)) => r
+                .iter()
+                .all(|run| b.count_range(run.start, run.last) == run.len()),
+        }
+    }
+
+    /// Heap bytes attributable to this container (the box/vec payloads;
+    /// the enum itself is counted by the chunk vector).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match self {
+            Container::Array(a) => a.capacity() * 2,
+            Container::Bitmap(_) => BITMAP_WORDS * 8,
+            Container::Runs(rs) => rs.capacity() * std::mem::size_of::<Run>(),
+        }
+    }
+}
+
+/// Re-encodes a sorted member array as runs; `runs` is the exact run
+/// count (pre-counted by the caller, so the vec allocates once).
+fn array_to_runs(lows: &[u16], runs: usize) -> Vec<Run> {
+    let mut rs: Vec<Run> = Vec::with_capacity(runs);
+    for &low in lows {
+        match rs.last_mut() {
+            Some(r) if r.last + 1 == low => r.last = low,
+            _ => rs.push(Run {
+                start: low,
+                last: low,
+            }),
+        }
+    }
+    rs
+}
+
+/// Demotes a bitmap's members to a sorted array.
+fn bitmap_to_array(b: &Bitmap) -> Vec<u16> {
+    let mut out = Vec::with_capacity(ARRAY_MAX);
+    for (i, &w) in b.words.iter().enumerate() {
+        let mut w = w;
+        while w != 0 {
+            out.push((i * 64) as u16 + w.trailing_zeros() as u16);
+            w &= w - 1;
+        }
+    }
+    out
+}
+
+/// Inserts into a run container, coalescing with the runs on either side
+/// (`[3..5] + 6 + [7..9]` becomes the single run `[3..9]`).
+fn runs_insert(rs: &mut Vec<Run>, v: u16) -> bool {
+    let i = rs.partition_point(|r| r.last < v);
+    if i < rs.len() && rs[i].contains(v) {
+        return false;
+    }
+    let glue_left = i > 0 && rs[i - 1].last + 1 == v;
+    let glue_right = i < rs.len() && v + 1 == rs[i].start;
+    match (glue_left, glue_right) {
+        (true, true) => {
+            rs[i - 1].last = rs[i].last;
+            rs.remove(i);
+        }
+        (true, false) => rs[i - 1].last = v,
+        (false, true) => rs[i].start = v,
+        (false, false) => rs.insert(i, Run { start: v, last: v }),
+    }
+    true
+}
+
+/// Removes from a run container, shrinking or splitting the covering run.
+fn runs_remove(rs: &mut Vec<Run>, v: u16) -> bool {
+    let i = rs.partition_point(|r| r.last < v);
+    if i == rs.len() || !rs[i].contains(v) {
+        return false;
+    }
+    let r = rs[i];
+    match (r.start == v, r.last == v) {
+        (true, true) => {
+            rs.remove(i);
+        }
+        (true, false) => rs[i].start = v + 1,
+        (false, true) => rs[i].last = v - 1,
+        (false, false) => {
+            rs[i].last = v - 1;
+            rs.insert(
+                i + 1,
+                Run {
+                    start: v + 1,
+                    last: r.last,
+                },
+            );
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise kernels. Dispatch is by (encoding, encoding); every pair is
+// covered, with the hot ones (array×array merge/gallop, bitmap×bitmap
+// unrolled word loops) specialized and the run pairs handled by interval
+// walks.
+// ---------------------------------------------------------------------------
+
+/// `|a ∩ b|` without materializing.
+pub(crate) fn intersection_count(a: &Container, b: &Container) -> usize {
+    use Container::{Array, Bitmap, Runs};
+    match (a, b) {
+        (Array(x), Array(y)) => array_intersect_count_dispatch(x, y),
+        (Array(x), Bitmap(y)) | (Bitmap(y), Array(x)) => {
+            x.iter().filter(|&&v| y.contains(v)).count()
+        }
+        (Bitmap(x), Bitmap(y)) => {
+            let mut xc = x.words.chunks_exact(4);
+            let yc = y.words.chunks_exact(4);
+            let (mut n0, mut n1, mut n2, mut n3) = (0usize, 0, 0, 0);
+            for (p, q) in (&mut xc).zip(yc) {
+                n0 += (p[0] & q[0]).count_ones() as usize;
+                n1 += (p[1] & q[1]).count_ones() as usize;
+                n2 += (p[2] & q[2]).count_ones() as usize;
+                n3 += (p[3] & q[3]).count_ones() as usize;
+            }
+            n0 + n1 + n2 + n3
+        }
+        (Runs(rs), Bitmap(y)) | (Bitmap(y), Runs(rs)) => {
+            rs.iter().map(|r| y.count_range(r.start, r.last)).sum()
+        }
+        (Runs(rs), Array(x)) | (Array(x), Runs(rs)) => {
+            // For each run, count the array members it brackets.
+            let mut n = 0;
+            let mut rest: &[u16] = x;
+            for r in rs {
+                let lo = rest.partition_point(|&v| v < r.start);
+                rest = &rest[lo..];
+                let hi = rest.partition_point(|&v| v <= r.last);
+                n += hi;
+                rest = &rest[hi..];
+                if rest.is_empty() {
+                    break;
+                }
+            }
+            n
+        }
+        (Runs(xs), Runs(ys)) => {
+            let (mut i, mut j, mut n) = (0, 0, 0usize);
+            while i < xs.len() && j < ys.len() {
+                let lo = xs[i].start.max(ys[j].start);
+                let hi = xs[i].last.min(ys[j].last);
+                if lo <= hi {
+                    n += (hi - lo) as usize + 1;
+                }
+                if xs[i].last <= ys[j].last {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            n
+        }
+    }
+}
+
+/// `true` iff the containers share a member (early-exit).
+pub(crate) fn intersects(a: &Container, b: &Container) -> bool {
+    use Container::{Array, Bitmap, Runs};
+    match (a, b) {
+        (Array(x), Array(y)) => {
+            let mut hit = false;
+            array_intersect(x, y, &mut |_| hit = true);
+            hit
+        }
+        (Array(x), Bitmap(y)) | (Bitmap(y), Array(x)) => x.iter().any(|&v| y.contains(v)),
+        (Bitmap(x), Bitmap(y)) => x.words.iter().zip(&y.words).any(|(p, q)| p & q != 0),
+        (Runs(rs), Bitmap(y)) | (Bitmap(y), Runs(rs)) => {
+            rs.iter().any(|r| y.count_range(r.start, r.last) != 0)
+        }
+        (Runs(rs), Array(x)) | (Array(x), Runs(rs)) => rs.iter().any(|r| {
+            let lo = x.partition_point(|&v| v < r.start);
+            lo < x.len() && x[lo] <= r.last
+        }),
+        (Runs(xs), Runs(ys)) => {
+            let (mut i, mut j) = (0, 0);
+            while i < xs.len() && j < ys.len() {
+                if xs[i].start.max(ys[j].start) <= xs[i].last.min(ys[j].last) {
+                    return true;
+                }
+                if xs[i].last <= ys[j].last {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            false
+        }
+    }
+}
+
+/// `true` iff every member of `a` is in `b`.
+pub(crate) fn is_subset(a: &Container, b: &Container) -> bool {
+    use Container::{Array, Bitmap, Runs};
+    match (a, b) {
+        (Bitmap(x), Bitmap(y)) => x.words.iter().zip(&y.words).all(|(p, q)| p & !q == 0),
+        (Bitmap(x), Array(y)) => {
+            // Canonically |a| >= BITMAP_MIN > |b| and this is instantly
+            // false, but stay correct for any operand.
+            let mut ok = true;
+            'scan: for (i, &w) in x.words.iter().enumerate() {
+                let mut w = w;
+                while w != 0 {
+                    let v = (i * 64) as u16 + w.trailing_zeros() as u16;
+                    w &= w - 1;
+                    if y.binary_search(&v).is_err() {
+                        ok = false;
+                        break 'scan;
+                    }
+                }
+            }
+            ok
+        }
+        (Array(x), _) => x.iter().all(|&v| b.contains(v)),
+        (Runs(xs), Runs(ys)) => xs.iter().all(|r| {
+            let j = ys.partition_point(|s| s.last < r.start);
+            j < ys.len() && ys[j].start <= r.start && r.last <= ys[j].last
+        }),
+        (Runs(xs), Bitmap(y)) => xs
+            .iter()
+            .all(|r| y.count_range(r.start, r.last) == r.len()),
+        (Runs(xs), Array(y)) => {
+            // Each run must appear as consecutive array members.
+            let mut rest: &[u16] = y;
+            for r in xs {
+                let lo = rest.partition_point(|&v| v < r.start);
+                rest = &rest[lo..];
+                if rest.len() < r.len() || rest[0] != r.start || rest[r.len() - 1] != r.last {
+                    return false;
+                }
+                rest = &rest[r.len()..];
+            }
+            true
+        }
+        (Bitmap(x), Runs(ys)) => {
+            let mut ok = true;
+            let mut j = 0usize;
+            'scan: for (i, &w) in x.words.iter().enumerate() {
+                let mut w = w;
+                while w != 0 {
+                    let v = (i * 64) as u16 + w.trailing_zeros() as u16;
+                    w &= w - 1;
+                    while j < ys.len() && ys[j].last < v {
+                        j += 1;
+                    }
+                    if j == ys.len() || ys[j].start > v {
+                        ok = false;
+                        break 'scan;
+                    }
+                }
+            }
+            ok
+        }
+    }
+}
+
+/// Calls `f` for each member of `a ∩ b` in ascending order.
+pub(crate) fn for_each_in_intersection(a: &Container, b: &Container, f: &mut dyn FnMut(u16)) {
+    use Container::{Array, Bitmap, Runs};
+    match (a, b) {
+        (Array(x), Array(y)) => array_intersect(x, y, f),
+        (Array(x), Bitmap(y)) | (Bitmap(y), Array(x)) => {
+            for &v in x {
+                if y.contains(v) {
+                    f(v);
+                }
+            }
+        }
+        (Bitmap(x), Bitmap(y)) => {
+            for (i, (p, q)) in x.words.iter().zip(&y.words).enumerate() {
+                let mut w = p & q;
+                while w != 0 {
+                    f((i * 64) as u16 + w.trailing_zeros() as u16);
+                    w &= w - 1;
+                }
+            }
+        }
+        (Runs(rs), Bitmap(y)) | (Bitmap(y), Runs(rs)) => {
+            for r in rs {
+                for v in r.start..=r.last {
+                    if y.contains(v) {
+                        f(v);
+                    }
+                }
+            }
+        }
+        (Runs(rs), Array(x)) | (Array(x), Runs(rs)) => {
+            let mut rest: &[u16] = x;
+            for r in rs {
+                let lo = rest.partition_point(|&v| v < r.start);
+                rest = &rest[lo..];
+                let hi = rest.partition_point(|&v| v <= r.last);
+                for &v in &rest[..hi] {
+                    f(v);
+                }
+                rest = &rest[hi..];
+                if rest.is_empty() {
+                    break;
+                }
+            }
+        }
+        (Runs(xs), Runs(ys)) => {
+            let (mut i, mut j) = (0, 0);
+            while i < xs.len() && j < ys.len() {
+                let lo = xs[i].start.max(ys[j].start);
+                let hi = xs[i].last.min(ys[j].last);
+                if lo <= hi {
+                    for v in lo..=hi {
+                        f(v);
+                    }
+                }
+                if xs[i].last <= ys[j].last {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+/// In-place `a ∪= b`, returning the union's container. Consumes `a`
+/// by value so representation changes (array→bitmap promotion) need no
+/// placeholder swaps.
+pub(crate) fn union_into(a: Container, b: &Container) -> Container {
+    use Container::{Array, Bitmap, Runs};
+    match (a, b) {
+        (Bitmap(mut x), Bitmap(y)) => {
+            for (p, q) in x.words.iter_mut().zip(&y.words) {
+                *p |= q;
+            }
+            Bitmap(x)
+        }
+        (Bitmap(mut x), Array(y)) => {
+            for &v in y {
+                x.set(v);
+            }
+            Bitmap(x)
+        }
+        (Bitmap(mut x), Runs(ys)) => {
+            for r in ys {
+                x.set_range(r.start, r.last);
+            }
+            Bitmap(x)
+        }
+        (Array(x), Array(y)) => {
+            let mut out = Vec::with_capacity(x.len() + y.len());
+            let (mut i, mut j) = (0, 0);
+            while i < x.len() && j < y.len() {
+                match x[i].cmp(&y[j]) {
+                    std::cmp::Ordering::Less => {
+                        out.push(x[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        out.push(y[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        out.push(x[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            out.extend_from_slice(&x[i..]);
+            out.extend_from_slice(&y[j..]);
+            if out.len() >= BITMAP_MIN {
+                Container::from_sorted(&out)
+            } else {
+                Array(out)
+            }
+        }
+        (a, b) => {
+            // Remaining mixed shapes (array∪bitmap, anything∪runs):
+            // accumulate through a bitmap, then demote if small.
+            let mut bm = match b {
+                Bitmap(y) => Box::new((**y).clone()),
+                other => {
+                    let mut bm = crate::container::Bitmap::empty();
+                    other.for_each(|v| {
+                        bm.set(v);
+                    });
+                    bm
+                }
+            };
+            a.for_each(|v| {
+                bm.set(v);
+            });
+            if bm.count() >= BITMAP_MIN {
+                Bitmap(bm)
+            } else {
+                Array(bitmap_to_array(&bm))
+            }
+        }
+    }
+}
+
+/// `a \ b` as a fresh canonical container (`None` if empty).
+pub(crate) fn difference(a: &Container, b: &Container) -> Option<Container> {
+    use Container::{Array, Bitmap};
+    let out = match (a, b) {
+        (Bitmap(x), Bitmap(y)) => {
+            let mut z = Box::new((**x).clone());
+            for (p, q) in z.words.iter_mut().zip(&y.words) {
+                *p &= !q;
+            }
+            let card = z.count();
+            if card >= BITMAP_MIN {
+                Bitmap(z)
+            } else {
+                Array(bitmap_to_array(&z))
+            }
+        }
+        (Array(x), _) => Array(x.iter().copied().filter(|&v| !b.contains(v)).collect()),
+        (a, b) => {
+            let mut vals = Vec::new();
+            a.for_each(|v| {
+                if !b.contains(v) {
+                    vals.push(v);
+                }
+            });
+            Container::from_sorted(&vals)
+        }
+    };
+    (out.card() != 0).then_some(out)
+}
+
+// ---------------------------------------------------------------------------
+// Sorted-u16 array kernels: linear merge vs gallop, dispatched by
+// GALLOP_RATIO. Ported from the former sorted-`usize` sparse set, now at
+// u16 width so a cache line holds 32 members.
+// ---------------------------------------------------------------------------
+
+/// Orders two member slices smaller-first.
+#[inline]
+fn order_by_len<'a>(a: &'a [u16], b: &'a [u16]) -> (&'a [u16], &'a [u16]) {
+    if a.len() <= b.len() {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// `true` iff the ascending slices occupy non-overlapping value ranges
+/// (their intersection is trivially empty). Catches empty operands too.
+#[inline]
+fn disjoint_ranges(a: &[u16], b: &[u16]) -> bool {
+    match (a.first(), a.last(), b.first(), b.last()) {
+        (Some(&a_lo), Some(&a_hi), Some(&b_lo), Some(&b_hi)) => a_hi < b_lo || b_hi < a_lo,
+        _ => true,
+    }
+}
+
+/// Intersection walk with the adaptive merge/gallop dispatch.
+pub(crate) fn array_intersect(a: &[u16], b: &[u16], f: &mut dyn FnMut(u16)) {
+    let (small, large) = order_by_len(a, b);
+    if disjoint_ranges(small, large) {
+        return;
+    }
+    if small.len().saturating_mul(GALLOP_RATIO) < large.len() {
+        gallop_intersect(small, large, f);
+    } else {
+        linear_intersect(small, large, f);
+    }
+}
+
+#[inline]
+fn array_intersect_count_dispatch(a: &[u16], b: &[u16]) -> usize {
+    let mut n = 0;
+    array_intersect(a, b, &mut |_| n += 1);
+    n
+}
+
+/// `|a ∩ b|` forcing the linear two-pointer merge — the calibration entry
+/// point benchmarks sweep against [`array_intersect_count_gallop`] to
+/// locate the [`GALLOP_RATIO`] crossover.
+pub(crate) fn array_intersect_count_merge(a: &[u16], b: &[u16]) -> usize {
+    let (small, large) = order_by_len(a, b);
+    if disjoint_ranges(small, large) {
+        return 0;
+    }
+    let mut n = 0;
+    linear_intersect(small, large, &mut |_| n += 1);
+    n
+}
+
+/// `|a ∩ b|` forcing the galloping kernel (see
+/// [`array_intersect_count_merge`]).
+pub(crate) fn array_intersect_count_gallop(a: &[u16], b: &[u16]) -> usize {
+    let (small, large) = order_by_len(a, b);
+    if disjoint_ranges(small, large) {
+        return 0;
+    }
+    let mut n = 0;
+    gallop_intersect(small, large, &mut |_| n += 1);
+    n
+}
+
+/// Linear two-pointer merge over comparable-size operands: one
+/// branch-predictable pass, O(small + large).
+fn linear_intersect(small: &[u16], large: &[u16], f: &mut dyn FnMut(u16)) {
+    let (mut i, mut j) = (0, 0);
+    while i < small.len() && j < large.len() {
+        match small[i].cmp(&large[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                f(small[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Galloping kernel for skewed sizes: for each member of the small side,
+/// exponential-probe forward in the (shrinking) tail of the large side,
+/// then binary-search the bracketed window. O(small · log(large/small)).
+fn gallop_intersect(small: &[u16], large: &[u16], f: &mut dyn FnMut(u16)) {
+    let mut rest: &[u16] = large;
+    for &v in small {
+        let i = gallop_lower_bound(rest, v);
+        if i == rest.len() {
+            break;
+        }
+        rest = &rest[i..];
+        if rest[0] == v {
+            f(v);
+            rest = &rest[1..];
+            if rest.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+/// First index `i` of ascending `items` with `items[i] >= target`
+/// (`items.len()` if none), by exponential probing from the front then a
+/// binary search of the bracketed window.
+#[inline]
+fn gallop_lower_bound(items: &[u16], target: u16) -> usize {
+    if items.first().is_none_or(|&x| x >= target) {
+        return 0;
+    }
+    let mut hi = 1usize;
+    while hi < items.len() && items[hi] < target {
+        hi <<= 1;
+    }
+    let lo = hi >> 1;
+    let hi = hi.min(items.len());
+    lo + items[lo..hi].partition_point(|&x| x < target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(vals: &[u16]) -> Container {
+        Container::Array(vals.to_vec())
+    }
+
+    #[test]
+    fn run_insert_coalesces_both_sides() {
+        let mut rs = vec![Run { start: 3, last: 5 }, Run { start: 7, last: 9 }];
+        assert!(runs_insert(&mut rs, 6));
+        assert_eq!(rs, vec![Run { start: 3, last: 9 }]);
+        assert!(!runs_insert(&mut rs, 4));
+        assert!(runs_insert(&mut rs, 11));
+        assert_eq!(rs.len(), 2);
+        assert!(runs_insert(&mut rs, 10));
+        assert_eq!(rs, vec![Run { start: 3, last: 11 }]);
+        assert!(runs_insert(&mut rs, 2));
+        assert_eq!(rs, vec![Run { start: 2, last: 11 }]);
+    }
+
+    #[test]
+    fn run_remove_splits_and_shrinks() {
+        let mut rs = vec![Run { start: 2, last: 8 }];
+        assert!(runs_remove(&mut rs, 5));
+        assert_eq!(rs, vec![Run { start: 2, last: 4 }, Run { start: 6, last: 8 }]);
+        assert!(runs_remove(&mut rs, 2));
+        assert!(runs_remove(&mut rs, 8));
+        assert_eq!(rs, vec![Run { start: 3, last: 4 }, Run { start: 6, last: 7 }]);
+        assert!(!runs_remove(&mut rs, 5));
+        assert!(runs_remove(&mut rs, 3));
+        assert!(runs_remove(&mut rs, 4));
+        assert_eq!(rs, vec![Run { start: 6, last: 7 }]);
+    }
+
+    #[test]
+    fn array_promotes_at_bitmap_min_and_demotes_below() {
+        let mut c = Container::Array((0..ARRAY_MAX as u16).collect());
+        assert!(matches!(c, Container::Array(_)));
+        assert!(c.insert(60000));
+        assert!(matches!(c, Container::Bitmap(_)), "4096th member promotes");
+        assert_eq!(c.card(), BITMAP_MIN);
+        let card = c.card();
+        assert!(c.remove(60000, card));
+        assert!(matches!(c, Container::Array(_)), "dropping to 4095 demotes");
+        assert_eq!(c.card(), ARRAY_MAX);
+    }
+
+    #[test]
+    fn bitmap_count_range_boundaries() {
+        let mut bm = Bitmap::empty();
+        bm.set_range(60, 70);
+        bm.set(65535);
+        assert_eq!(bm.count_range(0, 59), 0);
+        assert_eq!(bm.count_range(60, 70), 11);
+        assert_eq!(bm.count_range(64, 64), 1);
+        assert_eq!(bm.count_range(0, 65535), 12);
+        assert_eq!(bm.count_range(65535, 65535), 1);
+    }
+
+    #[test]
+    fn optimize_picks_cheapest_encoding() {
+        // One long run: runs win over both array and bitmap.
+        let mut c = Container::from_sorted(&(0..5000).collect::<Vec<u16>>());
+        assert!(matches!(c, Container::Bitmap(_)));
+        c.optimize();
+        assert!(matches!(c, Container::Runs(ref rs) if rs.len() == 1));
+        assert_eq!(c.card(), 5000);
+        // Scattered members: array wins; optimize undoes run encoding.
+        let mut sc = Container::Runs(vec![
+            Run { start: 0, last: 0 },
+            Run { start: 10, last: 10 },
+            Run { start: 20, last: 20 },
+        ]);
+        sc.optimize();
+        assert!(matches!(sc, Container::Array(_)));
+        assert_eq!(sc.card(), 3);
+    }
+
+    #[test]
+    fn pairwise_kernels_agree_with_naive() {
+        // Three encodings of two member sets; every pair must agree.
+        let xs: Vec<u16> = (0..6000).filter(|v| v % 3 == 0).collect();
+        let ys: Vec<u16> = (1000..7000).filter(|v| v % 2 == 0).collect();
+        let want: Vec<u16> = xs.iter().copied().filter(|v| ys.contains(v)).collect();
+        let enc = |vals: &[u16]| {
+            let mut run = Container::from_sorted(vals);
+            run.optimize();
+            vec![
+                Container::from_sorted(vals),
+                {
+                    let mut bm = Bitmap::empty();
+                    for &v in vals {
+                        bm.set(v);
+                    }
+                    Container::Bitmap(bm)
+                },
+                run,
+            ]
+        };
+        for a in enc(&xs) {
+            for b in enc(&ys) {
+                assert_eq!(intersection_count(&a, &b), want.len());
+                assert_eq!(intersects(&a, &b), !want.is_empty());
+                let mut got = Vec::new();
+                for_each_in_intersection(&a, &b, &mut |v| got.push(v));
+                assert_eq!(got, want);
+                assert!(!is_subset(&a, &b));
+                let u = union_into(a.clone(), &b);
+                let mut union_naive: Vec<u16> = xs.iter().chain(&ys).copied().collect();
+                union_naive.sort_unstable();
+                union_naive.dedup();
+                assert_eq!(u.card(), union_naive.len());
+                let d = difference(&a, &b).expect("non-empty");
+                assert_eq!(d.card(), xs.len() - want.len());
+            }
+        }
+        // Subset holds for want ⊆ xs in every encoding pair.
+        for a in enc(&want) {
+            for b in enc(&xs) {
+                assert!(is_subset(&a, &b));
+            }
+        }
+    }
+
+    #[test]
+    fn forced_array_kernels_agree() {
+        let a: Vec<u16> = (0..4000).step_by(3).collect();
+        let b: Vec<u16> = (0..200).step_by(7).collect();
+        let want = array_intersect_count_dispatch(&a, &b);
+        assert_eq!(array_intersect_count_merge(&a, &b), want);
+        assert_eq!(array_intersect_count_gallop(&a, &b), want);
+        assert_eq!(array_intersect_count_merge(&b, &a), want);
+        assert_eq!(array_intersect_count_gallop(&b, &a), want);
+    }
+
+    #[test]
+    fn gallop_lower_bound_brackets_correctly() {
+        let items: Vec<u16> = vec![2, 4, 8, 16, 32, 64, 128];
+        for target in 0..=130u16 {
+            let want = items.partition_point(|&x| x < target);
+            assert_eq!(gallop_lower_bound(&items, target), want, "target {target}");
+        }
+        assert_eq!(gallop_lower_bound(&[], 5), 0);
+    }
+
+    #[test]
+    fn subset_runs_vs_array_requires_consecutive_members() {
+        let rs = Container::Runs(vec![Run { start: 4, last: 6 }]);
+        assert!(is_subset(&rs, &arr(&[3, 4, 5, 6, 9])));
+        assert!(!is_subset(&rs, &arr(&[4, 6, 9])));
+        assert!(!is_subset(&rs, &arr(&[5, 6, 7])));
+    }
+}

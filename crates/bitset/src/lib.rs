@@ -12,17 +12,28 @@
 //! * iteration over members to count *distinct graphs* (the paper's support
 //!   is per-graph, not per-occurrence).
 //!
-//! [`BitSet`] is a plain `Vec<u64>`-backed fixed-universe bitset. It is
-//! deliberately minimal — no compression, no rank/select — because occurrence
-//! universes in this workload are dense and short-lived (one pattern class at
-//! a time is in memory, mirroring gSpan's depth-first discipline).
+//! Two set types split the work:
+//!
+//! * [`BitSet`] — a plain `Vec<u64>`-backed fixed-universe bitset for
+//!   bounded, mostly-full working sets (the Step-3 recursion state, scratch
+//!   marking areas, taxonomy closures). Deliberately minimal — no
+//!   compression, no rank/select — because those universes are dense and
+//!   short-lived (one pattern class at a time is in memory, mirroring
+//!   gSpan's depth-first discipline).
+//! * [`AdaptiveBitSet`] — a Roaring-style chunked set whose per-2¹⁶-chunk
+//!   containers (sorted array / flat bitmap / run intervals) adapt to
+//!   cardinality. Occurrence and candidate sets live here; the fused
+//!   `*_dense` kernels bridge the two types without materializing either
+//!   side.
 
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
-mod sparse;
+mod adaptive;
+mod container;
 
-pub use sparse::SparseBitSet;
+pub use adaptive::AdaptiveBitSet;
+pub use container::{ARRAY_MAX, BITMAP_MIN, BITMAP_WORDS, GALLOP_RATIO};
 
 const BITS: usize = u64::BITS as usize;
 
@@ -377,33 +388,32 @@ pub fn distinct_mapped_intersection_count(
 }
 
 /// Counts the distinct values of `map[v]` over the members `v` of
-/// `sparse ∩ dense`, without materializing the intersection — the fused
-/// sparse-operand form of [`distinct_mapped_intersection_count`], and the
+/// `set ∩ dense`, without materializing the intersection — the fused
+/// adaptive-operand form of [`distinct_mapped_intersection_count`], and the
 /// exact shape of Taxogram's Lemma 7 support computation (candidate
-/// occurrence sets are sparse, the recursion's working set is dense, and
+/// occurrence sets are adaptive, the recursion's working set is dense, and
 /// support is per *graph*, via the embedding→graph projection `map`).
 ///
 /// The same empty-AND fast path applies: `scratch` is untouched until the
-/// first common member.
-pub fn sparse_dense_distinct_mapped_count(
-    sparse: &SparseBitSet,
+/// first common member. Bitmap chunks AND word-parallel against the dense
+/// operand's blocks; array and run chunks probe per member.
+pub fn adaptive_dense_distinct_mapped_count(
+    set: &AdaptiveBitSet,
     dense: &BitSet,
     map: &[u32],
     scratch: &mut BitSet,
 ) -> usize {
     let mut n = 0;
     let mut started = false;
-    for v in sparse.iter() {
-        if dense.contains(v) {
-            if !started {
-                scratch.clear();
-                started = true;
-            }
-            if scratch.insert(map[v] as usize) {
-                n += 1;
-            }
+    set.for_each_in_intersection_dense(dense, |v| {
+        if !started {
+            scratch.clear();
+            started = true;
         }
-    }
+        if scratch.insert(map[v] as usize) {
+            n += 1;
+        }
+    });
     n
 }
 
@@ -550,26 +560,26 @@ mod tests {
         let mut scratch = BitSet::from_iter_with_universe(4, [1, 2]);
         assert_eq!(distinct_mapped_intersection_count(&a, &b, &map, &mut scratch), 0);
         assert_eq!(scratch.to_vec(), vec![1, 2], "scratch untouched on empty AND");
-        let sa: SparseBitSet = [0usize, 2].iter().copied().collect();
-        assert_eq!(sparse_dense_distinct_mapped_count(&sa, &b, &map, &mut scratch), 0);
+        let sa: AdaptiveBitSet = [0usize, 2].iter().copied().collect();
+        assert_eq!(adaptive_dense_distinct_mapped_count(&sa, &b, &map, &mut scratch), 0);
         assert_eq!(scratch.to_vec(), vec![1, 2]);
         // Non-empty AND with a dirty scratch still counts correctly.
         let c = BitSet::from_iter_with_universe(128, [2, 3]);
         assert_eq!(distinct_mapped_intersection_count(&a, &c, &map, &mut scratch), 1);
         let mut dirty = BitSet::from_iter_with_universe(4, [0]);
-        assert_eq!(sparse_dense_distinct_mapped_count(&sa, &c, &map, &mut dirty), 1);
+        assert_eq!(adaptive_dense_distinct_mapped_count(&sa, &c, &map, &mut dirty), 1);
     }
 
     #[test]
-    fn sparse_dense_distinct_mapped_count_basic() {
+    fn adaptive_dense_distinct_mapped_count_basic() {
         // Occurrences 0..6 in graphs [0,0,1,1,2,2].
         let map = [0u32, 0, 1, 1, 2, 2];
-        let sparse: SparseBitSet = [0usize, 1, 4].iter().copied().collect();
+        let sparse: AdaptiveBitSet = [0usize, 1, 4].iter().copied().collect();
         let dense = BitSet::from_iter_with_universe(6, [1, 4, 5]);
         let mut scratch = BitSet::new(3);
         // Intersection {1, 4} → graphs {0, 2}.
         assert_eq!(
-            sparse_dense_distinct_mapped_count(&sparse, &dense, &map, &mut scratch),
+            adaptive_dense_distinct_mapped_count(&sparse, &dense, &map, &mut scratch),
             2
         );
     }
@@ -650,10 +660,10 @@ mod tests {
                 distinct_mapped_intersection_count(&a, &b, &map, &mut scratch),
                 want
             );
-            let sa: SparseBitSet = ma.iter().copied().collect();
+            let sa: AdaptiveBitSet = ma.iter().copied().collect();
             let mut scratch2 = BitSet::full(graphs); // deliberately dirty
             prop_assert_eq!(
-                sparse_dense_distinct_mapped_count(&sa, &b, &map, &mut scratch2),
+                adaptive_dense_distinct_mapped_count(&sa, &b, &map, &mut scratch2),
                 want
             );
         }

@@ -210,9 +210,9 @@ fn recurse<F: FnMut(EmittedPattern<'_>)>(
         for &child in entry.children(v[pos]) {
             let cset = entry.occs(child);
             ctx.stats.intersections += 1;
-            // Lemma 7: the candidate's support is one sparse∩dense
+            // Lemma 7: the candidate's support is one adaptive∩dense
             // intersection, fused with the per-graph distinct count.
-            let child_sup = tsg_bitset::sparse_dense_distinct_mapped_count(
+            let child_sup = tsg_bitset::adaptive_dense_distinct_mapped_count(
                 cset,
                 ocs,
                 &oi.occ_graph,
@@ -287,7 +287,7 @@ fn probe_descendants<F: FnMut(EmittedPattern<'_>)>(
     let mut seen: HashSet<LocalId> = queue.iter().copied().collect();
     while let Some(l) = queue.pop() {
         ctx.stats.intersections += 1;
-        let _ = tsg_bitset::sparse_dense_distinct_mapped_count(
+        let _ = tsg_bitset::adaptive_dense_distinct_mapped_count(
             entry.occs(l),
             ocs,
             &ctx.oi.occ_graph,

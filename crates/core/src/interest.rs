@@ -27,7 +27,7 @@
 
 use crate::miner::Pattern;
 use tsg_graph::GraphDatabase;
-use tsg_iso::{contains_subgraph, GeneralizedMatcher};
+use tsg_iso::{contains_subgraph_cached, BatchedMatcher, GeneralizedMatcher};
 use tsg_taxonomy::Taxonomy;
 
 /// The interest analysis of one pattern.
@@ -57,6 +57,10 @@ pub fn score_pattern(
     label_freq: &[usize],
 ) -> InterestScore {
     let matcher = GeneralizedMatcher::new(taxonomy);
+    // All generalizations of this pattern share the database index;
+    // their labels differ by one ancestor at a time, so the per-label
+    // candidate sets are nearly all cache hits.
+    let batched = BatchedMatcher::new(db, &matcher);
     let mut min_ratio: Option<f64> = None;
     for (i, &l) in pattern.graph.labels().iter().enumerate() {
         for &parent in taxonomy.parents(l) {
@@ -70,9 +74,10 @@ pub fn score_pattern(
             }
             let mut gen = pattern.graph.clone();
             gen.set_label(i, parent);
-            let gen_sup = db
+            let gen_sup = batched
+                .caches()
                 .iter()
-                .filter(|(_, g)| contains_subgraph(&gen, g, &matcher))
+                .filter(|c| contains_subgraph_cached(&gen, c))
                 .count() as f64;
             if gen_sup == 0.0 {
                 continue;

@@ -10,11 +10,16 @@
 //!
 //! Two representation choices matter for performance:
 //!
-//! * **Occurrence sets are sparse** (sorted vectors). An entry holds one
-//!   set per covered label and most labels cover few occurrences, so
-//!   storage is proportional to content (the paper's Lemma 4 bound)
-//!   rather than `labels × occurrence-universe`. The enumerator's working
-//!   set stays a dense bitset — there is exactly one per recursion level.
+//! * **Occurrence sets are adaptive** ([`AdaptiveBitSet`]): most labels
+//!   cover few occurrences and store them as 2-byte sorted arrays, labels
+//!   near the root cover nearly everything and collapse into flat bitmap
+//!   or run containers — so storage stays proportional to content (the
+//!   paper's Lemma 4 bound) rather than `labels × occurrence-universe`,
+//!   while the near-full sets keep word-parallel kernels. Sets are
+//!   [`optimize`](AdaptiveBitSet::optimize)d once at build time (the root
+//!   label's set is the contiguous run `0..universe`, the ideal run
+//!   container). The enumerator's working set stays a dense bitset —
+//!   there is exactly one per recursion level.
 //! * **Labels are interned per entry** into dense local ids. Entries
 //!   routinely hold hundreds of labels, and hash-mapping every label
 //!   touch dominated index construction before interning; now each label
@@ -22,7 +27,7 @@
 //!   iteration run on dense vectors.
 
 use std::collections::HashMap;
-use tsg_bitset::{BitSet, SparseBitSet};
+use tsg_bitset::{AdaptiveBitSet, BitSet};
 use tsg_graph::{GraphId, NodeLabel};
 use tsg_gspan::Embedding;
 use tsg_taxonomy::Taxonomy;
@@ -35,7 +40,7 @@ pub type LocalId = u32;
 pub struct OiNode {
     /// The occurrences of the class whose original label at this position
     /// is a (reflexive) descendant of this label.
-    pub occs: SparseBitSet,
+    pub occs: AdaptiveBitSet,
     /// Children of this label *within the entry* (taxonomy children
     /// restricted to covered labels, possibly rewired by contraction), as
     /// local ids.
@@ -77,7 +82,7 @@ impl OiEntry {
 
     /// The occurrence set of a local id.
     #[inline]
-    pub fn occs(&self, id: LocalId) -> &SparseBitSet {
+    pub fn occs(&self, id: LocalId) -> &AdaptiveBitSet {
         &self.nodes[id as usize].occs
     }
 
@@ -239,7 +244,7 @@ impl OccurrenceIndex {
                     let label = NodeLabel(anc_idx as u32);
                     let id = *index.entry(label).or_insert_with(|| {
                         labels.push(label);
-                        raw.push(Vec::new());
+                        raw.push(spare_vecs.pop().unwrap_or_default());
                         (labels.len() - 1) as LocalId
                     });
                     raw[id as usize].extend_from_slice(occs);
@@ -250,12 +255,20 @@ impl OccurrenceIndex {
                 v.clear();
                 spare_vecs.push(v);
             }
+            // Container encodings are chosen byte-cheapest at
+            // construction (contiguous near-root occurrence ranges come
+            // out run-encoded); the member buffers return to the scratch
+            // pool for the next entry.
             let mut nodes: Vec<OiNode> = raw
                 .into_iter()
-                .map(|members| OiNode {
-                    occs: SparseBitSet::from_members(members),
-                    children: Vec::new(),
-                    alive: true,
+                .map(|mut members| {
+                    let occs = AdaptiveBitSet::from_scratch(&mut members);
+                    spare_vecs.push(members);
+                    OiNode {
+                        occs,
+                        children: Vec::new(),
+                        alive: true,
+                    }
                 })
                 .collect();
             // Wire children within the entry, iterating each covered
@@ -399,11 +412,11 @@ fn contract(entry: &mut OiEntry, roots_only: bool) {
 
 /// An order-sensitive fingerprint of a sorted occurrence set; equal sets
 /// always collide, unequal ones almost never do.
-fn set_fingerprint(set: &SparseBitSet) -> u64 {
+fn set_fingerprint(set: &AdaptiveBitSet) -> u64 {
     let mut h = set.len() as u64;
-    for o in set.iter() {
+    set.for_each(|o| {
         h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(o as u64 + 1);
-    }
+    });
     h
 }
 
@@ -599,7 +612,7 @@ mod tests {
             index.insert(NodeLabel(*label), i as LocalId);
             labels.push(NodeLabel(*label));
             nodes.push(OiNode {
-                occs: SparseBitSet::from_members(occs.to_vec()),
+                occs: AdaptiveBitSet::from_members(occs.to_vec()),
                 children: children.to_vec(),
                 alive: true,
             });

@@ -19,7 +19,7 @@
 //! extension) implements.
 
 use tsg_graph::{GraphDatabase, LabeledGraph, NodeLabel};
-use tsg_iso::{is_gen_iso, is_isomorphic, support_count, GeneralizedMatcher};
+use tsg_iso::{is_gen_iso, is_isomorphic, BatchedMatcher, GeneralizedMatcher};
 use tsg_taxonomy::Taxonomy;
 
 /// Mines all frequent, non-over-generalized patterns by brute force.
@@ -62,11 +62,14 @@ pub fn reference_mine(
         }
     }
 
-    // 2. Frequency.
+    // 2. Frequency. One candidate-set index over the database serves
+    //    every recount; generalized candidates reuse cached label sets
+    //    heavily (ancestor combinations repeat the same few labels).
+    let batched = BatchedMatcher::new(db, &matcher);
     let frequent: Vec<(LabeledGraph, usize)> = candidates
         .into_iter()
         .filter_map(|p| {
-            let sup = support_count(&p, db, &matcher);
+            let sup = batched.support_count(&p);
             (sup >= min_support).then_some((p, sup))
         })
         .collect();

@@ -26,7 +26,9 @@ use crate::config::TaxogramConfig;
 use crate::error::TaxogramError;
 use crate::Taxogram;
 use tsg_graph::{GraphDatabase, LabeledGraph};
-use tsg_iso::{contains_subgraph, is_gen_iso, is_isomorphic, GeneralizedMatcher};
+use tsg_iso::{
+    contains_subgraph_cached, is_gen_iso, is_isomorphic, CandidateCache, GeneralizedMatcher,
+};
 use tsg_taxonomy::Taxonomy;
 
 /// A mined pattern with its exact global support.
@@ -113,13 +115,17 @@ pub fn mine_partitioned(
     }
     stats.candidates = candidates.len();
 
-    // Pass 2a: exact global supports, streaming the partitions.
+    // Pass 2a: exact global supports, streaming the partitions. Every
+    // candidate is matched against each graph, so one candidate-set
+    // cache per graph amortizes label-compatibility work across the
+    // whole candidate list.
     let matcher = GeneralizedMatcher::new(taxonomy);
     let mut supports = vec![0usize; candidates.len()];
     for part in partitions {
         for (_, g) in part.iter() {
+            let cache = CandidateCache::new(g, &matcher);
             for (i, c) in candidates.iter().enumerate() {
-                if contains_subgraph(c, g, &matcher) {
+                if contains_subgraph_cached(c, &cache) {
                     supports[i] += 1;
                 }
             }

@@ -1,7 +1,10 @@
 //! The backtracking embedding enumerator (VF2-flavored).
 
+use crate::candidates::CandidateCache;
 use crate::{ExactMatcher, GeneralizedMatcher, LabelMatcher};
 use std::ops::ControlFlow;
+use std::rc::Rc;
+use tsg_bitset::AdaptiveBitSet;
 use tsg_graph::{GraphDatabase, LabeledGraph, NodeId};
 use tsg_taxonomy::Taxonomy;
 
@@ -34,6 +37,7 @@ fn matching_order<M: LabelMatcher>(
     // Matcher-compatible target-vertex count per pattern vertex. The
     // O(|V_P|·|V_T|) scan is amortized by the search it steers: one
     // infeasible component start costs a full target scan per attempt.
+    // (The cached path gets the same counts from container metadata.)
     let mut candidates = vec![0usize; n];
     for (p, slot) in candidates.iter_mut().enumerate() {
         let lp = pattern.label(p);
@@ -44,6 +48,13 @@ fn matching_order<M: LabelMatcher>(
             return None;
         }
     }
+    Some(order_from_counts(pattern, &candidates))
+}
+
+/// The ordering rule shared by the scanning and cached paths, given the
+/// per-pattern-vertex candidate counts (all nonzero).
+fn order_from_counts(pattern: &LabeledGraph, candidates: &[usize]) -> Vec<NodeId> {
+    let n = pattern.node_count();
     let mut order = Vec::with_capacity(n);
     let mut placed = vec![false; n];
     while order.len() < n {
@@ -63,7 +74,16 @@ fn matching_order<M: LabelMatcher>(
             }
         }
     }
-    Some(order)
+    order
+}
+
+/// Where a component start finds its candidate vertices: the plain path
+/// scans every target vertex; the batched path iterates the pattern
+/// vertex's cached candidate set. Both visit candidates in ascending
+/// vertex order, so the embedding stream is identical.
+enum CandidateSource {
+    Scan,
+    Sets(Vec<Rc<AdaptiveBitSet>>),
 }
 
 struct Searcher<'a, M: LabelMatcher, F: FnMut(&[NodeId]) -> ControlFlow<()>> {
@@ -71,6 +91,7 @@ struct Searcher<'a, M: LabelMatcher, F: FnMut(&[NodeId]) -> ControlFlow<()>> {
     target: &'a LabeledGraph,
     matcher: &'a M,
     order: Vec<NodeId>,
+    candidates: CandidateSource,
     /// `map[p]` = target vertex for pattern vertex `p`, or `usize::MAX`.
     map: Vec<NodeId>,
     used: Vec<bool>,
@@ -135,13 +156,25 @@ impl<M: LabelMatcher, F: FnMut(&[NodeId]) -> ControlFlow<()>> Searcher<'_, M, F>
                     }
                 }
             }
-            None => {
-                for t in 0..self.target.node_count() {
-                    if self.feasible(p, t) {
-                        self.assign(p, t, depth)?;
+            None => match &self.candidates {
+                CandidateSource::Scan => {
+                    for t in 0..self.target.node_count() {
+                        if self.feasible(p, t) {
+                            self.assign(p, t, depth)?;
+                        }
                     }
                 }
-            }
+                CandidateSource::Sets(sets) => {
+                    // Rc-detach the set so iterating it doesn't hold a
+                    // borrow of `self` across the recursive assign.
+                    let set = Rc::clone(&sets[p]);
+                    for t in set.iter() {
+                        if self.feasible(p, t) {
+                            self.assign(p, t, depth)?;
+                        }
+                    }
+                }
+            },
         }
         ControlFlow::Continue(())
     }
@@ -192,11 +225,88 @@ pub fn enumerate_embeddings<M: LabelMatcher>(
         target,
         matcher,
         order,
+        candidates: CandidateSource::Scan,
         map: vec![usize::MAX; pattern.node_count()],
         used: vec![false; target.node_count()],
         visit,
     };
     let _ = s.search(0);
+}
+
+/// [`enumerate_embeddings`] through a [`CandidateCache`]: candidate sets
+/// come from the cache (computed once per distinct pattern label over
+/// the cache's lifetime), selectivity ordering reads their cardinalities
+/// from container metadata, and component starts iterate the candidate
+/// set instead of scanning every target vertex. Produces the same
+/// embeddings in the same order as the plain path.
+pub fn enumerate_embeddings_cached<M: LabelMatcher>(
+    pattern: &LabeledGraph,
+    cache: &CandidateCache<'_, M>,
+    visit: impl FnMut(&[NodeId]) -> ControlFlow<()>,
+) {
+    let target = cache.target();
+    debug_assert_eq!(
+        pattern.is_directed(),
+        target.is_directed(),
+        "pattern and target must agree on directedness"
+    );
+    if pattern.node_count() > target.node_count() || pattern.edge_count() > target.edge_count() {
+        return;
+    }
+    if pattern.node_count() == 0 {
+        let mut visit = visit;
+        let _ = visit(&[]);
+        return;
+    }
+    let n = pattern.node_count();
+    let mut sets = Vec::with_capacity(n);
+    let mut counts = Vec::with_capacity(n);
+    for p in 0..n {
+        let set = cache.candidates(pattern.label(p));
+        if set.is_empty() {
+            return; // no compatible target vertex for this pattern vertex
+        }
+        counts.push(set.len());
+        sets.push(set);
+    }
+    let order = order_from_counts(pattern, &counts);
+    let mut s = Searcher {
+        pattern,
+        target,
+        matcher: cache.matcher(),
+        order,
+        candidates: CandidateSource::Sets(sets),
+        map: vec![usize::MAX; n],
+        used: vec![false; target.node_count()],
+        visit,
+    };
+    let _ = s.search(0);
+}
+
+/// [`contains_subgraph`] through a [`CandidateCache`].
+pub fn contains_subgraph_cached<M: LabelMatcher>(
+    pattern: &LabeledGraph,
+    cache: &CandidateCache<'_, M>,
+) -> bool {
+    let mut found = false;
+    enumerate_embeddings_cached(pattern, cache, |_| {
+        found = true;
+        ControlFlow::Break(())
+    });
+    found
+}
+
+/// [`count_embeddings`] through a [`CandidateCache`].
+pub fn count_embeddings_cached<M: LabelMatcher>(
+    pattern: &LabeledGraph,
+    cache: &CandidateCache<'_, M>,
+) -> usize {
+    let mut n = 0;
+    enumerate_embeddings_cached(pattern, cache, |_| {
+        n += 1;
+        ControlFlow::Continue(())
+    });
+    n
 }
 
 /// The first embedding of `pattern` into `target`, if any.
@@ -476,6 +586,64 @@ mod tests {
         let t = path(&[1, 2, 1], &[0, 0]);
         assert_eq!(count_embeddings(&p, &t, &ExactMatcher), 0);
         assert!(find_embedding(&p, &t, &ExactMatcher).is_none());
+    }
+
+    #[test]
+    fn cached_path_is_byte_identical_to_plain_path() {
+        let tax = taxonomy_from_edges(4, [(1, 0), (2, 0), (3, 1)]).unwrap();
+        let gm = GeneralizedMatcher::new(&tax);
+        let mut ring = LabeledGraph::with_nodes([nl(1), nl(2), nl(3), nl(1), nl(2)]);
+        for i in 0..5 {
+            ring.add_edge(i, (i + 1) % 5, el(i as u32 % 2)).unwrap();
+        }
+        let patterns = vec![
+            path(&[0, 0], &[0]),
+            path(&[1, 0, 2], &[0, 1]),
+            path(&[0, 0, 0], &[0, 0]),
+            path(&[3, 1], &[1]),
+        ];
+        let cache = crate::candidates::CandidateCache::new(&ring, &gm);
+        for p in &patterns {
+            // Same embeddings in the same order, not just the same set.
+            let mut plain: Vec<Embedding> = vec![];
+            enumerate_embeddings(p, &ring, &gm, |e| {
+                plain.push(e.to_vec());
+                ControlFlow::Continue(())
+            });
+            let mut cached: Vec<Embedding> = vec![];
+            enumerate_embeddings_cached(p, &cache, |e| {
+                cached.push(e.to_vec());
+                ControlFlow::Continue(())
+            });
+            assert_eq!(plain, cached, "pattern {p:?}");
+            assert_eq!(
+                contains_subgraph(p, &ring, &gm),
+                contains_subgraph_cached(p, &cache)
+            );
+            assert_eq!(
+                count_embeddings(p, &ring, &gm),
+                count_embeddings_cached(p, &cache)
+            );
+        }
+    }
+
+    #[test]
+    fn batched_support_matches_plain_support() {
+        let tax = taxonomy_from_edges(4, [(1, 0), (2, 0), (3, 1)]).unwrap();
+        let gm = GeneralizedMatcher::new(&tax);
+        let db = GraphDatabase::from_graphs(vec![
+            path(&[1, 2, 1], &[0, 0]),
+            path(&[3, 1], &[0]),
+            path(&[2, 3, 2], &[0, 0]),
+        ]);
+        let batched = crate::candidates::BatchedMatcher::new(&db, &gm);
+        for p in [path(&[0, 0], &[0]), path(&[1, 0], &[0]), path(&[0, 2], &[0])] {
+            assert_eq!(
+                batched.support_count(&p),
+                support_count(&p, &db, &gm),
+                "pattern {p:?}"
+            );
+        }
     }
 
     #[test]

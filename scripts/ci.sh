@@ -20,6 +20,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== deep proptest sweep (PROPTEST_CASES=256, pinned seed) =="
 PROPTEST_CASES=256 PROPTEST_RNG_SEED=0x7a78c0ffee cargo test --workspace -q
 
+# Kernel-regression tripwire: re-time the hot bitset kernels (the same
+# workload set scripts/bench_snapshot.sh records) and compare against the
+# newest BENCH_*.json. A >25% slowdown prints a loud warning block but
+# does NOT fail CI — shared runners are too noisy for a hard gate; the
+# criterion groups below it give the statistical picture when needed:
+#   cargo bench -p tsg-bench -- fused sparse_regimes
+echo "== kernel-regression tripwire (vs newest BENCH_*.json) =="
+cargo run --release -q -p tsg-bench --bin kernel_gate
+
 # Fault-injection stage: the panic/receiver-drop/forced-steal/capacity
 # matrix for the parallel engines, at the acceptance thread counts.
 echo "== fault-injection matrix =="
