@@ -4,10 +4,13 @@
 //! `kernel_gate` CI stage via `tsg_bench::kernels`), end-to-end
 //! D1000/θ=0.2 mine times for the serial, barrier-parallel,
 //! streaming-pipelined, and work-stealing engines, a `thread_scaling`
-//! section sweeping the scaling engines over 1/2/4/8 workers, and a
-//! `governed_overhead` section timing the serial miner ungoverned vs
-//! governed with an infinite budget (the pure cost of the governance
-//! poll points).
+//! section sweeping the scaling engines over 1/2/4/8 workers (with the
+//! host's core count recorded next to the rows — on a single-core host
+//! the sweep measures scheduling overhead, not speedup), a
+//! `taxonomy_scale` section measuring the interval-labeled reachability
+//! layer at 10⁵ and 10⁶ concepts, and a `governed_overhead` section
+//! timing the serial miner ungoverned vs governed with an infinite
+//! budget (the pure cost of the governance poll points).
 //!
 //! Emits a single JSON object on stdout; `scripts/bench_snapshot.sh`
 //! redirects it into a dated `BENCH_<date>.json`. Timing is hand-rolled
@@ -176,6 +179,14 @@ fn main() {
         })
         .collect();
 
+    // --- Taxonomy scaling: interval-labeled reachability ----------------
+    // One 10⁵ row matches the CI smoke stage; the 10⁶ row is the
+    // acceptance scale for the closure-storage and is_ancestor bounds.
+    let taxonomy_scale = [
+        tsg_bench::taxscale::measure(100_000, 50, 42),
+        tsg_bench::taxscale::measure(1_000_000, 50, 42),
+    ];
+
     // --- Governance overhead: ungoverned vs infinite budget -------------
     // Same interleave-and-take-min discipline as the engine timings. The
     // governed run enables every poll point (admission gate per class,
@@ -225,12 +236,23 @@ fn main() {
         piped.stats.peak_embedding_bytes,
         stolen.stats.peak_embedding_bytes,
     ));
-    json.push_str("  \"thread_scaling\": [\n");
+    json.push_str("  \"thread_scaling\": {\n");
+    json.push_str(&format!("    \"host_nproc\": {nproc},\n"));
+    json.push_str(
+        "    \"note\": \"worker counts above host_nproc time-slice on shared cores; on a single-core host these rows measure scheduling overhead, not parallel speedup\",\n",
+    );
+    json.push_str("    \"rows\": [\n");
     for (i, (t, piped_ms, steal_ms, steals)) in thread_scaling.iter().enumerate() {
         let comma = if i + 1 < thread_scaling.len() { "," } else { "" };
         json.push_str(&format!(
-            "    {{ \"threads\": {t}, \"pipelined_ms\": {piped_ms:.3}, \"stealing_ms\": {steal_ms:.3}, \"steals\": {steals} }}{comma}\n"
+            "      {{ \"threads\": {t}, \"pipelined_ms\": {piped_ms:.3}, \"stealing_ms\": {steal_ms:.3}, \"steals\": {steals} }}{comma}\n"
         ));
+    }
+    json.push_str("    ]\n  },\n");
+    json.push_str("  \"taxonomy_scale\": [\n");
+    for (i, row) in taxonomy_scale.iter().enumerate() {
+        let comma = if i + 1 < taxonomy_scale.len() { "," } else { "" };
+        json.push_str(&format!("{}{comma}\n", row.to_json(4)));
     }
     json.push_str("  ],\n");
     json.push_str(&format!(

@@ -10,6 +10,7 @@ pub mod experiments;
 pub mod kernels;
 pub mod profile;
 pub mod report;
+pub mod taxscale;
 
 pub use experiments::*;
 pub use profile::Profile;

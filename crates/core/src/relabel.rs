@@ -7,6 +7,7 @@
 //! first so the most general ancestor is unique.
 
 use crate::TaxogramError;
+use std::sync::Arc;
 use tsg_graph::{GraphDatabase, NodeLabel};
 use tsg_taxonomy::Taxonomy;
 
@@ -22,8 +23,10 @@ pub struct Relabeled {
     pub originals: Vec<Vec<NodeLabel>>,
     /// The working taxonomy: the input taxonomy, with artificial roots
     /// added if unification was necessary. All later stages must use this
-    /// one (concept ids are a superset of the input's).
-    pub taxonomy: Taxonomy,
+    /// one (concept ids are a superset of the input's). Shared behind an
+    /// `Arc` so cloning a `Relabeled` (the parallel engines fan one out
+    /// per worker) shares the closure memo instead of duplicating it.
+    pub taxonomy: Arc<Taxonomy>,
 }
 
 /// Performs Step 1.
@@ -65,7 +68,7 @@ pub fn relabel(db: &GraphDatabase, taxonomy: &Taxonomy) -> Result<Relabeled, Tax
     Ok(Relabeled {
         dmg,
         originals,
-        taxonomy,
+        taxonomy: Arc::new(taxonomy),
     })
 }
 

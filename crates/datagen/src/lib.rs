@@ -25,4 +25,7 @@ mod synth;
 pub use go::{go_like_taxonomy, go_like_taxonomy_scaled, GO_CONCEPTS, GO_DEPTH};
 pub use pathways::{pathway_corpus, pathway_database, PathwayDataset, PathwaySpec, PATHWAYS};
 pub use pte::{pte_atom_taxonomy, pte_like_dataset, PteDataset, BOND_LABELS};
-pub use synth::{generate_database, generate_taxonomy, GraphGenConfig, LabelPool, Sizing, SynthTaxonomyConfig};
+pub use synth::{
+    generate_database, generate_scaled_taxonomy, generate_taxonomy, GraphGenConfig, LabelPool,
+    ScaledTaxonomyConfig, Sizing, SynthTaxonomyConfig,
+};

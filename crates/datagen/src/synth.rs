@@ -112,6 +112,51 @@ pub fn generate_taxonomy(config: &SynthTaxonomyConfig) -> Taxonomy {
     b.build().expect("levelled construction is acyclic")
 }
 
+/// Parameters for [`generate_scaled_taxonomy`].
+#[derive(Clone, Copy, Debug)]
+pub struct ScaledTaxonomyConfig {
+    /// Total number of concepts (intended range 10⁵–10⁶).
+    pub concepts: usize,
+    /// Expected number of cross-link (second-parent) edges per 1000
+    /// concepts; 0 yields a pure tree (the NCBI shape), 1000 gives every
+    /// concept a second parent on average.
+    pub cross_links_per_mille: u32,
+    /// RNG seed; equal configs with equal seeds are identical.
+    pub seed: u64,
+}
+
+/// Generates a large random-recursive-tree taxonomy with tunable
+/// cross-link density, sized for the interval-reachability scaling
+/// benchmarks (10⁵–10⁶ concepts).
+///
+/// Concept 0 is the root; every later concept's primary parent is drawn
+/// uniformly among all earlier concepts, which yields the logarithmic
+/// expected depth (≈ `e·ln n`) and heavy-tailed fan-out of real
+/// ontologies like NCBI. Cross-links add a second uniformly-drawn
+/// earlier parent to randomly chosen concepts, turning the tree into a
+/// DAG that exercises the extra-ancestor fallback sets.
+///
+/// # Panics
+/// Panics if `concepts < 2`.
+pub fn generate_scaled_taxonomy(config: &ScaledTaxonomyConfig) -> Taxonomy {
+    assert!(config.concepts >= 2, "need at least a root and one child");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.concepts;
+    let mut b = TaxonomyBuilder::with_concepts(n);
+    for c in 1..n {
+        let p = rng.random_range(0..c);
+        b.is_a(NodeLabel(c as u32), NodeLabel(p as u32))
+            .expect("fresh primary parent edge");
+        if rng.random_range(0..1000u32) < config.cross_links_per_mille && c > 1 {
+            let q = rng.random_range(0..c);
+            // A duplicate of the primary parent is simply skipped; the
+            // per-mille knob is an expectation, not an exact count.
+            let _ = b.is_a(NodeLabel(c as u32), NodeLabel(q as u32));
+        }
+    }
+    b.build().expect("parents precede children, so acyclic")
+}
+
 /// How the graph generator draws node labels from the taxonomy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LabelPool {
@@ -306,6 +351,33 @@ mod tests {
             depth: 10,
             seed: 0,
         });
+    }
+
+    #[test]
+    fn scaled_taxonomy_is_deterministic_and_dag() {
+        let cfg = ScaledTaxonomyConfig {
+            concepts: 20_000,
+            cross_links_per_mille: 100,
+            seed: 3,
+        };
+        let t = generate_scaled_taxonomy(&cfg);
+        assert_eq!(t.concept_count(), 20_000);
+        assert_eq!(t.roots(), &[tsg_graph::NodeLabel(0)]);
+        assert_eq!(t.edge_list(), generate_scaled_taxonomy(&cfg).edge_list());
+        // ~10% of concepts carry a second parent; the extra-ancestor
+        // fallback machinery must actually be exercised.
+        let extra = t.relationship_count() - (t.concept_count() - 1);
+        assert!((1000..3000).contains(&extra), "{extra} cross-links");
+        assert!(t.cross_link_concepts() > 0);
+        // Random recursive trees have depth ≈ e·ln n (~27 here).
+        assert!((10..60).contains(&(t.max_depth() as usize)), "{}", t.max_depth());
+        // Zero density degenerates to a pure tree.
+        let tree = generate_scaled_taxonomy(&ScaledTaxonomyConfig {
+            cross_links_per_mille: 0,
+            ..cfg
+        });
+        assert_eq!(tree.relationship_count(), tree.concept_count() - 1);
+        assert_eq!(tree.cross_link_concepts(), 0);
     }
 
     #[test]

@@ -82,7 +82,7 @@ impl TaxonomyBuilder {
     /// Returns [`TaxonomyError::Empty`] for zero concepts and
     /// [`TaxonomyError::Cycle`] if the is-a relation is cyclic.
     pub fn build(self) -> Result<Taxonomy, TaxonomyError> {
-        Taxonomy::from_relations(self.parents, self.children)
+        Taxonomy::from_relations(&self.parents, &self.children)
     }
 }
 

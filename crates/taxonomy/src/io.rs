@@ -151,6 +151,90 @@ pub fn to_dot(taxonomy: &Taxonomy, name: &str, names: Option<&LabelTable>) -> St
     out
 }
 
+/// An NCBI taxonomy loaded from `nodes.dmp`: the is-a structure plus the
+/// original NCBI tax-ids and ranks, with a lookup index from tax-id to
+/// dense concept id.
+#[derive(Clone, Debug)]
+pub struct NcbiTaxonomy {
+    /// The parsed taxonomy; concept ids are dense in file order.
+    pub taxonomy: Taxonomy,
+    /// NCBI tax-id per concept id.
+    pub tax_ids: Vec<u64>,
+    /// Rank string per concept id (e.g. `species`, `genus`, `no rank`).
+    pub ranks: Vec<String>,
+    /// Lookup from NCBI tax-id to dense concept id.
+    pub index: std::collections::HashMap<u64, NodeLabel>,
+}
+
+/// Parses the NCBI taxonomy `nodes.dmp` format: one node per line, fields
+/// separated by `\t|\t` and lines terminated with `\t|`. Only the first
+/// three fields are read — `tax_id | parent tax_id | rank` — and the
+/// parser is tolerant of plain `|` separators and missing trailing
+/// terminators. The root node is self-parented in the dump (`1 | 1`) and
+/// becomes a taxonomy root rather than a self-is-a error.
+///
+/// Concept ids are assigned densely in file order, so a round-trip
+/// through [`NcbiTaxonomy::index`] recovers the original tax-ids.
+///
+/// # Errors
+/// Returns [`GraphError::Parse`] with a line number for short records,
+/// non-numeric ids, duplicate tax-ids, parents that never appear in the
+/// file, or is-a cycles.
+pub fn read_ncbi_nodes(text: &str) -> Result<NcbiTaxonomy, GraphError> {
+    let parse = |line: usize, msg: String| GraphError::Parse { line, msg };
+
+    let mut tax_ids: Vec<u64> = Vec::new();
+    let mut parent_ids: Vec<u64> = Vec::new();
+    let mut ranks: Vec<String> = Vec::new();
+    let mut index: std::collections::HashMap<u64, NodeLabel> =
+        std::collections::HashMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let mut fields = raw.split('|').map(str::trim);
+        let mut int = |what: &str| -> Result<u64, GraphError> {
+            let field = fields
+                .next()
+                .ok_or_else(|| parse(lineno, format!("missing {what} field")))?;
+            field
+                .parse()
+                .map_err(|_| parse(lineno, format!("bad {what} {field:?}")))
+        };
+        let tax_id = int("tax_id")?;
+        let parent = int("parent tax_id")?;
+        let rank = fields.next().unwrap_or("no rank").to_owned();
+        let concept = NodeLabel(tax_ids.len() as u32);
+        if index.insert(tax_id, concept).is_some() {
+            return Err(parse(lineno, format!("duplicate tax_id {tax_id}")));
+        }
+        tax_ids.push(tax_id);
+        parent_ids.push(parent);
+        ranks.push(rank);
+    }
+
+    let mut builder = TaxonomyBuilder::with_concepts(tax_ids.len());
+    for (i, &parent) in parent_ids.iter().enumerate() {
+        if parent == tax_ids[i] {
+            continue; // the dump's self-parented root
+        }
+        let Some(&p) = index.get(&parent) else {
+            return Err(parse(
+                i + 1,
+                format!("parent tax_id {parent} never declared"),
+            ));
+        };
+        builder
+            .is_a(NodeLabel(i as u32), p)
+            .map_err(|e| parse(i + 1, e.to_string()))?;
+    }
+    let taxonomy = builder
+        .build()
+        .map_err(|e| parse(0, e.to_string()))?;
+    Ok(NcbiTaxonomy { taxonomy, tax_ids, ranks, index })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +292,63 @@ mod tests {
         }
         let err = read_taxonomy("z 1\n").unwrap_err();
         assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    /// A hand-trimmed `nodes.dmp` excerpt in the real NCBI shape:
+    /// `tax_id \t|\t parent \t|\t rank \t|\t ...trailing fields... \t|`.
+    const NODES_DMP: &str = "\
+1\t|\t1\t|\tno rank\t|\t\t|\t8\t|\t0\t|\t1\t|\t0\t|\t0\t|\t0\t|\t0\t|\t0\t|\t\t|
+131567\t|\t1\t|\tno rank\t|\t\t|\t8\t|\t1\t|\t1\t|\t0\t|\t0\t|\t0\t|\t0\t|\t0\t|\t\t|
+2\t|\t131567\t|\tsuperkingdom\t|\t\t|\t0\t|\t0\t|\t11\t|\t0\t|\t0\t|\t0\t|\t0\t|\t0\t|\t\t|
+9606\t|\t131567\t|\tspecies\t|\tHS\t|\t5\t|\t1\t|\t1\t|\t1\t|\t2\t|\t1\t|\t1\t|\t0\t|\t\t|
+";
+
+    #[test]
+    fn ncbi_nodes_reader_builds_a_rooted_tree() {
+        let ncbi = read_ncbi_nodes(NODES_DMP).unwrap();
+        let t = &ncbi.taxonomy;
+        assert_eq!(t.concept_count(), 4);
+        assert_eq!(ncbi.tax_ids, vec![1, 131567, 2, 9606]);
+        assert_eq!(ncbi.ranks[2], "superkingdom");
+        assert_eq!(ncbi.ranks[3], "species");
+        let root = ncbi.index[&1];
+        let cellular = ncbi.index[&131567];
+        let human = ncbi.index[&9606];
+        assert_eq!(t.roots(), &[root], "self-parented node 1 is the root");
+        assert!(t.is_ancestor(root, human));
+        assert!(t.is_ancestor(cellular, human));
+        assert!(!t.is_ancestor(human, cellular));
+        assert_eq!(t.cross_link_concepts(), 0, "NCBI is a pure tree");
+        assert_eq!(t.depth(human), 2);
+    }
+
+    #[test]
+    fn ncbi_nodes_reader_tolerates_bare_pipes_and_rejects_garbage() {
+        // Plain `|` separators without tabs also parse.
+        let ncbi = read_ncbi_nodes("1|1|no rank\n7|1|genus\n").unwrap();
+        assert_eq!(ncbi.taxonomy.concept_count(), 2);
+        assert_eq!(ncbi.index[&7], tsg_graph::NodeLabel(1));
+        // Missing fields, bad numbers, duplicates, unknown parents.
+        assert!(matches!(
+            read_ncbi_nodes("1\t|\n").unwrap_err(),
+            GraphError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            read_ncbi_nodes("x\t|\t1\t|\trank\t|\n").unwrap_err(),
+            GraphError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            read_ncbi_nodes("1|1|r\n1|1|r\n").unwrap_err(),
+            GraphError::Parse { line: 2, .. }
+        ));
+        let err = read_ncbi_nodes("1|1|r\n5|99|r\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("never declared"), "{msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -21,12 +21,14 @@
 
 mod builder;
 pub mod io;
+mod reach;
 pub mod samples;
 pub mod similarity;
 #[allow(clippy::module_inception)]
 mod taxonomy;
 
 pub use builder::{taxonomy_from_edges, TaxonomyBuilder};
+pub use reach::Closure;
 pub use taxonomy::Taxonomy;
 
 use tsg_graph::NodeLabel;

@@ -71,7 +71,7 @@ impl InformationContent {
     /// The most informative common ancestor of `a` and `b` under this
     /// corpus, if the two concepts share any ancestor.
     pub fn mica(&self, taxonomy: &Taxonomy, a: NodeLabel, b: NodeLabel) -> Option<NodeLabel> {
-        let common = taxonomy.ancestors(a).intersection(taxonomy.ancestors(b));
+        let common = taxonomy.common_ancestors(a, b);
         common
             .iter()
             .map(|i| NodeLabel(i as u32))

@@ -53,6 +53,36 @@ pub fn arb_taxonomy(max_concepts: usize) -> impl Strategy<Value = Taxonomy> {
         })
 }
 
+/// A random multi-root, cross-linked DAG taxonomy over
+/// `2..=max_concepts` concepts: each concept after 0 picks **zero** to
+/// three distinct earlier parents, so parentless concepts become extra
+/// roots and two-plus-parent concepts exercise the cross-link
+/// (non-spanning-tree) ancestry paths of the interval reachability
+/// labeling. Acyclic by construction (parents are always lower-numbered).
+pub fn arb_dag_taxonomy(max_concepts: usize) -> impl Strategy<Value = Taxonomy> {
+    (2..=max_concepts)
+        .prop_flat_map(|n| {
+            let parent_choices: Vec<_> = (1..n)
+                .map(|i| prop::collection::vec(0..i, 0..=3.min(i)))
+                .collect();
+            (Just(n), parent_choices)
+        })
+        .prop_map(|(n, parents)| {
+            let mut b = TaxonomyBuilder::with_concepts(n);
+            for (i, ps) in parents.into_iter().enumerate() {
+                let child = NodeLabel((i + 1) as u32);
+                let mut seen = vec![];
+                for p in ps {
+                    if !seen.contains(&p) {
+                        seen.push(p);
+                        b.is_a(child, NodeLabel(p as u32)).unwrap();
+                    }
+                }
+            }
+            b.build().expect("acyclic by construction")
+        })
+}
+
 /// A random small connected graph over labels `0..concepts`: a chain of
 /// `2..=max_nodes` vertices (edge labels 0–1) plus up to two extra
 /// edges.

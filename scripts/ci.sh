@@ -20,6 +20,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== deep proptest sweep (PROPTEST_CASES=256, pinned seed) =="
 PROPTEST_CASES=256 PROPTEST_RNG_SEED=0x7a78c0ffee cargo test --workspace -q
 
+# Reachability-equivalence stage: the interval-labeled closure layer vs a
+# naive BFS transitive-closure model on random DAG taxonomies, called out
+# separately because a miss here silently corrupts every engine's output.
+echo "== interval-reachability equivalence sweep (PROPTEST_CASES=256, pinned seed) =="
+PROPTEST_CASES=256 PROPTEST_RNG_SEED=0x7a78c0ffee \
+    cargo test -q -p tsg-taxonomy --test reach_equivalence
+
+# Taxonomy-scale smoke: build a generated 10⁵-concept taxonomy and fail
+# if the build exceeds 2 s or closure storage exceeds 50 MB — the
+# tripwire against reintroducing quadratic closure state.
+echo "== taxonomy_scale smoke (10^5 concepts: build < 2 s, closures < 50 MB) =="
+cargo run --release -q -p tsg-bench --bin taxonomy_scale -- --smoke
+
 # Kernel-regression tripwire: re-time the hot bitset kernels (the same
 # workload set scripts/bench_snapshot.sh records) and compare against the
 # newest BENCH_*.json. A >25% slowdown prints a loud warning block but
