@@ -187,6 +187,65 @@ fn main() {
         tsg_bench::taxscale::measure(1_000_000, 50, 42),
     ];
 
+    // --- SON scaling: out-of-core sharded mining ------------------------
+    // One uncapped single-shard run measures the database's on-disk
+    // footprint; the capped run then sets the resident-set ceiling to a
+    // tenth of it, so the miner provably handles a database ~10× larger
+    // than what any worker may hold resident — and must still produce
+    // the byte-identical serial pattern count. The shard sweep rows time
+    // shard-count scaling at the snapshot thread count.
+    let spill_dir = std::env::temp_dir();
+    let son_opts = |shards: usize, cap: Option<u64>| taxogram_core::ShardOptions {
+        shards,
+        threads,
+        spill_dir: Some(spill_dir.clone()),
+        resident_cap_bytes: cap,
+        ..Default::default()
+    };
+    let uncapped =
+        taxogram_core::mine_sharded(&cfg, &ds.database, &ds.taxonomy, &son_opts(1, None)).unwrap();
+    let spilled_bytes = uncapped.shard_stats.spilled_bytes;
+    let resident_cap = (spilled_bytes / 10).max(1);
+    let capped = taxogram_core::mine_sharded(
+        &cfg,
+        &ds.database,
+        &ds.taxonomy,
+        &son_opts(1, Some(resident_cap)),
+    )
+    .unwrap();
+    assert_eq!(
+        capped.result.patterns.len(),
+        piped.patterns.len(),
+        "capped sharded mining must agree before a snapshot is worth recording"
+    );
+    assert!(
+        capped.shard_stats.shards >= 10,
+        "a tenth-of-footprint cap must split the database into >= 10 shards"
+    );
+    let son_reps = 3usize;
+    let son_rows: Vec<(usize, f64, u64, usize)> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|shards| {
+            let mut times = Vec::with_capacity(son_reps);
+            let mut largest = 0u64;
+            let mut actual = 0usize;
+            for _ in 0..son_reps {
+                let start = Instant::now();
+                let r = taxogram_core::mine_sharded(
+                    &cfg,
+                    &ds.database,
+                    &ds.taxonomy,
+                    &son_opts(shards, None),
+                )
+                .unwrap();
+                times.push(start.elapsed().as_nanos() as f64 / 1e6);
+                largest = r.shard_stats.largest_shard_bytes;
+                actual = r.shard_stats.shards;
+            }
+            (actual, best(&times), largest, shards)
+        })
+        .collect();
+
     // --- Governance overhead: ungoverned vs infinite budget -------------
     // Same interleave-and-take-min discipline as the engine timings. The
     // governed run enables every poll point (admission gate per class,
@@ -255,6 +314,23 @@ fn main() {
         json.push_str(&format!("{}{comma}\n", row.to_json(4)));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"son_scaling\": {{\n    \"threads\": {},\n    \"spilled_bytes\": {},\n    \"resident_cap_bytes\": {},\n    \"spill_over_cap_ratio\": {:.1},\n    \"capped_shards\": {},\n    \"capped_largest_shard_bytes\": {},\n    \"patterns\": {},\n    \"rows\": [\n",
+        threads,
+        spilled_bytes,
+        resident_cap,
+        spilled_bytes as f64 / resident_cap as f64,
+        capped.shard_stats.shards,
+        capped.shard_stats.largest_shard_bytes,
+        capped.result.patterns.len(),
+    ));
+    for (i, (actual, ms, largest, requested)) in son_rows.iter().enumerate() {
+        let comma = if i + 1 < son_rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "      {{ \"shards_requested\": {requested}, \"shards\": {actual}, \"mine_ms\": {ms:.3}, \"largest_shard_bytes\": {largest} }}{comma}\n"
+        ));
+    }
+    json.push_str("    ]\n  },\n");
     json.push_str(&format!(
         "  \"governed_overhead\": {{\n    \"serial_ungoverned_ms\": {ungoverned_ms:.3},\n    \"serial_governed_unlimited_ms\": {governed_ms:.3},\n    \"overhead_pct\": {overhead_pct:.2}\n  }}\n}}"
     ));

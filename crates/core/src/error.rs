@@ -36,6 +36,16 @@ pub enum TaxogramError {
         /// The first panic's payload, rendered as text.
         message: String,
     },
+    /// A spill file of the sharded out-of-core miner could not be
+    /// written, or failed to read back intact (truncation, a corrupt
+    /// length prefix, a missing file). A damaged shard always surfaces
+    /// here — never as a silently short mining result.
+    ShardIo {
+        /// The shard whose spill file failed.
+        shard: usize,
+        /// What went wrong, including the byte offset when known.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for TaxogramError {
@@ -50,6 +60,9 @@ impl std::fmt::Display for TaxogramError {
             }
             TaxogramError::WorkerPanicked { message } => {
                 write!(f, "a mining worker panicked: {message}")
+            }
+            TaxogramError::ShardIo { shard, message } => {
+                write!(f, "shard {shard} spill i/o failed: {message}")
             }
         }
     }

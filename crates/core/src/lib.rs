@@ -52,6 +52,7 @@ pub mod pipeline;
 pub mod postprocess;
 pub mod reference;
 pub mod relabel;
+pub mod shard;
 pub mod son;
 pub mod steal;
 
@@ -89,7 +90,13 @@ pub use parallel::{mine_parallel, mine_parallel_governed};
 pub use pipeline::{
     mine_pipelined, mine_pipelined_governed, mine_pipelined_with, PipelineOptions,
 };
+pub use shard::{
+    mine_sharded, mine_sharded_governed, ShardOptions, ShardStats, ShardedOutcome,
+    ShardedSonMiner,
+};
 pub use steal::{mine_stealing, mine_stealing_governed, mine_stealing_with, StealOptions};
+#[doc(hidden)]
+pub use shard::{mine_sharded_faulted, ShardFaults};
 #[doc(hidden)]
 pub use pipeline::{mine_pipelined_faulted, mine_pipelined_governed_faulted, PipelineFaults};
 #[doc(hidden)]

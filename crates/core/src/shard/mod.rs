@@ -1,0 +1,689 @@
+//! Parallel out-of-core sharded mining — the industrialized SON path
+//! (DESIGN.md §15).
+//!
+//! [`crate::son::mine_partitioned`] proves the two-pass partition
+//! algorithm correct but keeps every partition in memory and runs
+//! serially. This module promotes it into the scale path:
+//!
+//! 1. **Spill.** The database is split into contiguous graph-id ranges
+//!    and written to disk as length-prefixed binary shard files
+//!    ([`tsg_graph::binary`]), validating labels in global order along
+//!    the way. [`ShardOptions::resident_cap_bytes`] raises the shard
+//!    count until each file fits the cap, so the resident working set is
+//!    one shard per worker regardless of database size.
+//! 2. **Pass 1 — local class discovery** ([`pass1`]): workers claim
+//!    shards from a shared counter, each reading its shard back,
+//!    relabeling it, and mining locally frequent pattern *classes* on
+//!    the work-stealing gSpan engine. Only (canonical DFS code,
+//!    skeleton) pairs survive; by the SON pigeonhole their union is a
+//!    complete candidate superset of the globally frequent classes.
+//! 3. **Pass 2a — exact global supports** ([`pass2`]): the shards are
+//!    streamed again and every candidate's support is recounted with
+//!    batched candidate-cache matching; per-shard counts sum to exactly
+//!    the serial engine's class supports.
+//! 4. **Pass 2b — global Step 3**: each globally frequent class, taken
+//!    in canonical (= serial) order in batches of
+//!    [`ShardOptions::class_batch`], has its embeddings re-enumerated
+//!    over the shard stream and is then enumerated by the ordinary
+//!    class pipeline ([`crate::pipeline`]) against the global database
+//!    size — so specialization supports, the minimality filter, and the
+//!    emission order are *byte-identical* to the single-pass serial
+//!    miner. (This sidesteps the locally-over-generalized corner of
+//!    [`crate::son`] entirely: class membership is re-derived globally,
+//!    never reconstructed from local verdicts.)
+//!
+//! Governance threads through end to end: the cancel token and deadline
+//! are polled at every shard claim, budgets gate each Pass 2b class
+//! admission in serial class order, and an early stop yields a truthful
+//! [`Termination`] whose finished classes form a byte-identical prefix
+//! of the serial pattern stream. Spill files are removed when the run
+//! ends — success, error, or early termination — unless
+//! [`ShardOptions::keep_spill`] asks otherwise.
+
+mod pass1;
+mod pass2;
+mod spill;
+
+use crate::channel::recover;
+use crate::config::TaxogramConfig;
+use crate::enumerate::EnumScratch;
+use crate::error::TaxogramError;
+use crate::gauge::MemoryGauge;
+use crate::govern::{GovernOptions, Governor, Termination, FRONTIER_CAP};
+use crate::miner::{MiningResult, MiningStats};
+use crate::oi::OiScratch;
+use crate::pipeline::{
+    embedding_heap_bytes, enumerate_class, merge_outputs, panic_message, ClassOutput, Prepared,
+};
+use crate::relabel::Relabeled;
+use crate::sync::{thread, Arc, AtomicBool, AtomicUsize, Mutex, Ordering};
+use spill::{read_shard, spill, SpillSet};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use tsg_bitset::BitSet;
+use tsg_gspan::DfsCode;
+use tsg_graph::{GraphDatabase, LabeledGraph};
+use tsg_taxonomy::Taxonomy;
+
+/// Tuning knobs for the sharded out-of-core miner.
+#[derive(Clone, Debug)]
+pub struct ShardOptions {
+    /// Minimum shard count. Raised automatically when
+    /// [`ShardOptions::resident_cap_bytes`] demands smaller shards.
+    pub shards: usize,
+    /// Worker threads for the shard-parallel passes. Each worker holds
+    /// at most one shard resident at a time.
+    pub threads: usize,
+    /// Directory for spill files; defaults to the system temp dir. A
+    /// unique per-run subdirectory is always created beneath it.
+    pub spill_dir: Option<PathBuf>,
+    /// Pass 2b classes whose embeddings are collected per shard stream;
+    /// larger batches trade resident embedding memory for fewer passes
+    /// over the spill files.
+    pub class_batch: usize,
+    /// Keep the spill directory after the run instead of deleting it.
+    pub keep_spill: bool,
+    /// Approximate ceiling on a single shard file's size: the shard
+    /// count grows until the encoded database splits into files no
+    /// larger than this, making the per-worker resident set independent
+    /// of the database size.
+    pub resident_cap_bytes: Option<u64>,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        ShardOptions {
+            shards: 1,
+            threads: 1,
+            spill_dir: None,
+            class_batch: 8,
+            keep_spill: false,
+            resident_cap_bytes: None,
+        }
+    }
+}
+
+/// Deterministic spill-I/O fault injector. Test-only plumbing (driven by
+/// `tsg-testkit`); every field defaults to "no fault".
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardFaults {
+    /// Fail the spill write at this global record index.
+    pub write_error_at_record: Option<usize>,
+    /// After spilling, truncate this shard's file mid-stream.
+    pub truncate_shard: Option<usize>,
+    /// After spilling, overwrite this shard's first record length prefix
+    /// with an absurd value.
+    pub corrupt_prefix: Option<usize>,
+    /// After spilling, delete this shard's file.
+    pub delete_shard: Option<usize>,
+}
+
+/// Counters specific to a sharded run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    /// Shards the database was split into (after the resident-cap raise).
+    pub shards: usize,
+    /// Candidate classes after Pass 1 (union of local frequent sets).
+    pub candidates: usize,
+    /// Candidates discarded as globally infrequent in Pass 2a.
+    pub globally_infrequent: usize,
+    /// Total bytes written to spill files.
+    pub spilled_bytes: u64,
+    /// Largest single shard file — the per-worker resident-set unit.
+    pub largest_shard_bytes: u64,
+    /// Full streaming passes over the shard files (Pass 1 + Pass 2a +
+    /// one per Pass 2b class batch).
+    pub db_streams: usize,
+}
+
+/// The result of a sharded run: the mining result (byte-identical to the
+/// serial engine's, or a prefix of it under governance), its termination
+/// report, and the sharding counters.
+#[derive(Clone, Debug)]
+pub struct ShardedOutcome {
+    /// The (possibly partial) mining result.
+    pub result: MiningResult,
+    /// Why and where the run stopped.
+    pub termination: Termination,
+    /// Sharding counters.
+    pub shard_stats: ShardStats,
+}
+
+/// The sharded out-of-core SON miner. A thin handle around
+/// [`ShardOptions`]; see the module docs for the pass structure.
+#[derive(Clone, Debug, Default)]
+pub struct ShardedSonMiner {
+    options: ShardOptions,
+}
+
+impl ShardedSonMiner {
+    /// A miner with the given sharding options.
+    pub fn new(options: ShardOptions) -> Self {
+        ShardedSonMiner { options }
+    }
+
+    /// Mines `db` over `taxonomy`, spilling shards to disk. Output is
+    /// byte-identical to [`crate::Taxogram::mine`].
+    ///
+    /// # Errors
+    /// Same conditions as the serial miner, plus
+    /// [`TaxogramError::ShardIo`] if a spill file cannot be written or
+    /// read back intact.
+    pub fn mine(
+        &self,
+        config: &TaxogramConfig,
+        db: &GraphDatabase,
+        taxonomy: &Taxonomy,
+    ) -> Result<ShardedOutcome, TaxogramError> {
+        mine_sharded(config, db, taxonomy, &self.options)
+    }
+
+    /// [`ShardedSonMiner::mine`] under governance: budgets and
+    /// cancellation gate Pass 2b class admission in serial class order,
+    /// and shard claims poll the cancel token and deadline, so an early
+    /// stop yields a sound serial-prefix partial result.
+    ///
+    /// # Errors
+    /// Same conditions as [`ShardedSonMiner::mine`]; early termination
+    /// is not an error.
+    pub fn mine_governed(
+        &self,
+        config: &TaxogramConfig,
+        db: &GraphDatabase,
+        taxonomy: &Taxonomy,
+        govern: &GovernOptions,
+    ) -> Result<ShardedOutcome, TaxogramError> {
+        mine_sharded_governed(config, db, taxonomy, &self.options, govern)
+    }
+}
+
+/// Mines `db` sharded out-of-core; see [`ShardedSonMiner::mine`].
+///
+/// # Errors
+/// Same conditions as [`ShardedSonMiner::mine`].
+pub fn mine_sharded(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    options: &ShardOptions,
+) -> Result<ShardedOutcome, TaxogramError> {
+    mine_impl(
+        config,
+        db,
+        taxonomy,
+        options,
+        &Governor::disabled(),
+        &ShardFaults::default(),
+    )
+}
+
+/// Governed sharded mining; see [`ShardedSonMiner::mine_governed`].
+///
+/// # Errors
+/// Same conditions as [`ShardedSonMiner::mine`]; early termination is
+/// not an error.
+pub fn mine_sharded_governed(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    options: &ShardOptions,
+    govern: &GovernOptions,
+) -> Result<ShardedOutcome, TaxogramError> {
+    mine_impl(config, db, taxonomy, options, &Governor::new(govern), &ShardFaults::default())
+}
+
+/// [`mine_sharded`] / [`mine_sharded_governed`] plus the deterministic
+/// spill-fault injector. Test-only plumbing (driven by `tsg-testkit`).
+#[doc(hidden)]
+pub fn mine_sharded_faulted(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    options: &ShardOptions,
+    govern: Option<&GovernOptions>,
+    faults: ShardFaults,
+) -> Result<ShardedOutcome, TaxogramError> {
+    let governor = match govern {
+        Some(g) => Governor::new(g),
+        None => Governor::disabled(),
+    };
+    mine_impl(config, db, taxonomy, options, &governor, &faults)
+}
+
+/// Splits `0..db.len()` into contiguous shard ranges: at least
+/// `options.shards` of them, more when the resident cap demands smaller
+/// files (shard size estimated from the binary encoding's exact
+/// per-record arithmetic).
+fn plan_shards(db: &GraphDatabase, options: &ShardOptions) -> Vec<(usize, usize)> {
+    let mut shards = options.shards.max(1);
+    if let Some(cap) = options.resident_cap_bytes {
+        let total: u64 = 16 + db.graphs().iter().map(encoded_record_bytes).sum::<u64>();
+        shards = shards.max(total.div_ceil(cap.max(1)) as usize);
+    }
+    let per = db.len().div_ceil(shards).max(1);
+    (0..db.len())
+        .step_by(per)
+        .map(|start| (start, (start + per).min(db.len())))
+        .collect()
+}
+
+/// Exact encoded size of one graph record in the `TSGB` spill format:
+/// length prefix + body prefix + labels + edge triples.
+fn encoded_record_bytes(g: &LabeledGraph) -> u64 {
+    4 + 9 + 4 * g.node_count() as u64 + 12 * g.edge_count() as u64
+}
+
+/// Runs `f` once per shard across `threads` claiming workers, each
+/// holding one shard resident at a time. Claims poll the governor (a
+/// tripped cancel token or deadline stops further claims within one
+/// shard); the first error — lowest shard index on a tie — aborts the
+/// scan and is returned after every worker has unwound. Worker panics
+/// surface as [`TaxogramError::WorkerPanicked`], never as an abort or a
+/// deadlock. Returns the per-shard results plus whether the scan was
+/// stopped early by governance.
+fn scan_shards<T: Send>(
+    set: &SpillSet,
+    threads: usize,
+    governor: &Governor,
+    f: impl Fn(usize, GraphDatabase) -> Result<T, TaxogramError> + Sync,
+) -> Result<(Vec<Option<T>>, bool), TaxogramError> {
+    let n = set.shard_count();
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let first_error: Mutex<Option<(usize, TaxogramError)>> = Mutex::new(None);
+    let workers = threads.min(n).max(1);
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                if governor.should_stop() {
+                    stop.store(true, Ordering::Release);
+                    break;
+                }
+                let shard = next.fetch_add(1, Ordering::Relaxed);
+                if shard >= n {
+                    break;
+                }
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    read_shard(set, shard).and_then(|shard_db| f(shard, shard_db))
+                }));
+                let err = match outcome {
+                    Ok(Ok(v)) => {
+                        recover(slots.lock())[shard] = Some(v);
+                        continue;
+                    }
+                    Ok(Err(e)) => e,
+                    Err(payload) => TaxogramError::WorkerPanicked {
+                        message: panic_message(payload.as_ref()),
+                    },
+                };
+                let mut guard = recover(first_error.lock());
+                let replace = match guard.as_ref() {
+                    Some((held, _)) => *held > shard,
+                    None => true,
+                };
+                if replace {
+                    *guard = Some((shard, err));
+                }
+                drop(guard);
+                stop.store(true, Ordering::Release);
+                break;
+            });
+        }
+    });
+    if let Some((_, e)) = recover(first_error.lock()).take() {
+        return Err(e);
+    }
+    let stopped = stop.load(Ordering::Acquire);
+    let slots = {
+        let mut guard = recover(slots.lock());
+        std::mem::take(&mut *guard)
+    };
+    Ok((slots, stopped))
+}
+
+/// A governance stop during Pass 1 or Pass 2a: nothing finished, so the
+/// sound serial prefix is empty. The abandoned count is at least 1 (the
+/// run lost work) and the frontier lists the candidate codes known so
+/// far.
+fn early_stop<'a>(
+    governor: &Governor,
+    codes: impl Iterator<Item = &'a DfsCode>,
+    known: usize,
+    min_support: usize,
+    db_len: usize,
+    shard_stats: ShardStats,
+) -> ShardedOutcome {
+    let frontier: Vec<String> = codes.take(FRONTIER_CAP).map(|c| c.to_string()).collect();
+    ShardedOutcome {
+        result: MiningResult {
+            patterns: Vec::new(),
+            stats: MiningStats::default(),
+            min_support_count: min_support,
+            database_size: db_len,
+        },
+        termination: governor.finish(0, known.max(1), frontier),
+        shard_stats,
+    }
+}
+
+fn mine_impl(
+    config: &TaxogramConfig,
+    db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    options: &ShardOptions,
+    governor: &Governor,
+    faults: &ShardFaults,
+) -> Result<ShardedOutcome, TaxogramError> {
+    let theta = config.threshold;
+    if !(0.0..=1.0).contains(&theta) || theta.is_nan() {
+        return Err(TaxogramError::InvalidThreshold { theta });
+    }
+    let min_support = db.min_support_count(theta);
+    let db_len = db.len();
+    if db.is_empty() {
+        return Ok(ShardedOutcome {
+            result: MiningResult {
+                patterns: Vec::new(),
+                stats: MiningStats::default(),
+                min_support_count: min_support,
+                database_size: 0,
+            },
+            termination: Termination::completed(0),
+            shard_stats: ShardStats::default(),
+        });
+    }
+
+    let boundaries = plan_shards(db, options);
+    let parent = options
+        .spill_dir
+        .clone()
+        .unwrap_or_else(std::env::temp_dir);
+    let set = spill(db, taxonomy, &boundaries, &parent, options.keep_spill, faults)?;
+    let mut shard_stats = ShardStats {
+        shards: set.shard_count(),
+        spilled_bytes: set.spilled_bytes,
+        largest_shard_bytes: set.largest_shard_bytes,
+        ..ShardStats::default()
+    };
+    let threads = options.threads.max(1);
+
+    // Pass 1: local class discovery, one resident shard per worker.
+    let (slots, stopped) = scan_shards(&set, threads, governor, |_, shard_db| {
+        pass1::mine_shard(&shard_db, taxonomy, config)
+    })?;
+    shard_stats.db_streams += 1;
+    if stopped {
+        let partial = pass1::merge_candidates(
+            slots.into_iter().flatten().map(|s| s.classes).collect(),
+        );
+        shard_stats.candidates = partial.len();
+        return Ok(early_stop(
+            governor,
+            partial.iter().map(|(c, _)| c),
+            partial.len(),
+            min_support,
+            db_len,
+            shard_stats,
+        ));
+    }
+    let mut freq_sums: Vec<usize> = Vec::new();
+    let mut per_shard_classes = Vec::with_capacity(set.shard_count());
+    for slot in slots {
+        let s = slot.expect("unstopped scan fills every slot");
+        if freq_sums.len() < s.label_frequencies.len() {
+            freq_sums.resize(s.label_frequencies.len(), 0);
+        }
+        for (acc, f) in freq_sums.iter_mut().zip(&s.label_frequencies) {
+            *acc += f;
+        }
+        per_shard_classes.push(s.classes);
+    }
+    let candidates = pass1::merge_candidates(per_shard_classes);
+    shard_stats.candidates = candidates.len();
+
+    // Pass 2a: exact global class supports across a second shard stream.
+    let (slots, stopped) = scan_shards(&set, threads, governor, |_, shard_db| {
+        pass2::shard_supports(&shard_db, taxonomy, &candidates)
+    })?;
+    shard_stats.db_streams += 1;
+    if stopped {
+        return Ok(early_stop(
+            governor,
+            candidates.iter().map(|(c, _)| c),
+            candidates.len(),
+            min_support,
+            db_len,
+            shard_stats,
+        ));
+    }
+    let mut supports = vec![0usize; candidates.len()];
+    for shard_counts in slots.into_iter().flatten() {
+        for (acc, c) in supports.iter_mut().zip(&shard_counts) {
+            *acc += c;
+        }
+    }
+    let frequent: Vec<(DfsCode, LabeledGraph)> = candidates
+        .into_iter()
+        .zip(&supports)
+        .filter(|&(_, &sup)| sup >= min_support)
+        .map(|(cand, _)| cand)
+        .collect();
+    shard_stats.globally_infrequent = shard_stats.candidates - frequent.len();
+
+    // Step 3 scaffold on *global* data: the unified taxonomy (database-
+    // independent, so identical to every shard's), the summed frequent-
+    // label mask, and an originals table filled lazily per batch with
+    // the rows the occurrence indices actually touch.
+    let unified = Arc::new(taxonomy.unify_most_general());
+    let frequent_mask = if config.enhancements.prune_infrequent_labels {
+        let mut mask = BitSet::new(unified.concept_count());
+        for (i, &f) in freq_sums.iter().enumerate() {
+            if f >= min_support {
+                mask.insert(i);
+            }
+        }
+        Some(mask)
+    } else {
+        None
+    };
+    let mut prepared = Prepared {
+        rel: Relabeled {
+            dmg: GraphDatabase::new(),
+            originals: vec![Vec::new(); db_len],
+            taxonomy: unified,
+        },
+        frequent_mask,
+        min_support,
+        db_len,
+    };
+
+    // Pass 2b: batched global re-enumeration in canonical class order.
+    let emb_gauge = MemoryGauge::new();
+    let oi_gauge = MemoryGauge::new();
+    let mut enum_scratch = EnumScratch::new();
+    let mut oi_scratch = OiScratch::new();
+    let mut outputs: Vec<ClassOutput> = Vec::new();
+    let mut finished = 0usize;
+    let batch_size = options.class_batch.max(1);
+    'batches: for batch in frequent.chunks(batch_size) {
+        let (slots, stopped) = scan_shards(&set, threads, governor, |shard, shard_db| {
+            pass2::collect_shard_embeddings(&shard_db, taxonomy, batch, set.range(shard).0)
+        })?;
+        shard_stats.db_streams += 1;
+        if stopped {
+            break 'batches;
+        }
+        let mut per_class: Vec<Vec<tsg_gspan::Embedding>> =
+            (0..batch.len()).map(|_| Vec::new()).collect();
+        for slot in slots {
+            let shard_out = slot.expect("unstopped scan fills every slot");
+            for (gid, labels) in shard_out.originals {
+                prepared.rel.originals[gid] = labels;
+            }
+            // Shard order = ascending graph-id order, the single-pass
+            // engines' embedding order.
+            for (acc, embeddings) in per_class.iter_mut().zip(shard_out.per_class) {
+                acc.extend(embeddings);
+            }
+        }
+        for ((_, skeleton), embeddings) in batch.iter().zip(per_class) {
+            let emb_bytes = embedding_heap_bytes(&embeddings);
+            emb_gauge.add(emb_bytes);
+            // Admission in serial class order — the same gate, in the
+            // same order, as the single-pass engines, so budget and
+            // cancel-after trip points line up exactly.
+            if !governor.admit_class(emb_gauge.peak() + oi_gauge.peak()) {
+                emb_gauge.sub(emb_bytes);
+                break 'batches;
+            }
+            let out = enumerate_class(
+                skeleton,
+                &embeddings,
+                &prepared,
+                config,
+                Some(&oi_gauge),
+                &mut enum_scratch,
+                &mut oi_scratch,
+            );
+            drop(embeddings);
+            emb_gauge.sub(emb_bytes);
+            governor.add_patterns(out.patterns.len());
+            outputs.push(out);
+            finished += 1;
+            if governor.should_stop_class_boundary() {
+                break 'batches;
+            }
+        }
+    }
+
+    let abandoned = frequent.len() - finished;
+    let frontier: Vec<String> = frequent[finished..]
+        .iter()
+        .take(FRONTIER_CAP)
+        .map(|(code, _)| code.to_string())
+        .collect();
+    let termination = governor.finish(finished, abandoned, frontier);
+    let mut result = merge_outputs(outputs.into_iter(), finished, &prepared);
+    result.stats.peak_oi_bytes = oi_gauge.peak();
+    result.stats.peak_embedding_bytes = emb_gauge.peak();
+    Ok(ShardedOutcome {
+        result,
+        termination,
+        shard_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Taxogram;
+    use tsg_taxonomy::samples;
+
+    fn options(shards: usize, threads: usize) -> ShardOptions {
+        ShardOptions {
+            shards,
+            threads,
+            ..ShardOptions::default()
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_exactly() {
+        let (c, t) = samples::sample_taxonomy();
+        let db = samples::figure_1_4_database(&c);
+        for theta in [1.0, 2.0 / 3.0, 1.0 / 3.0] {
+            let cfg = TaxogramConfig::with_threshold(theta);
+            let serial = Taxogram::new(cfg).mine(&db, &t).unwrap();
+            for shards in [1, 2, 3, 8] {
+                for threads in [1, 4] {
+                    let sharded = mine_sharded(&cfg, &db, &t, &options(shards, threads)).unwrap();
+                    assert!(sharded.termination.is_complete());
+                    assert_eq!(serial.patterns.len(), sharded.result.patterns.len());
+                    for (a, b) in serial.patterns.iter().zip(&sharded.result.patterns) {
+                        assert_eq!(a.graph.labels(), b.graph.labels());
+                        assert_eq!(a.graph.edges(), b.graph.edges());
+                        assert_eq!(a.support_count, b.support_count);
+                    }
+                    assert_eq!(serial.stats.classes, sharded.result.stats.classes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resident_cap_raises_the_shard_count() {
+        let (c, t) = samples::sample_taxonomy();
+        let db = samples::figure_1_4_database(&c);
+        let cfg = TaxogramConfig::with_threshold(1.0 / 3.0);
+        let opts = ShardOptions {
+            resident_cap_bytes: Some(64),
+            ..ShardOptions::default()
+        };
+        let out = mine_sharded(&cfg, &db, &t, &opts).unwrap();
+        assert!(out.shard_stats.shards > 1, "a 64-byte cap must split");
+        assert!(out.shard_stats.largest_shard_bytes > 0);
+        assert!(out.shard_stats.spilled_bytes >= out.shard_stats.largest_shard_bytes);
+    }
+
+    #[test]
+    fn spill_directory_is_removed_on_success() {
+        let (c, t) = samples::sample_taxonomy();
+        let db = samples::figure_1_4_database(&c);
+        let cfg = TaxogramConfig::with_threshold(1.0 / 3.0);
+        let root = std::env::temp_dir().join(format!("tsg-spill-test-{}", std::process::id()));
+        std::fs::create_dir_all(&root).unwrap();
+        let opts = ShardOptions {
+            shards: 3,
+            spill_dir: Some(root.clone()),
+            ..ShardOptions::default()
+        };
+        mine_sharded(&cfg, &db, &t, &opts).unwrap();
+        let leftovers = std::fs::read_dir(&root).unwrap().count();
+        std::fs::remove_dir_all(&root).unwrap();
+        assert_eq!(leftovers, 0, "spill subdirectory must be cleaned up");
+    }
+
+    #[test]
+    fn sharded_handles_empty_database() {
+        let (_, t) = samples::sample_taxonomy();
+        let cfg = TaxogramConfig::with_threshold(0.5);
+        let out = mine_sharded(&cfg, &GraphDatabase::new(), &t, &ShardOptions::default()).unwrap();
+        assert!(out.result.patterns.is_empty());
+        assert!(out.termination.is_complete());
+        assert_eq!(out.shard_stats.spilled_bytes, 0);
+    }
+
+    #[test]
+    fn sharded_rejects_bad_threshold() {
+        let (_, t) = samples::sample_taxonomy();
+        let cfg = TaxogramConfig::with_threshold(1.5);
+        assert!(matches!(
+            mine_sharded(&cfg, &GraphDatabase::new(), &t, &ShardOptions::default()),
+            Err(TaxogramError::InvalidThreshold { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_label_reports_the_serial_error() {
+        use tsg_graph::NodeLabel;
+        let t = tsg_taxonomy::taxonomy_from_edges(2, [(1, 0)]).unwrap();
+        let good = LabeledGraph::with_nodes([NodeLabel(0), NodeLabel(1)]);
+        let bad = LabeledGraph::with_nodes([NodeLabel(0), NodeLabel(9)]);
+        let db = GraphDatabase::from_graphs(vec![good, bad]);
+        let cfg = TaxogramConfig::with_threshold(0.5);
+        let err = mine_sharded(&cfg, &db, &t, &options(2, 1)).unwrap_err();
+        assert_eq!(
+            err,
+            TaxogramError::LabelNotInTaxonomy {
+                graph: 1,
+                node: 1,
+                label: NodeLabel(9)
+            }
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Pass 1: local candidate-class discovery, one resident shard at a time.
+//!
+//! Each shard is relabeled and mined independently at the *same
+//! fractional* threshold θ. By pigeonhole, a pattern class frequent in
+//! the whole database (`sup ≥ ⌈θ·N⌉`) must be frequent in at least one
+//! shard (`supᵢ ≥ ⌈θ·nᵢ⌉`): if it were locally infrequent everywhere,
+//! `supᵢ < θ·nᵢ` for every shard and the global support would fall below
+//! `θ·N ≤ ⌈θ·N⌉`. The union of local class sets is therefore a complete
+//! candidate superset; Pass 2 computes exact global supports.
+//!
+//! Only the class *identity* survives this pass — the canonical DFS code
+//! and its skeleton graph. Local embeddings and local supports are
+//! dropped on the spot: they are per-shard artifacts, and keeping them
+//! would tie resident memory to the database instead of the shard.
+//! Global embeddings are re-enumerated from the spill files in Pass 2b.
+//!
+//! The pass also sums each shard's generalized-label frequency vector.
+//! [`tsg_taxonomy::Taxonomy::generalized_label_frequencies`] counts
+//! distinct ancestor concepts *per graph* and sums over graphs, so the
+//! element-wise sum over shards equals the whole-database vector — the
+//! prune-infrequent-labels mask comes out identical to the single-pass
+//! miner's without a second streaming pass.
+
+use crate::config::TaxogramConfig;
+use crate::error::TaxogramError;
+use crate::relabel::relabel;
+use tsg_gspan::{mine_parallel_classes, DfsCode, GSpanConfig, ParallelOptions};
+use tsg_graph::{GraphDatabase, LabeledGraph};
+use tsg_taxonomy::Taxonomy;
+
+/// What one shard contributes to Pass 1.
+pub(crate) struct ShardCandidates {
+    /// Locally frequent pattern classes: canonical code plus skeleton,
+    /// in canonical code order (the class miner's output order).
+    pub classes: Vec<(DfsCode, LabeledGraph)>,
+    /// This shard's generalized-label frequency vector, indexed by
+    /// unified-taxonomy concept id.
+    pub label_frequencies: Vec<usize>,
+}
+
+/// Mines one resident shard for locally frequent classes. The shard's
+/// labels were validated at spill time, so `relabel` cannot fail on a
+/// healthy spill file; its unification is database-independent, which is
+/// what makes per-shard relabelings mutually consistent.
+pub(crate) fn mine_shard(
+    shard_db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    config: &TaxogramConfig,
+) -> Result<ShardCandidates, TaxogramError> {
+    let rel = relabel(shard_db, taxonomy)?;
+    let label_frequencies = rel.taxonomy.generalized_label_frequencies(shard_db);
+    let local_min = shard_db.min_support_count(config.threshold);
+    // The existing work-stealing class miner, scheduled single-threaded:
+    // shard-level parallelism lives in the scan loop (one resident shard
+    // per worker), so the intra-shard search must not multiply it.
+    let (classes, _steals) = mine_parallel_classes(
+        &rel.dmg,
+        GSpanConfig {
+            min_support: local_min,
+            max_edges: config.max_edges,
+        },
+        ParallelOptions::default(),
+        None,
+    )
+    .map_err(|p| TaxogramError::WorkerPanicked { message: p.message })?;
+    Ok(ShardCandidates {
+        classes: classes.into_iter().map(|c| (c.code, c.graph)).collect(),
+        label_frequencies,
+    })
+}
+
+/// Merges per-shard class lists into the global candidate set: sorted by
+/// canonical DFS-code order — which equals the serial miner's class
+/// report order, so downstream passes inherit serial ordering for free —
+/// and deduplicated by code equality (equal codes imply equal skeletons).
+pub(crate) fn merge_candidates(
+    per_shard: Vec<Vec<(DfsCode, LabeledGraph)>>,
+) -> Vec<(DfsCode, LabeledGraph)> {
+    let mut all: Vec<(DfsCode, LabeledGraph)> = per_shard.into_iter().flatten().collect();
+    all.sort_by(|a, b| a.0.cmp_code(&b.0));
+    all.dedup_by(|a, b| a.0 == b.0);
+    all
+}

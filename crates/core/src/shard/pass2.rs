@@ -1,0 +1,90 @@
+//! Pass 2: exact global verification, streaming the shards again.
+//!
+//! * **Pass 2a** recounts every candidate class's support over each
+//!   shard with [`tsg_iso::BatchedMatcher`] — one candidate-set cache
+//!   per resident graph amortizes label-compatibility scans across the
+//!   whole candidate list. Matching the most-general skeleton *exactly*
+//!   against the relabeled shard is the same predicate gSpan's class
+//!   support uses on the whole relabeled database, so summing per-shard
+//!   counts yields exactly the serial engine's class supports.
+//! * **Pass 2b** re-enumerates each globally frequent class's
+//!   embeddings on global data, shard by shard, via
+//!   [`BatchedMatcher::for_each_embedding`]. Concatenating per-shard
+//!   embedding lists in shard order restores ascending graph-id order,
+//!   and each embedding's `map` is indexed by skeleton vertex id = DFS
+//!   id — the exact shape Step 3's occurrence index expects from the
+//!   single-pass engines.
+
+use crate::error::TaxogramError;
+use crate::relabel::relabel;
+use tsg_gspan::{DfsCode, Embedding};
+use tsg_graph::{GraphDatabase, LabeledGraph, NodeLabel};
+use tsg_iso::{BatchedMatcher, ExactMatcher};
+use tsg_taxonomy::Taxonomy;
+
+/// Counts, for each candidate class, how many graphs of this resident
+/// shard contain its skeleton (exact matching on the relabeled shard).
+pub(crate) fn shard_supports(
+    shard_db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    candidates: &[(DfsCode, LabeledGraph)],
+) -> Result<Vec<usize>, TaxogramError> {
+    let rel = relabel(shard_db, taxonomy)?;
+    let matcher = ExactMatcher;
+    let batched = BatchedMatcher::new(&rel.dmg, &matcher);
+    Ok(candidates
+        .iter()
+        .map(|(_, skeleton)| batched.support_count(skeleton))
+        .collect())
+}
+
+/// What one shard contributes to a Pass 2b class batch.
+pub(crate) struct ShardEmbeddings {
+    /// Per batch class: this shard's embeddings, graph ids already
+    /// globalized.
+    pub per_class: Vec<Vec<Embedding>>,
+    /// `(global graph id, original vertex labels)` for every shard graph
+    /// that hosts at least one embedding — the rows of the global
+    /// originals table the occurrence index will actually read.
+    pub originals: Vec<(usize, Vec<NodeLabel>)>,
+}
+
+/// Collects every embedding of every batch class within one resident
+/// shard. `start` is the shard's first global graph id.
+pub(crate) fn collect_shard_embeddings(
+    shard_db: &GraphDatabase,
+    taxonomy: &Taxonomy,
+    batch: &[(DfsCode, LabeledGraph)],
+    start: usize,
+) -> Result<ShardEmbeddings, TaxogramError> {
+    let rel = relabel(shard_db, taxonomy)?;
+    let matcher = ExactMatcher;
+    let batched = BatchedMatcher::new(&rel.dmg, &matcher);
+    let mut touched = vec![false; shard_db.len()];
+    let mut per_class = Vec::with_capacity(batch.len());
+    for (_, skeleton) in batch {
+        let mut embeddings = Vec::new();
+        batched.for_each_embedding(skeleton, |local, map| {
+            touched[local] = true;
+            embeddings.push(Embedding {
+                gid: start + local,
+                map: map.to_vec(),
+                // Step 3 reads only `gid` and `map`; code-edge ids are a
+                // gSpan-internal bookkeeping detail with no consumer here.
+                edges: Vec::new(),
+            });
+        });
+        per_class.push(embeddings);
+    }
+    let mut rows = rel.originals;
+    let originals = touched
+        .iter()
+        .enumerate()
+        .filter(|&(_, &t)| t)
+        .map(|(local, _)| (start + local, std::mem::take(&mut rows[local])))
+        .collect();
+    Ok(ShardEmbeddings {
+        per_class,
+        originals,
+    })
+}

@@ -13,8 +13,9 @@
 
 use std::time::Duration;
 use taxogram_core::{
-    mine_parallel_governed, Budget, CancelToken, GovernOptions, MiningResult, Taxogram,
-    TaxogramConfig, TerminationReason,
+    mine_parallel_governed, mine_sharded_governed, Budget, CancelToken, GovernOptions,
+    MiningOutcome, MiningResult, ShardOptions, ShardedOutcome, Taxogram, TaxogramConfig,
+    TerminationReason,
 };
 use tsg_testkit::fault::{assert_completed_prefix, FaultPlan, FAULT_THREADS};
 use tsg_testkit::gen::{case, Case};
@@ -388,6 +389,165 @@ fn unlimited_governance_is_invisible() {
                 assert_engines_identical(&full, &outcome.result)
                     .unwrap_or_else(|msg| panic!("seed {seed:#x} {engine} t={threads}: {msg}"));
             }
+        }
+    }
+}
+
+/// Views a sharded outcome through the common prefix-contract checker.
+fn as_outcome(sharded: ShardedOutcome) -> MiningOutcome {
+    MiningOutcome {
+        result: sharded.result,
+        termination: sharded.termination,
+    }
+}
+
+/// Cancellation tripping **mid-Pass-2b** of the sharded miner: like the
+/// serially-admitting engines, it admits one class at a time in serial
+/// code order, so a cancel at the Nth admission finishes *exactly*
+/// min(N, total) classes and emits the byte-identical serial prefix —
+/// at every shard and thread count.
+#[test]
+fn sharded_cancel_mid_pass2_yields_exact_prefix() {
+    for &seed in &CASE_SEEDS[..2] {
+        let c = case(seed);
+        let full = serial(&c);
+        let total = full.stats.classes;
+        for &threads in &FAULT_THREADS {
+            for shards in [2usize, 3] {
+                for n in [0usize, 1, 2, 5] {
+                    let plan = FaultPlan::shape(threads, 1).cancel_after(n);
+                    let outcome = as_outcome(plan.run_sharded_governed(&c, shards).unwrap());
+                    let tag = format!("seed {seed:#x} P={shards} t={threads} n={n}");
+                    assert_completed_prefix(&outcome, &full)
+                        .unwrap_or_else(|msg| panic!("{tag}: {msg}"));
+                    assert_eq!(
+                        outcome.termination.classes_finished,
+                        n.min(total),
+                        "{tag}: wrong class count"
+                    );
+                    let want_reason = if n < total {
+                        TerminationReason::Cancelled
+                    } else {
+                        TerminationReason::Completed
+                    };
+                    assert_eq!(outcome.termination.reason, want_reason, "{tag}");
+                    if n < total {
+                        assert_eq!(
+                            outcome.termination.classes_abandoned,
+                            total - n,
+                            "{tag}: abandoned arithmetic"
+                        );
+                        assert!(!outcome.termination.frontier.is_empty(), "{tag}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Budget ceilings binding mid-Pass-2b: the class ceiling stops at
+/// exactly N finished classes with the ceiling named in the reason; the
+/// pattern ceiling stops at the first admission after crossing.
+#[test]
+fn sharded_budgets_bind_mid_pass2() {
+    let c = case(23); // 5 classes / 8 patterns: ceilings land mid-stream
+    let full = serial(&c);
+    assert!(full.stats.classes >= 2);
+    for &threads in &FAULT_THREADS {
+        for n in [1usize, 2] {
+            let plan = FaultPlan::shape(threads, 1).budget_classes(n);
+            let outcome = as_outcome(plan.run_sharded_governed(&c, 2).unwrap());
+            assert_completed_prefix(&outcome, &full).unwrap();
+            assert_eq!(outcome.termination.classes_finished, n);
+            assert_eq!(
+                outcome.termination.reason,
+                TerminationReason::BudgetExceeded {
+                    which: taxogram_core::BudgetKind::Classes
+                }
+            );
+            assert!(!outcome.termination.frontier.is_empty());
+        }
+        let plan = FaultPlan::shape(threads, 1).budget_patterns(1);
+        let outcome = as_outcome(plan.run_sharded_governed(&c, 2).unwrap());
+        assert_completed_prefix(&outcome, &full).unwrap();
+        assert!(outcome.result.patterns.len() < full.patterns.len());
+        assert_eq!(
+            outcome.termination.reason,
+            TerminationReason::BudgetExceeded {
+                which: taxogram_core::BudgetKind::Patterns
+            }
+        );
+    }
+}
+
+/// Governance tripping **mid-Pass-1/2a** of the sharded miner (a
+/// pre-cancelled token or an expired deadline is observed at the first
+/// shard claim): no class ever finishes, the result is empty, and the
+/// termination truthfully reports zero finished, at least one abandoned,
+/// and the exact reason — never a silently short "complete" result.
+#[test]
+fn sharded_trips_mid_pass1_truthfully() {
+    let c = case(CASE_SEEDS[0]);
+    let full = serial(&c);
+    assert!(full.stats.classes >= 1, "case too small to abandon work");
+    for &threads in &FAULT_THREADS {
+        let opts = ShardOptions {
+            shards: 2,
+            threads,
+            ..ShardOptions::default()
+        };
+
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = mine_sharded_governed(
+            &config(&c),
+            &c.db,
+            &c.taxonomy,
+            &opts,
+            &GovernOptions::with_cancel(token),
+        )
+        .unwrap();
+        assert!(cancelled.result.patterns.is_empty(), "t={threads}");
+        assert_eq!(cancelled.termination.classes_finished, 0);
+        assert!(cancelled.termination.classes_abandoned >= 1);
+        assert_eq!(cancelled.termination.reason, TerminationReason::Cancelled);
+        assert_completed_prefix(&as_outcome(cancelled), &full).unwrap();
+
+        let expired = mine_sharded_governed(
+            &config(&c),
+            &c.db,
+            &c.taxonomy,
+            &opts,
+            &GovernOptions::with_budget(Budget::unlimited().deadline(Duration::ZERO)),
+        )
+        .unwrap();
+        assert!(expired.result.patterns.is_empty(), "t={threads}");
+        assert_eq!(expired.termination.classes_finished, 0);
+        assert!(expired.termination.classes_abandoned >= 1);
+        assert_eq!(
+            expired.termination.reason,
+            TerminationReason::DeadlineExceeded
+        );
+        assert_completed_prefix(&as_outcome(expired), &full).unwrap();
+    }
+}
+
+/// Unlimited governance is invisible on the sharded miner too: complete,
+/// nothing abandoned, byte-identical to serial.
+#[test]
+fn sharded_unlimited_governance_is_invisible() {
+    for &seed in &CASE_SEEDS[..2] {
+        let c = case(seed);
+        let full = serial(&c);
+        for &threads in &FAULT_THREADS {
+            let outcome = FaultPlan::shape(threads, 1)
+                .run_sharded_governed(&c, 3)
+                .unwrap();
+            assert!(outcome.termination.is_complete());
+            assert_eq!(outcome.termination.classes_abandoned, 0);
+            assert!(outcome.termination.frontier.is_empty());
+            assert_engines_identical(&full, &outcome.result)
+                .unwrap_or_else(|msg| panic!("seed {seed:#x} t={threads}: {msg}"));
         }
     }
 }

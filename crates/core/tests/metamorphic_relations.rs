@@ -111,6 +111,51 @@ fn output_matches_brute_force_reference() {
 }
 
 #[test]
+fn shard_count_never_changes_the_output() {
+    sweep("shard-invariance", metamorphic::shard_count_invariance);
+}
+
+#[test]
+fn sharding_survives_the_locally_overgeneralized_corner() {
+    // The corner that breaks naive partition merging (documented on
+    // `son::mine_partitioned`): with taxonomy 0 > 1 and partitions
+    // {1—1} and {0—0}, each half mined alone at θ=1.0 reports a
+    // *different* most-general pattern — the first shard never sees the
+    // label-0 graph, so 1—1 is locally minimal there. The sharded miner
+    // must still converge on the single global answer 0—0 with support
+    // 2, because Pass 2b re-derives class membership on global data.
+    use taxogram_core::{mine_sharded, ShardOptions, TaxogramConfig};
+    use tsg_graph::{EdgeLabel, GraphDatabase, LabeledGraph, NodeLabel};
+
+    let taxonomy = tsg_taxonomy::taxonomy_from_edges(2, [(1, 0)]).unwrap();
+    let mut specific = LabeledGraph::with_nodes([NodeLabel(1), NodeLabel(1)]);
+    specific.add_edge(0, 1, EdgeLabel(0)).unwrap();
+    let mut general = LabeledGraph::with_nodes([NodeLabel(0), NodeLabel(0)]);
+    general.add_edge(0, 1, EdgeLabel(0)).unwrap();
+    let db = GraphDatabase::from_graphs(vec![specific, general]);
+    let cfg = TaxogramConfig::with_threshold(1.0);
+
+    for threads in [1, 2] {
+        let opts = ShardOptions {
+            shards: 2,
+            threads,
+            ..ShardOptions::default()
+        };
+        let out = mine_sharded(&cfg, &db, &taxonomy, &opts).unwrap();
+        assert!(out.termination.is_complete());
+        assert_eq!(out.shard_stats.shards, 2);
+        assert_eq!(
+            out.result.patterns.len(),
+            1,
+            "exactly the global most-general pattern must survive"
+        );
+        let p = &out.result.patterns[0];
+        assert_eq!(p.graph.labels(), [NodeLabel(0), NodeLabel(0)]);
+        assert_eq!(p.support_count, 2);
+    }
+}
+
+#[test]
 fn serial_engine_satisfies_every_relation_jointly() {
     // The per-relation sweeps above share mining work per relation; this
     // sweep runs the whole suite per case on a smaller budget to catch

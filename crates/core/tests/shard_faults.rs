@@ -1,0 +1,152 @@
+//! Spill-I/O fault matrix for the sharded out-of-core miner.
+//!
+//! Every way a spill file can go wrong — the write fails partway, a
+//! finished file is truncated or its length prefix corrupted, a whole
+//! shard vanishes — must surface as the typed
+//! [`TaxogramError::ShardIo`], never as a hang, a panic, or (worst) a
+//! silently short mining result. The matrix drives each fault through
+//! [`tsg_testkit::fault::FaultPlan`] across the standard thread and
+//! shard sweeps, and checks that spill directories are cleaned up on
+//! the error path just as on success.
+
+use taxogram_core::{mine_sharded, ShardOptions, Taxogram, TaxogramConfig, TaxogramError};
+use tsg_testkit::fault::{FaultPlan, FAULT_THREADS};
+use tsg_testkit::gen::{case, cases};
+use tsg_testkit::metamorphic::{assert_engines_identical, MAX_EDGES};
+
+const SHARD_SWEEP: [usize; 3] = [1, 2, 3];
+
+/// Every post-write fault targeting shard `s`, labeled for messages.
+fn damage_plans(shape: FaultPlan, s: usize) -> [(&'static str, FaultPlan); 3] {
+    [
+        ("truncate", shape.truncate_shard(s)),
+        ("corrupt-prefix", shape.corrupt_length_prefix(s)),
+        ("missing", shape.missing_shard(s)),
+    ]
+}
+
+/// Shards actually produced for `len` graphs at a requested count: the
+/// planner's contiguous ranges (`per = ⌈len/requested⌉`) can merge the
+/// tail, so the file count may be lower than requested.
+fn actual_shards(len: usize, requested: usize) -> usize {
+    let per = len.div_ceil(requested.max(1)).max(1);
+    len.div_ceil(per)
+}
+
+#[test]
+fn every_spill_fault_surfaces_as_shard_io() {
+    let c = case(21);
+    for &threads in &FAULT_THREADS {
+        for shards in SHARD_SWEEP {
+            let shape = FaultPlan::shape(threads, 2);
+            for target in 0..actual_shards(c.db.len(), shards) {
+                for (what, plan) in damage_plans(shape, target) {
+                    match plan.run_sharded(&c, shards) {
+                        Err(TaxogramError::ShardIo { shard, .. }) => {
+                            assert_eq!(
+                                shard, target,
+                                "{what}: error blames shard {shard}, fault hit {target}"
+                            );
+                        }
+                        Err(e) => panic!(
+                            "{what}[t={threads},P={shards},s={target}]: wrong error {e}"
+                        ),
+                        Ok(_) => panic!(
+                            "{what}[t={threads},P={shards},s={target}]: damaged spill mined 'successfully'"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn write_errors_surface_as_shard_io() {
+    let c = case(22);
+    for record in 0..c.db.len() {
+        let plan = FaultPlan::shape(1, 2).spill_write_error_at(record);
+        match plan.run_sharded(&c, 2) {
+            Err(TaxogramError::ShardIo { message, .. }) => {
+                assert!(
+                    message.contains("injected fault"),
+                    "unexpected message: {message}"
+                );
+            }
+            other => panic!("write fault at record {record}: got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn governed_runs_report_faults_not_partial_results() {
+    // A spill fault beats governance: even with a budget that would stop
+    // the run early, a damaged shard must yield the typed error rather
+    // than a "sound prefix" mined from damaged data.
+    let c = case(23);
+    let plan = FaultPlan::shape(2, 1).budget_classes(1).truncate_shard(0);
+    assert!(matches!(
+        plan.run_sharded_governed(&c, 2),
+        Err(TaxogramError::ShardIo { .. })
+    ));
+}
+
+#[test]
+fn clean_plans_match_serial_across_the_matrix() {
+    for c in cases(0x5eed_5a0e, 8) {
+        let serial = Taxogram::new(TaxogramConfig::with_threshold(c.theta).max_edges(MAX_EDGES))
+            .mine(&c.db, &c.taxonomy)
+            .unwrap();
+        for &threads in &FAULT_THREADS {
+            for shards in SHARD_SWEEP {
+                let out = FaultPlan::shape(threads, 2).run_sharded(&c, shards).unwrap();
+                assert!(out.termination.is_complete());
+                assert_engines_identical(&serial, &out.result).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn spill_directory_is_cleaned_up_on_fault() {
+    let c = case(24);
+    let root = std::env::temp_dir().join(format!("tsg-fault-spill-{}", std::process::id()));
+    std::fs::create_dir_all(&root).unwrap();
+    let cfg = TaxogramConfig::with_threshold(c.theta).max_edges(MAX_EDGES);
+    let opts = ShardOptions {
+        shards: 2,
+        spill_dir: Some(root.clone()),
+        ..ShardOptions::default()
+    };
+
+    // Success leaves nothing behind...
+    mine_sharded(&cfg, &c.db, &c.taxonomy, &opts).unwrap();
+    assert_eq!(
+        std::fs::read_dir(&root).unwrap().count(),
+        0,
+        "success must clean up its spill subdirectory"
+    );
+
+    // ...and so does every fault, including one that kills the write
+    // mid-spill (the partial files of earlier shards must go too).
+    for faults in [
+        taxogram_core::ShardFaults {
+            truncate_shard: Some(1),
+            ..Default::default()
+        },
+        taxogram_core::ShardFaults {
+            write_error_at_record: Some(c.db.len().saturating_sub(1)),
+            ..Default::default()
+        },
+    ] {
+        let err = taxogram_core::mine_sharded_faulted(&cfg, &c.db, &c.taxonomy, &opts, None, faults)
+            .unwrap_err();
+        assert!(matches!(err, TaxogramError::ShardIo { .. }));
+        assert_eq!(
+            std::fs::read_dir(&root).unwrap().count(),
+            0,
+            "fault path must clean up its spill subdirectory"
+        );
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}

@@ -1,0 +1,411 @@
+//! Compact length-prefixed binary serialization for graph databases —
+//! the spill format of the sharded out-of-core miner.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! header:  magic "TSGB" | version u32 (= 1) | graph_count u64
+//! record:  body_len u32 | body
+//! body:    flags u8 (bit0 = directed) | node_count u32 | edge_count u32
+//!          | node labels u32 × n | edges (u u32, v u32, label u32) × m
+//! ```
+//!
+//! `body_len` must equal `9 + 4·n + 12·m` exactly; the reader
+//! cross-checks the declared counts against the prefix *before*
+//! allocating, so a corrupt prefix is rejected with a typed
+//! [`GraphError::Binary`] instead of an absurd allocation. Record
+//! framing makes the format streamable: [`ShardReader`] yields one
+//! graph at a time without ever holding the whole database, which is
+//! what lets a pass-2 verification sweep run with one resident shard.
+//!
+//! Every reader failure carries the byte offset where decoding stopped;
+//! truncation, bad magic, length mismatches, and structurally invalid
+//! graphs (self-loops, out-of-bounds endpoints, duplicate edges) all
+//! surface as structured errors, never a panic — the same contract the
+//! text parser in [`crate::io`] owes its mutation suite.
+
+use crate::{EdgeLabel, GraphDatabase, GraphError, LabeledGraph, NodeLabel};
+use std::io::{self, Read, Write};
+
+/// File magic: the first four bytes of every spill file.
+pub const MAGIC: [u8; 4] = *b"TSGB";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Fixed body prefix: flags u8 + node_count u32 + edge_count u32.
+const BODY_PREFIX: u32 = 9;
+
+/// Ceiling on a single record body (256 MiB ≈ a 22-million-edge graph).
+/// A corrupt length prefix past this is rejected before any allocation.
+const MAX_RECORD_BODY: u32 = 1 << 28;
+
+fn binary_err(offset: u64, msg: impl Into<String>) -> GraphError {
+    GraphError::Binary {
+        offset,
+        msg: msg.into(),
+    }
+}
+
+/// Writes the stream header for a database of `graph_count` graphs.
+///
+/// Exposed separately from [`write_binary`] so spill writers can emit
+/// records incrementally (and fault-injection can fail between records).
+///
+/// # Errors
+/// Propagates I/O errors from the sink.
+pub fn write_binary_header(w: &mut dyn Write, graph_count: u64) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&graph_count.to_le_bytes())
+}
+
+/// Writes one length-prefixed graph record.
+///
+/// # Errors
+/// Propagates I/O errors from the sink.
+///
+/// # Panics
+/// Panics if the graph has more than `u32::MAX` vertices or edges, or a
+/// record body past 256 MiB — far beyond anything the miner produces.
+pub fn write_binary_graph(w: &mut dyn Write, g: &LabeledGraph) -> io::Result<()> {
+    let n = u32::try_from(g.node_count()).expect("node count fits u32");
+    let m = u32::try_from(g.edge_count()).expect("edge count fits u32");
+    let body_len = BODY_PREFIX + 4 * n + 12 * m;
+    assert!(body_len <= MAX_RECORD_BODY, "graph record exceeds 256 MiB");
+    let mut body = Vec::with_capacity(body_len as usize);
+    body.push(u8::from(g.is_directed()));
+    body.extend_from_slice(&n.to_le_bytes());
+    body.extend_from_slice(&m.to_le_bytes());
+    for &label in g.labels() {
+        body.extend_from_slice(&label.0.to_le_bytes());
+    }
+    for e in g.edges() {
+        body.extend_from_slice(&(e.u as u32).to_le_bytes());
+        body.extend_from_slice(&(e.v as u32).to_le_bytes());
+        body.extend_from_slice(&e.label.0.to_le_bytes());
+    }
+    w.write_all(&body_len.to_le_bytes())?;
+    w.write_all(&body)
+}
+
+/// Serializes a whole database (header + one record per graph).
+///
+/// # Errors
+/// Propagates I/O errors from the sink.
+pub fn write_binary(w: &mut dyn Write, db: &GraphDatabase) -> io::Result<()> {
+    write_binary_header(w, db.len() as u64)?;
+    for (_, g) in db.iter() {
+        write_binary_graph(w, g)?;
+    }
+    Ok(())
+}
+
+/// A streaming reader over a binary graph stream: parses the header
+/// eagerly, then yields one decoded graph per `next()` without holding
+/// more than a single record in memory.
+#[derive(Debug)]
+pub struct ShardReader<R> {
+    src: R,
+    /// Graph count declared by the header.
+    declared: u64,
+    /// Records decoded so far.
+    yielded: u64,
+    /// Byte offset of the next unread byte (for error reports).
+    offset: u64,
+    /// Set after the first error; the iterator then fuses to `None`.
+    failed: bool,
+}
+
+impl<R: Read> ShardReader<R> {
+    /// Opens a stream: reads and validates the header.
+    ///
+    /// # Errors
+    /// Fails on truncation, bad magic, or an unsupported version.
+    pub fn new(mut src: R) -> Result<Self, GraphError> {
+        let mut offset = 0u64;
+        let magic = read_exact_at(&mut src, &mut offset, 4, "file magic")?;
+        if magic != MAGIC {
+            return Err(binary_err(0, format!("bad magic {magic:?}, expected \"TSGB\"")));
+        }
+        let version = read_u32_at(&mut src, &mut offset, "format version")?;
+        if version != VERSION {
+            return Err(binary_err(
+                4,
+                format!("unsupported format version {version} (reader supports {VERSION})"),
+            ));
+        }
+        let declared = {
+            let bytes = read_exact_at(&mut src, &mut offset, 8, "graph count")?;
+            u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+        };
+        Ok(ShardReader {
+            src,
+            declared,
+            yielded: 0,
+            offset,
+            failed: false,
+        })
+    }
+
+    /// Graph count declared by the stream header.
+    pub fn graph_count(&self) -> u64 {
+        self.declared
+    }
+
+    /// Byte offset of the next unread byte.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    fn next_graph(&mut self) -> Result<LabeledGraph, GraphError> {
+        let record_start = self.offset;
+        let body_len = read_u32_at(&mut self.src, &mut self.offset, "record length prefix")?;
+        if !(BODY_PREFIX..=MAX_RECORD_BODY).contains(&body_len) {
+            return Err(binary_err(
+                record_start,
+                format!("absurd record length {body_len} (valid range {BODY_PREFIX}..={MAX_RECORD_BODY})"),
+            ));
+        }
+        let prefix = read_exact_at(&mut self.src, &mut self.offset, BODY_PREFIX as usize, "record body")?;
+        let directed = match prefix[0] {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(binary_err(record_start + 4, format!("bad flags byte {other:#04x}")))
+            }
+        };
+        let n = u32::from_le_bytes(prefix[1..5].try_into().expect("4 bytes"));
+        let m = u32::from_le_bytes(prefix[5..9].try_into().expect("4 bytes"));
+        let expected = BODY_PREFIX as u64 + 4 * n as u64 + 12 * m as u64;
+        if expected != body_len as u64 {
+            return Err(binary_err(
+                record_start,
+                format!(
+                    "record length mismatch: prefix says {body_len}, counts (n={n}, m={m}) need {expected}"
+                ),
+            ));
+        }
+        // Counts are now consistent with the (bounded) prefix, so these
+        // allocations are bounded by MAX_RECORD_BODY.
+        let mut labels = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            labels.push(NodeLabel(read_u32_at(&mut self.src, &mut self.offset, "node label")?));
+        }
+        let mut g = if directed {
+            LabeledGraph::with_nodes_directed(labels)
+        } else {
+            LabeledGraph::with_nodes(labels)
+        };
+        for _ in 0..m {
+            let edge_start = self.offset;
+            let u = read_u32_at(&mut self.src, &mut self.offset, "edge endpoint")?;
+            let v = read_u32_at(&mut self.src, &mut self.offset, "edge endpoint")?;
+            let label = read_u32_at(&mut self.src, &mut self.offset, "edge label")?;
+            g.add_edge(u as usize, v as usize, EdgeLabel(label))
+                .map_err(|e| binary_err(edge_start, format!("invalid edge: {e}")))?;
+        }
+        Ok(g)
+    }
+}
+
+impl<R: Read> Iterator for ShardReader<R> {
+    type Item = Result<LabeledGraph, GraphError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.yielded == self.declared {
+            return None;
+        }
+        match self.next_graph() {
+            Ok(g) => {
+                self.yielded += 1;
+                Some(Ok(g))
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Deserializes a whole database, verifying the stream ends exactly at
+/// the last declared record (trailing bytes are rejected).
+///
+/// # Errors
+/// Fails on any framing, truncation, or graph-validity error.
+pub fn read_binary(src: impl Read) -> Result<GraphDatabase, GraphError> {
+    let mut reader = ShardReader::new(src)?;
+    let mut graphs = Vec::new();
+    for g in reader.by_ref() {
+        graphs.push(g?);
+    }
+    let mut probe = [0u8; 1];
+    match reader.src.read(&mut probe) {
+        Ok(0) => {}
+        Ok(_) => {
+            return Err(binary_err(
+                reader.offset,
+                "trailing bytes after the last declared record",
+            ))
+        }
+        Err(e) => return Err(GraphError::Io { msg: e.to_string() }),
+    }
+    Ok(GraphDatabase::from_graphs(graphs))
+}
+
+/// Reads exactly `len` bytes, translating `UnexpectedEof` into a typed
+/// truncation error at the current offset and advancing it on success.
+fn read_exact_at(
+    src: &mut impl Read,
+    offset: &mut u64,
+    len: usize,
+    what: &str,
+) -> Result<Vec<u8>, GraphError> {
+    let mut buf = vec![0u8; len];
+    match src.read_exact(&mut buf) {
+        Ok(()) => {
+            *offset += len as u64;
+            Ok(buf)
+        }
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(binary_err(
+            *offset,
+            format!("truncated stream while reading {what} ({len} bytes wanted)"),
+        )),
+        Err(e) => Err(GraphError::Io { msg: e.to_string() }),
+    }
+}
+
+fn read_u32_at(src: &mut impl Read, offset: &mut u64, what: &str) -> Result<u32, GraphError> {
+    let bytes = read_exact_at(src, offset, 4, what)?;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> GraphDatabase {
+        let mut a = LabeledGraph::with_nodes([NodeLabel(3), NodeLabel(1), NodeLabel(4)]);
+        a.add_edge(0, 1, EdgeLabel(0)).unwrap();
+        a.add_edge(1, 2, EdgeLabel(7)).unwrap();
+        let mut b = LabeledGraph::with_nodes_directed([NodeLabel(5), NodeLabel(9)]);
+        b.add_edge(0, 1, EdgeLabel(2)).unwrap();
+        b.add_edge(1, 0, EdgeLabel(2)).unwrap();
+        let c = LabeledGraph::with_nodes([NodeLabel(2)]);
+        GraphDatabase::from_graphs(vec![a, b, c])
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &db).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(back.len(), db.len());
+        for ((_, g), (_, h)) in db.iter().zip(back.iter()) {
+            assert_eq!(g, h);
+        }
+    }
+
+    #[test]
+    fn shard_reader_streams_and_counts() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &db).unwrap();
+        let reader = ShardReader::new(&buf[..]).unwrap();
+        assert_eq!(reader.graph_count(), 3);
+        let graphs: Vec<_> = reader.map(Result::unwrap).collect();
+        assert_eq!(graphs.len(), 3);
+        assert!(graphs[1].is_directed());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let e = ShardReader::new(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(e, GraphError::Binary { offset: 0, .. }), "{e}");
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let e = ShardReader::new(&buf[..]).unwrap_err();
+        assert!(e.to_string().contains("version 99"), "{e}");
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_with_offset() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &db).unwrap();
+        for cut in [3, 10, 17, 25, buf.len() - 1] {
+            let e = read_binary(&buf[..cut]).unwrap_err();
+            match e {
+                GraphError::Binary { msg, .. } => {
+                    assert!(msg.contains("truncated"), "cut at {cut}: {msg}");
+                }
+                other => panic!("cut at {cut}: expected Binary error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_before_allocation() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &db).unwrap();
+        // The first record's length prefix sits right after the 16-byte
+        // header; make it absurd.
+        buf[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        let e = read_binary(&buf[..]).unwrap_err();
+        assert!(e.to_string().contains("absurd record length"), "{e}");
+        // And inconsistent-but-bounded: declared length disagrees with
+        // the counts inside the body.
+        let mut buf2 = Vec::new();
+        write_binary(&mut buf2, &db).unwrap();
+        let original = u32::from_le_bytes(buf2[16..20].try_into().unwrap());
+        buf2[16..20].copy_from_slice(&(original + 4).to_le_bytes());
+        let e = read_binary(&buf2[..]).unwrap_err();
+        assert!(e.to_string().contains("length mismatch"), "{e}");
+    }
+
+    #[test]
+    fn invalid_edges_surface_as_binary_errors() {
+        // One undirected graph with a self-loop encoded by hand.
+        let mut buf = Vec::new();
+        write_binary_header(&mut buf, 1).unwrap();
+        let body_len = BODY_PREFIX + 4 * 2 + 12;
+        buf.extend_from_slice(&body_len.to_le_bytes());
+        buf.push(0);
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // edge 0 -> 0: self-loop
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let e = read_binary(&buf[..]).unwrap_err();
+        assert!(e.to_string().contains("invalid edge"), "{e}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &db).unwrap();
+        buf.push(0xAB);
+        let e = read_binary(&buf[..]).unwrap_err();
+        assert!(e.to_string().contains("trailing bytes"), "{e}");
+    }
+
+    #[test]
+    fn empty_database_round_trips() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &GraphDatabase::new()).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -19,6 +19,7 @@
 //! labeled edges (§2); its experimental datasets all carry edge labels
 //! ("distinct edge label count: 10"), so edge labels are first-class here.
 
+pub mod binary;
 mod database;
 pub mod dot;
 mod graph;
@@ -60,6 +61,19 @@ pub enum GraphError {
         /// Description of the problem.
         msg: String,
     },
+    /// The binary reader encountered a malformed stream (bad magic,
+    /// truncation, a corrupt length prefix, or an invalid record).
+    Binary {
+        /// Byte offset where decoding stopped.
+        offset: u64,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// An underlying I/O operation failed (not a format problem).
+    Io {
+        /// The I/O error, rendered as text (keeps the enum `Clone + Eq`).
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -73,6 +87,10 @@ impl std::fmt::Display for GraphError {
                 write!(f, "duplicate edge between vertices {u} and {v}")
             }
             GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            GraphError::Binary { offset, msg } => {
+                write!(f, "binary stream error at byte {offset}: {msg}")
+            }
+            GraphError::Io { msg } => write!(f, "i/o error: {msg}"),
         }
     }
 }

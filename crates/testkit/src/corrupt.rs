@@ -139,6 +139,70 @@ impl Corruptor {
         format!("{}{}{}", &text[..start], replacement, &text[start + len..])
     }
 
+    /// Applies 1–3 random byte-level operators to a binary stream and
+    /// returns the mutant — the binary-format counterpart of
+    /// [`Corruptor::corrupt`], aimed at the length-prefixed spill format
+    /// in `tsg_graph::binary`. Operators favor framing damage (flipped
+    /// length-prefix bytes, truncation mid-record, absurd u32s, spliced
+    /// and duplicated ranges) because the framing is where a reader can
+    /// be tricked into huge allocations or silent short reads.
+    pub fn corrupt_bytes(&mut self, bytes: &[u8]) -> Vec<u8> {
+        let mut mutant = bytes.to_vec();
+        for _ in 0..1 + self.below(3) {
+            mutant = self.apply_one_binary(&mutant);
+        }
+        mutant
+    }
+
+    fn apply_one_binary(&mut self, bytes: &[u8]) -> Vec<u8> {
+        if bytes.is_empty() {
+            return Vec::new();
+        }
+        let mut out = bytes.to_vec();
+        match self.below(6) {
+            0 => {
+                // Flip one byte anywhere (headers included).
+                let i = self.below(out.len());
+                out[i] ^= 1 + self.below(255) as u8;
+            }
+            1 => {
+                // Truncate mid-stream.
+                out.truncate(self.below(out.len()));
+            }
+            2 => {
+                // Overwrite a 4-byte window with an absurd u32 — lands on
+                // length prefixes, counts, labels, and endpoints alike.
+                if out.len() >= 4 {
+                    let absurd = [u32::MAX, u32::MAX - 3, 1 << 30, 0][self.below(4)];
+                    let i = self.below(out.len() - 3);
+                    out[i..i + 4].copy_from_slice(&absurd.to_le_bytes());
+                }
+            }
+            3 => {
+                // Delete a short range (shifts all later framing).
+                let start = self.below(out.len());
+                let len = 1 + self.below(8.min(out.len() - start));
+                out.drain(start..start + len);
+            }
+            4 => {
+                // Duplicate a short range in place.
+                let start = self.below(out.len());
+                let len = 1 + self.below(8.min(out.len() - start));
+                let dup: Vec<u8> = out[start..start + len].to_vec();
+                let at = self.below(out.len() + 1);
+                out.splice(at..at, dup);
+            }
+            _ => {
+                // Append junk past the declared last record.
+                let extra = 1 + self.below(16);
+                for _ in 0..extra {
+                    out.push(self.below(256) as u8);
+                }
+            }
+        }
+        out
+    }
+
     fn insert_junk(&mut self, text: &str) -> String {
         const JUNK: [&str; 6] = [
             "t # 18446744073709551615",

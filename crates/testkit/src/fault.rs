@@ -15,9 +15,10 @@
 use crate::gen::Case;
 use taxogram_core::{
     mine_parallel_governed, mine_pipelined_faulted, mine_pipelined_governed_faulted,
-    mine_stealing_faulted, mine_stealing_governed_faulted, Budget, GovernOptions, MiningOutcome,
-    MiningResult, PipelineFaults, PipelineOptions, SearchFaults, StealOptions, Taxogram,
-    TaxogramConfig, TaxogramError,
+    mine_sharded_faulted, mine_stealing_faulted, mine_stealing_governed_faulted, Budget,
+    GovernOptions, MiningOutcome, MiningResult, PipelineFaults, PipelineOptions, SearchFaults,
+    ShardFaults, ShardOptions, ShardedOutcome, StealOptions, Taxogram, TaxogramConfig,
+    TaxogramError,
 };
 
 /// The thread counts the acceptance matrix sweeps.
@@ -40,6 +41,8 @@ pub struct FaultPlan {
     pub search: SearchFaults,
     /// Faults for the streaming pipeline.
     pub pipeline: PipelineFaults,
+    /// Spill-I/O faults for the sharded out-of-core miner.
+    pub shard: ShardFaults,
     /// Governance trigger: cancel at the `n`th class admission (exact and
     /// schedule-independent for the serially-admitting engines).
     pub cancel_after: Option<usize>,
@@ -76,6 +79,31 @@ impl FaultPlan {
     /// Simulates pipeline receivers dropping after `n` processed items.
     pub fn drop_receiver_after(mut self, n: usize) -> Self {
         self.pipeline.drop_receiver_after = Some(n);
+        self
+    }
+
+    /// Truncates shard `s`'s spill file mid-stream after writing.
+    pub fn truncate_shard(mut self, s: usize) -> Self {
+        self.shard.truncate_shard = Some(s);
+        self
+    }
+
+    /// Overwrites shard `s`'s first record length prefix with an absurd
+    /// value after writing.
+    pub fn corrupt_length_prefix(mut self, s: usize) -> Self {
+        self.shard.corrupt_prefix = Some(s);
+        self
+    }
+
+    /// Deletes shard `s`'s spill file after writing.
+    pub fn missing_shard(mut self, s: usize) -> Self {
+        self.shard.delete_shard = Some(s);
+        self
+    }
+
+    /// Fails the spill write at the `n`th global graph record.
+    pub fn spill_write_error_at(mut self, n: usize) -> Self {
+        self.shard.write_error_at_record = Some(n);
         self
     }
 
@@ -197,6 +225,47 @@ impl FaultPlan {
             self.search,
             &self.govern_options(),
         )
+    }
+
+    /// Runs the sharded out-of-core miner (ungoverned) under this plan's
+    /// spill faults, split into `shards` shards.
+    pub fn run_sharded(&self, case: &Case, shards: usize) -> Result<ShardedOutcome, TaxogramError> {
+        mine_sharded_faulted(
+            &self.config(case),
+            &case.db,
+            &case.taxonomy,
+            &self.shard_options(shards),
+            None,
+            self.shard,
+        )
+    }
+
+    /// Runs the sharded out-of-core miner under this plan's governance
+    /// and spill faults.
+    pub fn run_sharded_governed(
+        &self,
+        case: &Case,
+        shards: usize,
+    ) -> Result<ShardedOutcome, TaxogramError> {
+        mine_sharded_faulted(
+            &self.config(case),
+            &case.db,
+            &case.taxonomy,
+            &self.shard_options(shards),
+            Some(&self.govern_options()),
+            self.shard,
+        )
+    }
+
+    fn shard_options(&self, shards: usize) -> ShardOptions {
+        ShardOptions {
+            shards,
+            threads: self.threads.max(1),
+            // Capacity doubles as the Pass 2b class batch so the matrix
+            // sweeps batch boundaries too.
+            class_batch: self.capacity.max(1),
+            ..ShardOptions::default()
+        }
     }
 
     fn config(&self, case: &Case) -> TaxogramConfig {

@@ -29,6 +29,11 @@
 //! 8. **Reference agreement** — the full output matches the brute-force
 //!    reference miner ([`taxogram_core::reference`]), in particular
 //!    containing no over-generalized pattern.
+//! 9. **Shard-count invariance** — the sharded out-of-core SON miner
+//!    ([`taxogram_core::shard`]) is byte-identical to the serial engine
+//!    at *every* shard count and thread count: the candidate superset is
+//!    complete (SON pigeonhole), supports are recounted exactly, and
+//!    Pass 2b re-enumerates each class in serial order on global data.
 //!
 //! All relations are driven by [`run_suite`]; individual relations are
 //! public for targeted tests.
@@ -36,8 +41,8 @@
 use crate::gen::{Case, THETAS};
 use taxogram_core::reference::{compare_with_reference, reference_mine};
 use taxogram_core::{
-    mine_parallel, mine_pipelined_with, mine_stealing_with, MiningResult, Pattern,
-    PipelineOptions, StealOptions, Taxogram, TaxogramConfig, TaxogramError,
+    mine_parallel, mine_pipelined_with, mine_sharded, mine_stealing_with, MiningResult, Pattern,
+    PipelineOptions, ShardOptions, StealOptions, Taxogram, TaxogramConfig, TaxogramError,
 };
 use tsg_graph::{GraphDatabase, LabeledGraph, NodeLabel};
 use tsg_iso::{is_isomorphic, support_count, GeneralizedMatcher};
@@ -445,12 +450,51 @@ pub fn matches_reference(
         .map_or(Ok(()), |msg| Err(format!("reference[{}]: {msg}", engine.name())))
 }
 
+/// Shard counts exercised by relation 9: the degenerate single shard,
+/// small counts that split candidate discovery across partitions, and a
+/// count larger than any generated database (forcing one-graph shards).
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// Relation 9: the sharded out-of-core miner reproduces the serial
+/// result byte for byte at every shard count, single- and multi-threaded,
+/// and always reports a complete (ungoverned) termination.
+pub fn shard_count_invariance(case: &Case) -> Result<(), String> {
+    let cfg = config(case.theta);
+    let serial = Engine::Serial
+        .mine(&cfg, &case.db, &case.taxonomy)
+        .map_err(|e| format!("serial: {e}"))?;
+    for shards in SHARD_COUNTS {
+        for threads in [1, 2] {
+            let opts = ShardOptions {
+                shards,
+                threads,
+                // Batch size 2 makes multi-batch Pass 2b runs common on
+                // the small generated cases.
+                class_batch: 2,
+                ..ShardOptions::default()
+            };
+            let outcome = mine_sharded(&cfg, &case.db, &case.taxonomy, &opts)
+                .map_err(|e| format!("sharded[P={shards},t={threads}]: {e}"))?;
+            if !outcome.termination.is_complete() {
+                return Err(format!(
+                    "sharded[P={shards},t={threads}]: ungoverned run did not complete: {:?}",
+                    outcome.termination
+                ));
+            }
+            assert_engines_identical(&serial, &outcome.result)
+                .map_err(|msg| format!("shard-invariance[P={shards},t={threads}]: {msg}"))?;
+        }
+    }
+    Ok(())
+}
+
 /// Runs every relation for every engine in `engines` on one case,
 /// computing the shared reference oracle once. Failure messages carry
 /// the case seed for standalone reproduction.
 pub fn run_suite(case: &Case, engines: &[Engine]) -> Result<(), String> {
     let tag = |msg: String| format!("seed {:#x} (θ={}): {msg}", case.seed, case.theta);
     engines_agree(case).map_err(&tag)?;
+    shard_count_invariance(case).map_err(&tag)?;
     let reference = reference_mine(&case.db, &case.taxonomy, case.theta, MAX_EDGES);
     for &engine in engines {
         flattening_matches_gspan(case, engine).map_err(&tag)?;

@@ -2,7 +2,9 @@
 # Record a dated performance snapshot.
 #
 # Runs the microbench suite's kernel timings plus the end-to-end
-# D1000/θ=0.2 engine comparison and writes BENCH_<YYYYMMDD>.json in the
+# D1000/θ=0.2 engine comparison — including the `son_scaling` stanza,
+# which proves the sharded out-of-core miner on a database 10× larger
+# than its resident-set cap — and writes BENCH_<YYYYMMDD>.json in the
 # repo root. Pass --threads / --scale through to the snapshot binary:
 #
 #   scripts/bench_snapshot.sh --threads 8 --scale medium

@@ -47,6 +47,39 @@ cargo run --release -q -p tsg-bench --bin kernel_gate
 echo "== fault-injection matrix =="
 cargo test -q -p taxogram-core --test fault_injection
 
+# Sharded out-of-core stage: shard-count invariance (the sharded SON
+# miner byte-identical to serial at every shard/thread count, incl. the
+# locally-over-generalized corner), the spill-I/O fault matrix, and a CLI
+# smoke that spills a 10-shard mine through a temp dir — asserting the
+# spill files are cleaned up on success AND on early termination.
+echo "== sharded out-of-core matrix (invariance + spill faults + CLI spill smoke) =="
+cargo test -q -p taxogram-core --test metamorphic_relations shard
+cargo test -q -p taxogram-core --test shard_faults
+spill_smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$spill_smoke_dir"' EXIT
+cargo run --release -q -p taxogram -- generate --dataset TS25 --scale 0.01 \
+    --out "$spill_smoke_dir/data" >/dev/null
+# Capture before grepping: `| grep -q` would close the pipe at first
+# match, the miner's remaining pattern writes would hit EPIPE, and
+# pipefail would fail the stage even though the mine succeeded.
+mine_out="$(cargo run --release -q -p taxogram -- mine \
+    --taxonomy "$spill_smoke_dir/data/taxonomy.txt" \
+    --database "$spill_smoke_dir/data/database.txt" \
+    --support 0.4 --max-edges 3 --shards 10 --threads 2 \
+    --spill-dir "$spill_smoke_dir")"
+printf '%s\n' "$mine_out" | grep -q '# termination: completed'
+mine_out="$(cargo run --release -q -p taxogram -- mine \
+    --taxonomy "$spill_smoke_dir/data/taxonomy.txt" \
+    --database "$spill_smoke_dir/data/database.txt" \
+    --support 0.4 --max-edges 3 --shards 10 --time-limit 0 \
+    --spill-dir "$spill_smoke_dir")"
+printf '%s\n' "$mine_out" | grep -q '# termination: deadline exceeded'
+leftover="$(find "$spill_smoke_dir" -name 'tsg-spill-*' | wc -l)"
+if [ "$leftover" -ne 0 ]; then
+    echo "!! FAIL: $leftover spill director(ies) left behind in $spill_smoke_dir" >&2
+    exit 1
+fi
+
 # Governance stage: the cancellation/deadline/budget acceptance matrix
 # (clean completed-prefix partial results across all four engines) plus
 # the seeded parser-mutation sweeps, pinned to one run seed so any

@@ -88,6 +88,8 @@ pub const USAGE: &str = "usage: taxogram <mine|stats|generate> [flags]
   mine      --taxonomy FILE --database FILE --support θ
             [--max-edges N] [--baseline true] [--algorithm taxogram|tacgm]
             [--threads N] [--partitions N] [--dot-dir DIR]
+            [--shards N] [--spill-dir DIR]   (out-of-core sharded mining;
+              composes with --threads and the governance flags)
             [--filter closed|maximal|interesting:R]
             [--time-limit SECONDS] [--memory-limit BYTES[K|M|G]]
             [--max-patterns N]   (budgeted runs report '# termination:')
@@ -205,7 +207,54 @@ fn mine(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 taxogram_core::TaxogramConfig::with_threshold(theta)
             };
             cfg.max_edges = max_edges;
-            if partitions > 1 {
+            let shards: usize = match args.get("shards") {
+                Some(s) => s.parse().map_err(|_| err("--shards must be an integer"))?,
+                None => 0,
+            };
+            if shards > 0 {
+                // Out-of-core sharded SON mining: spills the database to
+                // disk, mines shard-parallel, and (unlike --partitions)
+                // composes with governance.
+                if partitions > 1 {
+                    return Err(err("--shards and --partitions are mutually exclusive"));
+                }
+                let opts = taxogram_core::ShardOptions {
+                    shards,
+                    threads: threads.max(1),
+                    spill_dir: args.get("spill-dir").map(std::path::PathBuf::from),
+                    ..Default::default()
+                };
+                let outcome = match govern_flags(args)? {
+                    Some(govern) => taxogram_core::mine_sharded_governed(
+                        &cfg, &db, &taxonomy, &opts, &govern,
+                    ),
+                    None => taxogram_core::mine_sharded(&cfg, &db, &taxonomy, &opts),
+                }
+                .map_err(|e| err(e.to_string()))?;
+                for p in outcome.result.sorted_patterns() {
+                    print_pattern(out, &p.graph, p.support_count, db.len(), &name_of)?;
+                }
+                let s = &outcome.shard_stats;
+                writeln!(
+                    out,
+                    "# {} patterns from {} shards ({} candidates, {} globally infrequent, \
+                     {} bytes spilled / largest shard {}, {} db streams)",
+                    outcome.result.patterns.len(),
+                    s.shards,
+                    s.candidates,
+                    s.globally_infrequent,
+                    s.spilled_bytes,
+                    s.largest_shard_bytes,
+                    s.db_streams
+                )?;
+                let t = &outcome.termination;
+                writeln!(
+                    out,
+                    "# termination: {} ({} classes finished, {} abandoned)",
+                    t.reason, t.classes_finished, t.classes_abandoned
+                )?;
+                outcome.result.patterns.len()
+            } else if partitions > 1 {
                 if govern_flags(args)?.is_some() {
                     return Err(err(
                         "--time-limit/--memory-limit/--max-patterns are not supported with --partitions",
@@ -550,6 +599,75 @@ mod tests {
         ]);
         assert_eq!(code, 2);
         assert!(fout.contains("--filter"), "{fout}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_mine_matches_serial_and_cleans_spill() {
+        let dir = std::env::temp_dir().join(format!("taxogram-cli-shard-{}", std::process::id()));
+        let dirs = dir.to_string_lossy().to_string();
+        let (code, out) = run_capture(&[
+            "generate", "--dataset", "TS25", "--scale", "0.01", "--out", &dirs,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let taxf = dir.join("taxonomy.txt").to_string_lossy().to_string();
+        let dbf = dir.join("database.txt").to_string_lossy().to_string();
+        let spilldir = dir.join("spill");
+        std::fs::create_dir_all(&spilldir).unwrap();
+        let spills = spilldir.to_string_lossy().to_string();
+        let pattern_lines = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(str::to_string)
+                .collect()
+        };
+
+        let (code, serial_out) = run_capture(&[
+            "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+            "--max-edges", "3",
+        ]);
+        assert_eq!(code, 0, "{serial_out}");
+
+        // Sharded multi-threaded mining emits the same patterns and
+        // leaves no spill files behind.
+        let (code, shard_out) = run_capture(&[
+            "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+            "--max-edges", "3", "--shards", "4", "--threads", "2",
+            "--spill-dir", &spills,
+        ]);
+        assert_eq!(code, 0, "{shard_out}");
+        assert!(shard_out.contains("shards"), "{shard_out}");
+        assert!(shard_out.contains("# termination: completed"), "{shard_out}");
+        assert_eq!(
+            pattern_lines(&serial_out),
+            pattern_lines(&shard_out),
+            "sharded pattern listing must match the serial listing line-for-line"
+        );
+        assert_eq!(
+            std::fs::read_dir(&spilldir).unwrap().count(),
+            0,
+            "spill files must be cleaned up"
+        );
+
+        // Sharding composes with governance (which --partitions rejects):
+        // an expired deadline reports truthfully and still cleans up.
+        let (code, gov_out) = run_capture(&[
+            "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+            "--max-edges", "3", "--shards", "4", "--time-limit", "0",
+            "--spill-dir", &spills,
+        ]);
+        assert_eq!(code, 0, "{gov_out}");
+        assert!(gov_out.contains("# termination: deadline exceeded"), "{gov_out}");
+        assert_eq!(std::fs::read_dir(&spilldir).unwrap().count(), 0);
+
+        // Mutually exclusive with --partitions.
+        let (code, out) = run_capture(&[
+            "mine", "--taxonomy", &taxf, "--database", &dbf, "--support", "0.4",
+            "--shards", "2", "--partitions", "2",
+        ]);
+        assert_eq!(code, 2);
+        assert!(out.contains("mutually exclusive"), "{out}");
 
         let _ = std::fs::remove_dir_all(&dir);
     }
