@@ -8,9 +8,12 @@
 //! host's core count recorded next to the rows — on a single-core host
 //! the sweep measures scheduling overhead, not speedup), a
 //! `taxonomy_scale` section measuring the interval-labeled reachability
-//! layer at 10⁵ and 10⁶ concepts, and a `governed_overhead` section
-//! timing the serial miner ungoverned vs governed with an infinite
-//! budget (the pure cost of the governance poll points).
+//! layer at 10⁵ and 10⁶ concepts, a `serve_load` section driving an
+//! in-process `tsg-serve` daemon with concurrent synthetic clients
+//! (latency percentiles, shed rate, drain time), and a
+//! `governed_overhead` section timing the serial miner ungoverned vs
+//! governed with an infinite budget (the pure cost of the governance
+//! poll points).
 //!
 //! Emits a single JSON object on stdout; `scripts/bench_snapshot.sh`
 //! redirects it into a dated `BENCH_<date>.json`. Timing is hand-rolled
@@ -246,6 +249,38 @@ fn main() {
         })
         .collect();
 
+    // --- Serve load: the resident daemon under synthetic concurrency ----
+    // An in-process `tsg-serve` daemon over the same D1000 dataset, hit
+    // by concurrent no-cache clients so every request actually mines.
+    // Records client-observed latency percentiles, the shed rate under
+    // the default admission limits, and the drain time — the service
+    // numbers `scripts/ci.sh`'s serve stage smoke-checks.
+    let serve_handle = tsg_serve::Server::bind(
+        "127.0.0.1:0",
+        ds.database.clone(),
+        ds.taxonomy.clone(),
+        tsg_serve::ServeOptions {
+            workers: threads.max(1),
+            ..Default::default()
+        },
+    )
+    .expect("bind serve daemon for the load stanza");
+    let load = tsg_serve::run_load(
+        serve_handle.addr(),
+        &tsg_serve::LoadOptions {
+            clients: 4,
+            requests_per_client: 8,
+            theta: 0.2,
+            no_cache: true,
+            ..Default::default()
+        },
+    );
+    let drain = serve_handle.shutdown();
+    assert_eq!(
+        load.lost, 0,
+        "the load driver must never lose a response over loopback"
+    );
+
     // --- Governance overhead: ungoverned vs infinite budget -------------
     // Same interleave-and-take-min discipline as the engine timings. The
     // governed run enables every poll point (admission gate per class,
@@ -331,6 +366,23 @@ fn main() {
         ));
     }
     json.push_str("    ]\n  },\n");
+    json.push_str(&format!(
+        "  \"serve_load\": {{\n    \"workers\": {},\n    \"clients\": 4,\n    \"requests\": {},\n    \"ok\": {},\n    \"degraded\": {},\n    \"shed\": {},\n    \"errors\": {},\n    \"shed_rate\": {:.3},\n    \"p50_ms\": {:.3},\n    \"p95_ms\": {:.3},\n    \"p99_ms\": {:.3},\n    \"max_ms\": {:.3},\n    \"wall_ms\": {:.3},\n    \"drain_clean\": {},\n    \"drain_ms\": {:.3}\n  }},\n",
+        threads.max(1),
+        load.sent,
+        load.ok,
+        load.degraded,
+        load.shed,
+        load.errors,
+        load.shed_rate,
+        load.p50_ms,
+        load.p95_ms,
+        load.p99_ms,
+        load.max_ms,
+        load.wall_ms,
+        drain.clean,
+        drain.drain_ms,
+    ));
     json.push_str(&format!(
         "  \"governed_overhead\": {{\n    \"serial_ungoverned_ms\": {ungoverned_ms:.3},\n    \"serial_governed_unlimited_ms\": {governed_ms:.3},\n    \"overhead_pct\": {overhead_pct:.2}\n  }}\n}}"
     ));

@@ -257,15 +257,42 @@ pub fn mine_sharded_faulted(
 /// per-record arithmetic).
 fn plan_shards(db: &GraphDatabase, options: &ShardOptions) -> Vec<(usize, usize)> {
     let mut shards = options.shards.max(1);
+    let sizes: Vec<u64> = db.graphs().iter().map(encoded_record_bytes).collect();
+    let total: u64 = sizes.iter().sum();
     if let Some(cap) = options.resident_cap_bytes {
-        let total: u64 = 16 + db.graphs().iter().map(encoded_record_bytes).sum::<u64>();
-        shards = shards.max(total.div_ceil(cap.max(1)) as usize);
+        shards = shards.max((16 + total).div_ceil(cap.max(1)) as usize);
     }
-    let per = db.len().div_ceil(shards).max(1);
-    (0..db.len())
-        .step_by(per)
-        .map(|start| (start, (start + per).min(db.len())))
-        .collect()
+    // Partition by cumulative encoded bytes, not graph count: with
+    // skewed graph sizes a count split makes one shard carry most of
+    // the resident footprint, defeating the cap. Boundary k sits at the
+    // first record whose running prefix reaches k/shards of the total —
+    // each shard's byte weight lands within one record of total/shards,
+    // which is the best any contiguous split can do. Shard-count
+    // invariance (metamorphic relation 9) is untouched: pass 2b
+    // re-derives global supports from the union of local candidates for
+    // *any* contiguous partition.
+    let shards = shards.min(db.len().max(1)) as u64;
+    let mut boundaries = Vec::with_capacity(shards as usize);
+    let mut prefix = 0u64;
+    let mut start = 0usize;
+    let mut next_target = 1u64;
+    for (i, sz) in sizes.iter().enumerate() {
+        prefix += sz;
+        // Close every shard whose byte target this record crossed; a
+        // single record spanning several targets consumes them without
+        // emitting empty ranges (the plan then has fewer, fuller shards).
+        while next_target < shards && prefix * shards >= next_target * total {
+            if i + 1 > start {
+                boundaries.push((start, i + 1));
+                start = i + 1;
+            }
+            next_target += 1;
+        }
+    }
+    if start < db.len() {
+        boundaries.push((start, db.len()));
+    }
+    boundaries
 }
 
 /// Exact encoded size of one graph record in the `TSGB` spill format:
@@ -612,6 +639,67 @@ mod tests {
                     assert_eq!(serial.stats.classes, sharded.result.stats.classes);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn shard_plan_balances_bytes_not_counts() {
+        use tsg_graph::NodeLabel;
+        // Four heavyweight graphs up front, then a tail of tiny ones: a
+        // count split would stack every heavy record into shard 0.
+        let mut graphs = Vec::new();
+        for _ in 0..4 {
+            graphs.push(LabeledGraph::with_nodes((0..120).map(|_| NodeLabel(0))));
+        }
+        for _ in 0..60 {
+            graphs.push(LabeledGraph::with_nodes([NodeLabel(0), NodeLabel(1)]));
+        }
+        let db = GraphDatabase::from_graphs(graphs);
+        let sizes: Vec<u64> = db.graphs().iter().map(encoded_record_bytes).collect();
+        let total: u64 = sizes.iter().sum();
+        let heaviest = *sizes.iter().max().unwrap();
+
+        for shards in [2usize, 3, 4, 7] {
+            let plan = plan_shards(&db, &options(shards, 1));
+            // Exact contiguous partition, no empty ranges.
+            assert!(!plan.is_empty() && plan.len() <= shards);
+            assert_eq!(plan[0].0, 0);
+            assert_eq!(plan.last().unwrap().1, db.len());
+            for w in plan.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+            // Every shard's byte weight lands within one record of the
+            // ideal total/shards — the bound a contiguous split admits.
+            for &(lo, hi) in &plan {
+                assert!(lo < hi, "no empty shard ranges");
+                let weight: u64 = sizes[lo..hi].iter().sum();
+                assert!(
+                    weight <= total / shards as u64 + heaviest,
+                    "shard {lo}..{hi} weighs {weight} bytes against a \
+                     {total}/{shards} target"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_never_emits_empty_ranges_under_extreme_skew() {
+        use tsg_graph::NodeLabel;
+        // One record holding ~all the bytes: it crosses several byte
+        // targets at once, which must collapse into fewer, fuller
+        // shards rather than zero-width ones.
+        let mut graphs = vec![LabeledGraph::with_nodes(
+            (0..400).map(|_| NodeLabel(0)),
+        )];
+        for _ in 0..3 {
+            graphs.push(LabeledGraph::with_nodes([NodeLabel(0)]));
+        }
+        let db = GraphDatabase::from_graphs(graphs);
+        let plan = plan_shards(&db, &options(4, 1));
+        assert_eq!(plan[0].0, 0);
+        assert_eq!(plan.last().unwrap().1, db.len());
+        for &(lo, hi) in &plan {
+            assert!(lo < hi, "empty range in {plan:?}");
         }
     }
 

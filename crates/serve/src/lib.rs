@@ -1,0 +1,37 @@
+//! Mining-as-a-service for taxonomy-superimposed graph mining.
+//!
+//! `tsg-serve` keeps one taxonomy + database resident and answers mining
+//! queries over a line-delimited JSON TCP protocol, with every request
+//! governed end-to-end:
+//!
+//! * **Admission control** — a bounded worker pool behind a bounded
+//!   queue; a full queue answers `shed` with a backoff hint instead of
+//!   queueing unboundedly or hanging.
+//! * **Graceful degradation** — per-request deadlines and budgets map
+//!   onto the core [`GovernOptions`] machinery, so a tripped limit
+//!   returns a sound serial-prefix partial result with a truthful
+//!   termination record, never a silent truncation.
+//! * **θ-keyed result cache** — a complete run at θ answers any query at
+//!   θ′ ≥ θ by support-filtering, byte-identically to a fresh mine (the
+//!   [`cache`] module carries the proof; `tests/cache_soundness.rs`
+//!   property-tests it).
+//! * **Connection hardening** — frame-assembly deadlines (slow-loris),
+//!   frame size caps, typed errors for malformed input, and mid-request
+//!   disconnect detection that reclaims the mining worker via its
+//!   cancel token.
+//!
+//! [`GovernOptions`]: taxogram_core::GovernOptions
+
+pub mod cache;
+pub mod json;
+pub mod load;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{filter_run, ConfigKey, ResultCache};
+pub use load::{run_load, LoadOptions, LoadReport};
+pub use protocol::{
+    error_response, parse_request, render_patterns, result_response, shed_response, CacheStatus,
+    ErrorCode, MineRequest, Request,
+};
+pub use server::{DrainReport, ServeOptions, Server, ServerHandle, StatsSnapshot};

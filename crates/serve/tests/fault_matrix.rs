@@ -1,0 +1,386 @@
+//! The protocol fault matrix.
+//!
+//! Each test injects one hostile wire behavior and asserts the hardened
+//! contract: every fault yields a *typed* response or a clean close —
+//! never a hang, a leaked worker, or a short/corrupt result — and
+//! overload sheds new work while in-flight requests return truthful
+//! partials.
+
+use std::time::{Duration, Instant};
+use tsg_datagen::{generate_database, generate_taxonomy, GraphGenConfig, SynthTaxonomyConfig};
+use tsg_serve::json::{self, Json};
+use tsg_serve::{ServeOptions, Server, ServerHandle};
+use tsg_testkit::case;
+use tsg_testkit::netfault::{cancel_storm, WireClient, WirePlan};
+
+const IO: Duration = Duration::from_secs(5);
+
+/// Fast-timeout options for tests: stalls are detected in ~300 ms and
+/// drains are bounded by 3 s.
+fn fast_opts() -> ServeOptions {
+    ServeOptions {
+        workers: 2,
+        queue_depth: 4,
+        read_timeout: Duration::from_millis(300),
+        write_timeout: Duration::from_secs(2),
+        drain_deadline: Duration::from_secs(3),
+        shed_retry_ms: 25,
+        ..ServeOptions::default()
+    }
+}
+
+/// A server over a small deterministic testkit case.
+fn start(opts: ServeOptions) -> ServerHandle {
+    let c = case(42);
+    Server::bind("127.0.0.1:0", c.db, c.taxonomy, opts).expect("bind ephemeral")
+}
+
+/// A server over a database heavy enough that a mine at tiny θ cannot
+/// finish within a short deadline — used to saturate the worker pool
+/// deterministically.
+fn start_heavy(opts: ServeOptions) -> ServerHandle {
+    // Governance deadlines are observed at class-admission boundaries,
+    // so the case must be slow through *many modest classes* (broad
+    // label vocabulary, mid-size graphs), not one explosive class.
+    let taxonomy = generate_taxonomy(&SynthTaxonomyConfig {
+        concepts: 72,
+        relationships: 90,
+        depth: 5,
+        seed: 9,
+    });
+    let db = generate_database(
+        &taxonomy,
+        &GraphGenConfig {
+            graph_count: 400,
+            max_edges: 18,
+            seed: 9,
+            ..GraphGenConfig::default()
+        },
+    );
+    Server::bind("127.0.0.1:0", db, taxonomy, opts).expect("bind ephemeral")
+}
+
+fn connect(h: &ServerHandle) -> WireClient {
+    WireClient::connect(h.addr(), IO).expect("connect")
+}
+
+fn roundtrip(c: &mut WireClient, frame: &str) -> Json {
+    assert!(c.send(frame, &WirePlan::Clean), "send {frame}");
+    let line = c.read_line(IO).unwrap_or_else(|| panic!("no reply to {frame}"));
+    json::parse(&line).unwrap_or_else(|e| panic!("unparseable reply {line:?}: {e}"))
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> &'a Json {
+    v.get(key).unwrap_or_else(|| panic!("missing {key} in {v:?}"))
+}
+
+fn typ(v: &Json) -> String {
+    field(v, "type").as_str().expect("type is a string").to_owned()
+}
+
+/// Polls until the server reports no in-flight or queued work (proof of
+/// worker reclamation), failing after `within`.
+fn assert_drains(h: &ServerHandle, within: Duration) {
+    let deadline = Instant::now() + within;
+    loop {
+        let s = h.stats();
+        if s.in_flight == 0 && s.queued == 0 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "work leaked: in_flight={} queued={}",
+            s.in_flight,
+            s.queued
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn ping_mine_stats_roundtrip() {
+    let h = start(fast_opts());
+    let mut c = connect(&h);
+
+    let pong = roundtrip(&mut c, r#"{"op":"ping"}"#);
+    assert_eq!(typ(&pong), "pong");
+    assert!(field(&pong, "database_size").as_u64().unwrap() > 0);
+
+    let r = roundtrip(&mut c, r#"{"op":"mine","id":"q1","theta":1.0,"no_cache":true}"#);
+    assert_eq!(typ(&r), "result");
+    assert_eq!(field(&r, "id").as_str(), Some("q1"));
+    assert_eq!(field(&r, "cache").as_str(), Some("bypass"));
+    let term = field(&r, "termination");
+    assert_eq!(field(term, "complete").as_bool(), Some(true));
+    assert_eq!(field(term, "reason").as_str(), Some("completed"));
+
+    let s = roundtrip(&mut c, r#"{"op":"stats"}"#);
+    assert_eq!(typ(&s), "stats");
+    assert!(field(&s, "requests").as_u64().unwrap() >= 1);
+    assert_eq!(field(&s, "shed").as_u64(), Some(0));
+
+    let report = h.shutdown();
+    assert!(report.clean, "idle shutdown must be clean: {report:?}");
+    assert_eq!(report.leaked_connections, 0);
+}
+
+#[test]
+fn malformed_json_gets_typed_error_and_connection_survives() {
+    let h = start(fast_opts());
+    let mut c = connect(&h);
+
+    let e = roundtrip(&mut c, "this is { not json");
+    assert_eq!(typ(&e), "error");
+    assert_eq!(field(&e, "code").as_str(), Some("malformed-json"));
+
+    let e = roundtrip(&mut c, r#"{"op":"mine","theta":7.5}"#);
+    assert_eq!(typ(&e), "error");
+    assert_eq!(field(&e, "code").as_str(), Some("bad-request"));
+
+    // Framing stayed intact: the same connection still serves.
+    let pong = roundtrip(&mut c, r#"{"op":"ping"}"#);
+    assert_eq!(typ(&pong), "pong");
+    let _ = h.shutdown();
+}
+
+#[test]
+fn oversized_frame_rejected_with_typed_error() {
+    let h = start(ServeOptions {
+        max_frame_bytes: 256,
+        ..fast_opts()
+    });
+    let mut c = connect(&h);
+    let huge = format!("{{\"op\":\"mine\",\"theta\":0.5,\"id\":\"{}\"}}", "x".repeat(4096));
+    assert!(c.send(&huge, &WirePlan::Clean));
+    let line = c.read_line(IO).expect("typed error before close");
+    let v = json::parse(&line).expect("parseable error");
+    assert_eq!(typ(&v), "error");
+    assert_eq!(field(&v, "code").as_str(), Some("frame-too-large"));
+    // The connection is then closed, not left dangling.
+    assert_eq!(c.read_line(Duration::from_secs(2)), None);
+    let _ = h.shutdown();
+}
+
+#[test]
+fn slow_loris_partial_frame_is_stalled_not_hung() {
+    let h = start(fast_opts());
+    let mut c = connect(&h);
+    // Deliver a few bytes of a frame and then go silent: the frame
+    // deadline (300 ms) must fire with a typed error and a close.
+    assert!(c.send_raw(b"{\"op\":\"mi"));
+    let started = Instant::now();
+    let line = c.read_line(Duration::from_secs(3)).expect("stall reply");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "stall must be detected within the read deadline"
+    );
+    let v = json::parse(&line).expect("parseable");
+    assert_eq!(typ(&v), "error");
+    assert_eq!(field(&v, "code").as_str(), Some("read-stalled"));
+    assert_eq!(c.read_line(Duration::from_secs(2)), None, "then closed");
+    let _ = h.shutdown();
+}
+
+#[test]
+fn torn_write_within_deadline_reassembles_fine() {
+    let h = start(fast_opts());
+    let mut c = connect(&h);
+    let frame = r#"{"op":"mine","id":"torn","theta":1.0,"no_cache":true}"#;
+    assert!(c.send(
+        frame,
+        &WirePlan::Torn {
+            prefix: 17,
+            delay: Duration::from_millis(80),
+        },
+    ));
+    let line = c.read_line(IO).expect("reassembled reply");
+    let v = json::parse(&line).expect("parseable");
+    assert_eq!(typ(&v), "result");
+    assert_eq!(field(&v, "id").as_str(), Some("torn"));
+
+    // Byte-dribble (chunked) delivery that still finishes in time.
+    assert!(c.send(
+        r#"{"op":"ping"}"#,
+        &WirePlan::Chunked {
+            chunk: 1,
+            delay: Duration::from_millis(2),
+        },
+    ));
+    let v = json::parse(&c.read_line(IO).expect("chunked reply")).expect("parseable");
+    assert_eq!(typ(&v), "pong");
+    let _ = h.shutdown();
+}
+
+#[test]
+fn truncated_frame_disconnect_is_a_clean_close() {
+    let h = start(fast_opts());
+    let mut c = connect(&h);
+    let frame = r#"{"op":"mine","theta":0.5}"#;
+    // The plan writes a prefix and hard-closes; the server must just
+    // drop the connection without crashing or leaking.
+    assert!(!c.send(frame, &WirePlan::Truncated { keep: 10 }));
+    assert_drains(&h, Duration::from_secs(3));
+    // And stays serviceable.
+    let mut c2 = connect(&h);
+    assert_eq!(typ(&roundtrip(&mut c2, r#"{"op":"ping"}"#)), "pong");
+    let _ = h.shutdown();
+}
+
+#[test]
+fn cancel_storm_reclaims_every_worker() {
+    let h = start(ServeOptions {
+        workers: 1,
+        ..fast_opts()
+    });
+    let frame = r#"{"op":"mine","theta":0.4,"no_cache":true}"#;
+    let report = cancel_storm(h.addr(), frame, 8, IO);
+    assert!(report.delivered > 0, "storm delivered nothing: {report:?}");
+    // Every vanished client's job must finish or be cancelled — no
+    // worker may stay pinned to a dead connection.
+    assert_drains(&h, Duration::from_secs(5));
+    let mut c = connect(&h);
+    let r = roundtrip(&mut c, r#"{"op":"mine","theta":1.0,"no_cache":true}"#);
+    assert_eq!(typ(&r), "result");
+    let report = h.shutdown();
+    assert_eq!(report.leaked_connections, 0, "{report:?}");
+}
+
+#[test]
+fn overload_sheds_and_inflight_return_truthful_partials() {
+    let h = start_heavy(ServeOptions {
+        workers: 1,
+        queue_depth: 1,
+        max_time_limit: Duration::from_secs(2),
+        ..fast_opts()
+    });
+    // Four concurrent un-finishable requests against one worker and a
+    // one-slot queue: one runs, one queues, the rest must shed.
+    let frame =
+        r#"{"op":"mine","theta":0.01,"time_limit_ms":400,"no_cache":true}"#;
+    let addr = h.addr();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = WireClient::connect(addr, IO).expect("connect");
+                assert!(c.send(frame, &WirePlan::Clean));
+                let line = c.read_line(IO).expect("every request gets an answer");
+                json::parse(&line).expect("parseable")
+            })
+        })
+        .collect();
+    let replies: Vec<Json> = handles.into_iter().map(|t| t.join().expect("client")).collect();
+
+    let shed: Vec<&Json> = replies.iter().filter(|r| typ(r) == "shed").collect();
+    let results: Vec<&Json> = replies.iter().filter(|r| typ(r) == "result").collect();
+    assert_eq!(shed.len() + results.len(), replies.len(), "typed answers only");
+    assert!(!shed.is_empty(), "saturation must shed: {replies:?}");
+    assert!(!results.is_empty(), "admitted work must be answered");
+    for s in &shed {
+        assert!(
+            field(s, "retry_after_ms").as_u64().unwrap() >= 25,
+            "hint respects the floor"
+        );
+    }
+    for r in &results {
+        // The heavy case cannot finish in 700 ms: the answer is a
+        // truthful deadline partial, not a silent truncation.
+        let term = field(r, "termination");
+        assert_eq!(field(term, "complete").as_bool(), Some(false));
+        assert_eq!(field(term, "reason").as_str(), Some("deadline-exceeded"));
+    }
+    assert_drains(&h, Duration::from_secs(5));
+    let _ = h.shutdown();
+}
+
+#[test]
+fn budget_partial_is_a_prefix_of_the_full_run() {
+    let h = start(fast_opts());
+    let mut c = connect(&h);
+    let full = roundtrip(&mut c, r#"{"op":"mine","theta":0.4,"no_cache":true}"#);
+    assert_eq!(typ(&full), "result");
+    let full_patterns = field(&full, "patterns").render();
+
+    let partial = roundtrip(
+        &mut c,
+        r#"{"op":"mine","theta":0.4,"max_patterns":2,"no_cache":true}"#,
+    );
+    assert_eq!(typ(&partial), "result");
+    let term = field(&partial, "termination");
+    let partial_patterns = field(&partial, "patterns").render();
+    if field(term, "complete").as_bool() == Some(true) {
+        // Fewer than 3 patterns exist overall; the budget never tripped.
+        assert_eq!(partial_patterns, full_patterns);
+    } else {
+        assert_eq!(
+            field(term, "reason").as_str(),
+            Some("budget-exceeded:patterns")
+        );
+        // Serial-prefix soundness on the wire: the partial's patterns
+        // array is byte-for-byte a prefix of the full run's.
+        let inner_full = &full_patterns[..full_patterns.len() - 1];
+        let inner_partial = &partial_patterns[..partial_patterns.len() - 1];
+        assert!(
+            inner_full.starts_with(inner_partial),
+            "partial {inner_partial} is not a prefix of {inner_full}"
+        );
+    }
+    let _ = h.shutdown();
+}
+
+#[test]
+fn theta_cache_answers_hits_after_a_miss() {
+    let h = start(fast_opts());
+    let mut c = connect(&h);
+    let miss = roundtrip(&mut c, r#"{"op":"mine","theta":0.4}"#);
+    assert_eq!(field(&miss, "cache").as_str(), Some("miss"));
+    // θ′ ≥ θ with the same config: answered from the cached run.
+    let hit = roundtrip(&mut c, r#"{"op":"mine","theta":0.6}"#);
+    assert_eq!(field(&hit, "cache").as_str(), Some("hit"));
+    // Byte-identical to a fresh mine at θ′ (the cache-soundness suite
+    // proptests this; here one deterministic spot check end-to-end).
+    let fresh = roundtrip(&mut c, r#"{"op":"mine","theta":0.6,"no_cache":true}"#);
+    assert_eq!(
+        field(&hit, "patterns").render(),
+        field(&fresh, "patterns").render()
+    );
+    // A different config must not match the cached entry.
+    let other = roundtrip(&mut c, r#"{"op":"mine","theta":0.6,"max_edges":1}"#);
+    assert_eq!(field(&other, "cache").as_str(), Some("miss"));
+    let _ = h.shutdown();
+}
+
+#[test]
+fn connection_cap_refuses_with_shed() {
+    let h = start(ServeOptions {
+        max_connections: 1,
+        ..fast_opts()
+    });
+    let mut c1 = connect(&h);
+    assert_eq!(typ(&roundtrip(&mut c1, r#"{"op":"ping"}"#)), "pong");
+    let mut c2 = connect(&h);
+    let line = c2.read_line(IO).expect("refusal is loud, not silent");
+    let v = json::parse(&line).expect("parseable");
+    assert_eq!(typ(&v), "shed");
+    let _ = h.shutdown();
+}
+
+#[test]
+fn shutdown_op_drains_cleanly_within_bound() {
+    let h = start(fast_opts());
+    let mut c = connect(&h);
+    assert_eq!(typ(&roundtrip(&mut c, r#"{"op":"mine","theta":1.0}"#)), "result");
+    let ack = roundtrip(&mut c, r#"{"op":"shutdown"}"#);
+    assert_eq!(typ(&ack), "shutdown-ack");
+    assert!(
+        h.wait_shutdown_requested(Some(Duration::from_secs(3))),
+        "admin op must surface to the handle"
+    );
+    let started = Instant::now();
+    let report = h.shutdown();
+    assert!(report.clean, "{report:?}");
+    assert_eq!(report.leaked_connections, 0);
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "drain is bounded"
+    );
+}

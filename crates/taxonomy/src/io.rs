@@ -235,6 +235,95 @@ pub fn read_ncbi_nodes(text: &str) -> Result<NcbiTaxonomy, GraphError> {
     Ok(NcbiTaxonomy { taxonomy, tax_ids, ranks, index })
 }
 
+/// Parses the NCBI `names.dmp` format and returns a [`LabelTable`] whose
+/// entries line up with the dense concept ids of a taxonomy previously
+/// loaded via [`read_ncbi_nodes`] — `table.name(concept)` is the display
+/// name of that concept.
+///
+/// The format is one name record per line, `tax_id | name_txt |
+/// unique name | name class`, with the same `\t|\t` separators and `\t|`
+/// terminator as `nodes.dmp` (plain `|` separators are tolerated too).
+/// A tax-id usually carries several records — synonyms, common names,
+/// authorities — of which exactly one per id has the class
+/// `scientific name`; that one is chosen, falling back to the first
+/// record seen when a trimmed dump carries no scientific name.
+///
+/// [`LabelTable`] requires names to be unique, while NCBI scientific
+/// names occasionally collide across tax-ids. Collisions are resolved in
+/// concept order: the first holder keeps the plain name, later ones use
+/// the record's `unique name` field when it is present and itself
+/// unused, else `"<name> (<tax_id>)"`. Concepts with no record at all
+/// (again, trimmed dumps) are named `taxid-<id>`. Records for tax-ids
+/// absent from `ncbi` are skipped, so a names dump may be a superset of
+/// the nodes dump.
+///
+/// # Errors
+/// Returns [`GraphError::Parse`] with a line number for records missing
+/// the name field, an empty `name_txt`, or a non-numeric tax-id, and a
+/// line-0 error if disambiguation still cannot make a name unique.
+pub fn read_ncbi_names(text: &str, ncbi: &NcbiTaxonomy) -> Result<LabelTable, GraphError> {
+    let parse = |line: usize, msg: String| GraphError::Parse { line, msg };
+
+    // tax_id → (name, unique name, saw-scientific-class).
+    let mut chosen: std::collections::HashMap<u64, (String, String, bool)> =
+        std::collections::HashMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let mut fields = raw.split('|').map(str::trim);
+        let tax_field = fields.next().unwrap_or("");
+        let tax_id: u64 = tax_field
+            .parse()
+            .map_err(|_| parse(lineno, format!("bad tax_id {tax_field:?}")))?;
+        let name_txt = fields
+            .next()
+            .ok_or_else(|| parse(lineno, "missing name_txt field".to_owned()))?;
+        if name_txt.is_empty() {
+            return Err(parse(lineno, "empty name_txt".to_owned()));
+        }
+        let unique = fields.next().unwrap_or("");
+        let class = fields.next().unwrap_or("");
+        if !ncbi.index.contains_key(&tax_id) {
+            continue;
+        }
+        let scientific = class == "scientific name";
+        match chosen.entry(tax_id) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if scientific && !e.get().2 {
+                    e.insert((name_txt.to_owned(), unique.to_owned(), true));
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((name_txt.to_owned(), unique.to_owned(), scientific));
+            }
+        }
+    }
+
+    let mut names = LabelTable::new();
+    for (i, &tax_id) in ncbi.tax_ids.iter().enumerate() {
+        let (mut name, unique, _) = chosen
+            .remove(&tax_id)
+            .unwrap_or_else(|| (format!("taxid-{tax_id}"), String::new(), false));
+        if names.get(&name).is_some() {
+            name = if !unique.is_empty() && names.get(unique.as_str()).is_none() {
+                unique
+            } else {
+                format!("{name} ({tax_id})")
+            };
+        }
+        let interned = names.intern(&name);
+        if interned != NodeLabel(i as u32) {
+            return Err(parse(
+                0,
+                format!("cannot disambiguate name {name:?} for tax_id {tax_id}"),
+            ));
+        }
+    }
+    Ok(names)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +435,92 @@ mod tests {
             GraphError::Parse { line, msg } => {
                 assert_eq!(line, 2);
                 assert!(msg.contains("never declared"), "{msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// A hand-trimmed `names.dmp` excerpt matching [`NODES_DMP`]'s
+    /// tax-ids, in the real shape: several records per id, one of them
+    /// class `scientific name`.
+    const NAMES_DMP: &str = "\
+1\t|\tall\t|\t\t|\tsynonym\t|
+1\t|\troot\t|\t\t|\tscientific name\t|
+131567\t|\tcellular organisms\t|\t\t|\tscientific name\t|
+2\t|\teubacteria\t|\t\t|\tgenbank common name\t|
+2\t|\tBacteria\t|\tBacteria <bacteria>\t|\tscientific name\t|
+9606\t|\thuman\t|\t\t|\tgenbank common name\t|
+9606\t|\tHomo sapiens\t|\t\t|\tscientific name\t|
+9606\t|\tLOTTE\t|\t\t|\tauthority\t|
+";
+
+    #[test]
+    fn ncbi_names_reader_picks_scientific_names_in_concept_order() {
+        let ncbi = read_ncbi_nodes(NODES_DMP).unwrap();
+        let names = read_ncbi_names(NAMES_DMP, &ncbi).unwrap();
+        assert_eq!(names.len(), 4);
+        // Dense concept order: file order of nodes.dmp, not names.dmp.
+        assert_eq!(names.name(ncbi.index[&1]), Some("root"));
+        assert_eq!(names.name(ncbi.index[&131567]), Some("cellular organisms"));
+        assert_eq!(names.name(ncbi.index[&2]), Some("Bacteria"));
+        assert_eq!(names.name(ncbi.index[&9606]), Some("Homo sapiens"));
+        // And the reverse lookup resolves to the right concept.
+        assert_eq!(names.get("Homo sapiens"), Some(ncbi.index[&9606]));
+    }
+
+    #[test]
+    fn ncbi_names_reader_tolerates_trimmed_dumps() {
+        let ncbi = read_ncbi_nodes(NODES_DMP).unwrap();
+        // 131567 has only a synonym (first record wins), 9606 has no
+        // record at all, and tax-id 424242 is not in the nodes dump.
+        let trimmed = "\
+1|root|  |scientific name
+131567|biota|  |synonym
+424242|ghost|  |scientific name
+2|Bacteria|  |scientific name
+";
+        let names = read_ncbi_names(trimmed, &ncbi).unwrap();
+        assert_eq!(names.name(ncbi.index[&131567]), Some("biota"));
+        assert_eq!(names.name(ncbi.index[&9606]), Some("taxid-9606"));
+        assert_eq!(names.get("ghost"), None, "unknown tax-ids are skipped");
+    }
+
+    #[test]
+    fn ncbi_names_reader_disambiguates_collisions() {
+        // Three taxa all named "Ambiguous": the first keeps the plain
+        // name, the second has a unique-name field to fall back on, the
+        // third gets the tax-id suffix.
+        let nodes = "1|1|no rank\n10|1|genus\n20|1|genus\n30|1|genus\n";
+        let names_text = "\
+1|root|  |scientific name
+10|Ambiguous|  |scientific name
+20|Ambiguous|Ambiguous <plant>|scientific name
+30|Ambiguous|  |scientific name
+";
+        let ncbi = read_ncbi_nodes(nodes).unwrap();
+        let names = read_ncbi_names(names_text, &ncbi).unwrap();
+        assert_eq!(names.name(ncbi.index[&10]), Some("Ambiguous"));
+        assert_eq!(names.name(ncbi.index[&20]), Some("Ambiguous <plant>"));
+        assert_eq!(names.name(ncbi.index[&30]), Some("Ambiguous (30)"));
+    }
+
+    #[test]
+    fn ncbi_names_reader_rejects_malformed_records() {
+        let ncbi = read_ncbi_nodes("1|1|no rank\n").unwrap();
+        assert!(matches!(
+            read_ncbi_names("x|name|  |scientific name\n", &ncbi).unwrap_err(),
+            GraphError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            read_ncbi_names("1\n", &ncbi).unwrap_err(),
+            GraphError::Parse { line: 1, .. }
+        ));
+        let err = read_ncbi_names("1|root|  |scientific name\n1\t|\t\t|\t\t|\tsynonym\t|\n", &ncbi)
+            .unwrap_err();
+        match err {
+            GraphError::Parse { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("empty name_txt"), "{msg}");
             }
             other => panic!("unexpected {other:?}"),
         }

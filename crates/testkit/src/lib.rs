@@ -18,7 +18,10 @@
 //!   drops, governance cancel/budget triggers) threaded into the
 //!   parallel engines through their `#[doc(hidden)]` hooks;
 //! * [`corrupt`] — seeded mutation operators over text serializations,
-//!   for the parser-hardening suites (valid input, corrupted).
+//!   for the parser-hardening suites (valid input, corrupted);
+//! * [`netfault`] — protocol-level wire fault plans (slow loris, torn
+//!   and truncated writes, cancel storms) for hardening the serve
+//!   daemon's framing and reclamation paths.
 //!
 //! Everything is deterministic from an explicit `u64` seed — no ambient
 //! randomness — so any failure reproduces from its printed seed alone.
@@ -27,6 +30,7 @@ pub mod corrupt;
 pub mod fault;
 pub mod gen;
 pub mod metamorphic;
+pub mod netfault;
 pub mod schedules;
 
 pub use gen::{case, cases, Case};

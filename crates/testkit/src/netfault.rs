@@ -1,0 +1,195 @@
+//! Protocol-level fault injection for line-delimited TCP servers.
+//!
+//! Pure `std::net` — the module deliberately knows nothing about
+//! `tsg-serve` (which dev-depends on this crate), only about
+//! newline-framed byte streams, so the fault shapes are reusable against
+//! any future wire endpoint. Each [`WirePlan`] describes *how* a frame
+//! is delivered badly:
+//!
+//! * **slow loris** — the frame dribbles in tiny chunks with a delay
+//!   between each, trying to pin a connection handler forever;
+//! * **torn write** — the frame is split at an arbitrary byte boundary
+//!   with a pause in between, probing the reassembly path;
+//! * **truncated** — the connection drops after the first N bytes of a
+//!   frame, mid-request;
+//! * **connect storm** — many connections that send a request and
+//!   vanish immediately, exercising cancel-token reclamation.
+//!
+//! A hardened server must answer every delivery with a typed response
+//! or a clean close, *never* a hang — drivers here therefore put a
+//! deadline on every read and report `None` rather than blocking.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// How to deliver one frame onto the wire.
+#[derive(Clone, Debug)]
+pub enum WirePlan {
+    /// Write the whole frame at once (the well-behaved baseline).
+    Clean,
+    /// Write `chunk`-byte pieces with `delay` between them.
+    Chunked {
+        /// Bytes per write.
+        chunk: usize,
+        /// Pause between writes.
+        delay: Duration,
+    },
+    /// Write `prefix` bytes, pause `delay`, then write the rest.
+    Torn {
+        /// Bytes before the tear.
+        prefix: usize,
+        /// Pause at the tear.
+        delay: Duration,
+    },
+    /// Write only the first `keep` bytes, then hard-close the socket.
+    Truncated {
+        /// Bytes delivered before the disconnect.
+        keep: usize,
+    },
+}
+
+/// A test client speaking newline-framed text over TCP with explicit
+/// deadlines everywhere (a fault-injection harness must itself never
+/// hang).
+pub struct WireClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl WireClient {
+    /// Connects with a timeout; read/write timeouts default to the same
+    /// value.
+    ///
+    /// # Errors
+    /// Propagates the socket connect/configure failure.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout.min(Duration::from_millis(100))))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(WireClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Delivers `frame` (newline appended if missing) per `plan`.
+    /// Returns `false` if the plan closed the connection or the peer
+    /// refused the bytes.
+    pub fn send(&mut self, frame: &str, plan: &WirePlan) -> bool {
+        let mut bytes = frame.as_bytes().to_vec();
+        if bytes.last() != Some(&b'\n') {
+            bytes.push(b'\n');
+        }
+        match plan {
+            WirePlan::Clean => self.stream.write_all(&bytes).is_ok(),
+            WirePlan::Chunked { chunk, delay } => {
+                for piece in bytes.chunks((*chunk).max(1)) {
+                    if self.stream.write_all(piece).is_err() {
+                        return false;
+                    }
+                    std::thread::sleep(*delay);
+                }
+                true
+            }
+            WirePlan::Torn { prefix, delay } => {
+                let cut = (*prefix).min(bytes.len());
+                if self.stream.write_all(&bytes[..cut]).is_err() {
+                    return false;
+                }
+                std::thread::sleep(*delay);
+                self.stream.write_all(&bytes[cut..]).is_ok()
+            }
+            WirePlan::Truncated { keep } => {
+                let cut = (*keep).min(bytes.len().saturating_sub(1));
+                let _ = self.stream.write_all(&bytes[..cut]);
+                let _ = self.stream.shutdown(Shutdown::Both);
+                false
+            }
+        }
+    }
+
+    /// Writes raw bytes verbatim — no newline appended — so a test can
+    /// leave an unterminated partial frame on the wire (the slow-loris
+    /// shape) and then just wait.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> bool {
+        self.stream.write_all(bytes).is_ok()
+    }
+
+    /// Reads one newline-terminated frame, or `None` if the deadline
+    /// passes or the peer closes first. Never blocks past `deadline`.
+    pub fn read_line(&mut self, deadline: Duration) -> Option<String> {
+        let until = Instant::now() + deadline;
+        let mut chunk = [0u8; 1024];
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Some(String::from_utf8_lossy(&line).into_owned());
+            }
+            if Instant::now() >= until {
+                return None;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Hard-closes the connection (both directions).
+    pub fn hang_up(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Report from a [`cancel_storm`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StormReport {
+    /// Connections that delivered their frame before vanishing.
+    pub delivered: usize,
+    /// Connections refused at connect time.
+    pub refused: usize,
+}
+
+/// The cancel storm: `n` concurrent connections each deliver `frame`
+/// and immediately hang up without reading the reply, leaving the
+/// server with in-flight work whose clients are gone. A hardened server
+/// must reclaim every worker (observable via its stats endpoint), not
+/// leak them.
+pub fn cancel_storm(addr: SocketAddr, frame: &str, n: usize, timeout: Duration) -> StormReport {
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let frame = frame.to_owned();
+            std::thread::Builder::new()
+                .name(format!("tsg-storm-{i}"))
+                .spawn(move || match WireClient::connect(addr, timeout) {
+                    Ok(mut c) => {
+                        let delivered = c.send(&frame, &WirePlan::Clean);
+                        // Give the frame a moment to clear local buffers,
+                        // then vanish mid-request.
+                        std::thread::sleep(Duration::from_millis(10));
+                        c.hang_up();
+                        delivered
+                    }
+                    Err(_) => false,
+                })
+                .expect("spawn storm client")
+        })
+        .collect();
+    let mut report = StormReport::default();
+    for h in handles {
+        match h.join() {
+            Ok(true) => report.delivered += 1,
+            _ => report.refused += 1,
+        }
+    }
+    report
+}

@@ -89,6 +89,19 @@ cargo test -q -p taxogram-core --test governance
 PROPTEST_RNG_SEED=0x60be41 cargo test -q -p tsg-graph --test parser_mutation
 PROPTEST_RNG_SEED=0x60be41 cargo test -q -p tsg-taxonomy --test parser_mutation
 
+# Serve-daemon stage: the protocol fault matrix (slow-loris, torn
+# writes, truncation, cancel storms, overload shedding — every delivery
+# must earn a typed response or a clean close, never a hang or a leaked
+# worker), the θ-monotone result-cache soundness properties (filtered
+# cached runs byte-identical to fresh mines), and the synthetic load
+# smoke (zero lost responses, clean drain). Latency percentiles and the
+# shed rate for these same drivers are recorded by
+# scripts/bench_snapshot.sh under the snapshot's "serve_load" key.
+echo "== serve daemon matrix (protocol faults + cache soundness + load smoke) =="
+cargo test -q -p tsg-serve --test fault_matrix
+cargo test -q -p tsg-serve --test cache_soundness
+cargo test -q -p tsg-serve --test load_smoke
+
 # Model-checking stage: rebuild the sync facade in tsg_model mode (the
 # tsg-check deterministic scheduler + vector-clock race detector) and
 # run the concurrency contract tests — bounded-exhaustive interleaving

@@ -84,7 +84,7 @@ impl Args {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: taxogram <mine|stats|generate> [flags]
+pub const USAGE: &str = "usage: taxogram <mine|serve|stats|generate> [flags]
   mine      --taxonomy FILE --database FILE --support θ
             [--max-edges N] [--baseline true] [--algorithm taxogram|tacgm]
             [--threads N] [--partitions N] [--dot-dir DIR]
@@ -93,6 +93,13 @@ pub const USAGE: &str = "usage: taxogram <mine|stats|generate> [flags]
             [--filter closed|maximal|interesting:R]
             [--time-limit SECONDS] [--memory-limit BYTES[K|M|G]]
             [--max-patterns N]   (budgeted runs report '# termination:')
+  serve     --taxonomy FILE --database FILE [--addr HOST:PORT]
+            [--workers N] [--queue N] [--max-connections N] [--cache N]
+            [--max-time-limit SECONDS] [--default-time-limit SECONDS]
+            [--port-file PATH] [--max-runtime-ms N]
+            (resident mining daemon, JSON lines over TCP; stop with a
+             client {\"op\":\"shutdown\"}, stdin EOF/'shutdown', or the
+             runtime bound — all drain gracefully)
   stats     --database FILE
   generate  --dataset ID --out DIR [--scale S]   (ID per Table 1, e.g. D1000, NC20, TD8, PTE)";
 
@@ -112,6 +119,7 @@ fn dispatch(raw: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let args = Args::parse(raw)?;
     match args.subcommand.as_str() {
         "mine" => mine(&args, out),
+        "serve" => serve(&args, out),
         "stats" => stats(&args, out),
         "generate" => generate(&args, out),
         "help" | "--help" | "-h" => {
@@ -381,6 +389,115 @@ fn mine(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         started.elapsed().as_secs_f64() * 1000.0
     )?;
     Ok(())
+}
+
+/// The `serve` subcommand: load once, bind, and answer mining queries
+/// until a shutdown arrives. With no signal handling available
+/// (`unsafe` is forbidden workspace-wide), the stop channels are: a
+/// client `{"op":"shutdown"}`, stdin EOF or a `shutdown` line (the
+/// SIGTERM stand-in under a process supervisor), or `--max-runtime-ms`.
+fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let (_names, taxonomy, db) = load_inputs(args)?;
+    let (graphs, concepts) = (db.len(), taxonomy.concept_count());
+    let mut opts = tsg_serve::ServeOptions::default();
+    let parse_count = |name: &str, dflt: usize| -> Result<usize, CliError> {
+        match args.get(name) {
+            Some(s) => s
+                .parse()
+                .map_err(|_| err(format!("--{name} must be a positive integer"))),
+            None => Ok(dflt),
+        }
+    };
+    let parse_secs = |name: &str| -> Result<Option<std::time::Duration>, CliError> {
+        match args.get(name) {
+            Some(s) => s
+                .parse::<f64>()
+                .ok()
+                .filter(|v| *v >= 0.0 && v.is_finite())
+                .map(|v| Some(std::time::Duration::from_secs_f64(v)))
+                .ok_or_else(|| err(format!("--{name} must be a non-negative number of seconds"))),
+            None => Ok(None),
+        }
+    };
+    opts.workers = parse_count("workers", opts.workers)?.max(1);
+    opts.queue_depth = parse_count("queue", opts.queue_depth)?.max(1);
+    opts.max_connections = parse_count("max-connections", opts.max_connections)?.max(1);
+    opts.cache_entries = parse_count("cache", opts.cache_entries)?;
+    if let Some(d) = parse_secs("max-time-limit")? {
+        opts.max_time_limit = d;
+    }
+    if let Some(d) = parse_secs("default-time-limit")? {
+        opts.default_time_limit = Some(d);
+    }
+    let max_runtime: Option<std::time::Duration> = match args.get("max-runtime-ms") {
+        Some(s) => Some(std::time::Duration::from_millis(
+            s.parse()
+                .map_err(|_| err("--max-runtime-ms must be an integer"))?,
+        )),
+        None => None,
+    };
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let handle =
+        tsg_serve::Server::bind(addr, db, taxonomy, opts.clone()).map_err(|e| err(e.to_string()))?;
+    writeln!(
+        out,
+        "listening on {} ({graphs} graphs, {concepts} concepts; {} workers, queue {}, cache {})",
+        handle.addr(),
+        opts.workers,
+        opts.queue_depth,
+        opts.cache_entries
+    )?;
+    out.flush()?;
+    if let Some(path) = args.get("port-file") {
+        std::fs::write(path, handle.addr().to_string())?;
+    }
+    if max_runtime.is_none() {
+        // Interactive/supervised mode: watch stdin so EOF (supervisor
+        // closing the pipe) or an explicit `shutdown` line stops the
+        // daemon. The watcher speaks the wire protocol to itself — no
+        // shared state with the server.
+        let peer = handle.addr();
+        let _watcher = std::thread::Builder::new()
+            .name("taxogram-serve-stdin".into())
+            .spawn(move || stdin_shutdown_watcher(peer));
+    }
+    let _ = handle.wait_shutdown_requested(max_runtime);
+    let stats = handle.stats();
+    let report = handle.shutdown();
+    writeln!(
+        out,
+        "drained {} in {:.1}ms (forced_cancels {}); served {} requests: {} ok, {} shed, {} errors, {} cache hits",
+        if report.clean { "clean" } else { "forced" },
+        report.drain_ms,
+        report.forced_cancels,
+        stats.requests,
+        stats.results_ok,
+        stats.shed,
+        stats.errors,
+        stats.cache_hits
+    )?;
+    Ok(())
+}
+
+/// Blocks on stdin; EOF or a `shutdown` line triggers a protocol-level
+/// shutdown request against the server's own address.
+fn stdin_shutdown_watcher(addr: std::net::SocketAddr) {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::stdin().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if line.trim() == "shutdown" => break,
+            Ok(_) => {}
+        }
+    }
+    if let Ok(mut s) = std::net::TcpStream::connect_timeout(&addr, std::time::Duration::from_secs(1))
+    {
+        let _ = s.write_all(b"{\"op\":\"shutdown\"}\n");
+        let _ = s.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+        let mut ack = [0u8; 128];
+        let _ = std::io::Read::read(&mut s, &mut ack);
+    }
 }
 
 fn print_pattern(
@@ -731,6 +848,71 @@ mod tests {
         ]);
         assert_eq!(code, 2);
         assert!(out.contains("tacgm"), "{out}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_round_trip_over_the_wire() {
+        use std::io::{BufRead, BufReader, Write as _};
+
+        let dir = std::env::temp_dir().join(format!("taxogram-cli-serve-{}", std::process::id()));
+        let dirs = dir.to_string_lossy().to_string();
+        let (code, out) = run_capture(&[
+            "generate", "--dataset", "TS25", "--scale", "0.01", "--out", &dirs,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let taxf = dir.join("taxonomy.txt").to_string_lossy().to_string();
+        let dbf = dir.join("database.txt").to_string_lossy().to_string();
+        let port_file = dir.join("port");
+        let pf = port_file.to_string_lossy().to_string();
+
+        // The daemon runs on its own thread with a runtime bound as the
+        // backstop; the test stops it sooner via the shutdown op.
+        let server = std::thread::spawn({
+            let (taxf, dbf, pf) = (taxf.clone(), dbf.clone(), pf.clone());
+            move || {
+                run_capture(&[
+                    "serve", "--taxonomy", &taxf, "--database", &dbf,
+                    "--addr", "127.0.0.1:0", "--workers", "1",
+                    "--max-runtime-ms", "30000", "--port-file", &pf,
+                ])
+            }
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr: std::net::SocketAddr = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if let Ok(a) = s.trim().parse() {
+                    break a;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "port file never appeared");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        let stream = std::net::TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut ask = |frame: &str| -> String {
+            writer.write_all(frame.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line
+        };
+        assert!(ask(r#"{"op":"ping"}"#).contains("\"pong\""));
+        let mined = ask(r#"{"op":"mine","id":"cli","theta":1.0}"#);
+        assert!(mined.contains("\"result\""), "{mined}");
+        assert!(mined.contains("\"cli\""), "{mined}");
+        assert!(ask(r#"{"op":"shutdown"}"#).contains("shutdown-ack"));
+
+        let (code, out) = server.join().expect("server thread");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("listening on"), "{out}");
+        assert!(out.contains("drained clean"), "{out}");
 
         let _ = std::fs::remove_dir_all(&dir);
     }
