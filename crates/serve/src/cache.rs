@@ -39,7 +39,7 @@
 
 use std::sync::Arc;
 use std::sync::Mutex;
-use taxogram_core::{MiningResult, Pattern};
+use taxogram_core::{MiningResult, Pattern, Termination};
 
 /// Everything about a mining request that changes the answer *except* θ.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,8 +55,24 @@ struct Entry {
     key: ConfigKey,
     theta: f64,
     run: Arc<MiningResult>,
+    /// The cached run's own termination report, echoed on hits.
+    termination: Termination,
     /// Monotone recency stamp for LRU eviction.
     used: u64,
+}
+
+/// What [`ResultCache::lookup`] hands back: the cached run, the θ it was
+/// mined at, and the **real** [`Termination`] of that run — a hit echoes
+/// the cached run's report instead of fabricating one, keeping the
+/// protocol's truthful-termination claim honest.
+#[derive(Clone, Debug)]
+pub struct CacheHit {
+    /// The cached complete run.
+    pub run: Arc<MiningResult>,
+    /// The θ the run was mined at (≤ the query θ).
+    pub theta: f64,
+    /// The cached run's termination report.
+    pub termination: Termination,
 }
 
 /// A bounded, thread-safe θ-keyed cache of complete mining runs.
@@ -82,9 +98,8 @@ impl ResultCache {
 
     /// Finds the best cached run able to answer a query at `theta`: the
     /// entry with the same key and the **largest** cached θ ≤ `theta`
-    /// (fewest patterns to filter through). Returns the run and its
-    /// cached θ.
-    pub fn lookup(&self, key: &ConfigKey, theta: f64) -> Option<(Arc<MiningResult>, f64)> {
+    /// (fewest patterns to filter through).
+    pub fn lookup(&self, key: &ConfigKey, theta: f64) -> Option<CacheHit> {
         let mut guard = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         let (entries, clock) = &mut *guard;
         *clock += 1;
@@ -94,13 +109,25 @@ impl ResultCache {
             .filter(|e| e.key == *key && e.theta <= theta)
             .max_by(|a, b| a.theta.partial_cmp(&b.theta).expect("cached θ is finite"))?;
         best.used = now;
-        Some((Arc::clone(&best.run), best.theta))
+        Some(CacheHit {
+            run: Arc::clone(&best.run),
+            theta: best.theta,
+            termination: best.termination.clone(),
+        })
     }
 
-    /// Caches a **complete** run mined at `theta`. Subsumed entries
-    /// (same key, θ″ ≥ θ) are dropped; if an entry already subsumes this
-    /// run, the insert is a no-op.
-    pub fn insert(&self, key: ConfigKey, theta: f64, run: Arc<MiningResult>) {
+    /// Caches a **complete** run mined at `theta`, together with its
+    /// own `termination` report. Subsumed entries (same key, θ″ ≥ θ)
+    /// are dropped; if an entry already subsumes this run, the insert
+    /// is a no-op.
+    pub fn insert(
+        &self,
+        key: ConfigKey,
+        theta: f64,
+        run: Arc<MiningResult>,
+        termination: Termination,
+    ) {
+        debug_assert!(termination.is_complete(), "only complete runs are cacheable");
         debug_assert!(theta.is_finite());
         if self.capacity == 0 {
             return;
@@ -117,6 +144,7 @@ impl ResultCache {
             key,
             theta,
             run,
+            termination,
             used,
         });
         while entries.len() > self.capacity {
@@ -156,8 +184,17 @@ pub fn filter_run(run: &MiningResult, min_support_count: usize) -> Vec<Pattern> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use taxogram_core::MiningStats;
+    use taxogram_core::{MiningStats, TerminationReason};
     use tsg_graph::LabeledGraph;
+
+    fn done() -> Termination {
+        Termination {
+            reason: TerminationReason::Completed,
+            classes_finished: 1,
+            classes_abandoned: 0,
+            frontier: Vec::new(),
+        }
+    }
 
     fn run(pattern_supports: &[usize]) -> Arc<MiningResult> {
         Arc::new(MiningResult {
@@ -183,17 +220,18 @@ mod tests {
     #[test]
     fn lookup_prefers_the_largest_covering_theta() {
         let cache = ResultCache::new(4);
-        cache.insert(KEY, 0.2, run(&[4, 3, 2, 1]));
+        cache.insert(KEY, 0.2, run(&[4, 3, 2, 1]), done());
         // 0.2 subsumes 0.5, so inserting 0.5 afterwards is a no-op…
-        cache.insert(KEY, 0.5, run(&[4, 3]));
+        cache.insert(KEY, 0.5, run(&[4, 3]), done());
         assert_eq!(cache.len(), 1);
-        let (r, theta) = cache.lookup(&KEY, 0.9).unwrap();
-        assert_eq!(theta, 0.2);
-        assert_eq!(r.patterns.len(), 4);
+        let hit = cache.lookup(&KEY, 0.9).unwrap();
+        assert_eq!(hit.theta, 0.2);
+        assert_eq!(hit.run.patterns.len(), 4);
+        assert!(hit.termination.is_complete());
         // …and a lower-θ insert replaces the subsumed 0.2 entry.
-        cache.insert(KEY, 0.1, run(&[4, 3, 2, 1, 1]));
+        cache.insert(KEY, 0.1, run(&[4, 3, 2, 1, 1]), done());
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.lookup(&KEY, 0.2).unwrap().1, 0.1);
+        assert_eq!(cache.lookup(&KEY, 0.2).unwrap().theta, 0.1);
         // A cached θ above the query θ can not answer it.
         assert!(cache.lookup(&KEY, 0.05).is_none());
     }
@@ -201,7 +239,7 @@ mod tests {
     #[test]
     fn different_configs_never_match() {
         let cache = ResultCache::new(4);
-        cache.insert(KEY, 0.2, run(&[4]));
+        cache.insert(KEY, 0.2, run(&[4]), done());
         let other_edges = ConfigKey {
             max_edges: Some(5),
             ..KEY
@@ -222,10 +260,10 @@ mod tests {
             max_edges: Some(e),
             baseline: false,
         };
-        cache.insert(k(1), 0.5, run(&[1]));
-        cache.insert(k(2), 0.5, run(&[1]));
+        cache.insert(k(1), 0.5, run(&[1]), done());
+        cache.insert(k(2), 0.5, run(&[1]), done());
         assert!(cache.lookup(&k(1), 0.5).is_some()); // refresh k(1)
-        cache.insert(k(3), 0.5, run(&[1]));
+        cache.insert(k(3), 0.5, run(&[1]), done());
         assert_eq!(cache.len(), 2);
         assert!(cache.lookup(&k(2), 0.5).is_none(), "LRU entry evicted");
         assert!(cache.lookup(&k(1), 0.5).is_some());
@@ -236,7 +274,7 @@ mod tests {
     fn zero_capacity_disables() {
         let cache = ResultCache::new(0);
         assert!(cache.is_disabled());
-        cache.insert(KEY, 0.2, run(&[4]));
+        cache.insert(KEY, 0.2, run(&[4]), done());
         assert!(cache.is_empty());
         assert!(cache.lookup(&KEY, 0.9).is_none());
     }

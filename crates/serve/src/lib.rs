@@ -28,7 +28,7 @@ pub mod load;
 pub mod protocol;
 pub mod server;
 
-pub use cache::{filter_run, ConfigKey, ResultCache};
+pub use cache::{filter_run, CacheHit, ConfigKey, ResultCache};
 pub use load::{run_load, LoadOptions, LoadReport};
 pub use protocol::{
     error_response, parse_request, render_patterns, result_response, shed_response, CacheStatus,

@@ -20,7 +20,9 @@
 //!   `termination.reason` naming what tripped — graceful degradation,
 //!   never a dropped reply. `"cache"` is `"miss"`, `"hit"` (θ-filtered
 //!   from a cached lower-θ run) or `"bypass"` (caching disabled or
-//!   `no_cache` requested). Budgets and deadlines govern *mining*
+//!   `no_cache` requested). A hit's `termination` echoes the cached
+//!   run's own complete report — its class tallies describe the run
+//!   that produced the answer. Budgets and deadlines govern *mining*
 //!   resources, so a cache hit — which consumes none — may answer a
 //!   budgeted request with the complete cached result rather than a
 //!   partial; send `no_cache` to force a governed fresh run.

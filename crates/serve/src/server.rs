@@ -31,9 +31,11 @@
 //! budgets, and a per-request [`CancelToken`]. A tripped budget or
 //! deadline returns the engine's sound serial-prefix partial result
 //! with its truthful [`Termination`] — the response is still `result`,
-//! with `termination.reason` naming the trip. A client that disconnects
-//! mid-request trips its token; the worker observes it at the next
-//! class admission and is reclaimed for other requests.
+//! with `termination.reason` naming the trip. A client whose socket
+//! errors out mid-request (reset, aborted) trips its token; the worker
+//! observes it at the next class admission and is reclaimed for other
+//! requests. A mere read-side EOF is *not* a disconnect: one-shot
+//! clients that half-close after sending still receive their response.
 //!
 //! # Shutdown
 //!
@@ -331,9 +333,13 @@ impl Shared {
 
     fn record_mine_time(&self, mine_ms: f64) {
         let sample = (mine_ms * 1000.0) as u64;
-        let old = self.avg_mine_us.load(Ordering::Relaxed);
-        let new = if old == 0 { sample } else { old - old / 8 + sample / 8 };
-        self.avg_mine_us.store(new, Ordering::Relaxed);
+        // A compare-exchange loop so concurrent workers never lose each
+        // other's EWMA contribution.
+        let _ = self
+            .avg_mine_us
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+                Some(if old == 0 { sample } else { old - old / 8 + sample / 8 })
+            });
     }
 }
 
@@ -715,21 +721,36 @@ impl FrameReader {
     }
 }
 
-/// Whether the peer has closed its end (half- or full-close). Used while
-/// a mine job is in flight to trip the cancel token on disconnects.
-fn client_gone(stream: &TcpStream) -> bool {
+/// What a read-side probe of the peer observed. Used while a mine job is
+/// in flight to decide between cancelling and delivering.
+enum PeerState {
+    /// The read side is open (no bytes, or pipelined bytes waiting).
+    Open,
+    /// The peer sent FIN: it will write nothing more, but a one-shot
+    /// client that `shutdown(Write)`s after its request is still
+    /// reading — the response must be delivered, not cancelled. (TCP
+    /// cannot distinguish that client from one that fully closed; the
+    /// delivery write to a fully-closed peer just fails harmlessly.)
+    HalfClosed,
+    /// A socket error (reset, aborted): nobody is listening.
+    Gone,
+}
+
+fn peer_state(stream: &TcpStream) -> PeerState {
     if stream.set_nonblocking(true).is_err() {
-        return true;
+        return PeerState::Gone;
     }
     let mut probe = [0u8; 1];
-    let gone = match stream.peek(&mut probe) {
-        Ok(0) => true,
-        Ok(_) => false,
-        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => false,
-        Err(_) => true,
+    let state = match stream.peek(&mut probe) {
+        Ok(0) => PeerState::HalfClosed,
+        Ok(_) => PeerState::Open,
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            PeerState::Open
+        }
+        Err(_) => PeerState::Gone,
     };
     let _ = stream.set_nonblocking(false);
-    gone
+    state
 }
 
 fn write_line(stream: &mut TcpStream, mut line: String) -> bool {
@@ -888,24 +909,20 @@ fn handle_mine(
     // needed — filtering is orders of magnitude cheaper than mining, so
     // cache hits keep flowing even when the worker pool saturates.
     if use_cache {
-        if let Some((run, _)) = shared.cache.lookup(&key, m.theta) {
+        if let Some(hit) = shared.cache.lookup(&key, m.theta) {
             shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             shared.counters.results_ok.fetch_add(1, Ordering::Relaxed);
             let started = Instant::now();
             let floor = shared.db.min_support_count(m.theta);
-            let patterns = filter_run(&run, floor);
-            let termination = Termination {
-                reason: TerminationReason::Completed,
-                classes_finished: 0,
-                classes_abandoned: 0,
-                frontier: Vec::new(),
-            };
+            let patterns = filter_run(&hit.run, floor);
+            // Echo the cached run's own (complete) termination report —
+            // its class tallies are real, not fabricated zeros.
             return write_line(
                 stream,
                 crate::protocol::result_response(
                     id_ref,
                     &patterns,
-                    &termination,
+                    &hit.termination,
                     floor,
                     shared.db.len(),
                     CacheStatus::Hit,
@@ -947,18 +964,27 @@ fn handle_mine(
         return write_line(stream, shed_response(id_ref, shared.retry_hint_ms()));
     }
 
-    // Wait for the worker, watching the socket: a client that hangs up
-    // mid-request trips the token so the worker is reclaimed within one
-    // class admission.
+    // Wait for the worker, watching the socket: a client whose socket
+    // errors out mid-request trips the token so the worker is reclaimed
+    // within one class admission. A half-close (read-side EOF) is
+    // tolerated — one-shot clients that shut down their write side after
+    // sending still get their response.
     let mut gone = false;
+    let mut half_closed = false;
     let reply = loop {
         match rx.recv_timeout(Duration::from_millis(25)) {
             Ok(r) => break Some(r),
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                if !gone && client_gone(read_half) {
-                    gone = true;
-                    shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-                    cancel.cancel();
+                if !gone {
+                    match peer_state(read_half) {
+                        PeerState::Open => {}
+                        PeerState::HalfClosed => half_closed = true,
+                        PeerState::Gone => {
+                            gone = true;
+                            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                            cancel.cancel();
+                        }
+                    }
                 }
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => break None,
@@ -975,13 +1001,16 @@ fn handle_mine(
             error_response(id_ref, ErrorCode::Internal, "worker dropped the request"),
         );
     };
-    match reply.outcome {
+    let delivered = match reply.outcome {
         Ok(outcome) => {
             if outcome.termination.is_complete() {
                 if use_cache {
-                    shared
-                        .cache
-                        .insert(key, theta, Arc::new(outcome.result.clone()));
+                    shared.cache.insert(
+                        key,
+                        theta,
+                        Arc::new(outcome.result.clone()),
+                        outcome.termination.clone(),
+                    );
                 }
             } else {
                 shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
@@ -1009,7 +1038,9 @@ fn handle_mine(
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
             write_line(stream, error_response(id_ref, ErrorCode::Internal, &e.to_string()))
         }
-    }
+    };
+    // A half-closed peer can send nothing more: close once answered.
+    delivered && !half_closed
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -1019,17 +1050,22 @@ fn worker_loop(shared: &Arc<Shared>) {
         if mined {
             shared.record_mine_time(reply.mine_ms);
         }
-        // The handler may have vanished (client gone + connection
-        // closed); a failed send is fine.
-        let _ = job.reply.send(reply);
+        // Release the slot *before* handing over the reply: a client
+        // must never observe its own response while the job is still
+        // counted in_flight (stats and drain read that gauge).
         shared
             .tokens
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .remove(&job.id);
         shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-        let _unused = shared.drain_lock.lock().unwrap_or_else(|e| e.into_inner());
-        shared.drain_cv.notify_all();
+        {
+            let _unused = shared.drain_lock.lock().unwrap_or_else(|e| e.into_inner());
+            shared.drain_cv.notify_all();
+        }
+        // The handler may have vanished (client gone + connection
+        // closed); a failed send is fine.
+        let _ = job.reply.send(reply);
     }
 }
 

@@ -9,10 +9,21 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use taxogram_core::{Taxogram, TaxogramConfig};
+use taxogram_core::{Taxogram, TaxogramConfig, Termination, TerminationReason};
 use tsg_graph::GraphDatabase;
 use tsg_serve::{filter_run, render_patterns, ConfigKey, ResultCache};
 use tsg_taxonomy::Taxonomy;
+
+/// A synthetic complete-run termination for cache inserts (the ungoverned
+/// `mine` entry point returns no report of its own).
+fn complete() -> Termination {
+    Termination {
+        reason: TerminationReason::Completed,
+        classes_finished: 1,
+        classes_abandoned: 0,
+        frontier: Vec::new(),
+    }
+}
 
 fn arb_input() -> impl Strategy<Value = (Taxonomy, GraphDatabase)> {
     tsg_testkit::gen::arb_input_sized(6, 5, 5)
@@ -70,11 +81,12 @@ proptest! {
         let cfg = TaxogramConfig::with_threshold(theta_cached).max_edges(3);
         let run = Taxogram::new(cfg).mine(&db, &taxonomy).unwrap();
         let cache = ResultCache::new(4);
-        cache.insert(key, theta_cached, Arc::new(run));
+        cache.insert(key, theta_cached, Arc::new(run), complete());
 
-        let (hit, stored_theta) = cache.lookup(&key, theta_query).expect("θ′ ≥ θ must hit");
-        prop_assert_eq!(stored_theta, theta_cached);
-        let filtered = filter_run(&hit, db.min_support_count(theta_query));
+        let hit = cache.lookup(&key, theta_query).expect("θ′ ≥ θ must hit");
+        prop_assert_eq!(hit.theta, theta_cached);
+        prop_assert!(hit.termination.is_complete());
+        let filtered = filter_run(&hit.run, db.min_support_count(theta_query));
 
         let cfg_fresh = TaxogramConfig::with_threshold(theta_query).max_edges(3);
         let fresh = Taxogram::new(cfg_fresh).mine(&db, &taxonomy).unwrap();
@@ -100,7 +112,7 @@ proptest! {
         let run = Taxogram::new(TaxogramConfig::with_threshold(0.25).max_edges(3))
             .mine(&db, &taxonomy)
             .unwrap();
-        cache.insert(key, 0.25, Arc::new(run));
+        cache.insert(key, 0.25, Arc::new(run), complete());
 
         let edges_differ = ConfigKey { max_edges: Some(2), baseline: false };
         let mode_differs = ConfigKey { max_edges: Some(3), baseline: true };

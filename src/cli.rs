@@ -98,8 +98,9 @@ pub const USAGE: &str = "usage: taxogram <mine|serve|stats|generate> [flags]
             [--max-time-limit SECONDS] [--default-time-limit SECONDS]
             [--port-file PATH] [--max-runtime-ms N]
             (resident mining daemon, JSON lines over TCP; stop with a
-             client {\"op\":\"shutdown\"}, stdin EOF/'shutdown', or the
-             runtime bound — all drain gracefully)
+             client {\"op\":\"shutdown\"}, a 'shutdown' line on stdin
+             (EOF too when stdin is a terminal), or the runtime bound
+             — all drain gracefully)
   stats     --database FILE
   generate  --dataset ID --out DIR [--scale S]   (ID per Table 1, e.g. D1000, NC20, TD8, PTE)";
 
@@ -394,8 +395,10 @@ fn mine(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 /// The `serve` subcommand: load once, bind, and answer mining queries
 /// until a shutdown arrives. With no signal handling available
 /// (`unsafe` is forbidden workspace-wide), the stop channels are: a
-/// client `{"op":"shutdown"}`, stdin EOF or a `shutdown` line (the
-/// SIGTERM stand-in under a process supervisor), or `--max-runtime-ms`.
+/// client `{"op":"shutdown"}`, a `shutdown` line on stdin (the SIGTERM
+/// stand-in under a process supervisor; EOF also stops the daemon when
+/// stdin is a terminal — ctrl-d — but a daemonized server whose stdin
+/// is `/dev/null` keeps running), or `--max-runtime-ms`.
 fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let (_names, taxonomy, db) = load_inputs(args)?;
     let (graphs, concepts) = (db.len(), taxonomy.concept_count());
@@ -452,14 +455,17 @@ fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         std::fs::write(path, handle.addr().to_string())?;
     }
     if max_runtime.is_none() {
-        // Interactive/supervised mode: watch stdin so EOF (supervisor
-        // closing the pipe) or an explicit `shutdown` line stops the
-        // daemon. The watcher speaks the wire protocol to itself — no
-        // shared state with the server.
+        // Interactive/supervised mode: watch stdin for an explicit
+        // `shutdown` line (and, on a terminal, ctrl-d). EOF on a
+        // non-terminal stdin is *not* a shutdown — a daemonized server
+        // (`nohup … </dev/null`, most supervisors) sees EOF instantly
+        // and must keep serving. The watcher speaks the wire protocol
+        // to itself — no shared state with the server.
+        let eof_shuts_down = std::io::IsTerminal::is_terminal(&std::io::stdin());
         let peer = handle.addr();
         let _watcher = std::thread::Builder::new()
             .name("taxogram-serve-stdin".into())
-            .spawn(move || stdin_shutdown_watcher(peer));
+            .spawn(move || stdin_shutdown_watcher(peer, eof_shuts_down));
     }
     let _ = handle.wait_shutdown_requested(max_runtime);
     let stats = handle.stats();
@@ -479,14 +485,21 @@ fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Blocks on stdin; EOF or a `shutdown` line triggers a protocol-level
-/// shutdown request against the server's own address.
-fn stdin_shutdown_watcher(addr: std::net::SocketAddr) {
+/// Blocks on stdin; a `shutdown` line — or EOF, when `eof_shuts_down`
+/// (stdin is a terminal) — triggers a protocol-level shutdown request
+/// against the server's own address. EOF on a non-terminal stdin just
+/// ends the watcher so a daemonized server keeps running.
+fn stdin_shutdown_watcher(addr: std::net::SocketAddr, eof_shuts_down: bool) {
     let mut line = String::new();
     loop {
         line.clear();
         match std::io::stdin().read_line(&mut line) {
-            Ok(0) | Err(_) => break,
+            Ok(0) | Err(_) => {
+                if !eof_shuts_down {
+                    return;
+                }
+                break;
+            }
             Ok(_) if line.trim() == "shutdown" => break,
             Ok(_) => {}
         }
