@@ -18,6 +18,8 @@
 //! chunk bitmaps AND directly against the dense set's words (a chunk's
 //! 1024 words are exactly block-aligned with `BitSet`'s layout).
 
+// tsg-lint: allow(index) — chunk vectors are indexed by positions from this file's own binary searches and merge cursors
+
 use crate::container::{self, Container, BITMAP_WORDS};
 use crate::BitSet;
 
@@ -288,8 +290,8 @@ impl AdaptiveBitSet {
         loop {
             match (ours.peek(), theirs.peek()) {
                 (Some(a), Some(b)) if a.key == b.key => {
-                    let a = ours.next().expect("peeked");
-                    let b = theirs.next().expect("peeked");
+                    let a = ours.next().expect("peeked"); // tsg-lint: allow(panic) — peek() returned Some in this arm
+                    let b = theirs.next().expect("peeked"); // tsg-lint: allow(panic) — peek() returned Some in this arm
                     let container = container::union_into(a.container, &b.container);
                     merged.push(Chunk {
                         key: a.key,
@@ -297,12 +299,12 @@ impl AdaptiveBitSet {
                         container,
                     });
                 }
-                (Some(a), Some(b)) if a.key < b.key => merged.push(ours.next().expect("peeked")),
+                (Some(a), Some(b)) if a.key < b.key => merged.push(ours.next().expect("peeked")), // tsg-lint: allow(panic) — peek() returned Some in this arm
                 (Some(_), Some(_)) | (None, Some(_)) => {
-                    let b = theirs.next().expect("peeked");
+                    let b = theirs.next().expect("peeked"); // tsg-lint: allow(panic) — peek() returned Some in this arm
                     merged.push(b.clone());
                 }
-                (Some(_), None) => merged.push(ours.next().expect("peeked")),
+                (Some(_), None) => merged.push(ours.next().expect("peeked")), // tsg-lint: allow(panic) — peek() returned Some in this arm
                 (None, None) => break,
             }
         }

@@ -23,6 +23,8 @@
 //!
 //! [`AdaptiveBitSet`]: crate::AdaptiveBitSet
 
+// tsg-lint: allow(index) — roaring container kernels walk sorted arrays with cursors bounded by the stored cardinalities; checked indexing in these loops would defeat the flat layout, and the dense/property tests assert the bounds discipline
+
 /// Containers with cardinality `>= BITMAP_MIN` use the bitmap encoding;
 /// below it, the sorted array. 4096 is the break-even point where the
 /// array (2 bytes/member) stops undercutting the flat 8 KiB bitmap — the

@@ -26,6 +26,8 @@
 //!   `*_dense` kernels bridge the two types without materializing either
 //!   side.
 
+// tsg-lint: allow(index) — word indices are bit / 64 within the fixed universe the set was created with
+
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 

@@ -24,6 +24,8 @@
 //! edge `a—a`) denote the same pattern. Because the over-generalization
 //! test always probes *all* positions, no follow-up pass is needed.
 
+// tsg-lint: allow(index) — pos walks v, whose entries the traversal itself pushed below the entry count
+
 use crate::config::Enhancements;
 use crate::oi::{LocalId, OccurrenceIndex};
 use tsg_bitset::BitSet;

@@ -28,14 +28,14 @@ impl MemoryGauge {
         // decisions and `peak()` is read by the reporting thread — both
         // reads act on the value, so the updates carry happens-before
         // (post-join reads are *additionally* ordered by the join edge).
-        let now = self.current.fetch_add(bytes, Ordering::Release) + bytes;
-        self.peak.fetch_max(now, Ordering::Release);
+        let now = self.current.fetch_add(bytes, Ordering::Release) + bytes; // tsg-lint: ordering(ORD-06)
+        self.peak.fetch_max(now, Ordering::Release); // tsg-lint: ordering(ORD-06)
     }
 
     /// Records `bytes` being released.
     pub fn sub(&self, bytes: usize) {
         // Release: pairs with the Acquire read in `current()`.
-        self.current.fetch_sub(bytes, Ordering::Release);
+        self.current.fetch_sub(bytes, Ordering::Release); // tsg-lint: ordering(ORD-06)
     }
 
     /// Highest value `current` has reached.
@@ -45,7 +45,7 @@ impl MemoryGauge {
         // join already synchronizes-with their updates — but the Acquire
         // keeps the read well-ordered even from monitoring threads that
         // never join.
-        self.peak.load(Ordering::Acquire)
+        self.peak.load(Ordering::Acquire) // tsg-lint: ordering(ORD-07)
     }
 
     /// Bytes resident right now. Returns to zero after a run — including
@@ -53,7 +53,7 @@ impl MemoryGauge {
     /// (the governance tests assert this balance).
     pub fn current(&self) -> usize {
         // Acquire: pairs with the Release updates in `add`/`sub`.
-        self.current.load(Ordering::Acquire)
+        self.current.load(Ordering::Acquire) // tsg-lint: ordering(ORD-07)
     }
 }
 

@@ -67,13 +67,13 @@ impl CancelToken {
         // happens-before a worker that observes the flag (workers act on
         // the observation — the store is a happens-before carrier, not a
         // plain counter).
-        self.flag.store(true, Ordering::Release);
+        self.flag.store(true, Ordering::Release); // tsg-lint: ordering(ORD-01)
     }
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
         // Acquire: pairs with the Release store in `cancel`.
-        self.flag.load(Ordering::Acquire)
+        self.flag.load(Ordering::Acquire) // tsg-lint: ordering(ORD-01)
     }
 }
 
@@ -344,7 +344,7 @@ impl Governor {
         // Release: pairs with the Acquire load in `admit_class` — a
         // worker that sees the stop also sees the recorded reason (and
         // whatever state the tripping thread settled before stopping).
-        self.stopped.store(true, Ordering::Release);
+        self.stopped.store(true, Ordering::Release); // tsg-lint: ordering(ORD-02)
     }
 
     /// The class-granularity admission gate: checks the cancel token, the
@@ -356,7 +356,7 @@ impl Governor {
             return true;
         }
         // Acquire: pairs with the Release store in `trip`.
-        if self.stopped.load(Ordering::Acquire) {
+        if self.stopped.load(Ordering::Acquire) { // tsg-lint: ordering(ORD-02)
             return false;
         }
         if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
@@ -375,7 +375,7 @@ impl Governor {
         }
         if self
             .max_patterns
-            .is_some_and(|m| self.patterns.load(Ordering::Acquire) >= m)
+            .is_some_and(|m| self.patterns.load(Ordering::Acquire) >= m) // tsg-lint: ordering(ORD-03)
         {
             self.trip(TerminationReason::BudgetExceeded {
                 which: BudgetKind::Patterns,
@@ -390,7 +390,7 @@ impl Governor {
             // other memory rides on the edge.
             let won = self
                 .admitted
-                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |k| {
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |k| { // tsg-lint: ordering(ORD-04)
                     (k < limit).then_some(k + 1)
                 })
                 .is_ok();
@@ -401,7 +401,7 @@ impl Governor {
         } else {
             // Genuinely relaxed: a pure tally, only read after workers
             // join.
-            self.admitted.fetch_add(1, Ordering::Relaxed);
+            self.admitted.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-05)
         }
         true
     }
@@ -443,7 +443,7 @@ impl Governor {
         }
         if self
             .max_patterns
-            .is_some_and(|m| self.patterns.load(Ordering::Acquire) >= m)
+            .is_some_and(|m| self.patterns.load(Ordering::Acquire) >= m) // tsg-lint: ordering(ORD-03)
         {
             self.trip(TerminationReason::BudgetExceeded {
                 which: BudgetKind::Patterns,
@@ -461,7 +461,7 @@ impl Governor {
             // counter with Acquire and *acts* on it (stops the run), so
             // the classes counted must be visible to the thread that
             // trips the ceiling — a happens-before carrier, not a stat.
-            self.patterns.fetch_add(n, Ordering::Release);
+            self.patterns.fetch_add(n, Ordering::Release); // tsg-lint: ordering(ORD-03)
         }
     }
 

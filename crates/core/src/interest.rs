@@ -67,8 +67,8 @@ pub fn score_pattern(
             if taxonomy.is_artificial(parent) {
                 continue;
             }
-            let f_l = label_freq[l.index()] as f64;
-            let f_p = label_freq[parent.index()] as f64;
+            let f_l = label_freq[l.index()] as f64; // tsg-lint: allow(index) — concept ids are dense indices into the frequency table
+            let f_p = label_freq[parent.index()] as f64; // tsg-lint: allow(index) — concept ids are dense indices into the frequency table
             if f_l == 0.0 || f_p == 0.0 {
                 continue;
             }

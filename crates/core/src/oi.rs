@@ -26,6 +26,8 @@
 //!   pays one hash insertion, and construction, contraction, and child
 //!   iteration run on dense vectors.
 
+// tsg-lint: allow(index) — occurrence-index rows are indexed by dense entry ids issued during construction of the same index
+
 use std::collections::HashMap;
 use tsg_bitset::{AdaptiveBitSet, BitSet};
 use tsg_graph::{GraphId, NodeLabel};
@@ -286,7 +288,7 @@ impl OccurrenceIndex {
             }
             let root = *index
                 .get(&mg)
-                .expect("the most-general label is an ancestor of every original, so it is covered");
+                .expect("the most-general label is an ancestor of every original, so it is covered"); // tsg-lint: allow(panic) — the most-general label covers every original, so the index has it
             let mut entry = OiEntry {
                 index,
                 labels,

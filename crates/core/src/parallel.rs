@@ -182,7 +182,7 @@ fn mine_parallel_with_governor(
                     // payload (RMW modification order hands out each slot
                     // exactly once); slot contents synchronize via the
                     // slot mutex and the scope join.
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let i = cursor.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-08)
                     let Some(class) = classes.get(i) else { break };
                     let out = enumerate_class(
                         &class.skeleton,
@@ -194,7 +194,8 @@ fn mine_parallel_with_governor(
                         &mut oi_scratch,
                     );
                     governor.add_patterns(out.patterns.len());
-                    *outputs[i].lock().expect("no worker panicked holding this lock") = Some(out);
+                    // tsg-lint: allow(index) — i enumerates outputs' own indices
+                    *outputs[i].lock().expect("no worker panicked holding this lock") = Some(out); // tsg-lint: allow(panic) — poison implies a worker panicked, which the scope re-raises anyway
                 }
             });
         }
@@ -205,12 +206,12 @@ fn mine_parallel_with_governor(
     // byte-identical-prefix contract even if later slots completed.
     let mut slots: Vec<Option<ClassOutput>> = outputs
         .into_iter()
-        .map(|slot| slot.into_inner().expect("workers finished"))
+        .map(|slot| slot.into_inner().expect("workers finished")) // tsg-lint: allow(panic) — after scope join; a poisoned lock would already have re-panicked
         .collect();
     let finished = slots.iter().take_while(|s| s.is_some()).count();
     let total = classes.len();
     let abandoned = total - finished + usize::from(collect.rejected.is_some());
-    let frontier: Vec<String> = classes[finished..]
+    let frontier: Vec<String> = classes[finished..] // tsg-lint: allow(index) — finished <= classes.len() by take_while
         .iter()
         .map(|c| c.code.to_string())
         .chain(collect.rejected)

@@ -123,7 +123,7 @@ fn record_panic(slot: &Mutex<Option<String>>, message: String) {
 /// Trips the injected panic for class `seq` (0-based) if armed.
 fn maybe_injected_panic(faults: &PipelineFaults, seq: usize) {
     if faults.panic_at_class == Some(seq + 1) {
-        panic!("injected fault: pipeline worker panicked at class {}", seq + 1);
+        panic!("injected fault: pipeline worker panicked at class {}", seq + 1); // tsg-lint: allow(panic) — deliberate fault-injection trip point, armed only by tests
     }
 }
 

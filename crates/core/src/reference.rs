@@ -18,6 +18,8 @@
 //! test — the within-class reading that Taxogram (and the original AcGM
 //! extension) implements.
 
+// tsg-lint: allow(index) — the reference oracle enumerates masks and position maps over its own small vectors
+
 use tsg_graph::{GraphDatabase, LabeledGraph, NodeLabel};
 use tsg_iso::{is_gen_iso, is_isomorphic, BatchedMatcher, GeneralizedMatcher};
 use tsg_taxonomy::Taxonomy;
@@ -155,7 +157,7 @@ fn edge_subset_subgraph(g: &LabeledGraph, mask: u32) -> Option<LabeledGraph> {
     for (i, e) in g.edges().iter().enumerate() {
         if mask & (1 << i) != 0 {
             sub.add_edge(pos[&e.u], pos[&e.v], e.label)
-                .expect("edge subset of a simple graph is simple");
+                .expect("edge subset of a simple graph is simple"); // tsg-lint: allow(panic) — edge subset of a simple graph stays simple
         }
     }
     Some(sub)

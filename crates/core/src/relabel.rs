@@ -60,7 +60,7 @@ pub fn relabel(db: &GraphDatabase, taxonomy: &Taxonomy) -> Result<Relabeled, Tax
             let mg = *mga_cache.entry(l).or_insert_with(|| {
                 taxonomy
                     .most_general_ancestor(l)
-                    .expect("unify_most_general makes every concept's root unique")
+                    .expect("unify_most_general makes every concept's root unique") // tsg-lint: allow(panic) — unify_most_general gives every concept a unique root
             });
             dmg.graph_mut(gid).set_label(node, mg);
         }

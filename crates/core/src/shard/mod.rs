@@ -324,14 +324,14 @@ fn scan_shards<T: Send>(
     thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                if stop.load(Ordering::Acquire) {
+                if stop.load(Ordering::Acquire) { // tsg-lint: ordering(ORD-12)
                     break;
                 }
                 if governor.should_stop() {
-                    stop.store(true, Ordering::Release);
+                    stop.store(true, Ordering::Release); // tsg-lint: ordering(ORD-12)
                     break;
                 }
-                let shard = next.fetch_add(1, Ordering::Relaxed);
+                let shard = next.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-13)
                 if shard >= n {
                     break;
                 }
@@ -340,7 +340,7 @@ fn scan_shards<T: Send>(
                 }));
                 let err = match outcome {
                     Ok(Ok(v)) => {
-                        recover(slots.lock())[shard] = Some(v);
+                        recover(slots.lock())[shard] = Some(v); // tsg-lint: allow(index) — shard < shard_count and slots is sized to shard_count
                         continue;
                     }
                     Ok(Err(e)) => e,
@@ -357,7 +357,7 @@ fn scan_shards<T: Send>(
                     *guard = Some((shard, err));
                 }
                 drop(guard);
-                stop.store(true, Ordering::Release);
+                stop.store(true, Ordering::Release); // tsg-lint: ordering(ORD-12)
                 break;
             });
         }
@@ -365,7 +365,7 @@ fn scan_shards<T: Send>(
     if let Some((_, e)) = recover(first_error.lock()).take() {
         return Err(e);
     }
-    let stopped = stop.load(Ordering::Acquire);
+    let stopped = stop.load(Ordering::Acquire); // tsg-lint: ordering(ORD-12)
     let slots = {
         let mut guard = recover(slots.lock());
         std::mem::take(&mut *guard)
@@ -461,7 +461,7 @@ fn mine_impl(
     let mut freq_sums: Vec<usize> = Vec::new();
     let mut per_shard_classes = Vec::with_capacity(set.shard_count());
     for slot in slots {
-        let s = slot.expect("unstopped scan fills every slot");
+        let s = slot.expect("unstopped scan fills every slot"); // tsg-lint: allow(panic) — unstopped scan fills every slot; stop was checked above
         if freq_sums.len() < s.label_frequencies.len() {
             freq_sums.resize(s.label_frequencies.len(), 0);
         }
@@ -548,9 +548,9 @@ fn mine_impl(
         let mut per_class: Vec<Vec<tsg_gspan::Embedding>> =
             (0..batch.len()).map(|_| Vec::new()).collect();
         for slot in slots {
-            let shard_out = slot.expect("unstopped scan fills every slot");
+            let shard_out = slot.expect("unstopped scan fills every slot"); // tsg-lint: allow(panic) — unstopped scan fills every slot; stop was checked above
             for (gid, labels) in shard_out.originals {
-                prepared.rel.originals[gid] = labels;
+                prepared.rel.originals[gid] = labels; // tsg-lint: allow(index) — graph ids in shard output index the originals they were scanned from
             }
             // Shard order = ascending graph-id order, the single-pass
             // engines' embedding order.
@@ -589,7 +589,7 @@ fn mine_impl(
     }
 
     let abandoned = frequent.len() - finished;
-    let frontier: Vec<String> = frequent[finished..]
+    let frontier: Vec<String> = frequent[finished..] // tsg-lint: allow(index) — finished <= frequent.len() by take_while
         .iter()
         .take(FRONTIER_CAP)
         .map(|(code, _)| code.to_string())

@@ -65,7 +65,7 @@ pub(crate) fn collect_shard_embeddings(
     for (_, skeleton) in batch {
         let mut embeddings = Vec::new();
         batched.for_each_embedding(skeleton, |local, map| {
-            touched[local] = true;
+            touched[local] = true; // tsg-lint: allow(index) — local < batch length by the grouping above
             embeddings.push(Embedding {
                 gid: start + local,
                 map: map.to_vec(),
@@ -81,7 +81,7 @@ pub(crate) fn collect_shard_embeddings(
         .iter()
         .enumerate()
         .filter(|&(_, &t)| t)
-        .map(|(local, _)| (start + local, std::mem::take(&mut rows[local])))
+        .map(|(local, _)| (start + local, std::mem::take(&mut rows[local]))) // tsg-lint: allow(index) — local enumerates rows' own indices
         .collect();
     Ok(ShardEmbeddings {
         per_class,

@@ -126,7 +126,7 @@ pub fn mine_partitioned(
             let cache = CandidateCache::new(g, &matcher);
             for (i, c) in candidates.iter().enumerate() {
                 if contains_subgraph_cached(c, &cache) {
-                    supports[i] += 1;
+                    supports[i] += 1; // tsg-lint: allow(index) — i enumerates candidates and supports is sized to match
                 }
             }
         }

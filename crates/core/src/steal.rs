@@ -34,7 +34,7 @@ use crate::pipeline::{enumerate_class, merge_outputs, prepare, ClassOutput, Prep
 use crate::sync::thread;
 use tsg_graph::GraphDatabase;
 use tsg_gspan::{
-    mine_parallel_with_faults, ClassHandoff, DfsCode, FaultInjection, GSpanConfig, Grow,
+    mine_parallel_with_faults, ClassHandoff, DfsCode, FaultInjection, GSpanConfig, Grow, // tsg-lint: allow(fault-hook) — the stealing engine's faulted entry point is the sanctioned conduit into the gspan-level hook (driven by tsg-testkit plans)
     MinedPattern, ParallelOptions, PatternSink,
 };
 use tsg_taxonomy::Taxonomy;
@@ -190,7 +190,7 @@ fn mine_stealing_impl(
 
     let emb_gauge = MemoryGauge::new();
     let oi_gauge = MemoryGauge::new();
-    let run = mine_parallel_with_faults(
+    let run = mine_parallel_with_faults( // tsg-lint: allow(fault-hook) — clean path calls the same parameterized search with FaultInjection::none()
         &prepared.rel.dmg,
         GSpanConfig {
             min_support: prepared.min_support,

@@ -123,7 +123,7 @@ pub fn pathway_database(
     let n_edges = spec.avg_edges.round().max(1.0) as usize;
     // The pathway template: concepts and topology shared by all organisms.
     let template_labels: Vec<NodeLabel> =
-        (0..n_nodes).map(|_| mid[rng.random_range(0..mid.len())]).collect();
+        (0..n_nodes).map(|_| mid[rng.random_range(0..mid.len())]).collect(); // tsg-lint: allow(index) — index drawn from 0..len of the same vec
     let mut template_edges: Vec<(usize, usize)> = Vec::new();
     // A connected backbone plus extra reaction links.
     for v in 1..n_nodes {
@@ -149,10 +149,10 @@ pub fn pathway_database(
                 // Conserved: some enzyme whose annotation specializes the
                 // template concept.
                 let subtree: Vec<usize> = taxonomy.descendants(tl).iter().collect();
-                NodeLabel(subtree[rng.random_range(0..subtree.len())] as u32)
+                NodeLabel(subtree[rng.random_range(0..subtree.len())] as u32) // tsg-lint: allow(index) — index drawn from 0..len of the same vec
             } else {
                 // Organism-specific enzyme: arbitrary annotation.
-                all[rng.random_range(0..all.len())]
+                all[rng.random_range(0..all.len())] // tsg-lint: allow(index) — index drawn from 0..len of the same vec
             };
             g.add_node(label);
         }

@@ -16,6 +16,10 @@
 //! atoms, namely, C, H, and O"), which is what drives Figure 4.8's
 //! pattern-count explosion at high support thresholds.
 
+// tsg-lint: allow(index) — indexes the hardcoded Table 1 constant arrays
+
+// tsg-lint: allow(panic) — generator builds from the hardcoded Table 1 constants; the expects assert that static data, not input
+
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use tsg_graph::{EdgeLabel, GraphDatabase, LabelTable, LabeledGraph, NodeLabel};

@@ -14,6 +14,10 @@
 //! the paper's Table 1 (e.g. max 20 edges at density 0.27 gives ≈9.4-node,
 //! ≈11-edge graphs, exactly the `D*` rows).
 
+// tsg-lint: allow(index) — the generator indexes its own level/label vectors with rng draws bounded by their lengths
+
+// tsg-lint: allow(panic) — levelled construction orders parents before children, so the asserted acyclicity/freshness invariants hold by construction
+
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use tsg_graph::{EdgeLabel, GraphDatabase, LabeledGraph, NodeLabel};

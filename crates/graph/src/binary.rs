@@ -24,6 +24,8 @@
 //! surface as structured errors, never a panic — the same contract the
 //! text parser in [`crate::io`] owes its mutation suite.
 
+// tsg-lint: allow(panic) — the expects are exact-length slice-to-array conversions and the documented u32 capacity cap from the format header
+
 use crate::{EdgeLabel, GraphDatabase, GraphError, LabeledGraph, NodeLabel};
 use std::io::{self, Read, Write};
 
@@ -168,15 +170,15 @@ impl<R: Read> ShardReader<R> {
             ));
         }
         let prefix = read_exact_at(&mut self.src, &mut self.offset, BODY_PREFIX as usize, "record body")?;
-        let directed = match prefix[0] {
+        let directed = match prefix[0] { // tsg-lint: allow(index) — prefix was read as exactly BODY_PREFIX bytes
             0 => false,
             1 => true,
             other => {
                 return Err(binary_err(record_start + 4, format!("bad flags byte {other:#04x}")))
             }
         };
-        let n = u32::from_le_bytes(prefix[1..5].try_into().expect("4 bytes"));
-        let m = u32::from_le_bytes(prefix[5..9].try_into().expect("4 bytes"));
+        let n = u32::from_le_bytes(prefix[1..5].try_into().expect("4 bytes")); // tsg-lint: allow(index) — prefix was read as exactly BODY_PREFIX bytes
+        let m = u32::from_le_bytes(prefix[5..9].try_into().expect("4 bytes")); // tsg-lint: allow(index) — prefix was read as exactly BODY_PREFIX bytes
         let expected = BODY_PREFIX as u64 + 4 * n as u64 + 12 * m as u64;
         if expected != body_len as u64 {
             return Err(binary_err(

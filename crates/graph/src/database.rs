@@ -53,14 +53,14 @@ impl GraphDatabase {
     /// Panics if `id` is out of bounds.
     #[inline]
     pub fn graph(&self, id: GraphId) -> &LabeledGraph {
-        &self.graphs[id]
+        &self.graphs[id] // tsg-lint: allow(index) — indexed accessor; a GraphId is issued by this database (documented contract)
     }
 
     /// Mutable access (used by Taxogram's relabeling step on its private
     /// copy of the database).
     #[inline]
     pub fn graph_mut(&mut self, id: GraphId) -> &mut LabeledGraph {
-        &mut self.graphs[id]
+        &mut self.graphs[id] // tsg-lint: allow(index) — indexed accessor; a GraphId is issued by this database (documented contract)
     }
 
     /// Iterates `(id, graph)` pairs.
@@ -110,7 +110,7 @@ impl GraphDatabase {
 impl std::ops::Index<GraphId> for GraphDatabase {
     type Output = LabeledGraph;
     fn index(&self, id: GraphId) -> &LabeledGraph {
-        &self.graphs[id]
+        &self.graphs[id] // tsg-lint: allow(index) — indexed accessor; a GraphId is issued by this database (documented contract)
     }
 }
 

@@ -1,5 +1,7 @@
 //! The labeled undirected graph.
 
+// tsg-lint: allow(index) — adjacency and label arrays are indexed by vertex ids bounded by node_count; add_edge validates endpoints at the public boundary
+
 use crate::{EdgeLabel, GraphError, NodeLabel};
 use serde::{Deserialize, Serialize};
 
@@ -309,7 +311,7 @@ impl LabeledGraph {
             let (pu, pv) = (pos[e.u], pos[e.v]);
             if pu != usize::MAX && pv != usize::MAX {
                 g.add_edge(pu, pv, e.label)
-                    .expect("induced subgraph edges are valid by construction");
+                    .expect("induced subgraph edges are valid by construction"); // tsg-lint: allow(panic) — induced-subgraph endpoints were just remapped into range
             }
         }
         g

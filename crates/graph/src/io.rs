@@ -112,7 +112,7 @@ pub fn read_database(text: &str) -> Result<GraphDatabase, GraphError> {
             Some(other) => {
                 return Err(parse(lineno, &format!("unknown record type {other:?}")));
             }
-            None => unreachable!("empty lines filtered above"),
+            None => unreachable!("empty lines filtered above"), // tsg-lint: allow(panic) — empty lines are filtered before the match
         }
     }
     if let Some(g) = current.take() {

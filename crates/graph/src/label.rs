@@ -89,7 +89,7 @@ impl LabelTable {
         if let Some(&id) = self.index.get(name) {
             return NodeLabel(id);
         }
-        let id = u32::try_from(self.names.len()).expect("more than u32::MAX labels");
+        let id = u32::try_from(self.names.len()).expect("more than u32::MAX labels"); // tsg-lint: allow(panic) — more than u32::MAX interned labels exceeds the format's documented capacity
         self.names.push(name.to_owned());
         self.index.insert(name.to_owned(), id);
         NodeLabel(id)

@@ -216,8 +216,8 @@ impl DfsCode {
         let n = self.node_count();
         let mut labels = vec![None; n];
         for e in &self.edges {
-            labels[e.from] = Some(e.from_label);
-            labels[e.to] = Some(e.to_label);
+            labels[e.from] = Some(e.from_label); // tsg-lint: allow(index) — dense DFS ids are bounded by node_count
+            labels[e.to] = Some(e.to_label); // tsg-lint: allow(index) — dense DFS ids are bounded by node_count
         }
         let directed = self
             .edges
@@ -225,7 +225,7 @@ impl DfsCode {
             .is_some_and(|e| e.arc != ArcDir::Undirected);
         let nodes = labels
             .into_iter()
-            .map(|l| l.expect("DFS ids are dense, every id appears in some edge"));
+            .map(|l| l.expect("DFS ids are dense, every id appears in some edge")); // tsg-lint: allow(panic) — DFS ids are dense, so every id appears in some edge
         let mut g = if directed {
             LabeledGraph::with_nodes_directed(nodes)
         } else {

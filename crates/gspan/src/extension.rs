@@ -7,6 +7,8 @@
 //! induce, is the workhorse shared by the miner and by the minimality
 //! check.
 
+// tsg-lint: allow(index) — frame vectors are sized to next_id and DFS ids are dense below it
+
 use crate::dfs_code::{dfs_edge_cmp, ArcDir, DfsCode, DfsEdge};
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
@@ -176,7 +178,7 @@ struct ExtFrame {
 impl ExtFrame {
     fn of(code: &DfsCode) -> ExtFrame {
         let path = code.rightmost_path();
-        let &rmost = path.last().expect("nonempty code has a rightmost path");
+        let &rmost = path.last().expect("nonempty code has a rightmost path"); // tsg-lint: allow(panic) — a nonempty code always has a rightmost path
         let next_id = code.node_count();
         let mut vlabels = vec![NodeLabel(0); next_id];
         for e in code.edges() {
@@ -219,7 +221,7 @@ fn for_each_candidate(
     let (_, spine) = frame
         .path
         .split_last()
-        .expect("frame path is never empty");
+        .expect("frame path is never empty"); // tsg-lint: allow(panic) — frame path built from a nonempty code is never empty
     let phi_rm = emb.map[frame.rmost];
 
     // Backward extensions: rightmost vertex → earlier rightmost-path

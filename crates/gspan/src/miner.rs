@@ -168,7 +168,7 @@ impl<'a> GSpan<'a> {
             // A smaller code reaches this graph; that branch reports it.
             return None;
         }
-        let graph = code.to_graph().expect("mined codes denote valid graphs");
+        let graph = code.to_graph().expect("mined codes denote valid graphs"); // tsg-lint: allow(panic) — codes built edge-by-edge by the miner denote valid graphs
         let support = distinct_graph_count(&embs);
         let decision = sink.report(&MinedPattern {
             code,

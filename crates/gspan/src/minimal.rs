@@ -1,5 +1,7 @@
 //! The DFS-code minimality (canonicality) test.
 
+// tsg-lint: allow(panic) — minimality replay runs on self-produced nonempty connected codes; the expects state gSpan structural invariants (a code always seeds and extends)
+
 use crate::dfs_code::DfsCode;
 use crate::extension::{min_extension, min_seed, Embedding};
 use tsg_graph::GraphDatabase;
@@ -45,7 +47,7 @@ pub fn is_min_with_scratch(code: &DfsCode, scratch: &mut MinScratch) -> bool {
     let g = code.to_graph().expect("mined codes denote valid graphs");
     let db = GraphDatabase::from_graphs(vec![g]);
     let first = min_seed(&db, &mut scratch.cur).expect("code has at least one edge");
-    if first != code.edges()[0] {
+    if first != code.edges()[0] { // tsg-lint: allow(index) — code checked nonempty at entry
         return false;
     }
     scratch.prefix.clear();
@@ -53,7 +55,7 @@ pub fn is_min_with_scratch(code: &DfsCode, scratch: &mut MinScratch) -> bool {
     for k in 1..code.len() {
         let min_key = min_extension(&scratch.prefix, &scratch.cur, &db, &mut scratch.next)
             .expect("the code's own edge k is a legal extension, so the set is nonempty");
-        if min_key != code.edges()[k] {
+        if min_key != code.edges()[k] { // tsg-lint: allow(index) — k ranges over 1..code.len()
             return false;
         }
         scratch.prefix.push(min_key);

@@ -7,6 +7,8 @@
 //! no code path with the gSpan miner, so agreement between the two is
 //! meaningful evidence.
 
+// tsg-lint: allow(index) — mask bits enumerate the oracle's own edge list
+
 use tsg_graph::{GraphDatabase, LabeledGraph};
 use tsg_iso::{is_isomorphic, BatchedMatcher, ExactMatcher};
 
@@ -75,7 +77,7 @@ fn edge_subset_subgraph(g: &LabeledGraph, mask: u32) -> LabeledGraph {
     for (i, e) in g.edges().iter().enumerate() {
         if mask & (1 << i) != 0 {
             sub.add_edge(pos[&e.u], pos[&e.v], e.label)
-                .expect("edge subset of a simple graph is simple");
+                .expect("edge subset of a simple graph is simple"); // tsg-lint: allow(panic) — edge subset of a simple graph stays simple
         }
     }
     sub

@@ -224,7 +224,7 @@ impl Scheduler {
     }
 
     fn lock_local(&self, i: usize) -> MutexGuard<'_, VecDeque<Task>> {
-        recover(self.locals[i].lock())
+        recover(self.locals[i].lock()) // tsg-lint: allow(index) — i < worker count and locals is sized to match
     }
 
     fn lock_injector(&self) -> MutexGuard<'_, VecDeque<Task>> {
@@ -254,10 +254,10 @@ impl Scheduler {
         if let Some(g) = gauge {
             g.task_enqueued(task.bytes);
         }
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.pending.fetch_add(1, Ordering::SeqCst); // tsg-lint: ordering(ORD-09)
         // Genuinely relaxed: a ticket counter — RMW modification order
         // alone guarantees unique serials, and nothing else is published.
-        let serial = self.tasks.fetch_add(1, Ordering::Relaxed);
+        let serial = self.tasks.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-10)
         if self.faults.force_inject(serial) {
             self.lock_injector().push_back(task);
             self.notify_if_sleeping();
@@ -283,9 +283,9 @@ impl Scheduler {
         if let Some(g) = gauge {
             g.task_enqueued(task.bytes);
         }
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.pending.fetch_add(1, Ordering::SeqCst); // tsg-lint: ordering(ORD-09)
         // Genuinely relaxed: same ticket counter as in `spawn`.
-        self.tasks.fetch_add(1, Ordering::Relaxed);
+        self.tasks.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-10)
         self.lock_injector().push_back(task);
     }
 
@@ -295,7 +295,7 @@ impl Scheduler {
     /// load (same deque/injector mutex), so reading `sleepers == 0` here
     /// proves the parker's check will observe the pushed task.
     fn notify_if_sleeping(&self) {
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
+        if self.sleepers.load(Ordering::SeqCst) > 0 { // tsg-lint: ordering(ORD-09)
             let _guard = recover(self.park.lock());
             self.wake.notify_all();
         }
@@ -316,7 +316,7 @@ impl Scheduler {
             let victim = (me + off) % n;
             if let Some(t) = self.lock_local(victim).pop_front() {
                 // Genuinely relaxed: a pure tally, read only after join.
-                self.steals.fetch_add(1, Ordering::Relaxed);
+                self.steals.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-11)
                 return Some(t);
             }
         }
@@ -360,14 +360,14 @@ impl Scheduler {
     }
 
     fn stop(&self) {
-        self.stopped.store(true, Ordering::SeqCst);
+        self.stopped.store(true, Ordering::SeqCst); // tsg-lint: ordering(ORD-09)
         let _guard = recover(self.park.lock());
         self.wake.notify_all();
     }
 
     /// Marks one task fully processed; wakes everyone on exhaustion.
     fn finish_task(&self) {
-        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 { // tsg-lint: ordering(ORD-09)
             let _guard = recover(self.park.lock());
             self.wake.notify_all();
         }
@@ -386,9 +386,9 @@ impl Scheduler {
     ) {
         // Genuinely relaxed: a ticket counter for deterministic fault
         // injection — RMW modification order makes serials unique.
-        let executed = self.executed.fetch_add(1, Ordering::Relaxed) + 1;
+        let executed = self.executed.fetch_add(1, Ordering::Relaxed) + 1; // tsg-lint: ordering(ORD-10)
         if self.faults.panic_at_task == Some(executed) {
-            panic!("injected fault: worker {me} panicked at task {executed}");
+            panic!("injected fault: worker {me} panicked at task {executed}"); // tsg-lint: allow(panic) — deliberate fault-injection trip point, armed only by tests
         }
         let Task { code, embs, bytes } = task;
         let mut stopped = false;
@@ -430,7 +430,7 @@ impl Scheduler {
     ) {
         let mut scratch = MinScratch::new();
         loop {
-            if self.stopped.load(Ordering::SeqCst) {
+            if self.stopped.load(Ordering::SeqCst) { // tsg-lint: ordering(ORD-09)
                 return;
             }
             let task = self
@@ -438,22 +438,22 @@ impl Scheduler {
                 .or_else(|| self.pop_injector())
                 .or_else(|| self.steal(me));
             let Some(task) = task else {
-                if self.pending.load(Ordering::SeqCst) == 0 {
+                if self.pending.load(Ordering::SeqCst) == 0 { // tsg-lint: ordering(ORD-09)
                     return;
                 }
                 let guard = recover(self.park.lock());
-                self.sleepers.fetch_add(1, Ordering::SeqCst);
+                self.sleepers.fetch_add(1, Ordering::SeqCst); // tsg-lint: ordering(ORD-09)
                 // Re-check *after* registering as a sleeper: any spawn
                 // completing after this point sees `sleepers > 0` and
                 // notifies; any spawn completing before it is visible to
                 // `any_work`. Either way no task is missed.
-                if self.pending.load(Ordering::SeqCst) != 0
-                    && !self.stopped.load(Ordering::SeqCst)
+                if self.pending.load(Ordering::SeqCst) != 0 // tsg-lint: ordering(ORD-09)
+                    && !self.stopped.load(Ordering::SeqCst) // tsg-lint: ordering(ORD-09)
                     && !self.any_work()
                 {
                     drop(recover(self.wake.wait(guard)));
                 }
-                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                self.sleepers.fetch_sub(1, Ordering::SeqCst); // tsg-lint: ordering(ORD-09)
                 continue;
             };
             // Panic isolation: a panic in `visit` (sink code) or an
@@ -545,7 +545,7 @@ where
         );
     }
 
-    let sinks: Vec<S> = if sched.pending.load(Ordering::SeqCst) == 0 {
+    let sinks: Vec<S> = if sched.pending.load(Ordering::SeqCst) == 0 { // tsg-lint: ordering(ORD-09)
         (0..workers).map(&make_sink).collect()
     } else if workers == 1 {
         // One worker needs no threads: run the loop on the caller.
@@ -590,8 +590,8 @@ where
     // Genuinely relaxed: the scope join above synchronizes-with every
     // worker, so these post-join reads see the final tallies.
     let stats = StealStats {
-        tasks: sched.tasks.load(Ordering::Relaxed),
-        steals: sched.steals.load(Ordering::Relaxed),
+        tasks: sched.tasks.load(Ordering::Relaxed), // tsg-lint: ordering(ORD-10)
+        steals: sched.steals.load(Ordering::Relaxed), // tsg-lint: ordering(ORD-11)
     };
     Ok(SearchRun {
         sinks,

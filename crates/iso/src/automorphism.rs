@@ -53,7 +53,7 @@ pub fn canonical_under_automorphisms(
     for pi in autos {
         assert_eq!(pi.len(), labels.len(), "permutation length mismatch");
         for (slot, &img) in candidate.iter_mut().zip(pi.iter()) {
-            *slot = labels[img];
+            *slot = labels[img]; // tsg-lint: allow(index) — img is a permutation image within node count
         }
         if best.as_ref().is_none_or(|b| candidate < *b) {
             best = Some(candidate.clone());

@@ -44,7 +44,7 @@ impl LabelIndex {
         for v in 0..g.node_count() {
             let l = g.label(v);
             match labels.binary_search_by_key(&l, |(k, _)| *k) {
-                Ok(i) => labels[i].1.push_ascending(v),
+                Ok(i) => labels[i].1.push_ascending(v), // tsg-lint: allow(index) — Ok(i) from binary_search is in bounds
                 Err(i) => {
                     let mut s = AdaptiveBitSet::new();
                     s.push_ascending(v);
@@ -99,7 +99,7 @@ impl<'a, M: LabelMatcher> CandidateCache<'a, M> {
     pub fn candidates(&self, pattern_label: NodeLabel) -> Rc<AdaptiveBitSet> {
         let mut memo = self.memo.borrow_mut();
         match memo.binary_search_by_key(&pattern_label, |(k, _)| *k) {
-            Ok(i) => memo[i].1.clone(),
+            Ok(i) => memo[i].1.clone(), // tsg-lint: allow(index) — Ok(i) from binary_search is in bounds
             Err(i) => {
                 let mut acc = AdaptiveBitSet::new();
                 for (tl, set) in &self.index.labels {

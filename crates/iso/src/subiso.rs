@@ -1,5 +1,7 @@
 //! The backtracking embedding enumerator (VF2-flavored).
 
+// tsg-lint: allow(index) — all search-state vectors are sized n and vertices range over 0..n
+
 use crate::candidates::CandidateCache;
 use crate::{ExactMatcher, GeneralizedMatcher, LabelMatcher};
 use std::ops::ControlFlow;
@@ -61,7 +63,7 @@ fn order_from_counts(pattern: &LabeledGraph, candidates: &[usize]) -> Vec<NodeId
         let start = (0..n)
             .filter(|&v| !placed[v])
             .min_by_key(|&v| (candidates[v], std::cmp::Reverse(pattern.degree(v))))
-            .expect("some vertex is unplaced while order is short");
+            .expect("some vertex is unplaced while order is short"); // tsg-lint: allow(panic) — order is shorter than n here, so an unplaced vertex exists
         let mut queue = std::collections::VecDeque::from([start]);
         placed[start] = true;
         while let Some(v) = queue.pop_front() {

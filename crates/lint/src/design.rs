@@ -1,0 +1,111 @@
+//! Cross-parsing the DESIGN.md §12 atomics contract table.
+//!
+//! The ordering-audit rule is two-sided: every non-`SeqCst`
+//! `Ordering::` site must name a contract row via an
+//! `// tsg-lint: ordering(ORD-nn)` pragma, *and* every table row must
+//! be named by at least one live site — so the table can neither lag
+//! the code (unaudited site) nor outlive it (stale row). The table is
+//! the first markdown table inside the `## 12.` section whose header
+//! row contains an `ID` column; rows are `| ORD-nn | site | ordering |
+//! contract |`.
+
+/// One parsed contract row.
+#[derive(Debug, Clone)]
+pub struct ContractRow {
+    pub id: String,
+    /// The `Ordering` column text, e.g. `Release / Acquire`, `Relaxed`.
+    pub orderings: String,
+    /// 1-based line in the design file.
+    pub line: u32,
+}
+
+#[derive(Debug, Default)]
+pub struct ContractTable {
+    pub rows: Vec<ContractRow>,
+    /// Problems found while parsing (duplicate IDs, bad ID format).
+    pub problems: Vec<(u32, String)>,
+}
+
+impl ContractTable {
+    pub fn get(&self, id: &str) -> Option<&ContractRow> {
+        self.rows.iter().find(|r| r.id == id)
+    }
+}
+
+/// Extract the §12 contract table from the full DESIGN.md text.
+/// Returns None when the section or table cannot be found at all
+/// (reported by the caller as a hard configuration error).
+pub fn parse(design: &str) -> Option<ContractTable> {
+    let mut in_section = false;
+    let mut in_table = false;
+    let mut saw_separator = false;
+    let mut table = ContractTable::default();
+    let mut found_table = false;
+
+    for (idx, raw) in design.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw.trim();
+        if line.starts_with("## ") {
+            if in_section && found_table {
+                break;
+            }
+            in_section = line.starts_with("## 12.");
+            in_table = false;
+            saw_separator = false;
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        if !line.starts_with('|') {
+            if in_table && found_table {
+                break; // table ended
+            }
+            in_table = false;
+            saw_separator = false;
+            continue;
+        }
+        let cells: Vec<&str> = line
+            .trim_matches('|')
+            .split('|')
+            .map(str::trim)
+            .collect();
+        if !in_table {
+            // Candidate header row: require an ID column first.
+            if cells.first().is_some_and(|c| c.eq_ignore_ascii_case("id")) {
+                in_table = true;
+            }
+            continue;
+        }
+        if !saw_separator {
+            // The |---|---| row under the header.
+            saw_separator = true;
+            continue;
+        }
+        found_table = true;
+        let id = cells.first().copied().unwrap_or("").trim_matches('`');
+        if !id.starts_with("ORD-") {
+            table
+                .problems
+                .push((line_no, format!("contract ID `{id}` does not match `ORD-nn`")));
+            continue;
+        }
+        if table.rows.iter().any(|r| r.id == id) {
+            table
+                .problems
+                .push((line_no, format!("duplicate contract ID `{id}`")));
+            continue;
+        }
+        table.rows.push(ContractRow {
+            id: id.to_string(),
+            orderings: cells.get(2).copied().unwrap_or("").to_string(),
+            line: line_no,
+        });
+    }
+
+    if table.rows.is_empty() && table.problems.is_empty() {
+        None
+    } else {
+        Some(table)
+    }
+}

@@ -1,0 +1,429 @@
+//! A lightweight Rust token scanner: just enough lexing to run the
+//! tsg-lint rules without a real parser.
+//!
+//! The scanner's one hard job is *classification*: every byte of the
+//! source ends up in exactly one of {code token, comment, string/char
+//! literal, whitespace}, so a rule that matches on code tokens can
+//! never be fooled by `"std::sync"` inside a string or `Ordering::`
+//! inside a block comment, and the pragma parser only ever sees real
+//! line comments. Numbers, lifetimes, raw strings (any `#` depth),
+//! byte strings, raw identifiers, and nested block comments are all
+//! handled; everything the rules do not need (precise number grammar,
+//! float suffixes) is lumped into opaque tokens.
+
+/// What kind of code token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`text` holds it, raw-ident `r#` stripped).
+    Ident,
+    /// Integer/float literal (text not retained).
+    Num,
+    /// String, byte-string, or char literal (text not retained).
+    Lit,
+    /// A `::` path separator (merged into one token).
+    PathSep,
+    /// Any other single punctuation character (`text` holds it).
+    Punct(char),
+}
+
+/// One code token with its source position (1-based line, 0-based column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self.kind, TokKind::Punct(p) if p == c)
+    }
+}
+
+/// One `//` line comment (text after the `//`, untrimmed).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// The lexed file: code tokens plus captured line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// True if any code token sits on `line` at a column left of `col`
+    /// (used to tell a trailing comment from a standalone one).
+    pub fn code_before(&self, line: u32, col: u32) -> bool {
+        self.tokens
+            .iter()
+            .any(|t| t.line == line && t.col < col)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.src.get(self.pos + ahead).map(|&b| b as char)
+    }
+
+    fn col(&self) -> u32 {
+        (self.pos - self.line_start) as u32
+    }
+
+    /// Advance one byte, maintaining the line counter. Multibyte UTF-8
+    /// is advanced byte-by-byte; none of the token classes the rules
+    /// care about can start mid-codepoint, so this is safe for
+    /// classification purposes.
+    fn bump(&mut self) {
+        if self.src.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+            self.line_start = self.pos + 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+/// Lex `src` into code tokens and line comments.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        let col = cur.col();
+
+        // Line comment (captures text for the pragma parser).
+        if c == '/' && cur.peek(1) == Some('/') {
+            cur.bump_n(2);
+            let start = cur.pos;
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(); // tsg-lint: allow(index) — start and pos are byte cursors bounded by src.len()
+            out.comments.push(Comment { text, line, col });
+            continue;
+        }
+
+        // Block comment, nestable.
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump_n(2);
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        cur.bump_n(2);
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        cur.bump_n(2);
+                    }
+                    (Some(_), _) => cur.bump(),
+                    (None, _) => break,
+                }
+            }
+            continue;
+        }
+
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Raw strings / raw identifiers / byte strings, all starting
+        // with an ident-looking prefix: r" r#" b" br#" br" b' r#ident.
+        if is_ident_start(c) {
+            if let Some(prefix) = raw_or_byte_literal_prefix(&cur) {
+                match prefix {
+                    LitPrefix::ByteChar => {
+                        cur.bump();
+                        scan_char(&mut cur);
+                    }
+                    LitPrefix::ByteStr => {
+                        cur.bump();
+                        scan_plain_string(&mut cur);
+                    }
+                    LitPrefix::Raw(len) => {
+                        cur.bump_n(len);
+                        scan_string_body(&mut cur);
+                    }
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+                continue;
+            }
+            // Raw identifier r#name: skip the prefix, keep the name.
+            if c == 'r' && cur.peek(1) == Some('#') {
+                if let Some(n) = cur.peek(2) {
+                    if is_ident_start(n) {
+                        cur.bump_n(2);
+                    }
+                }
+            }
+            let start = cur.pos;
+            while let Some(ch) = cur.peek(0) {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                cur.bump();
+            }
+            let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(); // tsg-lint: allow(index) — start and pos are byte cursors bounded by src.len()
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Number literal (coarse: digits then alphanumerics/underscore,
+        // one fractional part iff `.digit` follows — so `0..10` lexes
+        // as Num PathSep-free `.` `.` Num, and `1.5e3` is one token).
+        if c.is_ascii_digit() {
+            cur.bump();
+            while let Some(ch) = cur.peek(0) {
+                let fraction =
+                    ch == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit());
+                if ch.is_alphanumeric() || ch == '_' || fraction {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Num,
+                text: String::new(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            scan_plain_string(&mut cur);
+            out.tokens.push(Tok {
+                kind: TokKind::Lit,
+                text: String::new(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if is_lifetime(&cur) {
+                cur.bump(); // the quote
+                while let Some(ch) = cur.peek(0) {
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    cur.bump();
+                }
+                // Lifetimes are opaque to every rule: drop them.
+                continue;
+            }
+            scan_char(&mut cur);
+            out.tokens.push(Tok {
+                kind: TokKind::Lit,
+                text: String::new(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // `::` path separator, merged.
+        if c == ':' && cur.peek(1) == Some(':') {
+            cur.bump_n(2);
+            out.tokens.push(Tok {
+                kind: TokKind::PathSep,
+                text: String::new(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Anything else: one punctuation char.
+        cur.bump();
+        out.tokens.push(Tok {
+            kind: TokKind::Punct(c),
+            text: String::new(),
+            line,
+            col,
+        });
+    }
+
+    out
+}
+
+/// A recognized literal prefix at the cursor.
+enum LitPrefix {
+    /// `b'…'` — byte char, escapes apply.
+    ByteChar,
+    /// `b"…"` — byte string, escapes apply.
+    ByteStr,
+    /// `r"…"`, `r#"…"#`, `br"…"`, `br#"…"#` — no escapes; the payload
+    /// is the letter-prefix length (1 for `r`, 2 for `br`), leaving the
+    /// cursor on the hash run / quote for the body scanner.
+    Raw(usize),
+}
+
+/// Detect a raw/byte literal prefix; None for plain identifiers and
+/// raw identifiers (`r#ident`).
+fn raw_or_byte_literal_prefix(cur: &Cursor<'_>) -> Option<LitPrefix> {
+    let is_raw_open = |cur: &Cursor<'_>, from: usize| {
+        let mut i = from;
+        while cur.peek(i) == Some('#') {
+            i += 1;
+        }
+        cur.peek(i) == Some('"')
+    };
+    match cur.peek(0)? {
+        'r' if is_raw_open(cur, 1) => Some(LitPrefix::Raw(1)),
+        'b' => match cur.peek(1) {
+            Some('\'') => Some(LitPrefix::ByteChar),
+            Some('"') => Some(LitPrefix::ByteStr),
+            Some('r') if is_raw_open(cur, 2) => Some(LitPrefix::Raw(2)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Scan a raw/byte string body with the cursor on the opening `"` or
+/// on the first `#` of the hash run (the `r`/`b`/`br` letter prefix is
+/// already consumed). Raw bodies have no escapes; the body ends at
+/// `"` followed by the matching number of hashes.
+fn scan_string_body(cur: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek(0) != Some('"') {
+        return; // malformed; classification best-effort
+    }
+    cur.bump(); // opening quote
+    if hashes == 0 {
+        // Raw string with no hashes still has no escapes; but this path
+        // is also only reached for raw forms (plain strings use
+        // scan_plain_string), so escapes are literal text.
+        while let Some(ch) = cur.peek(0) {
+            cur.bump();
+            if ch == '"' {
+                return;
+            }
+        }
+        return;
+    }
+    while let Some(ch) = cur.peek(0) {
+        cur.bump();
+        if ch == '"' {
+            let mut n = 0usize;
+            while n < hashes && cur.peek(0) == Some('#') {
+                n += 1;
+                cur.bump();
+            }
+            if n == hashes {
+                return;
+            }
+        }
+    }
+}
+
+fn scan_plain_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\\' {
+            cur.bump_n(2);
+            continue;
+        }
+        cur.bump();
+        if ch == '"' {
+            return;
+        }
+    }
+}
+
+/// With the cursor on `'`, decide lifetime (`'a`) vs char (`'x'`,
+/// `'\n'`, `'('`). A lifetime is `'` + ident with *no* closing quote.
+fn is_lifetime(cur: &Cursor<'_>) -> bool {
+    match cur.peek(1) {
+        Some('\\') => false,
+        Some(c) if is_ident_start(c) => {
+            // Scan the ident; if a `'` immediately follows it is a char
+            // literal like 'a'; otherwise a lifetime.
+            let mut i = 2;
+            while cur.peek(i).is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            cur.peek(i) != Some('\'')
+        }
+        _ => false,
+    }
+}
+
+fn scan_char(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\\' {
+            cur.bump_n(2);
+            continue;
+        }
+        cur.bump();
+        if ch == '\'' {
+            return;
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! The tsg-lint workspace-invariant static analysis for the taxogram
+//! repository (DESIGN.md §17). (The crate doc deliberately does not
+//! open with the pragma marker — a comment starting with it is parsed
+//! as a pragma, and an unparseable pragma is itself a violation.)
+//!
+//! Mechanically enforces the contracts the engines' correctness
+//! arguments rest on but that `clippy` cannot express:
+//!
+//! - **facade discipline** — engine concurrency goes through
+//!   `taxogram_core::sync` so the §12 model checker sees it;
+//! - **ordering audit** — every non-`SeqCst` atomic ordering names a
+//!   row of the DESIGN.md §12 contract table, and the table carries no
+//!   stale rows;
+//! - **panic-path hygiene** — `unwrap`/`expect`/`panic!`/slice-index
+//!   in non-test library code needs a justified pragma;
+//! - **fault-hook containment** — `#[doc(hidden)]` fault-injection
+//!   hooks stay inside tests, the testkit, and bench code.
+//!
+//! The analysis is purely lexical (a comment/string-accurate token
+//! scanner plus `cfg(test)` region tracking) so it runs in
+//! milliseconds, needs no dependencies, and cannot be desynchronized
+//! from the build. Violations are suppressed only by in-source
+//! pragmas (`// tsg-lint: …`) that each carry a justification; unused
+//! pragmas and unparseable pragmas are violations themselves.
+
+pub mod design;
+pub mod lexer;
+pub mod policy;
+pub mod pragma;
+pub mod regions;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+pub use report::{Report, Rule, Violation};
+pub use rules::SourceFile;
+
+/// Analyze a live workspace rooted at `root` (must contain DESIGN.md
+/// with the §12 contract table — its absence is a hard error, not a
+/// clean run).
+pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
+    let design_path = root.join("DESIGN.md");
+    let design_text = std::fs::read_to_string(&design_path)
+        .map_err(|e| format!("cannot read {}: {e}", design_path.display()))?;
+    let table = design::parse(&design_text)
+        .ok_or("DESIGN.md has no §12 atomics contract table (| ID | Site | Ordering | Contract |) — the ordering audit cannot run")?;
+    let sources = walk::collect_sources(root)?;
+    let files: Vec<SourceFile> = sources
+        .into_iter()
+        .map(|(rel, src)| SourceFile::prepare(rel, &src))
+        .collect();
+    Ok(rules::analyze(&files, Some(&table), "DESIGN.md"))
+}
+
+/// Analyze in-memory sources (the fixture-test entry point). Paths are
+/// workspace-relative and drive the same policy classification as a
+/// real run; `design` optionally supplies a contract table in
+/// DESIGN.md markdown form.
+pub fn analyze_sources(sources: &[(&str, &str)], design: Option<&str>) -> Report {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(rel, src)| SourceFile::prepare((*rel).to_string(), src))
+        .collect();
+    let table = design.and_then(design::parse);
+    rules::analyze(&files, table.as_ref(), "DESIGN.md")
+}

@@ -1,0 +1,90 @@
+//! `tsg-lint` CLI: `cargo run -p tsg-lint [-- --root DIR --format json]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/configuration
+//! error. The default root is found by ascending from the current
+//! directory to the first ancestor holding both `Cargo.toml` and
+//! `DESIGN.md` (the workspace root), so the tool runs correctly from
+//! any subdirectory and from `cargo run`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Human;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                _ => return usage("--format needs `human` or `json`"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "tsg-lint — workspace-invariant static analysis (DESIGN.md §17)\n\n\
+                     USAGE: tsg-lint [--root DIR] [--format human|json]\n\n\
+                     Rules: facade, ordering, ordering-contract, panic, index,\n\
+                     fault-hook, pragma-syntax, pragma-unused.\n\
+                     Exit codes: 0 clean, 1 violations, 2 configuration error."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "tsg-lint: no workspace root found (no ancestor with Cargo.toml + DESIGN.md); pass --root"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    match tsg_lint::analyze_workspace(&root) {
+        Ok(report) => {
+            match format {
+                Format::Human => print!("{}", report.render_human()),
+                Format::Json => print!("{}", report.render_json()),
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("tsg-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("tsg-lint: {msg} (see --help)");
+    ExitCode::from(2)
+}
+
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("DESIGN.md").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Which rules apply where. The scopes are deliberately hardcoded —
+//! the policy *is* the project contract (DESIGN.md §17), and a lint
+//! whose scope is configurable per-invocation can be quietly weakened.
+
+/// Path-derived classification of one source file.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// `crates/<name>/…` → `<name>`; root `src/…` → `taxogram`;
+    /// `examples/…` → `examples`.
+    pub crate_name: String,
+    /// Under a `tests/` or `benches/` directory (integration tests are
+    /// exempt from every rule; the workspace walker skips them, but
+    /// the fixture API can still classify such paths).
+    pub is_test_path: bool,
+    /// Under a `src/bin/` directory (process-boundary code: a panic is
+    /// a visible CLI failure, not a silent worker hazard).
+    pub is_bin: bool,
+    pub is_example: bool,
+}
+
+pub fn classify(rel: &str) -> FileClass {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let crate_name = match parts.first() {
+        Some(&"crates") => parts.get(1).copied().unwrap_or("").to_string(),
+        Some(&"src") => "taxogram".to_string(),
+        Some(&"examples") => "examples".to_string(),
+        _ => parts.first().copied().unwrap_or("").to_string(),
+    };
+    let is_test_path = parts
+        .iter()
+        .any(|p| *p == "tests" || *p == "benches" || *p == "fixtures");
+    let is_bin = rel.contains("src/bin/");
+    FileClass {
+        crate_name,
+        is_test_path,
+        is_bin,
+        is_example: rel.starts_with("examples/"),
+    }
+}
+
+/// Crates that *are* the concurrency layer or test infrastructure:
+/// exempt from facade discipline and the ordering audit (`check`
+/// implements the facade; `testkit`/`bench` are test/bench harnesses
+/// whose threads never run in library context).
+fn sync_layer_or_harness(crate_name: &str) -> bool {
+    matches!(crate_name, "check" | "testkit" | "bench")
+}
+
+/// Library crates whose non-test code must keep panic-path hygiene.
+/// `check`/`testkit` panic *by design* (assertion machinery that only
+/// ever runs under tests); `bench` and `src/bin` are process-boundary
+/// code where a panic is a loud, attributable failure.
+fn panic_hygiene_exempt(crate_name: &str) -> bool {
+    matches!(crate_name, "check" | "testkit" | "bench")
+}
+
+pub fn facade_in_scope(fc: &FileClass) -> bool {
+    !fc.is_test_path && !fc.is_example && !sync_layer_or_harness(&fc.crate_name)
+}
+
+pub fn ordering_in_scope(fc: &FileClass) -> bool {
+    facade_in_scope(fc)
+}
+
+pub fn panic_in_scope(fc: &FileClass) -> bool {
+    !fc.is_test_path && !fc.is_example && !fc.is_bin && !panic_hygiene_exempt(&fc.crate_name)
+}
+
+pub fn index_in_scope(fc: &FileClass) -> bool {
+    panic_in_scope(fc)
+}
+
+/// Fault-injection hooks may be referenced from tests, the testkit,
+/// and bench code; everything else (including examples and the CLI) is
+/// in scope for the containment rule. The defining crate is exempted
+/// at the rule level, not here.
+pub fn fault_hook_in_scope(fc: &FileClass) -> bool {
+    !fc.is_test_path && !matches!(fc.crate_name.as_str(), "testkit" | "bench")
+}

@@ -1,0 +1,242 @@
+//! Pragma parsing and coverage resolution.
+//!
+//! Grammar (one pragma per line comment; DESIGN.md §17 is normative):
+//!
+//! ```text
+//! // tsg-lint: allow(<rule>) — <justification>
+//! // tsg-lint: ordering(<CONTRACT-ID>) [— <note>]
+//! ```
+//!
+//! where `<rule>` ∈ {`facade`, `panic`, `index`, `fault-hook`} and
+//! `<CONTRACT-ID>` names a row of the DESIGN.md §12 atomics contract
+//! table (`ORD-nn`). The justification separator is an em-dash, two
+//! hyphens, or a single hyphen surrounded by spaces; `allow` pragmas
+//! *must* carry a non-empty justification.
+//!
+//! Coverage:
+//! - a pragma trailing code on the same line covers exactly that line;
+//! - a standalone pragma line covers the next statement or item
+//!   (through its matching `}` or terminating `;`);
+//! - a standalone pragma appearing before the first code token of the
+//!   file covers the whole file (used for kernel files whose indexing
+//!   discipline is documented once).
+
+use crate::lexer::{Comment, Lexed};
+use crate::regions::{item_end, LineRange};
+
+/// Which rule a pragma addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Directive {
+    Allow(AllowRule),
+    /// `ordering(ID)` — the ID is stored alongside.
+    Ordering,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowRule {
+    Facade,
+    Panic,
+    Index,
+    FaultHook,
+}
+
+impl AllowRule {
+    pub fn name(self) -> &'static str {
+        match self {
+            AllowRule::Facade => "facade",
+            AllowRule::Panic => "panic",
+            AllowRule::Index => "index",
+            AllowRule::FaultHook => "fault-hook",
+        }
+    }
+}
+
+/// A parsed pragma with its resolved coverage.
+#[derive(Debug)]
+pub struct Pragma {
+    pub directive: Directive,
+    /// Contract ID for `ordering(…)`; empty for `allow(…)`.
+    pub contract_id: String,
+    pub justification: String,
+    pub line: u32,
+    pub coverage: LineRange,
+    /// Set when the pragma suppressed (or audited) at least one site.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// A comment that *looks like* a pragma but does not parse; surfaced as
+/// a `pragma-syntax` violation so typos cannot silently disable rules.
+#[derive(Debug)]
+pub struct PragmaError {
+    pub line: u32,
+    pub message: String,
+}
+
+#[derive(Debug, Default)]
+pub struct Pragmas {
+    pub pragmas: Vec<Pragma>,
+    pub errors: Vec<PragmaError>,
+}
+
+impl Pragmas {
+    /// The pragma of the given allow-rule covering `line`, if any
+    /// (first match wins; marks it used).
+    pub fn allow_covering(&self, rule: AllowRule, line: u32) -> Option<&Pragma> {
+        let p = self.pragmas.iter().find(|p| {
+            p.directive == Directive::Allow(rule) && p.coverage.contains(line)
+        })?;
+        p.used.set(true);
+        Some(p)
+    }
+
+    /// The `ordering(ID)` pragma covering `line`, if any (marks used).
+    pub fn ordering_covering(&self, line: u32) -> Option<&Pragma> {
+        let p = self
+            .pragmas
+            .iter()
+            .find(|p| p.directive == Directive::Ordering && p.coverage.contains(line))?;
+        p.used.set(true);
+        Some(p)
+    }
+}
+
+const MARKER: &str = "tsg-lint:";
+
+/// Extract and resolve all pragmas in a lexed file.
+pub fn collect(lx: &Lexed) -> Pragmas {
+    let mut out = Pragmas::default();
+    for c in &lx.comments {
+        let trimmed = c.text.trim_start_matches(['/', '!']).trim();
+        let Some(rest) = trimmed.strip_prefix(MARKER) else {
+            continue;
+        };
+        match parse_body(rest.trim()) {
+            Ok((directive, contract_id, justification)) => {
+                let coverage = resolve_coverage(lx, c);
+                out.pragmas.push(Pragma {
+                    directive,
+                    contract_id,
+                    justification,
+                    line: c.line,
+                    coverage,
+                    used: std::cell::Cell::new(false),
+                });
+            }
+            Err(message) => out.errors.push(PragmaError {
+                line: c.line,
+                message,
+            }),
+        }
+    }
+    out
+}
+
+/// Parse `allow(rule) — just` / `ordering(ID) [— note]`.
+fn parse_body(body: &str) -> Result<(Directive, String, String), String> {
+    let (head, arg, tail) = split_call(body)?;
+    match head {
+        "allow" => {
+            let rule = match arg {
+                "facade" => AllowRule::Facade,
+                "panic" => AllowRule::Panic,
+                "index" => AllowRule::Index,
+                "fault-hook" => AllowRule::FaultHook,
+                other => {
+                    return Err(format!(
+                        "unknown allow-rule `{other}` (expected facade, panic, index, or fault-hook)"
+                    ))
+                }
+            };
+            let just = strip_separator(tail);
+            if just.is_empty() {
+                return Err(format!(
+                    "allow({}) pragma is missing its justification (`— <why this site is exempt>`)",
+                    rule.name()
+                ));
+            }
+            Ok((Directive::Allow(rule), String::new(), just.to_string()))
+        }
+        "ordering" => {
+            if arg.is_empty() || !arg.starts_with("ORD-") {
+                return Err(format!(
+                    "ordering pragma needs a DESIGN.md §12 contract ID (`ordering(ORD-nn)`), got `{arg}`"
+                ));
+            }
+            Ok((
+                Directive::Ordering,
+                arg.to_string(),
+                strip_separator(tail).to_string(),
+            ))
+        }
+        other => Err(format!(
+            "unknown directive `{other}` (expected `allow(…)` or `ordering(…)`)"
+        )),
+    }
+}
+
+/// Split `name(arg) tail` into its three parts.
+fn split_call(body: &str) -> Result<(&str, &str, &str), String> {
+    let open = body
+        .find('(')
+        .ok_or_else(|| "expected `directive(arg)`".to_string())?;
+    let close = body
+        .find(')')
+        .ok_or_else(|| "unclosed `(` in pragma".to_string())?;
+    if close < open {
+        return Err("malformed pragma parentheses".to_string());
+    }
+    Ok((
+        body[..open].trim(), // tsg-lint: allow(index) — open < close < body.len() established by the find calls above
+        body[open + 1..close].trim(), // tsg-lint: allow(index) — open < close < body.len() established by the find calls above
+        body[close + 1..].trim(), // tsg-lint: allow(index) — open < close < body.len() established by the find calls above
+    ))
+}
+
+/// Drop a leading justification separator (em/en dash, `--`, ` - `, `:`).
+fn strip_separator(tail: &str) -> &str {
+    tail.trim_start_matches(['—', '–', '-', ':'] as [char; 4])
+        .trim()
+}
+
+fn resolve_coverage(lx: &Lexed, c: &Comment) -> LineRange {
+    if lx.code_before(c.line, c.col) {
+        // Trailing pragma: the line it annotates.
+        return LineRange {
+            start: c.line,
+            end: c.line,
+        };
+    }
+    // Standalone: find the next code token.
+    let next = lx.tokens.iter().position(|t| t.line > c.line);
+    match next {
+        Some(idx) => {
+            if lx.tokens.iter().any(|t| t.line <= c.line) {
+                let end = item_end(&lx.tokens, idx).unwrap_or(lx.tokens[idx].line);
+                LineRange {
+                    start: c.line,
+                    end,
+                }
+            } else {
+                // Nothing but comments above: file-level pragma.
+                LineRange {
+                    start: 1,
+                    end: u32::MAX,
+                }
+            }
+        }
+        // Pragma at end of file covers nothing but itself.
+        None => {
+            if lx.tokens.is_empty() {
+                LineRange {
+                    start: 1,
+                    end: u32::MAX,
+                }
+            } else {
+                LineRange {
+                    start: c.line,
+                    end: c.line,
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Test-region tracking and item-span resolution over the token stream.
+//!
+//! tsg-lint's rules exempt test code; "test code" is defined
+//! lexically: any item annotated `#[test]` or `#[cfg(test)]` (including
+//! `cfg(all(test, …))`/`cfg(any(test, …))` — any `cfg` whose token list
+//! mentions `test` *not* under a `not(…)`), plus whole files carrying
+//! the inner form `#![cfg(test)]`. The region spans from the
+//! attribute's first line to the end of the item it decorates
+//! (matching `}` or terminating `;`), so library code before and after
+//! an embedded `mod tests` is still linted.
+
+// tsg-lint: allow(index) — token indices come from the scanner's own enumerate loops and stay below tokens.len()
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Inclusive 1-based line range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineRange {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl LineRange {
+    pub fn contains(&self, line: u32) -> bool {
+        self.start <= line && line <= self.end
+    }
+}
+
+/// The test regions of one file.
+#[derive(Debug, Default)]
+pub struct TestRegions {
+    ranges: Vec<LineRange>,
+    whole_file: bool,
+}
+
+impl TestRegions {
+    pub fn contains(&self, line: u32) -> bool {
+        self.whole_file || self.ranges.iter().any(|r| r.contains(line))
+    }
+}
+
+/// Scan the token stream for test attributes and compute their spans.
+pub fn test_regions(lx: &Lexed) -> TestRegions {
+    let toks = &lx.tokens;
+    let mut out = TestRegions::default();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let attr_line = toks[i].line;
+        let mut j = i + 1;
+        let inner = j < toks.len() && toks[j].is_punct('!');
+        if inner {
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_punct('[') {
+            i += 1;
+            continue;
+        }
+        let (content_start, after) = match bracket_span(toks, j) {
+            Some(v) => v,
+            None => break,
+        };
+        let is_test = attr_is_test(&toks[content_start..after - 1]);
+        if is_test && inner {
+            out.whole_file = true;
+            return out;
+        }
+        if !is_test {
+            i = after;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut k = after;
+        while k < toks.len() && toks[k].is_punct('#') {
+            let mut b = k + 1;
+            if b < toks.len() && toks[b].is_punct('!') {
+                b += 1;
+            }
+            match bracket_span(toks, b) {
+                Some((_, next)) => k = next,
+                None => break,
+            }
+        }
+        let end = item_end(toks, k).unwrap_or(attr_line);
+        out.ranges.push(LineRange {
+            start: attr_line,
+            end,
+        });
+        // Resume scanning *after* the attribute (not after the item):
+        // a non-test item following this region may itself carry
+        // attributes, and nested test attrs inside the region are
+        // harmless duplicates.
+        i = after;
+    }
+    out
+}
+
+/// With `toks[open]` being `[`, return (first content index, index one
+/// past the closing `]`).
+fn bracket_span(toks: &[Tok], open: usize) -> Option<(usize, usize)> {
+    if open >= toks.len() || !toks[open].is_punct('[') {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open + 1, k + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Attribute content → is this a test attribute? True for `test` and
+/// for `cfg(…)`/`cfg_attr(…)` whose argument list mentions ident
+/// `test` with no `not` ident anywhere before it.
+fn attr_is_test(content: &[Tok]) -> bool {
+    let first = match content.first() {
+        Some(t) if t.kind == TokKind::Ident => t.text.as_str(),
+        _ => return false,
+    };
+    if first == "test" && content.len() == 1 {
+        return true;
+    }
+    if first != "cfg" {
+        return false;
+    }
+    let mut saw_not = false;
+    for t in &content[1..] {
+        if t.is_ident("not") {
+            saw_not = true;
+        }
+        if t.is_ident("test") {
+            return !saw_not;
+        }
+    }
+    false
+}
+
+/// End line of the item/statement starting at `toks[start]`: consume
+/// until a `;`, `,`, or closing `}` at nesting depth zero. Returns the
+/// line of the terminating token.
+pub fn item_end(toks: &[Tok], start: usize) -> Option<u32> {
+    let mut depth = 0i32;
+    for t in &toks[start..] {
+        match t.kind {
+            TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                depth -= 1;
+                if depth <= 0 {
+                    return Some(t.line);
+                }
+            }
+            TokKind::Punct(';') | TokKind::Punct(',') if depth == 0 => return Some(t.line),
+            _ => {}
+        }
+    }
+    toks.last().map(|t| t.line)
+}

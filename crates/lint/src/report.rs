@@ -1,0 +1,146 @@
+//! Violation records and the two output formats (human diff-style,
+//! machine-readable JSON). JSON is hand-rendered — the lint is
+//! dependency-free by design — with full string escaping.
+
+use std::fmt::Write as _;
+
+/// Stable rule identifiers (the CI smoke greps for these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    Facade,
+    Ordering,
+    OrderingContract,
+    Panic,
+    Index,
+    FaultHook,
+    PragmaSyntax,
+    PragmaUnused,
+}
+
+impl Rule {
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Facade => "facade",
+            Rule::Ordering => "ordering",
+            Rule::OrderingContract => "ordering-contract",
+            Rule::Panic => "panic",
+            Rule::Index => "index",
+            Rule::FaultHook => "fault-hook",
+            Rule::PragmaSyntax => "pragma-syntax",
+            Rule::PragmaUnused => "pragma-unused",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug)]
+pub struct Violation {
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+    /// The offending source line, if available.
+    pub snippet: String,
+}
+
+/// The full analysis result.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub files_scanned: usize,
+    pub pragmas_seen: usize,
+    pub contracts_defined: usize,
+    pub contracts_referenced: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub fn sort(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+
+    /// Human diff-style rendering: `file:line: [rule] message` plus the
+    /// offending line, indented like a diff hunk.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(
+                out,
+                "{}:{}: [{}] {}",
+                v.file,
+                v.line,
+                v.rule.id(),
+                v.message
+            );
+            if !v.snippet.is_empty() {
+                let _ = writeln!(out, "    | {}", v.snippet.trim_end());
+            }
+        }
+        let _ = writeln!(
+            out,
+            "tsg-lint: {} violation(s) in {} file(s) scanned ({} pragma(s), {}/{} contracts referenced)",
+            self.violations.len(),
+            self.files_scanned,
+            self.pragmas_seen,
+            self.contracts_referenced,
+            self.contracts_defined,
+        );
+        out
+    }
+
+    /// Machine-readable rendering.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"rule\": ");
+            json_string(&mut out, v.rule.id());
+            out.push_str(", \"file\": ");
+            json_string(&mut out, &v.file);
+            let _ = write!(out, ", \"line\": {}", v.line);
+            out.push_str(", \"message\": ");
+            json_string(&mut out, &v.message);
+            out.push_str(", \"snippet\": ");
+            json_string(&mut out, v.snippet.trim_end());
+            out.push('}');
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"summary\": {{\"violations\": {}, \"files_scanned\": {}, \"pragmas\": {}, \"contracts_defined\": {}, \"contracts_referenced\": {}}}\n}}\n",
+            self.violations.len(),
+            self.files_scanned,
+            self.pragmas_seen,
+            self.contracts_defined,
+            self.contracts_referenced,
+        );
+        out
+    }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -1,0 +1,633 @@
+//! The rule engine: four project-invariant rules plus pragma hygiene,
+//! evaluated over lexed token streams (see DESIGN.md §17).
+//!
+//! 1. `facade` — no direct `std::sync`/`std::thread` outside the sync
+//!    layer (`Arc`/`Weak` are exempt: the facade re-exports them from
+//!    std verbatim even under `--cfg tsg_model`, so routing them adds
+//!    no model coverage).
+//! 2. `ordering` / `ordering-contract` — every non-`SeqCst` atomic
+//!    `Ordering::` site carries `// tsg-lint: ordering(ORD-nn)` naming
+//!    a live DESIGN.md §12 row; the row's Ordering column must mention
+//!    the site's ordering, and rows no site references are stale.
+//! 3. `panic` / `index` — `unwrap`/`expect`/`panic!`-family and
+//!    slice/array indexing in non-test library code need justified
+//!    `allow` pragmas.
+//! 4. `fault-hook` — `#[doc(hidden)]` fault-injection hooks may only
+//!    be referenced from their defining crate, `tests/`, `tsg-testkit`,
+//!    and bench code.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::design::ContractTable;
+use crate::lexer::{self, Lexed, Tok, TokKind};
+use crate::policy::{self, FileClass};
+use crate::pragma::{self, AllowRule, Pragmas};
+use crate::regions::{self, TestRegions};
+use crate::report::{Report, Rule, Violation};
+
+/// One source file prepared for analysis.
+pub struct SourceFile {
+    pub rel: String,
+    pub class: FileClass,
+    pub lines: Vec<String>,
+    pub lexed: Lexed,
+    pub tests: TestRegions,
+    pub pragmas: Pragmas,
+}
+
+impl SourceFile {
+    pub fn prepare(rel: String, source: &str) -> SourceFile {
+        let lexed = lexer::lex(source);
+        let tests = regions::test_regions(&lexed);
+        let pragmas = pragma::collect(&lexed);
+        SourceFile {
+            class: policy::classify(&rel),
+            rel,
+            lines: source.lines().map(str::to_string).collect(),
+            lexed,
+            tests,
+            pragmas,
+        }
+    }
+
+    fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Run every rule over the prepared files.
+pub fn analyze(
+    files: &[SourceFile],
+    table: Option<&ContractTable>,
+    design_rel: &str,
+) -> Report {
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    let hooks = collect_fault_hooks(files);
+    let mut referenced_ids: BTreeSet<String> = BTreeSet::new();
+
+    for f in files {
+        facade_rule(f, &mut report);
+        ordering_rule(f, table, &mut referenced_ids, &mut report);
+        panic_rule(f, &mut report);
+        index_rule(f, &mut report);
+        fault_hook_rule(f, &hooks, &mut report);
+        pragma_hygiene(f, &mut report);
+        report.pragmas_seen += f.pragmas.pragmas.len();
+    }
+
+    // Cross-file checks: unused pragmas and stale contract rows.
+    for f in files {
+        for p in &f.pragmas.pragmas {
+            if !p.used.get() {
+                report.violations.push(Violation {
+                    rule: Rule::PragmaUnused,
+                    file: f.rel.clone(),
+                    line: p.line,
+                    message: "pragma suppresses no site — remove it or move it next to the code it audits".to_string(),
+                    snippet: f.snippet(p.line),
+                });
+            }
+        }
+    }
+    if let Some(t) = table {
+        report.contracts_defined = t.rows.len();
+        report.contracts_referenced = referenced_ids.len();
+        for (line, msg) in &t.problems {
+            report.violations.push(Violation {
+                rule: Rule::OrderingContract,
+                file: design_rel.to_string(),
+                line: *line,
+                message: msg.clone(),
+                snippet: String::new(),
+            });
+        }
+        for row in &t.rows {
+            if !referenced_ids.contains(&row.id) {
+                report.violations.push(Violation {
+                    rule: Rule::OrderingContract,
+                    file: design_rel.to_string(),
+                    line: row.line,
+                    message: format!(
+                        "stale contract row: no `Ordering::` site carries `tsg-lint: ordering({})`",
+                        row.id
+                    ),
+                    snippet: String::new(),
+                });
+            }
+        }
+    }
+    report.sort();
+    report
+}
+
+/// In non-test code, is this token exempt because a test region covers
+/// its line?
+fn in_tests(f: &SourceFile, line: u32) -> bool {
+    f.tests.contains(line)
+}
+
+// ---------------------------------------------------------------- facade
+
+fn facade_rule(f: &SourceFile, report: &mut Report) {
+    if !policy::facade_in_scope(&f.class) {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_std_root = toks
+            .get(i)
+            .is_some_and(|t| t.is_ident("std"))
+            // `::std::…` and bare `std::…` both match; a preceding
+            // ident (`my::std`) cannot occur for the std crate root.
+            && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::PathSep);
+        if !is_std_root {
+            i += 1;
+            continue;
+        }
+        let line = toks.get(i).map_or(0, |t| t.line);
+        let module = toks.get(i + 2);
+        let offenders = if module.is_some_and(|t| t.is_ident("thread")) {
+            vec!["thread".to_string()]
+        } else if module.is_some_and(|t| t.is_ident("sync")) {
+            first_segments_after(toks, i + 3)
+                .into_iter()
+                .filter(|s| s != "Arc" && s != "Weak")
+                .collect()
+        } else {
+            Vec::new()
+        };
+        i += 3;
+        if offenders.is_empty() || in_tests(f, line) {
+            continue;
+        }
+        if f.pragmas.allow_covering(AllowRule::Facade, line).is_some() {
+            continue;
+        }
+        report.violations.push(Violation {
+            rule: Rule::Facade,
+            file: f.rel.clone(),
+            line,
+            message: format!(
+                "direct std concurrency primitive ({}) outside the `taxogram_core::sync` facade — route through the facade or justify with `// tsg-lint: allow(facade) — …`",
+                offenders
+                    .iter()
+                    .map(|s| format!("`std::sync::{s}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+                    .replace("`std::sync::thread`", "`std::thread`")
+            ),
+            snippet: f.snippet(line),
+        });
+    }
+}
+
+/// After `std::sync`, the first path segment(s) that follow: a single
+/// ident for `std::sync::Mutex::new`, every brace-group entry head for
+/// `use std::sync::{mpsc, Arc, atomic::AtomicU64}`. An empty result
+/// means `use std::sync;` itself — returned as a pseudo-segment so the
+/// wildcard import is flagged too.
+fn first_segments_after(toks: &[Tok], at: usize) -> Vec<String> {
+    if !toks.get(at).is_some_and(|t| t.kind == TokKind::PathSep) {
+        // `use std::sync;` or `std::sync` as a bare path.
+        return vec!["<module import>".to_string()];
+    }
+    match toks.get(at + 1) {
+        Some(t) if t.kind == TokKind::Ident => vec![t.text.clone()],
+        Some(t) if t.is_punct('{') => {
+            let mut out = Vec::new();
+            let mut depth = 0i32;
+            let mut head_next = false;
+            for tok in toks.iter().skip(at + 1) {
+                match tok.kind {
+                    TokKind::Punct('{') => {
+                        depth += 1;
+                        if depth == 1 {
+                            head_next = true;
+                        }
+                    }
+                    TokKind::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokKind::Punct(',') if depth == 1 => head_next = true,
+                    TokKind::Ident if head_next => {
+                        out.push(tok.text.clone());
+                        head_next = false;
+                    }
+                    _ => {}
+                }
+            }
+            out
+        }
+        Some(t) if t.is_punct('*') => vec!["*".to_string()],
+        _ => Vec::new(),
+    }
+}
+
+// -------------------------------------------------------------- ordering
+
+fn ordering_rule(
+    f: &SourceFile,
+    table: Option<&ContractTable>,
+    referenced: &mut BTreeSet<String>,
+    report: &mut Report,
+) {
+    if !policy::ordering_in_scope(&f.class) {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    for i in 0..toks.len() {
+        let Some(variant) = atomic_ordering_at(toks, i) else {
+            continue;
+        };
+        let line = toks.get(i).map_or(0, |t| t.line);
+        if in_tests(f, line) {
+            continue;
+        }
+        let pragma = f.pragmas.ordering_covering(line);
+        match pragma {
+            None => {
+                if variant != "SeqCst" {
+                    report.violations.push(Violation {
+                        rule: Rule::Ordering,
+                        file: f.rel.clone(),
+                        line,
+                        message: format!(
+                            "`Ordering::{variant}` without an audit pragma — name its DESIGN.md §12 contract with `// tsg-lint: ordering(ORD-nn)`"
+                        ),
+                        snippet: f.snippet(line),
+                    });
+                }
+            }
+            Some(p) => {
+                referenced.insert(p.contract_id.clone());
+                if let Some(t) = table {
+                    match t.get(&p.contract_id) {
+                        None => report.violations.push(Violation {
+                            rule: Rule::OrderingContract,
+                            file: f.rel.clone(),
+                            line,
+                            message: format!(
+                                "pragma names `{}` but the DESIGN.md §12 table has no such contract row",
+                                p.contract_id
+                            ),
+                            snippet: f.snippet(line),
+                        }),
+                        Some(row) => {
+                            if !row.orderings.contains(variant) {
+                                report.violations.push(Violation {
+                                    rule: Rule::OrderingContract,
+                                    file: f.rel.clone(),
+                                    line,
+                                    message: format!(
+                                        "site uses `Ordering::{}` but contract {} documents `{}` — fix the site or the table",
+                                        variant, p.contract_id, row.orderings
+                                    ),
+                                    snippet: f.snippet(line),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `Ordering :: <variant>` at token `i`? Returns the variant name.
+/// The atomic variant set is disjoint from `cmp::Ordering`'s
+/// (`Less`/`Equal`/`Greater`), so no type resolution is needed.
+fn atomic_ordering_at(toks: &[Tok], i: usize) -> Option<&str> {
+    if !toks.get(i).is_some_and(|t| t.is_ident("Ordering")) {
+        return None;
+    }
+    if !toks.get(i + 1).is_some_and(|t| t.kind == TokKind::PathSep) {
+        return None;
+    }
+    let v = toks.get(i + 2)?;
+    if v.kind != TokKind::Ident {
+        return None;
+    }
+    ATOMIC_ORDERINGS
+        .iter()
+        .find(|&&o| v.text == o)
+        .copied()
+}
+
+// ----------------------------------------------------------------- panic
+
+const PANIC_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+fn panic_rule(f: &SourceFile, report: &mut Report) {
+    if !policy::panic_in_scope(&f.class) {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    for i in 0..toks.len() {
+        let Some(t) = toks.get(i) else { break };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_method = PANIC_METHODS.contains(&t.text.as_str())
+            && i > 0
+            && toks.get(i - 1).is_some_and(|p| p.is_punct('.'));
+        let is_macro = PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if !is_method && !is_macro {
+            continue;
+        }
+        if in_tests(f, t.line) {
+            continue;
+        }
+        if f.pragmas.allow_covering(AllowRule::Panic, t.line).is_some() {
+            continue;
+        }
+        let what = if is_method {
+            format!("`.{}()`", t.text)
+        } else {
+            format!("`{}!`", t.text)
+        };
+        report.violations.push(Violation {
+            rule: Rule::Panic,
+            file: f.rel.clone(),
+            line: t.line,
+            message: format!(
+                "{what} in non-test library code — return a `Result`, or justify with `// tsg-lint: allow(panic) — …` (worker panic-safety contract, DESIGN.md §10)"
+            ),
+            snippet: f.snippet(t.line),
+        });
+    }
+}
+
+// ----------------------------------------------------------------- index
+
+/// Identifiers after which `[` opens an array literal / pattern / type,
+/// not an index expression.
+const NON_INDEX_PREV_KEYWORDS: [&str; 16] = [
+    "let", "mut", "ref", "return", "break", "in", "as", "const", "static", "else", "move",
+    "dyn", "impl", "for", "where", "match",
+];
+
+fn index_rule(f: &SourceFile, report: &mut Report) {
+    if !policy::index_in_scope(&f.class) {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    for i in 1..toks.len() {
+        if !toks.get(i).is_some_and(|t| t.is_punct('[')) {
+            continue;
+        }
+        let Some(prev) = toks.get(i - 1) else { continue };
+        let is_index_base = match prev.kind {
+            TokKind::Ident => !NON_INDEX_PREV_KEYWORDS.contains(&prev.text.as_str()),
+            TokKind::Punct(')') | TokKind::Punct(']') => true,
+            _ => false,
+        };
+        if !is_index_base {
+            continue;
+        }
+        let Some(t) = toks.get(i) else { continue };
+        if in_tests(f, t.line) {
+            continue;
+        }
+        if f.pragmas.allow_covering(AllowRule::Index, t.line).is_some() {
+            continue;
+        }
+        report.violations.push(Violation {
+            rule: Rule::Index,
+            file: f.rel.clone(),
+            line: t.line,
+            message: "slice/array index can panic in non-test library code — use `.get(…)`, or justify the bounds discipline with `// tsg-lint: allow(index) — …`".to_string(),
+            snippet: f.snippet(t.line),
+        });
+    }
+}
+
+// ------------------------------------------------------------ fault hooks
+
+/// Hook name → crates allowed to reference it (its definers: every
+/// crate that declares or re-exports it under `#[doc(hidden)]`).
+type HookMap = BTreeMap<String, BTreeSet<String>>;
+
+fn hook_name(name: &str) -> bool {
+    let lc = name.to_ascii_lowercase();
+    lc.contains("fault") && !lc.contains("default")
+}
+
+/// Pass 1: find `#[doc(hidden)]` items across all files and collect
+/// fault-hook names (idents matching `fault`, excluding `default`).
+fn collect_fault_hooks(files: &[SourceFile]) -> HookMap {
+    let mut map = HookMap::new();
+    for f in files {
+        let toks = &f.lexed.tokens;
+        let mut i = 0usize;
+        while i < toks.len() {
+            let Some(after) = doc_hidden_attr_end(toks, i) else {
+                i += 1;
+                continue;
+            };
+            // Skip any further stacked attributes.
+            let mut k = after;
+            while let Some(next) = doc_attr_like_end(toks, k) {
+                k = next;
+            }
+            for name in declared_names(toks, k) {
+                if hook_name(&name) {
+                    map.entry(name)
+                        .or_default()
+                        .insert(f.class.crate_name.clone());
+                }
+            }
+            i = after;
+        }
+    }
+    map
+}
+
+/// If `toks[i]` starts a `#[doc(hidden)]` attribute, return the index
+/// one past its closing `]`.
+fn doc_hidden_attr_end(toks: &[Tok], i: usize) -> Option<usize> {
+    if !toks.get(i).is_some_and(|t| t.is_punct('#')) {
+        return None;
+    }
+    let open = if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+        i + 2
+    } else {
+        i + 1
+    };
+    if !toks.get(open).is_some_and(|t| t.is_punct('[')) {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut hidden = false;
+    let mut doc = false;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return if doc && hidden { Some(k + 1) } else { None };
+                }
+            }
+            TokKind::Ident if t.text == "doc" => doc = true,
+            TokKind::Ident if t.text == "hidden" => hidden = true,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Any attribute at `toks[i]` (regardless of content): end index.
+fn doc_attr_like_end(toks: &[Tok], i: usize) -> Option<usize> {
+    if !toks.get(i).is_some_and(|t| t.is_punct('#')) {
+        return None;
+    }
+    let open = if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+        i + 2
+    } else {
+        i + 1
+    };
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k + 1);
+                }
+            }
+            _ if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+const ITEM_KEYWORDS: [&str; 8] = ["fn", "struct", "enum", "mod", "trait", "type", "static", "const"];
+const VIS_KEYWORDS: [&str; 6] = ["pub", "crate", "in", "super", "self", "unsafe"];
+
+/// The name(s) declared by the item starting at `toks[k]`: the single
+/// ident after `fn`/`struct`/… , or every ident in a `use` tree
+/// (covering both path leaves and `as` renames, so a re-exporting
+/// crate becomes a definer of both names).
+fn declared_names(toks: &[Tok], k: usize) -> Vec<String> {
+    let mut j = k;
+    // Skip visibility / qualifiers, including `pub(crate)` groups.
+    loop {
+        match toks.get(j) {
+            Some(t) if t.kind == TokKind::Ident && VIS_KEYWORDS.contains(&t.text.as_str()) => {
+                j += 1;
+            }
+            Some(t) if t.is_punct('(') => {
+                let mut depth = 0i32;
+                let mut advanced = false;
+                for (m, t2) in toks.iter().enumerate().skip(j) {
+                    match t2.kind {
+                        TokKind::Punct('(') => depth += 1,
+                        TokKind::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j = m + 1;
+                                advanced = true;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if !advanced {
+                    return Vec::new();
+                }
+            }
+            _ => break,
+        }
+    }
+    match toks.get(j) {
+        Some(t) if t.is_ident("use") => {
+            let mut out = Vec::new();
+            for t2 in toks.iter().skip(j + 1) {
+                match t2.kind {
+                    TokKind::Punct(';') => break,
+                    TokKind::Ident => out.push(t2.text.clone()),
+                    _ => {}
+                }
+            }
+            out
+        }
+        Some(t) if t.kind == TokKind::Ident && ITEM_KEYWORDS.contains(&t.text.as_str()) => toks
+            .get(j + 1)
+            .filter(|n| n.kind == TokKind::Ident)
+            .map(|n| vec![n.text.clone()])
+            .unwrap_or_default(),
+        _ => Vec::new(),
+    }
+}
+
+fn fault_hook_rule(f: &SourceFile, hooks: &HookMap, report: &mut Report) {
+    if !policy::fault_hook_in_scope(&f.class) || hooks.is_empty() {
+        return;
+    }
+    for t in &f.lexed.tokens {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(definers) = hooks.get(&t.text) else {
+            continue;
+        };
+        if definers.contains(&f.class.crate_name) {
+            continue;
+        }
+        if in_tests(f, t.line) {
+            continue;
+        }
+        if f.pragmas
+            .allow_covering(AllowRule::FaultHook, t.line)
+            .is_some()
+        {
+            continue;
+        }
+        report.violations.push(Violation {
+            rule: Rule::FaultHook,
+            file: f.rel.clone(),
+            line: t.line,
+            message: format!(
+                "fault-injection hook `{}` referenced outside its defining crate ({}) — hooks are for tests/, tsg-testkit, and bench code only",
+                t.text,
+                definers
+                    .iter()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            snippet: f.snippet(t.line),
+        });
+    }
+}
+
+// -------------------------------------------------------- pragma hygiene
+
+fn pragma_hygiene(f: &SourceFile, report: &mut Report) {
+    for e in &f.pragmas.errors {
+        report.violations.push(Violation {
+            rule: Rule::PragmaSyntax,
+            file: f.rel.clone(),
+            line: e.line,
+            message: e.message.clone(),
+            snippet: f.snippet(e.line),
+        });
+    }
+}

@@ -1,0 +1,65 @@
+//! Workspace file discovery: every `.rs` file under `crates/*/src`,
+//! the root `src/`, and `examples/`, in deterministic sorted order.
+//!
+//! Skipped subtrees: `target/` (build output), `shims/` (vendored
+//! stand-ins for external crates — not project code), anything hidden,
+//! and `tests/`/`benches/`/`fixtures/` directories (integration tests
+//! are exempt from every rule, and the lint's own rule fixtures are
+//! deliberate violations).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const SKIP_DIRS: [&str; 5] = ["target", "shims", "tests", "benches", "fixtures"];
+
+/// Collect `(workspace-relative path, file contents)` pairs.
+pub fn collect_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk_dir(&dir, root, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(files)
+}
+
+fn walk_dir(
+    dir: &Path,
+    root: &Path,
+    out: &mut Vec<(String, String)>,
+) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if name.starts_with('.') {
+            continue;
+        }
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            walk_dir(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let source = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("path {} outside root: {e}", path.display()))?
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, source));
+        }
+    }
+    Ok(())
+}

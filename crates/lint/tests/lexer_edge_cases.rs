@@ -1,0 +1,164 @@
+//! Lexer edge cases: the analysis must classify comments and string
+//! literals exactly, or the rules could be fooled by pragmas inside
+//! strings, `Ordering::` mentions in comments, and `cfg(test)` regions
+//! interleaved with library code.
+
+use tsg_lint::{analyze_sources, Report};
+
+fn single(path: &str, src: &str) -> Report {
+    analyze_sources(&[(path, src)], None)
+}
+
+fn rule_ids(r: &Report) -> Vec<&'static str> {
+    r.violations.iter().map(|v| v.rule.id()).collect()
+}
+
+#[test]
+fn pragma_inside_a_string_literal_is_not_a_pragma() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub const S: &str = \"// tsg-lint: allow(panic) — not a pragma\";\n\
+         pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    // The string contributes no pragma: nothing suppressed, nothing unused.
+    assert_eq!(r.pragmas_seen, 0);
+    assert_eq!(rule_ids(&r), ["panic"]);
+    assert_eq!(r.violations[0].line, 2);
+}
+
+#[test]
+fn pragma_inside_a_raw_string_with_hashes_is_not_a_pragma() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub const S: &str = r#\"quote \" then // tsg-lint: allow(index) — nope\"#;\n\
+         pub fn f(v: &[u32]) -> u32 { v[0] }\n",
+    );
+    assert_eq!(r.pragmas_seen, 0);
+    assert_eq!(rule_ids(&r), ["index"]);
+    assert_eq!(r.violations[0].line, 2);
+}
+
+#[test]
+fn pragma_inside_a_byte_string_with_escapes_is_not_a_pragma() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub const B: &[u8] = b\"escaped \\\" then // tsg-lint: allow(panic) — nope\";\n\
+         pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    assert_eq!(r.pragmas_seen, 0);
+    assert_eq!(rule_ids(&r), ["panic"]);
+}
+
+#[test]
+fn ordering_mentions_in_comments_and_strings_are_not_sites() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "/* The block comment discusses Ordering::Relaxed at length. */\n\
+         // And so does this line comment: Ordering::Acquire.\n\
+         pub const DOC: &str = \"Ordering::Release\";\n\
+         pub fn f() {}\n",
+    );
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+#[test]
+fn nested_block_comments_stay_comments() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "/* outer /* inner .unwrap() */ still comment: v[0].unwrap() */\n\
+         pub fn ok() {}\n",
+    );
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+#[test]
+fn cfg_test_modules_interleaved_with_library_code() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub fn before(x: Option<u32>) -> u32 { x.unwrap() }\n\
+         \n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             #[test]\n\
+             fn inside() { Some(1u32).unwrap(); }\n\
+         }\n\
+         \n\
+         pub fn after(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    // Only the two library fns are flagged; the cfg(test) body is exempt.
+    assert_eq!(rule_ids(&r), ["panic", "panic"]);
+    let lines: Vec<u32> = r.violations.iter().map(|v| v.line).collect();
+    assert_eq!(lines, [1, 9]);
+}
+
+#[test]
+fn inner_cfg_test_attribute_exempts_the_whole_file() {
+    let r = single(
+        "crates/core/src/support.rs",
+        "#![cfg(test)]\n\
+         pub fn helper(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+#[test]
+fn lifetimes_are_not_mistaken_for_char_literals() {
+    // A naive scanner treats `'a` as an unterminated char literal and
+    // swallows the rest of the line, hiding the unwrap.
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub fn f<'a>(x: &'a Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    assert_eq!(rule_ids(&r), ["panic"]);
+}
+
+#[test]
+fn char_literals_with_quotes_do_not_derail_the_scan() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub fn quote() -> char { '\"' }\n\
+         pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    assert_eq!(rule_ids(&r), ["panic"]);
+    assert_eq!(r.violations[0].line, 2);
+}
+
+#[test]
+fn range_expressions_do_not_confuse_number_scanning() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub fn f(v: &[u32]) -> u32 {\n\
+             let mut s = 0;\n\
+             for i in 0..10 { s += v[i]; }\n\
+             s\n\
+         }\n",
+    );
+    assert_eq!(rule_ids(&r), ["index"]);
+    assert_eq!(r.violations[0].line, 3);
+}
+
+#[test]
+fn doc_comment_pragmas_cover_the_next_item() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "/// tsg-lint: allow(panic) — the invariant is stated on the field\n\
+         pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    assert!(r.is_clean(), "{}", r.render_human());
+    assert_eq!(r.pragmas_seen, 1);
+}
+
+#[test]
+fn standalone_pragma_covers_the_following_statement_only() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n\
+             // tsg-lint: allow(panic) — x was checked by the caller\n\
+             let a = x.unwrap();\n\
+             a + y.unwrap()\n\
+         }\n",
+    );
+    // Line 3 is covered; line 4 is not.
+    assert_eq!(rule_ids(&r), ["panic"]);
+    assert_eq!(r.violations[0].line, 4);
+}

@@ -1,0 +1,336 @@
+//! Per-rule fixture tests: for every rule, a violating fixture and a
+//! pragma'd-clean twin, exercised through the in-memory
+//! [`tsg_lint::analyze_sources`] entry point so the fixtures drive the
+//! exact same policy classification and rule engine as a real run.
+
+use tsg_lint::{analyze_sources, Report};
+
+/// Rule ids of all violations, in report order.
+fn rule_ids(r: &Report) -> Vec<&'static str> {
+    r.violations.iter().map(|v| v.rule.id()).collect()
+}
+
+fn single(path: &str, src: &str) -> Report {
+    analyze_sources(&[(path, src)], None)
+}
+
+/// A minimal DESIGN.md with a well-formed §12 contract table.
+const DESIGN: &str = "\
+# Design
+
+## 12. Atomic orderings
+
+| ID | Site | Ordering | Contract |
+|----|------|----------|----------|
+| ORD-01 | ticket counter | Relaxed | RMW modification order gives unique tickets |
+| ORD-02 | stop flag | Release/Acquire | publishes all prior writes to observers |
+";
+
+// ---------------------------------------------------------------- facade
+
+#[test]
+fn facade_flags_direct_std_sync() {
+    let r = single("crates/core/src/x.rs", "use std::sync::Mutex;\n");
+    assert_eq!(rule_ids(&r), ["facade"]);
+    assert!(r.violations[0].message.contains("std::sync::Mutex"));
+}
+
+#[test]
+fn facade_flags_std_thread() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub fn f() { std::thread::yield_now(); }\n",
+    );
+    assert_eq!(rule_ids(&r), ["facade"]);
+    assert!(r.violations[0].message.contains("std::thread"));
+}
+
+#[test]
+fn facade_pragma_with_justification_is_clean() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "use std::sync::Mutex; // tsg-lint: allow(facade) — leaf lock, never held across facade calls\n",
+    );
+    assert!(r.is_clean(), "{}", r.render_human());
+    assert_eq!(r.pragmas_seen, 1);
+}
+
+#[test]
+fn facade_exempts_arc_and_weak() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "use std::sync::Arc;\nuse std::sync::Weak;\n",
+    );
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+#[test]
+fn facade_flags_only_non_arc_entries_of_a_use_tree() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "use std::sync::{Arc, Mutex, atomic::AtomicU64};\n",
+    );
+    assert_eq!(rule_ids(&r), ["facade"]);
+    let msg = &r.violations[0].message;
+    assert!(msg.contains("Mutex") && msg.contains("atomic"), "{msg}");
+    assert!(!msg.contains("Arc"), "{msg}");
+}
+
+#[test]
+fn facade_exempts_the_sync_layer_and_harnesses() {
+    for path in [
+        "crates/check/src/x.rs",
+        "crates/testkit/src/x.rs",
+        "crates/bench/src/x.rs",
+    ] {
+        let r = single(path, "use std::sync::Mutex;\n");
+        assert!(r.is_clean(), "{path}: {}", r.render_human());
+    }
+}
+
+// -------------------------------------------------------------- ordering
+
+#[test]
+fn ordering_flags_unaudited_relaxed() {
+    let r = analyze_sources(
+        &[(
+            "crates/core/src/x.rs",
+            "pub fn f(a: &AtomicUsize) { a.load(Ordering::Relaxed); } // tsg-lint: ordering(ORD-01)\n\
+             pub fn g(b: &AtomicBool) { b.store(true, Ordering::Release); }\n",
+        )],
+        Some(DESIGN),
+    );
+    // g's Release is unaudited; ORD-02 is never referenced → stale.
+    // (Report order is by file, and "DESIGN.md" sorts before "crates/…".)
+    assert_eq!(rule_ids(&r), ["ordering-contract", "ordering"]);
+    assert!(r.violations[0].message.contains("stale contract row"));
+    assert_eq!(r.violations[0].file, "DESIGN.md");
+}
+
+#[test]
+fn ordering_audited_sites_and_live_rows_are_clean() {
+    let r = analyze_sources(
+        &[(
+            "crates/core/src/x.rs",
+            "pub fn f(a: &AtomicUsize) { a.fetch_add(1, Ordering::Relaxed); } // tsg-lint: ordering(ORD-01)\n\
+             pub fn g(b: &AtomicBool) { b.store(true, Ordering::Release); } // tsg-lint: ordering(ORD-02)\n",
+        )],
+        Some(DESIGN),
+    );
+    assert!(r.is_clean(), "{}", r.render_human());
+    assert_eq!((r.contracts_defined, r.contracts_referenced), (2, 2));
+}
+
+#[test]
+fn ordering_pragma_naming_unknown_contract_is_flagged() {
+    let r = analyze_sources(
+        &[(
+            "crates/core/src/x.rs",
+            "pub fn f(a: &AtomicUsize) { a.load(Ordering::Relaxed); } // tsg-lint: ordering(ORD-99)\n\
+             pub fn g(b: &AtomicBool) { b.store(true, Ordering::Release); } // tsg-lint: ordering(ORD-01)\n\
+             pub fn h(b: &AtomicBool) { b.store(true, Ordering::Release); } // tsg-lint: ordering(ORD-02)\n",
+        )],
+        Some(DESIGN),
+    );
+    let ids = rule_ids(&r);
+    assert!(ids.contains(&"ordering-contract"), "{}", r.render_human());
+    assert!(r.violations.iter().any(|v| v.message.contains("ORD-99")));
+    // g's Release does not match ORD-01's documented Relaxed either.
+    assert!(r
+        .violations
+        .iter()
+        .any(|v| v.message.contains("documents `Relaxed`")));
+}
+
+#[test]
+fn seqcst_needs_no_pragma() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub fn f(a: &AtomicUsize) { a.load(Ordering::SeqCst); }\n",
+    );
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+#[test]
+fn cmp_ordering_variants_are_not_atomic_sites() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub fn f(a: u32, b: u32) -> Ordering {\n\
+             if a < b { Ordering::Less } else { Ordering::Greater }\n\
+         }\n",
+    );
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+// ----------------------------------------------------------------- panic
+
+#[test]
+fn panic_flags_unwrap_expect_and_macros() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+         pub fn g(x: Option<u32>) -> u32 { x.expect(\"present\") }\n\
+         pub fn h() { panic!(\"boom\"); }\n",
+    );
+    assert_eq!(rule_ids(&r), ["panic", "panic", "panic"]);
+}
+
+#[test]
+fn panic_pragma_and_test_regions_are_clean() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() } // tsg-lint: allow(panic) — caller checked is_some\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             #[test]\n\
+             fn t() { Some(1u32).unwrap(); }\n\
+         }\n",
+    );
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+#[test]
+fn panic_exempts_integration_tests_bins_and_examples() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    for path in [
+        "crates/core/tests/t.rs",
+        "src/bin/tool.rs",
+        "examples/demo.rs",
+    ] {
+        let r = single(path, src);
+        assert!(r.is_clean(), "{path}: {}", r.render_human());
+    }
+}
+
+// ----------------------------------------------------------------- index
+
+#[test]
+fn index_flags_slice_indexing() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub fn f(v: &[u32]) -> u32 { v[0] }\n",
+    );
+    assert_eq!(rule_ids(&r), ["index"]);
+}
+
+#[test]
+fn index_pragma_is_clean_and_array_literals_are_not_indexing() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub fn f(v: &[u32]) -> u32 { v[0] } // tsg-lint: allow(index) — caller guarantees nonempty\n\
+         pub fn g() -> [u32; 4] { [0u32; 4] }\n",
+    );
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+#[test]
+fn file_level_index_pragma_covers_the_whole_file() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "//! Kernel file.\n\
+         \n\
+         // tsg-lint: allow(index) — cursors bounded by stored cardinalities\n\
+         \n\
+         pub fn f(v: &[u32]) -> u32 { v[0] }\n\
+         pub fn g(v: &[u32]) -> u32 { v[1] }\n",
+    );
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+// ------------------------------------------------------------ fault hooks
+
+const HOOK_DEF: &str = "#[doc(hidden)]\npub fn mine_with_faults(n: u32) -> u32 { n }\n";
+
+#[test]
+fn fault_hook_flags_cross_crate_reference() {
+    let r = analyze_sources(
+        &[
+            ("crates/gspan/src/hooks.rs", HOOK_DEF),
+            (
+                "crates/core/src/x.rs",
+                "pub fn f() -> u32 { tsg_gspan::mine_with_faults(1) }\n",
+            ),
+        ],
+        None,
+    );
+    assert_eq!(rule_ids(&r), ["fault-hook"]);
+    assert_eq!(r.violations[0].file, "crates/core/src/x.rs");
+    assert!(r.violations[0].message.contains("mine_with_faults"));
+}
+
+#[test]
+fn fault_hook_allows_definer_testkit_tests_and_pragmas() {
+    let defining_crate = ("crates/gspan/src/hooks.rs", HOOK_DEF);
+    for (path, src) in [
+        // Same crate as the definition.
+        (
+            "crates/gspan/src/other.rs",
+            "pub fn f() -> u32 { crate::hooks::mine_with_faults(1) }\n",
+        ),
+        // The testkit.
+        (
+            "crates/testkit/src/x.rs",
+            "pub fn f() -> u32 { tsg_gspan::mine_with_faults(1) }\n",
+        ),
+        // Integration tests.
+        (
+            "crates/core/tests/t.rs",
+            "fn f() -> u32 { tsg_gspan::mine_with_faults(1) }\n",
+        ),
+        // A justified conduit.
+        (
+            "crates/core/src/x.rs",
+            "pub fn f() -> u32 { tsg_gspan::mine_with_faults(1) } // tsg-lint: allow(fault-hook) — sanctioned conduit for the scheduler's fault tests\n",
+        ),
+    ] {
+        let r = analyze_sources(&[defining_crate, (path, src)], None);
+        assert!(r.is_clean(), "{path}: {}", r.render_human());
+    }
+}
+
+#[test]
+fn doc_hidden_reexport_makes_the_reexporter_a_definer() {
+    let r = analyze_sources(
+        &[
+            ("crates/gspan/src/hooks.rs", HOOK_DEF),
+            (
+                "crates/core/src/lib.rs",
+                "#[doc(hidden)]\npub use tsg_gspan::mine_with_faults as core_faults;\n",
+            ),
+        ],
+        None,
+    );
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+// -------------------------------------------------------- pragma hygiene
+
+#[test]
+fn allow_pragma_without_justification_is_a_syntax_violation() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() } // tsg-lint: allow(panic)\n",
+    );
+    let ids = rule_ids(&r);
+    assert!(ids.contains(&"pragma-syntax"), "{}", r.render_human());
+    // The malformed pragma suppresses nothing: the site stays flagged.
+    assert!(ids.contains(&"panic"), "{}", r.render_human());
+}
+
+#[test]
+fn unknown_directive_is_a_syntax_violation() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "// tsg-lint: frobnicate(everything) — please\npub fn f() {}\n",
+    );
+    assert_eq!(rule_ids(&r), ["pragma-syntax"]);
+}
+
+#[test]
+fn pragma_suppressing_nothing_is_flagged_unused() {
+    let r = single(
+        "crates/core/src/x.rs",
+        "pub fn f() {} // tsg-lint: allow(panic) — covers nothing\n",
+    );
+    assert_eq!(rule_ids(&r), ["pragma-unused"]);
+}

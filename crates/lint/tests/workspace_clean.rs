@@ -1,0 +1,29 @@
+//! The self-run gate: the live workspace must be lint-clean. This is
+//! the test that makes tsg-lint a *workspace invariant* rather than an
+//! optional tool — `cargo test` fails the moment an unannotated
+//! violation or a stale §12 contract row lands.
+
+use std::path::PathBuf;
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = tsg_lint::analyze_workspace(&root).expect("workspace analyzable");
+    assert!(
+        report.is_clean(),
+        "tsg-lint found violations in the live workspace:\n{}",
+        report.render_human()
+    );
+    // Every §12 contract row is referenced by some audited site, and
+    // every audited site found its row (is_clean covers the latter).
+    assert_eq!(
+        report.contracts_referenced, report.contracts_defined,
+        "stale or unreferenced §12 contract rows"
+    );
+    // Sanity: the walker actually saw the workspace, not an empty dir.
+    assert!(report.files_scanned > 50, "only {} files scanned", report.files_scanned);
+    assert!(report.pragmas_seen > 100, "only {} pragmas seen", report.pragmas_seen);
+}

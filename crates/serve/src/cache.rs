@@ -38,7 +38,7 @@
 //!   the resident sets are pattern lists, small next to the database.
 
 use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::Mutex; // tsg-lint: allow(facade) — serve is std-only-threaded by design (DESIGN.md §16); the cache lock is leaf-level, no cross-lock protocol to model-check
 use taxogram_core::{MiningResult, Pattern, Termination};
 
 /// Everything about a mining request that changes the answer *except* θ.
@@ -107,7 +107,7 @@ impl ResultCache {
         let best = entries
             .iter_mut()
             .filter(|e| e.key == *key && e.theta <= theta)
-            .max_by(|a, b| a.theta.partial_cmp(&b.theta).expect("cached θ is finite"))?;
+            .max_by(|a, b| a.theta.partial_cmp(&b.theta).expect("cached θ is finite"))?; // tsg-lint: allow(panic) — cached theta values are validated finite at admission
         best.used = now;
         Some(CacheHit {
             run: Arc::clone(&best.run),
@@ -153,7 +153,7 @@ impl ResultCache {
                 .enumerate()
                 .min_by_key(|(_, e)| e.used)
                 .map(|(i, _)| i)
-                .expect("non-empty above capacity");
+                .expect("non-empty above capacity"); // tsg-lint: allow(panic) — entries is non-empty when above capacity
             entries.swap_remove(lru);
         }
     }

@@ -223,7 +223,7 @@ impl Parser<'_> {
     }
 
     fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) { // tsg-lint: allow(index) — pos is bounded by bytes.len() in the scanner loop
             self.pos += lit.len();
             Ok(value)
         } else {
@@ -341,9 +341,9 @@ impl Parser<'_> {
                 Some(_) => {
                     // Consume one UTF-8 scalar (input is &str, so byte
                     // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
+                    let rest = &self.bytes[self.pos..]; // tsg-lint: allow(index) — pos is bounded by bytes.len() in the scanner loop
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf-8"))?;
-                    let c = s.chars().next().expect("peeked non-empty");
+                    let c = s.chars().next().expect("peeked non-empty"); // tsg-lint: allow(panic) — the validated utf-8 remainder is non-empty after the peek
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -359,7 +359,7 @@ impl Parser<'_> {
         while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]) // tsg-lint: allow(index) — start and pos are cursors bounded by bytes.len()
             .map_err(|_| self.err("bad number"))?;
         let n: f64 = text.parse().map_err(|_| JsonError {
             msg: format!("bad number {text:?}"),

@@ -97,10 +97,10 @@ pub fn run_load(addr: SocketAddr, opts: &LoadOptions) -> LoadReport {
     let handles: Vec<_> = (0..opts.clients.max(1))
         .map(|i| {
             let opts = opts.clone();
-            std::thread::Builder::new()
+            std::thread::Builder::new() // tsg-lint: allow(facade) — synthetic load driver: real client threads against real sockets, not engine concurrency
                 .name(format!("tsg-load-client-{i}"))
                 .spawn(move || client_loop(addr, &opts))
-                .expect("spawn load client")
+                .expect("spawn load client") // tsg-lint: allow(panic) — spawn failure at load-driver startup is a fatal harness error
         })
         .collect();
     let mut tallies = Vec::with_capacity(handles.len());
@@ -156,7 +156,7 @@ fn client_loop(addr: SocketAddr, opts: &LoadOptions) -> ClientTally {
                 tally.shed += 1;
                 let backoff =
                     Duration::from_millis(retry_after_ms).min(opts.max_backoff);
-                std::thread::sleep(backoff);
+                std::thread::sleep(backoff); // tsg-lint: allow(facade) — client-side shed backoff sleep in the load driver
             }
             Response::Error => tally.errors += 1,
             Response::Unparseable => {
@@ -231,7 +231,7 @@ fn reduce(tallies: &[ClientTally], wall: Duration) -> LoadReport {
         report.lost += t.lost;
         latencies.extend_from_slice(&t.latencies_ms);
     }
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency")); // tsg-lint: allow(panic) — latencies are measured finite durations
     report.p50_ms = percentile(&latencies, 50.0);
     report.p95_ms = percentile(&latencies, 95.0);
     report.p99_ms = percentile(&latencies, 99.0);
@@ -248,7 +248,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    sorted[rank.min(sorted.len() - 1)] // tsg-lint: allow(index) — empty slice returned early above; rank clamped to last index
 }
 
 #[cfg(test)]

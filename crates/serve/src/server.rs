@@ -56,9 +56,9 @@ use crate::protocol::{
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering}; // tsg-lint: allow(facade) — serve is std-only-threaded by design (DESIGN.md §16): real sockets/OS threads cannot run under the model runtime; orderings audited per-site below
+use std::sync::{mpsc, Arc, Condvar, Mutex}; // tsg-lint: allow(facade) — same §16 carve-out: queue/condvar protocol exercised by the fault matrix, not the model checker
+use std::thread::JoinHandle; // tsg-lint: allow(facade) — worker/accept threads are real OS threads joined at drain; §16
 use std::time::{Duration, Instant};
 use taxogram_core::{
     Budget, CancelToken, GovernOptions, MiningOutcome, MiningResult, MiningStats, Taxogram,
@@ -294,22 +294,22 @@ impl Shared {
     fn snapshot(&self) -> StatsSnapshot {
         let c = &self.counters;
         StatsSnapshot {
-            requests: c.requests.load(Ordering::Relaxed),
-            results_ok: c.results_ok.load(Ordering::Relaxed),
-            degraded: c.degraded.load(Ordering::Relaxed),
-            shed: c.shed.load(Ordering::Relaxed),
-            errors: c.errors.load(Ordering::Relaxed),
-            cache_hits: c.cache_hits.load(Ordering::Relaxed),
-            cache_misses: c.cache_misses.load(Ordering::Relaxed),
-            cancelled: c.cancelled.load(Ordering::Relaxed),
-            connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
-            connections_refused: c.connections_refused.load(Ordering::Relaxed),
-            in_flight: self.in_flight.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed), // tsg-lint: ordering(ORD-15)
+            results_ok: c.results_ok.load(Ordering::Relaxed), // tsg-lint: ordering(ORD-15)
+            degraded: c.degraded.load(Ordering::Relaxed), // tsg-lint: ordering(ORD-15)
+            shed: c.shed.load(Ordering::Relaxed), // tsg-lint: ordering(ORD-15)
+            errors: c.errors.load(Ordering::Relaxed), // tsg-lint: ordering(ORD-15)
+            cache_hits: c.cache_hits.load(Ordering::Relaxed), // tsg-lint: ordering(ORD-15)
+            cache_misses: c.cache_misses.load(Ordering::Relaxed), // tsg-lint: ordering(ORD-15)
+            cancelled: c.cancelled.load(Ordering::Relaxed), // tsg-lint: ordering(ORD-15)
+            connections_accepted: c.connections_accepted.load(Ordering::Relaxed), // tsg-lint: ordering(ORD-15)
+            connections_refused: c.connections_refused.load(Ordering::Relaxed), // tsg-lint: ordering(ORD-15)
+            in_flight: self.in_flight.load(Ordering::Acquire), // tsg-lint: ordering(ORD-17)
             queued: self.queue.len(),
-            active_connections: self.active_conns.load(Ordering::Relaxed),
+            active_connections: self.active_conns.load(Ordering::Acquire), // tsg-lint: ordering(ORD-18)
             cache_entries: self.cache.len(),
             uptime_ms: self.started.elapsed().as_secs_f64() * 1000.0,
-            avg_mine_ms: self.avg_mine_us.load(Ordering::Relaxed) as f64 / 1000.0,
+            avg_mine_ms: self.avg_mine_us.load(Ordering::Relaxed) as f64 / 1000.0, // tsg-lint: ordering(ORD-20)
         }
     }
 
@@ -326,7 +326,7 @@ impl Shared {
     /// The shed backoff hint: queue depth × mean service time ÷ workers,
     /// floored at the configured minimum and capped at 30 s.
     fn retry_hint_ms(&self) -> u64 {
-        let avg_ms = self.avg_mine_us.load(Ordering::Relaxed) / 1000;
+        let avg_ms = self.avg_mine_us.load(Ordering::Relaxed) / 1000; // tsg-lint: ordering(ORD-20)
         let est = (self.queue.len() as u64 + 1) * avg_ms / self.opts.workers.max(1) as u64;
         est.clamp(self.opts.shed_retry_ms, 30_000)
     }
@@ -337,7 +337,7 @@ impl Shared {
         // other's EWMA contribution.
         let _ = self
             .avg_mine_us
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| { // tsg-lint: ordering(ORD-20)
                 Some(if old == 0 { sample } else { old - old / 8 + sample / 8 })
             });
     }
@@ -395,18 +395,18 @@ impl Server {
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                std::thread::Builder::new() // tsg-lint: allow(facade) — real worker-pool thread, joined in shutdown_impl; §16
                     .name(format!("tsg-serve-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
+                    .expect("spawn worker") // tsg-lint: allow(panic) — spawn failure during startup is fatal before any request is accepted
             })
             .collect();
         let accept = {
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
+            std::thread::Builder::new() // tsg-lint: allow(facade) — real accept-loop thread, joined in shutdown_impl; §16
                 .name("tsg-serve-accept".into())
                 .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawn acceptor")
+                .expect("spawn acceptor") // tsg-lint: allow(panic) — spawn failure during startup is fatal before any request is accepted
         };
         Ok(ServerHandle {
             addr: local,
@@ -484,7 +484,7 @@ impl ServerHandle {
     fn shutdown_impl(&mut self) -> DrainReport {
         let start = Instant::now();
         let shared = &self.shared;
-        shared.draining.store(true, Ordering::Release);
+        shared.draining.store(true, Ordering::Release); // tsg-lint: ordering(ORD-16)
         shared.request_shutdown();
         // Unblock the accept loop with a throwaway self-connection.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
@@ -494,7 +494,7 @@ impl ServerHandle {
         let mut guard = shared.drain_lock.lock().unwrap_or_else(|e| e.into_inner());
         let mut clean = true;
         loop {
-            if shared.in_flight.load(Ordering::Acquire) == 0 && shared.queue.len() == 0 {
+            if shared.in_flight.load(Ordering::Acquire) == 0 && shared.queue.len() == 0 { // tsg-lint: ordering(ORD-17)
                 break;
             }
             let now = Instant::now();
@@ -523,7 +523,7 @@ impl ServerHandle {
         if forced_cancels > 0 {
             let grace = Instant::now() + shared.opts.drain_deadline;
             let mut guard = shared.drain_lock.lock().unwrap_or_else(|e| e.into_inner());
-            while shared.in_flight.load(Ordering::Acquire) != 0 && Instant::now() < grace {
+            while shared.in_flight.load(Ordering::Acquire) != 0 && Instant::now() < grace { // tsg-lint: ordering(ORD-17)
                 let (g, _) = shared
                     .drain_cv
                     .wait_timeout(guard, Duration::from_millis(25))
@@ -551,15 +551,15 @@ impl ServerHandle {
             }
         }
         let close_deadline = Instant::now() + Duration::from_secs(2);
-        while shared.active_conns.load(Ordering::Acquire) != 0 && Instant::now() < close_deadline {
-            std::thread::sleep(Duration::from_millis(5));
+        while shared.active_conns.load(Ordering::Acquire) != 0 && Instant::now() < close_deadline { // tsg-lint: ordering(ORD-18)
+            std::thread::sleep(Duration::from_millis(5)); // tsg-lint: allow(facade) — bounded poll-sleep while lingering connections close; §16
         }
 
         self.finished = true;
         DrainReport {
             clean: clean && forced_cancels == 0,
             forced_cancels,
-            leaked_connections: shared.active_conns.load(Ordering::Acquire),
+            leaked_connections: shared.active_conns.load(Ordering::Acquire), // tsg-lint: ordering(ORD-18)
             drain_ms: start.elapsed().as_secs_f64() * 1000.0,
         }
     }
@@ -575,15 +575,15 @@ impl Drop for ServerHandle {
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     for conn in listener.incoming() {
-        if shared.draining.load(Ordering::Acquire) {
+        if shared.draining.load(Ordering::Acquire) { // tsg-lint: ordering(ORD-16)
             break;
         }
         let Ok(stream) = conn else { continue };
-        if shared.active_conns.load(Ordering::Acquire) >= shared.opts.max_connections {
+        if shared.active_conns.load(Ordering::Acquire) >= shared.opts.max_connections { // tsg-lint: ordering(ORD-18)
             shared
                 .counters
                 .connections_refused
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-15)
             // Refuse loudly: a shed line, then close. Best-effort — the
             // client may already be gone.
             let mut s = stream;
@@ -596,9 +596,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         shared
             .counters
             .connections_accepted
-            .fetch_add(1, Ordering::Relaxed);
-        shared.active_conns.fetch_add(1, Ordering::AcqRel);
-        let conn_id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-15)
+        shared.active_conns.fetch_add(1, Ordering::AcqRel); // tsg-lint: ordering(ORD-18)
+        let conn_id = shared.next_id.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-19)
         if let Ok(clone) = stream.try_clone() {
             shared
                 .conns
@@ -607,7 +607,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 .insert(conn_id, clone);
         }
         let shared_conn = Arc::clone(shared);
-        let spawned = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new() // tsg-lint: allow(facade) — per-connection handler thread, force-closed at drain end; §16
             .name(format!("tsg-serve-conn-{conn_id}"))
             .spawn(move || {
                 handle_connection(&shared_conn, stream, conn_id);
@@ -616,12 +616,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .remove(&conn_id);
-                shared_conn.active_conns.fetch_sub(1, Ordering::AcqRel);
+                shared_conn.active_conns.fetch_sub(1, Ordering::AcqRel); // tsg-lint: ordering(ORD-18)
             });
         if spawned.is_err() {
             // Thread spawn failed (resource exhaustion): undo the
             // accounting; the stream closes on drop.
-            shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+            shared.active_conns.fetch_sub(1, Ordering::AcqRel); // tsg-lint: ordering(ORD-18)
             shared
                 .conns
                 .lock()
@@ -694,7 +694,7 @@ impl FrameReader {
                 self.buf.clear();
                 return FrameEvent::TooLarge;
             }
-            if draining.load(Ordering::Acquire) {
+            if draining.load(Ordering::Acquire) { // tsg-lint: ordering(ORD-16)
                 return FrameEvent::Draining;
             }
             if started.elapsed() >= self.frame_deadline {
@@ -712,7 +712,7 @@ impl FrameReader {
                         FrameEvent::EofMidFrame
                     };
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]), // tsg-lint: allow(index) — read returned n <= chunk.len()
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(_) => return FrameEvent::Broken,
@@ -776,7 +776,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, _conn_id: u64)
                 }
             }
             FrameEvent::TooLarge => {
-                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-15)
                 let _ = write_line(
                     &mut stream,
                     error_response(
@@ -788,7 +788,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, _conn_id: u64)
                 break;
             }
             FrameEvent::Stalled => {
-                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-15)
                 let _ = write_line(
                     &mut stream,
                     error_response(
@@ -827,7 +827,7 @@ fn dispatch_frame(
     let req = match parse_request(frame) {
         Ok(r) => r,
         Err((code, msg)) => {
-            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-15)
             // A parse failure is frame-local: framing is intact, so the
             // connection stays usable.
             return write_line(stream, error_response(None, code, &msg));
@@ -887,11 +887,11 @@ fn handle_mine(
     read_half: &TcpStream,
     m: MineRequest,
 ) -> bool {
-    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-15)
     let id = m.id.clone();
     let id_ref = id.as_deref();
-    if shared.draining.load(Ordering::Acquire) {
-        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    if shared.draining.load(Ordering::Acquire) { // tsg-lint: ordering(ORD-16)
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-15)
         return write_line(
             stream,
             error_response(id_ref, ErrorCode::ShuttingDown, "server is draining"),
@@ -910,8 +910,8 @@ fn handle_mine(
     // cache hits keep flowing even when the worker pool saturates.
     if use_cache {
         if let Some(hit) = shared.cache.lookup(&key, m.theta) {
-            shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-            shared.counters.results_ok.fetch_add(1, Ordering::Relaxed);
+            shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-15)
+            shared.counters.results_ok.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-15)
             let started = Instant::now();
             let floor = shared.db.min_support_count(m.theta);
             let patterns = filter_run(&hit.run, floor);
@@ -930,12 +930,12 @@ fn handle_mine(
                 ),
             );
         }
-        shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-15)
     }
 
     // Admission: a slot in the bounded queue or a typed shed.
     let theta = m.theta;
-    let job_id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let job_id = shared.next_id.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-19)
     let cancel = CancelToken::new();
     let (tx, rx) = mpsc::channel();
     let limit = m
@@ -960,7 +960,7 @@ fn handle_mine(
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .remove(&job_id);
-        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        shared.counters.shed.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-15)
         return write_line(stream, shed_response(id_ref, shared.retry_hint_ms()));
     }
 
@@ -981,7 +981,7 @@ fn handle_mine(
                         PeerState::HalfClosed => half_closed = true,
                         PeerState::Gone => {
                             gone = true;
-                            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-15)
                             cancel.cancel();
                         }
                     }
@@ -995,7 +995,7 @@ fn handle_mine(
         return false;
     }
     let Some(reply) = reply else {
-        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-15)
         return write_line(
             stream,
             error_response(id_ref, ErrorCode::Internal, "worker dropped the request"),
@@ -1013,9 +1013,9 @@ fn handle_mine(
                     );
                 }
             } else {
-                shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                shared.counters.degraded.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-15)
             }
-            shared.counters.results_ok.fetch_add(1, Ordering::Relaxed);
+            shared.counters.results_ok.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-15)
             let cache_status = if use_cache {
                 CacheStatus::Miss
             } else {
@@ -1035,7 +1035,7 @@ fn handle_mine(
             )
         }
         Err(e) => {
-            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed); // tsg-lint: ordering(ORD-15)
             write_line(stream, error_response(id_ref, ErrorCode::Internal, &e.to_string()))
         }
     };
@@ -1045,7 +1045,7 @@ fn handle_mine(
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
-        shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        shared.in_flight.fetch_add(1, Ordering::AcqRel); // tsg-lint: ordering(ORD-17)
         let (reply, mined) = run_job(shared, &job);
         if mined {
             shared.record_mine_time(reply.mine_ms);
@@ -1058,7 +1058,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .remove(&job.id);
-        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel); // tsg-lint: ordering(ORD-17)
         {
             let _unused = shared.drain_lock.lock().unwrap_or_else(|e| e.into_inner());
             shared.drain_cv.notify_all();

@@ -27,6 +27,8 @@
 //! memory budget: the run aborts with [`TacgmError::MemoryBudgetExceeded`]
 //! instead of crashing the process.
 
+// tsg-lint: allow(index) — candidate and embedding tables are indexed by dense ids the mining loop itself issues
+
 use std::collections::{HashMap, HashSet};
 use tsg_graph::{EdgeLabel, GraphDatabase, LabeledGraph, NodeId, NodeLabel};
 use tsg_gspan::Embedding;
@@ -318,7 +320,7 @@ fn seed_level(
     let mut candidates: CandidateSet = CandidateSet::default();
     for ((la, el, lb), embs) in groups {
         let mut pat = LabeledGraph::with_nodes([NodeLabel(la), NodeLabel(lb)]);
-        pat.add_edge(0, 1, el).expect("fresh two-node pattern");
+        pat.add_edge(0, 1, el).expect("fresh two-node pattern"); // tsg-lint: allow(panic) — the single edge of a fresh two-node pattern cannot collide
         let bytes = candidates.add_batch(pat, embs);
         if budget.is_some_and(|bu| bytes > bu) {
             return Err(TacgmError::MemoryBudgetExceeded { level: 1, bytes });
@@ -421,10 +423,10 @@ fn extend_level(
             let mut pat = entry.graph.clone();
             if spec.to == usize::MAX {
                 let nn = pat.add_node(NodeLabel(spec.new_label));
-                pat.add_edge(spec.from, nn, spec.elabel).expect("fresh node edge");
+                pat.add_edge(spec.from, nn, spec.elabel).expect("fresh node edge"); // tsg-lint: allow(panic) — edge to a just-added node cannot collide
             } else {
                 pat.add_edge(spec.from, spec.to, spec.elabel)
-                    .expect("backward absence checked during grouping");
+                    .expect("backward absence checked during grouping"); // tsg-lint: allow(panic) — backward-edge absence was checked during grouping
             }
             let bytes = candidates.add_batch(pat, embs);
             if budget.is_some_and(|bu| bytes > bu) {
@@ -503,7 +505,7 @@ impl CandidateSet {
                             &pat,
                             &tsg_iso::ExactMatcher,
                         )
-                        .expect("is_isomorphic just confirmed a bijection exists");
+                        .expect("is_isomorphic just confirmed a bijection exists"); // tsg-lint: allow(panic) — is_isomorphic just confirmed a bijection exists
                         (i, Some(sigma))
                     }
                     None => {

@@ -67,11 +67,11 @@ impl TaxonomyBuilder {
         if child == parent {
             return Err(TaxonomyError::SelfIsA { concept: child });
         }
-        if self.parents[child.index()].contains(&parent) {
+        if self.parents[child.index()].contains(&parent) { // tsg-lint: allow(index) — both concepts bounds-checked against len above
             return Err(TaxonomyError::DuplicateIsA { child, parent });
         }
-        self.parents[child.index()].push(parent);
-        self.children[parent.index()].push(child);
+        self.parents[child.index()].push(parent); // tsg-lint: allow(index) — both concepts bounds-checked against len above
+        self.children[parent.index()].push(child); // tsg-lint: allow(index) — both concepts bounds-checked against len above
         Ok(())
     }
 

@@ -104,7 +104,7 @@ pub fn read_taxonomy(text: &str) -> Result<(LabelTable, Taxonomy), GraphError> {
                 edges.push((child, parent, lineno));
             }
             Some(other) => return Err(parse(lineno, &format!("unknown record type {other:?}"))),
-            None => unreachable!("empty lines filtered above"),
+            None => unreachable!("empty lines filtered above"), // tsg-lint: allow(panic) — empty lines are filtered before the match
         }
     }
     for (child, parent, lineno) in edges {
@@ -216,7 +216,7 @@ pub fn read_ncbi_nodes(text: &str) -> Result<NcbiTaxonomy, GraphError> {
 
     let mut builder = TaxonomyBuilder::with_concepts(tax_ids.len());
     for (i, &parent) in parent_ids.iter().enumerate() {
-        if parent == tax_ids[i] {
+        if parent == tax_ids[i] { // tsg-lint: allow(index) — i enumerates parent_ids, built in lockstep with tax_ids
             continue; // the dump's self-parented root
         }
         let Some(&p) = index.get(&parent) else {

@@ -23,8 +23,10 @@
 //! ([`ClosureMemo`]) keyed by concept — the occurrence-index build asks
 //! for the same few database labels over and over.
 
+// tsg-lint: allow(index) — CSR offsets and interval labels are built consistent with the concept count, and traversals index only by ids the structure itself issued
+
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex}; // tsg-lint: allow(facade) — crate layering: tsg-taxonomy sits below the facade crate (taxogram-core depends on it); the closure-memo lock is a leaf cache with no cross-thread protocol
 use tsg_graph::NodeLabel;
 
 /// Sentinel for "no tree parent / absent concept" in the u32 arrays.
@@ -350,7 +352,7 @@ impl Reachability {
         let mut extra_dat = Vec::new();
         extra_off.push(0u32);
         for &k in &extra_keys {
-            let mut members = extra.remove(&k).expect("key came from this map");
+            let mut members = extra.remove(&k).expect("key came from this map"); // tsg-lint: allow(panic) — key came from iterating this map
             members.sort_unstable();
             extra_dat.extend_from_slice(&members);
             extra_off.push(extra_dat.len() as u32);

@@ -6,6 +6,8 @@
 //! Examples 2.2–2.8 and 3.1–3.8, and the tests built on these fixtures
 //! assert the properties the paper derives from them.
 
+// tsg-lint: allow(panic) — fixture builders over statically known-good paper figures; a panic here is a broken fixture, caught by every test that uses it
+
 use crate::{Taxonomy, TaxonomyBuilder};
 use tsg_graph::{EdgeLabel, GraphDatabase, LabelTable, LabeledGraph, NodeLabel};
 

@@ -41,7 +41,7 @@ impl InformationContent {
         let total = taxonomy
             .roots()
             .iter()
-            .map(|r| freq[r.index()])
+            .map(|r| freq[r.index()]) // tsg-lint: allow(index) — roots index a frequency table sized to the concept count (documented contract)
             .max()
             .unwrap_or(0);
         assert!(total > 0, "corpus contains no occurrences of any root concept");
@@ -65,7 +65,7 @@ impl InformationContent {
 
     /// The information content of a concept.
     pub fn ic(&self, c: NodeLabel) -> f64 {
-        self.ic[c.index()]
+        self.ic[c.index()] // tsg-lint: allow(index) — the NodeLabel is a concept id of the originating taxonomy (documented contract)
     }
 
     /// The most informative common ancestor of `a` and `b` under this
@@ -79,7 +79,7 @@ impl InformationContent {
             .max_by(|&x, &y| {
                 self.ic(x)
                     .partial_cmp(&self.ic(y))
-                    .expect("finite ICs compare")
+                    .expect("finite ICs compare") // tsg-lint: allow(panic) — information contents are finite logs of positive counts
                     // Deterministic tie-break by id.
                     .then_with(|| y.cmp(&x))
             })

@@ -1,5 +1,7 @@
 //! The immutable taxonomy with interval-labeled reachability.
 
+// tsg-lint: allow(index) — closure, depth, and relation tables are all sized to the concept count, and concept ids are validated at the builder boundary
+
 use crate::reach::{Closure, ClosureMemo, Csr, Reachability, NONE};
 use crate::TaxonomyError;
 use tsg_bitset::BitSet;
@@ -93,7 +95,7 @@ impl Taxonomy {
         if order.len() != present_count {
             let on = (0..n)
                 .find(|&i| present[i] && remaining[i] > 0)
-                .expect("some concept must remain on a cycle");
+                .expect("some concept must remain on a cycle"); // tsg-lint: allow(panic) — a short toposort means some present concept stayed on a cycle
             return Err(TaxonomyError::Cycle { on: NodeLabel(on as u32) });
         }
 
@@ -400,7 +402,7 @@ impl Taxonomy {
             }
         }
         Self::from_relations_masked(&parents, &children, present, n)
-            .expect("adding fresh roots cannot create a cycle")
+            .expect("adding fresh roots cannot create a cycle") // tsg-lint: allow(panic) — adding fresh roots cannot create a cycle
     }
 
     /// Restricts the taxonomy to the concepts in `keep` (a bitset over
@@ -433,7 +435,7 @@ impl Taxonomy {
             }
         }
         Self::from_relations_masked(&parents, &children, present, self.artificial_from)
-            .expect("restriction of a DAG is a DAG")
+            .expect("restriction of a DAG is a DAG") // tsg-lint: allow(panic) — restriction of a DAG is a DAG
     }
 
     /// For every concept, the number of **distinct database graphs**

@@ -6,6 +6,38 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Workspace-invariant lint first: it compiles in a blink (std-only, no
+# deps) and fails fast on unannotated facade/ordering/panic/index/
+# fault-hook violations and stale §12 contract rows (DESIGN.md §17).
+echo "== tsg-lint (workspace invariants) =="
+cargo run -q -p tsg-lint
+
+# Negative smoke: prove the gate actually gates. Seed a throwaway
+# mini-workspace containing one deliberate violation and assert the
+# lint exits nonzero naming the expected rule id in its JSON output.
+# (Cleaned up eagerly below — the spill stage later installs its own
+# EXIT trap, which would replace one set here.)
+lint_smoke_dir="$(mktemp -d)"
+mkdir -p "$lint_smoke_dir/crates/demo/src"
+printf '## 12. Atomics\n\n| ID | Site | Ordering | Contract |\n|--|--|--|--|\n| ORD-01 | probe | Relaxed | smoke row |\n' \
+    > "$lint_smoke_dir/DESIGN.md"
+cat > "$lint_smoke_dir/crates/demo/src/lib.rs" <<'RS'
+pub fn f(x: Option<u32>) -> u32 { x.unwrap() }
+pub fn g(a: &AtomicUsize) { a.fetch_add(1, Ordering::Relaxed); } // tsg-lint: ordering(ORD-01)
+RS
+lint_smoke_status=0
+lint_smoke_out="$(cargo run -q -p tsg-lint -- --root "$lint_smoke_dir" --format json)" \
+    || lint_smoke_status=$?
+if [ "$lint_smoke_status" -ne 1 ]; then
+    echo "!! FAIL: tsg-lint negative smoke expected exit 1, got $lint_smoke_status" >&2
+    exit 1
+fi
+printf '%s\n' "$lint_smoke_out" | grep -q '"rule": "panic"' || {
+    echo "!! FAIL: tsg-lint negative smoke did not report the seeded panic violation" >&2
+    exit 1
+}
+rm -rf "$lint_smoke_dir"
+
 cargo build --release
 # Tier-1 first (the root package's fast suites), then the full workspace.
 cargo test -q

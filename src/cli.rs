@@ -13,6 +13,8 @@
 //! The logic lives here (unit-testable, writes to any `io::Write`); the
 //! binary in `src/bin/taxogram.rs` is a thin wrapper.
 
+// tsg-lint: allow(index) — suffix slicing is guarded by the match on the last byte, and flag positions enumerate raw's own indices
+
 use std::io::Write;
 use tsg_graph::{DatabaseStats, GraphDatabase, LabelTable};
 use tsg_taxonomy::Taxonomy;
@@ -463,7 +465,7 @@ fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         // to itself — no shared state with the server.
         let eof_shuts_down = std::io::IsTerminal::is_terminal(&std::io::stdin());
         let peer = handle.addr();
-        let _watcher = std::thread::Builder::new()
+        let _watcher = std::thread::Builder::new() // tsg-lint: allow(facade) — CLI stdin watcher at the process boundary; never runs inside a mining engine
             .name("taxogram-serve-stdin".into())
             .spawn(move || stdin_shutdown_watcher(peer, eof_shuts_down));
     }
